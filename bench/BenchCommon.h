@@ -1,0 +1,98 @@
+//===- bench/BenchCommon.h - Shared experiment driver -----------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table reproduction binaries: one-line
+/// experiment execution (workload x policy x heap x DRAM ratio), dataset
+/// scaling via --scale or PANTHERA_BENCH_SCALE, and consistent headers.
+///
+/// Every harness prints the simulated measurement next to the paper's
+/// reported value (`paper=...`) so shape agreement is visible at a glance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_BENCH_BENCHCOMMON_H
+#define PANTHERA_BENCH_BENCHCOMMON_H
+
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace panthera {
+namespace bench {
+
+/// One experiment's outputs.
+struct Experiment {
+  double Checksum = 0.0;
+  core::RunReport Report;
+};
+
+/// Extra knobs an experiment may override.
+struct Overrides {
+  bool EagerPromotion = true;
+  bool CardPadding = true;
+  double NurseryFraction = 1.0 / 6.0;
+  double EpochNs = 100.0e3;
+};
+
+/// Runs \p Spec under one configuration and reports time/energy/GC.
+inline Experiment runExperiment(const workloads::WorkloadSpec &Spec,
+                                gc::PolicyKind Policy, unsigned HeapGB,
+                                double DramRatio, double Scale,
+                                const Overrides &O = Overrides()) {
+  core::RuntimeConfig Config;
+  Config.Policy = Policy;
+  Config.HeapPaperGB = HeapGB;
+  Config.DramRatio = DramRatio;
+  Config.EagerPromotion = O.EagerPromotion;
+  Config.CardPadding = O.CardPadding;
+  Config.NurseryFraction = O.NurseryFraction;
+  Config.EpochNs = O.EpochNs;
+  core::Runtime RT(Config);
+  Experiment E;
+  E.Checksum = Spec.Run(RT, Scale);
+  E.Report = RT.report();
+  return E;
+}
+
+/// Parses --scale=<x> (or env PANTHERA_BENCH_SCALE); default 1.0.
+inline double parseScale(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--scale=", 8) == 0)
+      return std::atof(Arg + 8);
+  }
+  if (const char *Env = std::getenv("PANTHERA_BENCH_SCALE"))
+    return std::atof(Env);
+  return 1.0;
+}
+
+/// Prints the standard harness banner.
+inline void banner(const char *Id, const char *What, double Scale) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("Panthera reproduction | %s\n", Id);
+  std::printf("%s\n", What);
+  std::printf("scale: 1 paper-GB = 1 simulated MB; dataset scale factor "
+              "%.2f\n",
+              Scale);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// The four programs the paper uses for the heap/ratio sweeps (Fig 6/7).
+inline std::vector<const workloads::WorkloadSpec *> sweepPrograms() {
+  return {workloads::findWorkload("PR"), workloads::findWorkload("LR"),
+          workloads::findWorkload("CC"), workloads::findWorkload("BC")};
+}
+
+} // namespace bench
+} // namespace panthera
+
+#endif // PANTHERA_BENCH_BENCHCOMMON_H

@@ -1,0 +1,80 @@
+//===- bench/ablation_gc_opts.cpp - §5.3 GC-optimization ablation ----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// §5.3's ablation of Panthera's two GC optimizations:
+///  * eager promotion alone contributes ~9% of the GC improvement;
+///  * disabling card padding increases GC time by ~60% (shared dirty
+///    cards force full large-array rescans in NVM on every minor GC).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Statistics.h"
+
+using namespace panthera;
+using namespace panthera::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("§5.3 ablation", "Panthera GC optimizations on/off, 64GB heap, "
+                          "1/3 DRAM",
+         Scale);
+
+  std::printf("\nGC time (simulated ms) under Panthera variants:\n");
+  std::printf("%-5s %10s %14s %14s %16s\n", "", "full", "no eager",
+              "no padding", "shared-card scans");
+  std::vector<double> NoEagerRatio, NoPadRatio;
+  uint64_t FullSharedScans = 0, NoPadSharedScans = 0;
+  for (const char *Name : {"PR", "KM", "TC", "CC", "BC"}) {
+    const workloads::WorkloadSpec *Spec = workloads::findWorkload(Name);
+    Overrides Full;
+    Experiment F = runExperiment(*Spec, gc::PolicyKind::Panthera, 64,
+                                 1.0 / 3.0, Scale, Full);
+    Overrides NoEager;
+    NoEager.EagerPromotion = false;
+    Experiment NE = runExperiment(*Spec, gc::PolicyKind::Panthera, 64,
+                                  1.0 / 3.0, Scale, NoEager);
+    Overrides NoPad;
+    NoPad.CardPadding = false;
+    Experiment NP = runExperiment(*Spec, gc::PolicyKind::Panthera, 64,
+                                  1.0 / 3.0, Scale, NoPad);
+    NoEagerRatio.push_back(NE.Report.GcNs / F.Report.GcNs);
+    NoPadRatio.push_back(NP.Report.GcNs / F.Report.GcNs);
+    FullSharedScans += F.Report.Gc.SharedArrayCardScans;
+    NoPadSharedScans += NP.Report.Gc.SharedArrayCardScans;
+    std::printf("%-5s %10.2f %14.2f %14.2f %16llu\n", Name,
+                F.Report.GcNs / 1e6, NE.Report.GcNs / 1e6,
+                NP.Report.GcNs / 1e6,
+                static_cast<unsigned long long>(
+                    NP.Report.Gc.SharedArrayCardScans));
+  }
+
+  double EagerContribution = 100.0 * (geomean(NoEagerRatio) - 1.0);
+  double PaddingContribution = 100.0 * (geomean(NoPadRatio) - 1.0);
+  std::printf("\nGC time increase when disabling (geomean):\n");
+  std::printf("  eager promotion: %+5.1f%%   (paper: ~9%% of the GC "
+              "improvement)\n",
+              EagerContribution);
+  std::printf("  card padding:    %+5.1f%%   (paper: ~60%% GC time "
+              "increase)\n",
+              PaddingContribution);
+  std::printf("\nshape checks:\n");
+  std::printf("  both optimizations reduce GC time:                  %s\n",
+              EagerContribution > 0 && PaddingContribution > 0 ? "yes"
+                                                               : "NO");
+  std::printf("  padding eliminates shared-card rescans entirely "
+              "(%llu -> %llu): %s\n",
+              static_cast<unsigned long long>(NoPadSharedScans),
+              static_cast<unsigned long long>(FullSharedScans),
+              FullSharedScans == 0 && NoPadSharedScans > 0 ? "yes" : "NO");
+  std::printf("\nnote: the paper's +60%% padding effect accumulates over "
+              "hundreds of minor GCs per\nrun; at this scale each "
+              "uncleanable shared card is rescanned only a handful of\n"
+              "times, so the absolute magnitude is smaller (the mechanism "
+              "is identical -- see the\nshared-card-scan counts).\n");
+  return 0;
+}

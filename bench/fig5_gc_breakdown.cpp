@@ -1,0 +1,67 @@
+//===- bench/fig5_gc_breakdown.cpp - Fig 5 reproduction --------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig 5: per-program computation (mutator) vs GC time under the 64 GB
+/// heap for DRAM-only, Panthera, and Unmanaged.
+///
+/// Paper summary (§5.3): relative to DRAM-only, Unmanaged adds 60.4% GC
+/// time and 6.9% computation time; Panthera adds 4.7% and 4.5%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Statistics.h"
+
+using namespace panthera;
+using namespace panthera::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Fig 5", "Computation vs GC time (simulated ms), 64GB heap, "
+                  "1/3 DRAM",
+         Scale);
+
+  std::printf("\n%-5s | %-26s | %-26s | %-26s\n", "",
+              "DRAM-only  comp    gc", "Panthera   comp    gc",
+              "Unmanaged  comp    gc");
+  std::vector<double> GcOverheadP, GcOverheadU, MutOverheadP, MutOverheadU;
+  for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads()) {
+    Experiment Base =
+        runExperiment(Spec, gc::PolicyKind::DramOnly, 64, 1.0, Scale);
+    Experiment P = runExperiment(Spec, gc::PolicyKind::Panthera, 64,
+                                 1.0 / 3.0, Scale);
+    Experiment U = runExperiment(Spec, gc::PolicyKind::Unmanaged, 64,
+                                 1.0 / 3.0, Scale);
+    auto Ms = [](double Ns) { return Ns / 1e6; };
+    std::printf("%-5s |        %7.2f %7.2f   |        %7.2f %7.2f   |  "
+                "      %7.2f %7.2f\n",
+                Spec.ShortName.c_str(), Ms(Base.Report.MutatorNs),
+                Ms(Base.Report.GcNs), Ms(P.Report.MutatorNs),
+                Ms(P.Report.GcNs), Ms(U.Report.MutatorNs),
+                Ms(U.Report.GcNs));
+    GcOverheadP.push_back(P.Report.GcNs / Base.Report.GcNs);
+    GcOverheadU.push_back(U.Report.GcNs / Base.Report.GcNs);
+    MutOverheadP.push_back(P.Report.MutatorNs / Base.Report.MutatorNs);
+    MutOverheadU.push_back(U.Report.MutatorNs / Base.Report.MutatorNs);
+  }
+
+  std::printf("\noverheads vs DRAM-only (geomean):\n");
+  std::printf("  Unmanaged: GC %+.1f%%  computation %+.1f%%   "
+              "(paper: +60.4%% / +6.9%%)\n",
+              100.0 * (geomean(GcOverheadU) - 1.0),
+              100.0 * (geomean(MutOverheadU) - 1.0));
+  std::printf("  Panthera:  GC %+.1f%%  computation %+.1f%%   "
+              "(paper:  +4.7%% / +4.5%%)\n",
+              100.0 * (geomean(GcOverheadP) - 1.0),
+              100.0 * (geomean(MutOverheadP) - 1.0));
+  std::printf("\nshape checks:\n");
+  std::printf("  Unmanaged GC blowup >> Panthera GC overhead: %s\n",
+              geomean(GcOverheadU) > geomean(GcOverheadP) ? "yes" : "NO");
+  std::printf("  GC penalty exceeds computation penalty (Unmanaged): %s\n",
+              geomean(GcOverheadU) > geomean(MutOverheadU) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bench/fig7_energy_sweep.cpp - Fig 7 reproduction --------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fig 7: memory energy of PR / LR / CC / BC for the same heap x DRAM
+/// ratio sweep as Fig 6, normalized to the same-size DRAM-only system.
+///
+/// Paper averages: 120GB heap: Unmanaged 0.50 (1/4) / 0.57 (1/3),
+/// Panthera 0.43 / 0.48. 64GB heap: Unmanaged 0.63 / 0.69, Panthera
+/// 0.58 / 0.62. Key observations: smaller DRAM ratio -> bigger savings;
+/// Panthera saves more than Unmanaged at equal ratios (it runs faster,
+/// so the static power integrates over less time).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Statistics.h"
+
+using namespace panthera;
+using namespace panthera::bench;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Fig 7", "Energy sweep over heaps {120,64}GB x DRAM ratios "
+                  "{1/4,1/3}, normalized to same-size DRAM-only",
+         Scale);
+
+  struct Config {
+    unsigned HeapGB;
+    double Ratio;
+    const char *Label;
+    double PaperU, PaperP;
+  };
+  const Config Configs[] = {
+      {120, 0.25, "120GB, 1/4 DRAM", 0.498, 0.430},
+      {120, 1.0 / 3.0, "120GB, 1/3 DRAM", 0.565, 0.483},
+      {64, 0.25, "64GB, 1/4 DRAM", 0.633, 0.583},
+      {64, 1.0 / 3.0, "64GB, 1/3 DRAM", 0.693, 0.620},
+  };
+
+  double MeanQuarter = 0.0, MeanThird = 0.0;
+  for (const Config &C : Configs) {
+    std::printf("\n-- %s --\n", C.Label);
+    std::printf("%-5s %12s %12s\n", "", "Unmanaged", "Panthera");
+    std::vector<double> U, P;
+    for (const workloads::WorkloadSpec *Spec : sweepPrograms()) {
+      Experiment Base = runExperiment(*Spec, gc::PolicyKind::DramOnly,
+                                      C.HeapGB, 1.0, Scale);
+      Experiment EU = runExperiment(*Spec, gc::PolicyKind::Unmanaged,
+                                    C.HeapGB, C.Ratio, Scale);
+      Experiment EP = runExperiment(*Spec, gc::PolicyKind::Panthera,
+                                    C.HeapGB, C.Ratio, Scale);
+      double Ue = EU.Report.TotalJoules / Base.Report.TotalJoules;
+      double Pe = EP.Report.TotalJoules / Base.Report.TotalJoules;
+      U.push_back(Ue);
+      P.push_back(Pe);
+      std::printf("%-5s %12.3f %12.3f\n", Spec->ShortName.c_str(), Ue, Pe);
+    }
+    std::printf("%-5s %12.3f %12.3f   paper avg: U %.3f, P %.3f\n", "mean",
+                geomean(U), geomean(P), C.PaperU, C.PaperP);
+    if (C.Ratio < 0.3)
+      MeanQuarter += geomean(P);
+    else
+      MeanThird += geomean(P);
+  }
+
+  std::printf("\nshape checks:\n");
+  std::printf("  smaller DRAM ratio saves more energy: %s\n",
+              MeanQuarter < MeanThird ? "yes" : "NO");
+  return 0;
+}

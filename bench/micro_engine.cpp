@@ -1,0 +1,150 @@
+//===- bench/micro_engine.cpp - Engine-operator micro costs ----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark micro costs of the RDD engine's operators on the host
+/// machine: streaming map throughput, reduceByKey (full shuffle), join
+/// probing, sortByKey, serialized vs deserialized cache reads, and the
+/// DSL front-end (parse + infer). Complements micro_heap.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TagInference.h"
+#include "core/Runtime.h"
+#include "dsl/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace panthera;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::SourceData;
+
+namespace {
+
+struct EngineFixture {
+  EngineFixture() {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 32;
+    RT = std::make_unique<core::Runtime>(Config);
+    Data.resize(RT->ctx().config().NumPartitions);
+    for (int64_t I = 0; I != 50000; ++I)
+      Data[static_cast<size_t>(I) % Data.size()].push_back(
+          {I % 5000, 1.0});
+  }
+  std::unique_ptr<core::Runtime> RT;
+  SourceData Data;
+};
+
+void BM_MapCountPipeline(benchmark::State &State) {
+  EngineFixture F;
+  for (auto _ : State) {
+    int64_t N = F.RT->ctx()
+                    .source(&F.Data)
+                    .map([](RddContext &C, ObjRef T) {
+                      return C.makeTuple(C.key(T), C.value(T) + 1.0);
+                    })
+                    .count();
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(State.iterations() * 50000);
+}
+BENCHMARK(BM_MapCountPipeline);
+
+void BM_ReduceByKeyShuffle(benchmark::State &State) {
+  EngineFixture F;
+  for (auto _ : State) {
+    int64_t N = F.RT->ctx()
+                    .source(&F.Data)
+                    .reduceByKey([](double A, double B) { return A + B; })
+                    .count();
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(State.iterations() * 50000);
+}
+BENCHMARK(BM_ReduceByKeyShuffle);
+
+void BM_CoPartitionedJoin(benchmark::State &State) {
+  EngineFixture F;
+  Rdd Left = F.RT->ctx().source(&F.Data).reduceByKey(
+      [](double A, double) { return A; });
+  Rdd Right = F.RT->ctx().source(&F.Data).reduceByKey(
+      [](double A, double) { return A; });
+  Left.count(); // materialize both sides once
+  Right.count();
+  for (auto _ : State) {
+    int64_t N = Left.join(Right,
+                          [](RddContext &C, ObjRef LT, double RV) {
+                            return C.makeTuple(C.key(LT),
+                                               C.value(LT) + RV);
+                          })
+                    .count();
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(State.iterations() * 5000);
+}
+BENCHMARK(BM_CoPartitionedJoin);
+
+void BM_SortByKey(benchmark::State &State) {
+  EngineFixture F;
+  for (auto _ : State) {
+    int64_t N = F.RT->ctx().source(&F.Data).sortByKey().count();
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(State.iterations() * 50000);
+}
+BENCHMARK(BM_SortByKey);
+
+void BM_CachedReadDeserialized(benchmark::State &State) {
+  EngineFixture F;
+  Rdd Cached = F.RT->ctx().source(&F.Data).persistAs(
+      "c", rdd::StorageLevel::MemoryOnly);
+  Cached.count();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cached.count());
+  State.SetItemsProcessed(State.iterations() * 50000);
+}
+BENCHMARK(BM_CachedReadDeserialized);
+
+void BM_CachedReadSerialized(benchmark::State &State) {
+  EngineFixture F;
+  Rdd Cached = F.RT->ctx().source(&F.Data).persistAs(
+      "c", rdd::StorageLevel::MemoryOnlySer);
+  Cached.count();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Cached.count());
+  State.SetItemsProcessed(State.iterations() * 50000);
+}
+BENCHMARK(BM_CachedReadSerialized);
+
+const char *FrontEndProgram = R"(
+program pagerank {
+  lines = textFile("graph");
+  links = lines.map().distinct().groupByKey().persist(MEMORY_ONLY);
+  ranks = links.mapValues();
+  for (i in 1..iters) {
+    contribs = links.join(ranks).flatMap().persist(MEMORY_AND_DISK_SER);
+    ranks = contribs.reduceByKey().mapValues();
+  }
+  ranks.count();
+}
+)";
+
+void BM_DslParseAndInfer(benchmark::State &State) {
+  for (auto _ : State) {
+    std::vector<dsl::Diagnostic> Diags;
+    dsl::Program P = dsl::parseDriverProgram(FrontEndProgram, Diags);
+    analysis::AnalysisResult R = analysis::inferMemoryTags(P);
+    benchmark::DoNotOptimize(R.Vars.size());
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_DslParseAndInfer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+//===- bench/table2_device_params.cpp - Table 2 dump -----------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 2: the DRAM/NVM device parameters the simulator runs with, next
+/// to the paper's figures, plus the derived per-access costs of the model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "memsim/EnergyModel.h"
+#include "memsim/MemoryTechnology.h"
+
+using namespace panthera;
+using namespace panthera::bench;
+using namespace panthera::memsim;
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("Table 2", "DRAM vs NVM device parameters (model defaults vs "
+                    "paper)",
+         Scale);
+  MemoryTechnology T;
+  EnergyParams E;
+
+  std::printf("\n%-32s %16s %16s %s\n", "parameter", "DRAM", "NVM",
+              "paper (DRAM / NVM)");
+  std::printf("%-32s %16.0f %16.0f %s\n", "read latency (ns)",
+              T.DramReadLatencyNs, T.NvmReadLatencyNs,
+              "120 / 300 (one-hop)");
+  std::printf("%-32s %16.0f %16.0f %s\n", "bandwidth (GB/s)",
+              T.DramBandwidthGBs, T.NvmBandwidthGBs,
+              "30 / 10 (thermally limited)");
+  std::printf("%-32s %16s %16s %s\n", "capacity per CPU", "100s of GBs",
+              "terabytes", "same");
+  std::printf("%-32s %16s %16s %s\n", "estimated price", "5x", "1x", "same");
+  std::printf("%-32s %16.2f %16.2f %s\n", "static power (W/GB)",
+              E.DramStaticWattsPerGB, E.NvmStaticWattsPerGB,
+              "DDR4 spec / negligible [30,31]");
+  std::printf("%-32s %16.1f %16.1f %s\n", "read energy (nJ/line)",
+              E.DramReadNanojoulesPerLine, E.NvmReadNanojoulesPerLine,
+              "NVM reads cheaper (non-destructive)");
+  std::printf("%-32s %16.1f %16.1f %s\n", "write energy (nJ/line)",
+              E.DramWriteNanojoulesPerLine, E.NvmWriteNanojoulesPerLine,
+              "31200 pJ per NVM line write (S5.1)");
+
+  std::printf("\nderived per-cache-line miss costs (ns):\n");
+  std::printf("%-32s %16.2f %16.2f\n", "mutator (MLP 4), random access",
+              T.missCostNs(Device::DRAM, Actor::Mutator, false),
+              T.missCostNs(Device::NVM, Actor::Mutator, false));
+  std::printf("%-32s %16.2f %16.2f\n", "mutator, sequential (prefetch)",
+              T.missCostNs(Device::DRAM, Actor::Mutator, false, true),
+              T.missCostNs(Device::NVM, Actor::Mutator, false, true));
+  std::printf("%-32s %16.2f %16.2f\n", "GC (16 threads, MLP 64)",
+              T.missCostNs(Device::DRAM, Actor::Gc, false),
+              T.missCostNs(Device::NVM, Actor::Gc, false));
+  std::printf("\nGC tracing NVM:DRAM cost ratio: %.2fx (the paper's "
+              "bandwidth-bound Parallel Scavenge effect)\n",
+              T.missCostNs(Device::NVM, Actor::Gc, false) /
+                  T.missCostNs(Device::DRAM, Actor::Gc, false));
+  return 0;
+}

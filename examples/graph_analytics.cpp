@@ -1,0 +1,102 @@
+//===- examples/graph_analytics.cpp - GraphX-layer example ----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Graph analytics on the GraphX-like layer: builds a power-law graph,
+/// runs Connected Components and Single-Source Shortest Paths through the
+/// Pregel engine, and shows the §5.5 dynamic-migration story: stale
+/// vertex-RDD generations (tagged DRAM by the analysis) are demoted to
+/// NVM by the major GC once their call counts go cold.
+///
+/// Usage: graph_analytics [vertices] [edges]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "graphx/Pregel.h"
+#include "workloads/DataGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace panthera;
+using rdd::Rdd;
+
+int main(int Argc, char **Argv) {
+  int64_t V = Argc > 1 ? std::atoll(Argv[1]) : 12000;
+  int64_t E = Argc > 2 ? std::atoll(Argv[2]) : 44000;
+
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.HeapPaperGB = 32; // small enough that stale generations matter
+  Config.DramRatio = 1.0 / 3.0;
+  core::Runtime RT(Config);
+  RT.analyzeAndInstall(R"(
+program cc {
+  raw = textFile("graph");
+  edges = raw.flatMap().groupByKey().persist(MEMORY_ONLY);
+  vertices = edges.mapValues().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    msgs = edges.join(vertices).flatMap();
+    vertices = msgs.union(vertices).reduceByKey().persist(MEMORY_ONLY);
+    for (j in 1..supersteps) {
+      probe = edges.join(vertices).map();
+      probe.count();
+    }
+  }
+  vertices.count();
+}
+)");
+
+  workloads::GraphData G = workloads::genPowerLawGraph(
+      RT.ctx().config().NumPartitions, V, E, /*Skew=*/1.0, /*Seed=*/11);
+  Rdd EdgeList = RT.ctx().source(&G.Edges);
+  Rdd Adjacency = graphx::buildAdjacency(RT.ctx(), EdgeList, "edges",
+                                         /*Symmetrize=*/true);
+
+  graphx::PregelConfig PC;
+  PC.MaxIterations = 10;
+  Rdd Labels = graphx::connectedComponents(RT.ctx(), Adjacency, PC);
+
+  // Count components: how many distinct labels remain.
+  std::map<int64_t, int64_t> Components;
+  for (const rdd::SourceRecord &Rec : Labels.collect())
+    ++Components[static_cast<int64_t>(Rec.Val)];
+  std::printf("connected components: %zu (largest %lld vertices)\n",
+              Components.size(), [&] {
+                int64_t Max = 0;
+                for (auto &[L, N] : Components)
+                  Max = N > Max ? N : Max;
+                return static_cast<long long>(Max);
+              }());
+
+  graphx::PregelConfig SP;
+  SP.MaxIterations = 10;
+  SP.VertexVar = "vertices";
+  Rdd Dist = graphx::shortestPaths(RT.ctx(), Adjacency, /*SourceVertex=*/0,
+                                   SP);
+  int64_t Reachable = Dist.filter([](rdd::RddContext &C, heap::ObjRef T) {
+                            return C.value(T) < graphx::Unreachable;
+                          }).count();
+  std::printf("vertices reachable from 0: %lld\n",
+              static_cast<long long>(Reachable));
+
+  core::RunReport R = RT.report();
+  std::printf("\nruntime summary: %.2f simulated ms, %llu minor / %llu "
+              "major GCs\n",
+              R.TotalNs / 1e6,
+              static_cast<unsigned long long>(R.Gc.MinorGcs),
+              static_cast<unsigned long long>(R.Gc.MajorGcs));
+  std::printf("dynamic migration (§5.5): %llu stale vertex-RDD arrays "
+              "demoted to NVM,\n%llu hot arrays promoted to DRAM; %llu "
+              "monitored calls drove the decisions\n",
+              static_cast<unsigned long long>(
+                  R.Gc.MigratedRddArraysToNvm),
+              static_cast<unsigned long long>(
+                  R.Gc.MigratedRddArraysToDram),
+              static_cast<unsigned long long>(R.MonitoredCalls));
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- examples/kmeans_nd.cpp - Multi-dimensional K-Means -----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Multi-dimensional K-Means over heap-resident coordinate buffers: the
+/// point RDD carries a CompactBuffer per point (the Fig 1 nested shape),
+/// centers ship as DRAM-tagged broadcast blocks, and assignment statistics
+/// flow through flatMap + reduceByKey -- structurally Spark MLlib's
+/// implementation. Shows the persisted point set living in old-gen DRAM
+/// while per-iteration statistics churn through the young generation.
+///
+/// Usage: kmeans_nd [points] [dims] [clusters] [iterations]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "mllib/MLlib.h"
+#include "workloads/DataGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace panthera;
+using rdd::Rdd;
+
+int main(int Argc, char **Argv) {
+  int64_t Points = Argc > 1 ? std::atoll(Argv[1]) : 20000;
+  uint32_t Dims = Argc > 2 ? static_cast<uint32_t>(std::atoi(Argv[2])) : 4;
+  uint32_t K = Argc > 3 ? static_cast<uint32_t>(std::atoi(Argv[3])) : 2;
+  uint32_t Iters = Argc > 4 ? static_cast<uint32_t>(std::atoi(Argv[4])) : 10;
+
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.HeapPaperGB = 64;
+  core::Runtime RT(Config);
+  RT.analyzeAndInstall(R"(
+program kmeansnd {
+  points = textFile("pts").groupByKey().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    stats = points.flatMap().reduceByKey();
+    stats.collect();
+  }
+}
+)");
+
+  rdd::SourceData Data = workloads::genClusteredPointsND(
+      RT.ctx().config().NumPartitions, Points, Dims, K, /*Seed=*/99);
+  Rdd PointSet = RT.ctx()
+                     .source(&Data)
+                     .groupByKey()
+                     .persistAs("points", rdd::StorageLevel::MemoryOnly);
+
+  mllib::KMeansNDModel Model =
+      mllib::trainKMeansND(PointSet, K, Dims, Iters);
+
+  std::printf("k-means: %lld points x %u dims, k=%u, %u iterations\n",
+              static_cast<long long>(Points), Dims, K, Iters);
+  std::printf("final cost: %.1f (%.2f per point)\n", Model.Cost,
+              Model.Cost / static_cast<double>(Points));
+  for (uint32_t C = 0; C != K; ++C) {
+    std::printf("center %u: (", C);
+    for (uint32_t D = 0; D != Dims; ++D)
+      std::printf("%s%.1f", D ? ", " : "", Model.Centers[C * Dims + D]);
+    std::printf(")   [a true center: (");
+    for (uint32_t D = 0; D != Dims; ++D)
+      std::printf("%s%.1f", D ? ", " : "",
+                  workloads::clusterCenterND(C, D, K));
+    std::printf(")]\n");
+  }
+  std::printf("(k-means with diagonal initialization can settle in a "
+              "local optimum for k > 2)\n");
+
+  core::RunReport R = RT.report();
+  std::printf("\nruntime: %.2f simulated ms, gc %.2f ms; point set in "
+              "old-gen DRAM (%llu KB)\n",
+              R.TotalNs / 1e6, R.GcNs / 1e6,
+              static_cast<unsigned long long>(
+                  RT.heap().oldDram().usedBytes() / 1024));
+  return 0;
+}

@@ -1,0 +1,111 @@
+//===- examples/pagerank_hybrid.cpp - PageRank across policies ------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's running example as a standalone program: PageRank over a
+/// synthetic power-law web graph, executed under each memory-management
+/// policy on the same hybrid memory, with the per-policy placement and
+/// cost summary printed side by side. This is a compact version of what
+/// bench/fig2c_motivation and bench/fig4_overall measure.
+///
+/// Usage: pagerank_hybrid [vertices] [edges] [iterations]
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "workloads/DataGen.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace panthera;
+using heap::GcRoot;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::TupleSink;
+
+static double runPageRank(core::Runtime &RT, int64_t V, int64_t E,
+                          unsigned Iters) {
+  RT.analyzeAndInstall(R"(
+program pagerank {
+  lines = textFile("graph");
+  links = lines.map().distinct().groupByKey().persist(MEMORY_ONLY);
+  ranks = links.mapValues();
+  for (i in 1..iters) {
+    contribs = links.join(ranks).flatMap().persist(MEMORY_AND_DISK_SER);
+    ranks = contribs.reduceByKey().mapValues();
+  }
+  ranks.count();
+}
+)");
+  rdd::SparkContext &Ctx = RT.ctx();
+  workloads::GraphData G = workloads::genPowerLawGraph(
+      Ctx.config().NumPartitions, V, E, /*Skew=*/1.0, /*Seed=*/42);
+
+  Rdd Links = Ctx.source(&G.Edges).distinct().groupByKey().persistAs(
+      "links", rdd::StorageLevel::MemoryOnly);
+  Rdd Ranks = Links.mapValuesWithKey([](int64_t, double) { return 1.0; });
+  for (unsigned I = 0; I != Iters; ++I) {
+    Rdd Contribs =
+        Links
+            .join(Ranks,
+                  [](RddContext &C, ObjRef Left, double Rank) {
+                    return C.makeTupleWithRef(C.key(Left), Rank,
+                                              C.payload(Left));
+                  })
+            .flatMap([](RddContext &C, ObjRef T, const TupleSink &S) {
+              GcRoot Buf(C.heap(), C.payload(T));
+              if (Buf.get().isNull())
+                return;
+              uint32_t N = C.heap().arrayLength(Buf.get());
+              double Share = C.value(T) / N;
+              for (uint32_t J = 0; J != N; ++J)
+                S(C.makeTuple(
+                    static_cast<int64_t>(C.bufferValue(Buf.get(), J)),
+                    Share));
+            })
+            .persistAs("contribs", rdd::StorageLevel::MemoryAndDiskSer);
+    Ranks = Contribs.reduceByKey([](double A, double B) { return A + B; })
+                .mapValues([](double S) { return 0.15 + 0.85 * S; });
+  }
+  return Ranks.reduce([](double A, double B) { return A + B; });
+}
+
+int main(int Argc, char **Argv) {
+  int64_t V = Argc > 1 ? std::atoll(Argv[1]) : 10000;
+  int64_t E = Argc > 2 ? std::atoll(Argv[2]) : 50000;
+  unsigned Iters = Argc > 3 ? static_cast<unsigned>(std::atoi(Argv[3])) : 8;
+  std::printf("PageRank: %lld vertices, %lld edges, %u iterations\n",
+              static_cast<long long>(V), static_cast<long long>(E), Iters);
+  std::printf("%-14s %10s %9s %9s %12s %10s %8s\n", "policy", "time(ms)",
+              "gc(ms)", "energy(J)", "oldDRAM(KB)", "oldNVM(KB)", "sum");
+
+  for (gc::PolicyKind Policy :
+       {gc::PolicyKind::DramOnly, gc::PolicyKind::Unmanaged,
+        gc::PolicyKind::KingsguardNursery, gc::PolicyKind::KingsguardWrites,
+        gc::PolicyKind::Panthera}) {
+    core::RuntimeConfig Config;
+    Config.Policy = Policy;
+    Config.HeapPaperGB = 64;
+    Config.DramRatio = 1.0 / 3.0;
+    core::Runtime RT(Config);
+    double Sum = runPageRank(RT, V, E, Iters);
+    core::RunReport R = RT.report();
+    std::printf("%-14s %10.2f %9.2f %9.2f %12llu %10llu %8.1f\n",
+                gc::policyName(Policy), R.TotalNs / 1e6, R.GcNs / 1e6,
+                R.TotalJoules,
+                static_cast<unsigned long long>(
+                    RT.heap().oldDram().usedBytes() / 1024),
+                static_cast<unsigned long long>(
+                    RT.heap().oldNvm().usedBytes() / 1024),
+                Sum);
+  }
+  std::printf("\nNote: identical 'sum' across policies shows placement "
+              "never changes results;\nPanthera keeps the hot links RDD "
+              "in old-gen DRAM and the per-iteration contribs\ncaches in "
+              "NVM (compare the oldDRAM/oldNVM columns).\n");
+  return 0;
+}

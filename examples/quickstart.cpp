@@ -1,0 +1,87 @@
+//===- examples/quickstart.cpp - Minimal end-to-end example ---------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: stand up a Panthera runtime over a simulated 16 GB hybrid
+/// memory, run a small aggregation pipeline, and print what the runtime
+/// observed -- simulated time, GC activity, per-device traffic and energy.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include <cstdio>
+
+using namespace panthera;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::SourceData;
+
+int main() {
+  // 1. Configure the system: Panthera policy, 16 (paper-)GB heap, a third
+  //    of the memory DRAM. One paper-GB is simulated as one MB.
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.HeapPaperGB = 16;
+  Config.DramRatio = 1.0 / 3.0;
+  core::Runtime RT(Config);
+
+  // 2. Give the runtime the driver program. The §3 static analysis infers
+  //    a DRAM tag for `totals` here (no loops -> all-NVM -> flipped).
+  const analysis::AnalysisResult &Tags = RT.analyzeAndInstall(R"(
+program quickstart {
+  events = textFile("events");
+  totals = events.map().reduceByKey().persist(MEMORY_ONLY);
+  totals.count();
+}
+)");
+  for (const auto &[Var, Info] : Tags.Vars)
+    std::printf("analysis: %-8s -> %-4s (%s)\n", Var.c_str(),
+                memTagName(Info.Tag), Info.ExpandedLevel.c_str());
+
+  // 3. Build data and a pipeline against the RDD API.
+  SourceData Events(RT.ctx().config().NumPartitions);
+  for (int64_t I = 0; I != 20000; ++I)
+    Events[I % Events.size()].push_back({I % 5000, 1.0});
+
+  Rdd Totals = RT.ctx()
+                   .source(&Events)
+                   .map([](RddContext &C, ObjRef T) {
+                     return C.makeTuple(C.key(T), C.value(T) * 2.0);
+                   })
+                   .reduceByKey([](double A, double B) { return A + B; })
+                   .persistAs("totals", rdd::StorageLevel::MemoryOnly);
+
+  std::printf("\ndistinct keys: %lld\n",
+              static_cast<long long>(Totals.count()));
+  std::printf("grand total:   %.0f\n",
+              Totals.reduce([](double A, double B) { return A + B; }));
+
+  // 4. Inspect what the memory system saw.
+  core::RunReport R = RT.report();
+  std::printf("\nsimulated time: %.3f ms (mutator %.3f, gc %.3f)\n",
+              R.TotalNs / 1e6, R.MutatorNs / 1e6, R.GcNs / 1e6);
+  std::printf("collections:    %llu minor, %llu major\n",
+              static_cast<unsigned long long>(R.Gc.MinorGcs),
+              static_cast<unsigned long long>(R.Gc.MajorGcs));
+  std::printf("DRAM traffic:   %llu line reads, %llu line writes\n",
+              static_cast<unsigned long long>(R.DramTraffic.LineReads),
+              static_cast<unsigned long long>(R.DramTraffic.LineWrites));
+  std::printf("NVM traffic:    %llu line reads, %llu line writes\n",
+              static_cast<unsigned long long>(R.NvmTraffic.LineReads),
+              static_cast<unsigned long long>(R.NvmTraffic.LineWrites));
+  std::printf("memory energy:  %.3f J (%.0f%% static DRAM)\n",
+              R.TotalJoules,
+              100.0 * R.Energy.DramStaticJoules / R.TotalJoules);
+  std::printf("pretenured RDD arrays: %llu\n",
+              static_cast<unsigned long long>(
+                  RT.heap().stats().ArraysPretenured));
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- analysis/Instrumenter.cpp - §4.2.1 tag-instrumentation pass --------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Instrumenter.h"
+
+#include "analysis/SparkOps.h"
+#include "dsl/Printer.h"
+
+#include <set>
+
+using namespace panthera;
+using namespace panthera::analysis;
+using dsl::Chain;
+using dsl::Program;
+using dsl::Stmt;
+using dsl::StmtPtr;
+
+namespace {
+
+/// Rewrites statement bodies, inserting rddAlloc calls at materialization
+/// points. The call goes *after* a defining statement that persists the
+/// variable (the variable must be bound before it can be passed) and
+/// *before* an expression statement whose action materializes it.
+class Rewriter {
+public:
+  Rewriter(const AnalysisResult &Tags, InstrumentationStats *Stats)
+      : Tags(Tags), Stats(Stats) {}
+
+  std::vector<StmtPtr> rewriteBody(const std::vector<StmtPtr> &Body) {
+    std::vector<StmtPtr> Out;
+    for (const StmtPtr &S : Body) {
+      switch (S->K) {
+      case Stmt::Kind::Assign: {
+        bool Instrument = chainPersists(S->Value) &&
+                          shouldInstrument(S->Var, /*Persisted=*/true);
+        Out.push_back(dsl::cloneStmt(*S));
+        if (Instrument)
+          Out.push_back(makeRddAlloc(S->Var));
+        break;
+      }
+      case Stmt::Kind::Expr: {
+        const Chain &C = S->Value;
+        bool Instrument = !C.RootIsSource && chainActs(C) &&
+                          shouldInstrument(C.RootName,
+                                           /*Persisted=*/false);
+        if (Instrument)
+          Out.push_back(makeRddAlloc(C.RootName));
+        Out.push_back(dsl::cloneStmt(*S));
+        break;
+      }
+      case Stmt::Kind::Loop: {
+        StmtPtr Loop = dsl::cloneStmt(*S);
+        Loop->Body = rewriteBody(S->Body);
+        Out.push_back(std::move(Loop));
+        break;
+      }
+      }
+    }
+    return Out;
+  }
+
+private:
+  static bool chainPersists(const Chain &C) {
+    for (const dsl::MethodCall &Call : C.Calls)
+      if (isPersist(Call.Name))
+        return true;
+    return false;
+  }
+
+  static bool chainActs(const Chain &C) {
+    for (const dsl::MethodCall &Call : C.Calls)
+      if (isAction(Call.Name))
+        return true;
+    return false;
+  }
+
+  /// One rddAlloc per variable, at its first materialization site, and
+  /// only for variables the analysis tagged. Persist sites win over
+  /// action sites (the paper materializes at the persist call).
+  bool shouldInstrument(const std::string &Var, bool Persisted) {
+    auto It = Tags.Vars.find(Var);
+    if (It == Tags.Vars.end() || It->second.Tag == MemTag::None)
+      return false;
+    if (!Persisted && It->second.Persisted)
+      return false; // an action on a persisted var: not its mat point
+    return Done.insert(Var).second;
+  }
+
+  StmtPtr makeRddAlloc(const std::string &Var) {
+    if (Stats)
+      ++Stats->CallsInserted;
+    auto S = std::make_unique<Stmt>();
+    S->K = Stmt::Kind::Expr;
+    Chain C;
+    C.RootIsSource = true; // call syntax: rddAlloc(var, TAG)
+    C.RootName = "rddAlloc";
+    dsl::Arg VarArg;
+    VarArg.K = dsl::Arg::Kind::Var;
+    VarArg.Text = Var;
+    dsl::Arg TagArg;
+    TagArg.K = dsl::Arg::Kind::Var;
+    TagArg.Text = memTagName(Tags.Vars.at(Var).Tag);
+    C.RootArgs.push_back(std::move(VarArg));
+    C.RootArgs.push_back(std::move(TagArg));
+    S->Value = std::move(C);
+    return S;
+  }
+
+  const AnalysisResult &Tags;
+  InstrumentationStats *Stats;
+  std::set<std::string> Done;
+};
+
+} // namespace
+
+Program panthera::analysis::instrumentProgram(const Program &P,
+                                              const AnalysisResult &Tags,
+                                              InstrumentationStats *Stats) {
+  Program Out;
+  Out.Name = P.Name;
+  Rewriter RW(Tags, Stats);
+  Out.Body = RW.rewriteBody(P.Body);
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- analysis/Instrumenter.h - §4.2.1 tag-instrumentation pass -*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumentation pass of §4.2.1: given a driver program and the
+/// inferred memory tags, produces a transformed program in which a
+///
+///     rddAlloc(<var>, <DRAM|NVM>);
+///
+/// call is inserted immediately before each materialization point (the
+/// statement containing the variable's persist call, or its first action
+/// when it is action-materialized). The output is ordinary DSL and
+/// re-parses; re-running inference on it yields the same tags (rddAlloc
+/// is neither a transformation nor an action).
+///
+/// In the paper this pass rewrites the Spark program to call the native
+/// method that arms the runtime's pretenuring wait state; here the engine
+/// arms the heap directly, so the pass exists as the user-visible,
+/// testable artifact of the same design (see examples/analyze_driver
+/// --instrument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_ANALYSIS_INSTRUMENTER_H
+#define PANTHERA_ANALYSIS_INSTRUMENTER_H
+
+#include "analysis/TagInference.h"
+#include "dsl/Ast.h"
+
+namespace panthera {
+namespace analysis {
+
+/// Statistics about one instrumentation run.
+struct InstrumentationStats {
+  unsigned CallsInserted = 0;
+};
+
+/// Returns a copy of \p P with rddAlloc calls inserted per \p Tags.
+/// Variables whose tag is None (DISK_ONLY / unmaterialized) are skipped.
+dsl::Program instrumentProgram(const dsl::Program &P,
+                               const AnalysisResult &Tags,
+                               InstrumentationStats *Stats = nullptr);
+
+} // namespace analysis
+} // namespace panthera
+
+#endif // PANTHERA_ANALYSIS_INSTRUMENTER_H

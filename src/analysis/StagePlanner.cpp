@@ -1,0 +1,168 @@
+//===- analysis/StagePlanner.cpp - §2 lineage-to-stage planning -----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StagePlanner.h"
+
+#include "analysis/SparkOps.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace panthera;
+using namespace panthera::analysis;
+using dsl::Chain;
+using dsl::Program;
+using dsl::Stmt;
+
+namespace {
+
+/// True for the operators that introduce a wide (shuffle) dependence in
+/// the engine (§2: wide dependences require shuffles).
+bool isWideTransformation(std::string_view Name) {
+  return Name == "groupByKey" || Name == "reduceByKey" ||
+         Name == "distinct" || Name == "repartition" ||
+         Name == "sortByKey";
+}
+
+class Planner {
+public:
+  StagePlan run(const Program &P) {
+    for (const auto &S : P.Body)
+      visitStmt(*S);
+    assignStages();
+    return std::move(Plan);
+  }
+
+private:
+  unsigned newNode(std::string Op, bool Wide,
+                   std::vector<unsigned> Parents) {
+    LineageNode N;
+    N.Id = static_cast<unsigned>(Plan.Nodes.size());
+    N.Op = std::move(Op);
+    N.Wide = Wide;
+    N.Parents = std::move(Parents);
+    if (Wide)
+      ++Plan.NumShuffles;
+    Plan.Nodes.push_back(std::move(N));
+    return Plan.Nodes.back().Id;
+  }
+
+  /// Evaluates a chain to the node producing its result; -1u when the
+  /// chain roots at an unknown variable (treated as a fresh source).
+  unsigned visitChain(const Chain &C) {
+    unsigned Cur;
+    if (C.RootIsSource) {
+      Cur = newNode(C.RootName, /*Wide=*/false, {});
+    } else {
+      auto It = Env.find(C.RootName);
+      if (It == Env.end()) {
+        Cur = newNode("input:" + C.RootName, /*Wide=*/false, {});
+        Env[C.RootName] = Cur;
+      } else {
+        Cur = It->second;
+      }
+    }
+    for (const dsl::MethodCall &Call : C.Calls) {
+      if (isPersist(Call.Name)) {
+        Plan.Nodes[Cur].Persisted = true;
+        continue;
+      }
+      if (isUnpersist(Call.Name))
+        continue;
+      if (isAction(Call.Name)) {
+        Plan.Nodes[Cur].Action = true;
+        continue;
+      }
+      // A transformation; variable arguments join in as extra parents.
+      std::vector<unsigned> Parents = {Cur};
+      for (const dsl::Arg &A : Call.Args)
+        if (A.K == dsl::Arg::Kind::Var) {
+          auto It = Env.find(A.Text);
+          if (It != Env.end())
+            Parents.push_back(It->second);
+        }
+      Cur = newNode(Call.Name, isWideTransformation(Call.Name),
+                    std::move(Parents));
+    }
+    return Cur;
+  }
+
+  void visitStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::Assign: {
+      unsigned Node = visitChain(S.Value);
+      Plan.Nodes[Node].Var = S.Var;
+      Env[S.Var] = Node;
+      break;
+    }
+    case Stmt::Kind::Expr:
+      visitChain(S.Value);
+      break;
+    case Stmt::Kind::Loop:
+      // One representative iteration (Fig 2(b) draws exactly this).
+      for (const auto &Body : S.Body)
+        visitStmt(*Body);
+      break;
+    }
+  }
+
+  /// Stage of a node = max over parents of (parent stage, +1 if the edge
+  /// into this node is wide). Wide nodes begin the *next* stage: they
+  /// read shuffle files written by their parents' stage.
+  void assignStages() {
+    for (LineageNode &N : Plan.Nodes) {
+      unsigned Stage = 0;
+      for (unsigned P : N.Parents)
+        Stage = std::max(Stage, Plan.Nodes[P].Stage);
+      if (N.Wide && !N.Parents.empty())
+        Stage += 1;
+      N.Stage = Stage;
+      Plan.NumStages = std::max(Plan.NumStages, Stage + 1);
+    }
+  }
+
+  StagePlan Plan;
+  std::map<std::string, unsigned> Env;
+};
+
+} // namespace
+
+std::vector<const LineageNode *>
+StagePlan::stageNodes(unsigned Stage) const {
+  std::vector<const LineageNode *> Out;
+  for (const LineageNode &N : Nodes)
+    if (N.Stage == Stage)
+      Out.push_back(&N);
+  return Out;
+}
+
+StagePlan panthera::analysis::planStages(const Program &P) {
+  return Planner().run(P);
+}
+
+std::string panthera::analysis::printStagePlan(const StagePlan &Plan) {
+  std::ostringstream Out;
+  Out << "stages: " << Plan.NumStages << ", shuffles: " << Plan.NumShuffles
+      << "\n";
+  for (unsigned S = 0; S != Plan.NumStages; ++S) {
+    Out << "  stage " << S << ":";
+    for (const LineageNode *N : Plan.stageNodes(S)) {
+      Out << ' ' << N->Op;
+      if (N->Wide)
+        Out << "*"; // reads a shuffle
+      if (!N->Var.empty())
+        Out << "[" << N->Var << (N->Persisted ? ", persisted" : "") << "]";
+      else if (N->Persisted)
+        Out << "[persisted]";
+      if (N->Action)
+        Out << "!";
+    }
+    Out << "\n";
+  }
+  Out << "  (* = shuffle input, [..] = bound variable, ! = action)\n";
+  return Out.str();
+}

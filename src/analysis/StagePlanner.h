@@ -1,0 +1,61 @@
+//===- analysis/StagePlanner.h - §2 lineage-to-stage planning ---*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the lineage graph of a driver program and splits it into stages
+/// the way §2 describes Spark's scheduler doing it: transformations with
+/// narrow dependences are grouped into one stage; every wide dependence
+/// (shuffle) cuts a stage boundary, writing shuffle files that the next
+/// stage's ShuffledRDD reads back.
+///
+/// Loops contribute one representative iteration: the plan is the
+/// per-iteration stage structure (which is also what Fig 2(b) draws).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_ANALYSIS_STAGEPLANNER_H
+#define PANTHERA_ANALYSIS_STAGEPLANNER_H
+
+#include "dsl/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace panthera {
+namespace analysis {
+
+/// One operator node of the lineage graph.
+struct LineageNode {
+  unsigned Id = 0;
+  std::string Op;        ///< Operator name (map, groupByKey, textFile...).
+  bool Wide = false;     ///< True when the incoming dependence shuffles.
+  bool Persisted = false;
+  bool Action = false;
+  std::string Var;       ///< Variable this node was bound to ("" if none).
+  std::vector<unsigned> Parents;
+  unsigned Stage = 0;
+};
+
+/// The computed plan.
+struct StagePlan {
+  std::vector<LineageNode> Nodes;
+  unsigned NumStages = 0;
+  unsigned NumShuffles = 0;
+
+  /// Nodes belonging to \p Stage, in id order.
+  std::vector<const LineageNode *> stageNodes(unsigned Stage) const;
+};
+
+/// Plans \p P's per-iteration lineage into stages.
+StagePlan planStages(const dsl::Program &P);
+
+/// Renders the plan as a human-readable listing.
+std::string printStagePlan(const StagePlan &Plan);
+
+} // namespace analysis
+} // namespace panthera
+
+#endif // PANTHERA_ANALYSIS_STAGEPLANNER_H

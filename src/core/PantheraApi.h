@@ -1,0 +1,73 @@
+//===- core/PantheraApi.h - The §4.3 data-placement APIs --------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two public APIs of §4.3, by which *any* managed Big Data system
+/// whose backbone is a key-value array (Hadoop, Flink, Cassandra, ...)
+/// can use the Panthera runtime without the Spark-specific analysis:
+///
+///  1. a pre-tenuring API that places a data structure according to a tag
+///     supplied by developer annotation or a system-specific analysis; and
+///  2. a dynamic-monitoring API that registers a data structure for
+///     call-frequency tracking, leaving placement to the major GC's
+///     migration pass instead of pre-tenuring.
+///
+/// The §4.3 worked example (HashJoin's build table: long-lived and
+/// frequently probed, hence DRAM) lives in examples/hashjoin.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_CORE_PANTHERAAPI_H
+#define PANTHERA_CORE_PANTHERAAPI_H
+
+#include "gc/AccessMonitor.h"
+#include "heap/Heap.h"
+
+namespace panthera {
+namespace core {
+
+/// API #1 (pre-tenuring, allocation-time form): arms the runtime so the
+/// next large array allocation is placed per \p Tag and stamped with
+/// \p StructureId -- the §4.2.1 rdd_alloc protocol, exposed directly.
+/// Cleared automatically by the allocation (or by passing MemTag::None).
+inline void pretenureNextArray(heap::Heap &H, MemTag Tag,
+                               uint32_t StructureId) {
+  H.setPendingArrayTag(Tag, StructureId);
+}
+
+/// API #1 (pre-tenuring, retroactive form): tags an already-allocated
+/// data structure. The tag is stamped into the object's MEMORY_BITS; the
+/// next collection moves the object -- and, through tag-propagating
+/// tracing, everything reachable from it -- into the matching space.
+inline void tagDataStructure(heap::Heap &H, heap::ObjRef Root, MemTag Tag,
+                             uint32_t StructureId = 0) {
+  heap::ObjectHeader *Hdr = H.header(Root.addr());
+  Hdr->setMemTag(Tag);
+  if (StructureId != 0)
+    Hdr->RddId = StructureId;
+}
+
+/// API #2 (dynamic monitoring): registers a data structure for
+/// call-frequency tracking. Objects tracked this way should NOT be
+/// pre-tenured (§4.3): they stay untagged and the major GC migrates them
+/// between DRAM and NVM based on the counts recorded against
+/// \p StructureId.
+inline void trackDataStructure(heap::Heap &H, heap::ObjRef Root,
+                               uint32_t StructureId) {
+  H.header(Root.addr())->RddId = StructureId;
+}
+
+/// API #2: records one use of a tracked structure (the instrumented
+/// call-site hook; the JNI call of §4.2.2).
+inline void recordStructureUse(gc::AccessMonitor &Monitor,
+                               uint32_t StructureId) {
+  Monitor.recordCall(StructureId);
+}
+
+} // namespace core
+} // namespace panthera
+
+#endif // PANTHERA_CORE_PANTHERAAPI_H

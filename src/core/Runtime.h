@@ -1,0 +1,120 @@
+//===- core/Runtime.h - The Panthera runtime facade -------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level facade a user (and every benchmark) interacts with: a
+/// Runtime assembles the hybrid-memory simulator, the managed heap, the
+/// Panthera collector, the access monitor, and the Spark-like engine for a
+/// chosen policy/heap/DRAM-ratio configuration; runs the §3 static analysis
+/// on a driver program; and reports simulated time, device traffic, and
+/// energy for the run.
+///
+/// Typical use:
+/// \code
+///   core::RuntimeConfig Config;
+///   Config.Policy = gc::PolicyKind::Panthera;
+///   core::Runtime RT(Config);
+///   RT.analyzeAndInstall(PageRankDsl);
+///   ... build RDDs through RT.ctx(), run actions ...
+///   core::RunReport Report = RT.report();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_CORE_RUNTIME_H
+#define PANTHERA_CORE_RUNTIME_H
+
+#include "analysis/TagInference.h"
+#include "gc/Collector.h"
+#include "gc/GcPolicy.h"
+#include "memsim/HybridMemory.h"
+#include "rdd/Rdd.h"
+
+#include <memory>
+#include <string_view>
+
+namespace panthera {
+namespace core {
+
+/// Everything needed to stand up one experiment configuration.
+struct RuntimeConfig {
+  gc::PolicyKind Policy = gc::PolicyKind::Panthera;
+  /// Heap size in paper gigabytes (64 and 120 in the evaluation).
+  unsigned HeapPaperGB = 64;
+  /// DRAM : total memory (the paper's 1/4 and 1/3; ignored for DRAM-only).
+  double DramRatio = 1.0 / 3.0;
+  /// Nursery fraction of the heap (§5.2 settles on 1/6).
+  double NurseryFraction = 1.0 / 6.0;
+  rdd::EngineConfig Engine;
+  memsim::MemoryTechnology Technology;
+  memsim::CacheConfig Cache;
+  memsim::EnergyParams Energy;
+  /// Fig 8 bandwidth-trace bucket, in simulated nanoseconds.
+  double EpochNs = 100.0e3;
+  /// GC tuning overrides (ablations flip these).
+  bool EagerPromotion = true;
+  bool CardPadding = true;
+  /// Debugging: verify the heap after every collection.
+  bool VerifyHeap = false;
+  /// Off-heap native region, paper GB.
+  unsigned NativePaperGB = 16;
+};
+
+/// Summary of one finished run.
+struct RunReport {
+  double MutatorNs = 0.0;
+  double GcNs = 0.0;
+  double TotalNs = 0.0;
+  memsim::TrafficCounters DramTraffic;
+  memsim::TrafficCounters NvmTraffic;
+  memsim::EnergyBreakdown Energy;
+  double TotalJoules = 0.0;
+  double DramGB = 0.0; ///< Provisioned DRAM (paper GB) used for energy.
+  double NvmGB = 0.0;
+  gc::GcStats Gc;
+  rdd::EngineStats Engine;
+  uint64_t MonitoredCalls = 0;
+};
+
+/// Assembles and owns one full system instance.
+class Runtime {
+public:
+  explicit Runtime(const RuntimeConfig &Config);
+
+  const RuntimeConfig &config() const { return Config; }
+  memsim::HybridMemory &memory() { return *Mem; }
+  heap::Heap &heap() { return *TheHeap; }
+  gc::Collector &collector() { return *TheCollector; }
+  gc::AccessMonitor &monitor() { return Monitor; }
+  rdd::SparkContext &ctx() { return *Context; }
+
+  /// Parses \p DslSource, runs the §3 inference (plus any enabled
+  /// extensions), and installs the result on the engine (only Panthera
+  /// consumes the tags). Aborts on parse errors -- driver programs ship
+  /// with the workloads and must be valid.
+  const analysis::AnalysisResult &analyzeAndInstall(
+      std::string_view DslSource,
+      const analysis::AnalysisOptions &Options = {});
+
+  const analysis::AnalysisResult &analysis() const { return Tags; }
+
+  /// Snapshot of simulated time / traffic / energy / GC counters.
+  RunReport report() const;
+
+private:
+  RuntimeConfig Config;
+  std::unique_ptr<memsim::HybridMemory> Mem;
+  std::unique_ptr<heap::Heap> TheHeap;
+  gc::AccessMonitor Monitor;
+  std::unique_ptr<gc::Collector> TheCollector;
+  std::unique_ptr<rdd::SparkContext> Context;
+  analysis::AnalysisResult Tags;
+};
+
+} // namespace core
+} // namespace panthera
+
+#endif // PANTHERA_CORE_RUNTIME_H

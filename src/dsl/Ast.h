@@ -1,0 +1,93 @@
+//===- dsl/Ast.h - AST of the driver-program DSL ----------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the driver DSL. A program is a list of
+/// statements: assignments of transformation chains to RDD variables,
+/// expression statements (typically action calls), and counted loops.
+///
+/// A chain is either rooted at a variable reference (`links.join(ranks)`)
+/// or at a source call (`textFile("input")`), followed by method calls
+/// whose arguments are variables, strings, or integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_DSL_AST_H
+#define PANTHERA_DSL_AST_H
+
+#include "dsl/Token.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace panthera {
+namespace dsl {
+
+/// A method-call argument.
+struct Arg {
+  enum class Kind : uint8_t { Var, Str, Num };
+  Kind K = Kind::Var;
+  std::string Text; ///< Variable name or string contents.
+  int64_t Num = 0;
+  SourceLoc Loc;
+};
+
+/// One `.name(args)` link in a chain.
+struct MethodCall {
+  std::string Name;
+  std::vector<Arg> Args;
+  SourceLoc Loc;
+};
+
+/// A transformation/action chain.
+struct Chain {
+  /// True when the chain is rooted at a source call such as textFile(...);
+  /// false when rooted at an RDD variable reference.
+  bool RootIsSource = false;
+  std::string RootName;       ///< Variable name or source function name.
+  std::vector<Arg> RootArgs;  ///< Source-call arguments (if RootIsSource).
+  std::vector<MethodCall> Calls;
+  SourceLoc Loc;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Statement node (tagged union in the classic style).
+struct Stmt {
+  enum class Kind : uint8_t { Assign, Expr, Loop };
+  Kind K;
+  SourceLoc Loc;
+
+  // Assign / Expr.
+  std::string Var; ///< Assign: defined variable name.
+  Chain Value;
+
+  // Loop.
+  std::string IndexVar;
+  int64_t LoopBegin = 0;
+  int64_t LoopEnd = 0;        ///< Used when LoopEndVar is empty.
+  std::string LoopEndVar;     ///< Symbolic trip count (e.g. `iters`).
+  std::vector<StmtPtr> Body;
+};
+
+/// A parsed driver program.
+struct Program {
+  std::string Name;
+  std::vector<StmtPtr> Body;
+};
+
+/// A parse/lex diagnostic.
+struct Diagnostic {
+  SourceLoc Loc;
+  std::string Message;
+};
+
+} // namespace dsl
+} // namespace panthera
+
+#endif // PANTHERA_DSL_AST_H

@@ -1,0 +1,152 @@
+//===- dsl/Lexer.cpp - Lexer for the driver-program DSL ------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Lexer.h"
+
+#include <cctype>
+
+using namespace panthera::dsl;
+
+const char *panthera::dsl::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Equals:
+    return "'='";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Loc.Line;
+    Loc.Column = 1;
+  } else {
+    ++Loc.Column;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Source.size() && Source[Pos + 1] == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::make(TokenKind K, SourceLoc L, std::string Text) {
+  Token T;
+  T.Kind = K;
+  T.Loc = L;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Start = Loc;
+  if (Pos >= Source.size())
+    return make(TokenKind::Eof, Start);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (Pos < Source.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_'))
+      Text.push_back(advance());
+    if (Text == "program")
+      return make(TokenKind::KwProgram, Start, Text);
+    if (Text == "for")
+      return make(TokenKind::KwFor, Start, Text);
+    if (Text == "in")
+      return make(TokenKind::KwIn, Start, Text);
+    return make(TokenKind::Identifier, Start, Text);
+  }
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text(1, C);
+    while (Pos < Source.size() &&
+           std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    Token T = make(TokenKind::Integer, Start, Text);
+    T.IntValue = std::stoll(Text);
+    return T;
+  }
+  switch (C) {
+  case '"': {
+    std::string Text;
+    while (Pos < Source.size() && peek() != '"' && peek() != '\n')
+      Text.push_back(advance());
+    if (Pos >= Source.size() || peek() != '"')
+      return make(TokenKind::Error, Start, "unterminated string literal");
+    advance(); // closing quote
+    return make(TokenKind::String, Start, Text);
+  }
+  case '{':
+    return make(TokenKind::LBrace, Start);
+  case '}':
+    return make(TokenKind::RBrace, Start);
+  case '(':
+    return make(TokenKind::LParen, Start);
+  case ')':
+    return make(TokenKind::RParen, Start);
+  case ';':
+    return make(TokenKind::Semicolon, Start);
+  case ',':
+    return make(TokenKind::Comma, Start);
+  case '=':
+    return make(TokenKind::Equals, Start);
+  case '.':
+    if (peek() == '.') {
+      advance();
+      return make(TokenKind::DotDot, Start);
+    }
+    return make(TokenKind::Dot, Start);
+  default:
+    return make(TokenKind::Error, Start,
+                std::string("unexpected character '") + C + "'");
+  }
+}

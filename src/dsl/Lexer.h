@@ -1,0 +1,48 @@
+//===- dsl/Lexer.h - Lexer for the driver-program DSL -----------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the driver DSL. Supports `//` line comments,
+/// double-quoted strings, decimal integers, and the keyword set
+/// {program, for, in}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_DSL_LEXER_H
+#define PANTHERA_DSL_LEXER_H
+
+#include "dsl/Token.h"
+
+#include <string>
+#include <string_view>
+
+namespace panthera {
+namespace dsl {
+
+/// Single-pass lexer over an in-memory source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Produces the next token; Eof forever once exhausted. Malformed input
+  /// yields an Error token whose Text describes the problem.
+  Token next();
+
+private:
+  char peek() const { return Pos < Source.size() ? Source[Pos] : '\0'; }
+  char advance();
+  void skipTrivia();
+  Token make(TokenKind K, SourceLoc Loc, std::string Text = {});
+
+  std::string_view Source;
+  size_t Pos = 0;
+  SourceLoc Loc;
+};
+
+} // namespace dsl
+} // namespace panthera
+
+#endif // PANTHERA_DSL_LEXER_H

@@ -1,0 +1,213 @@
+//===- dsl/Parser.cpp - Recursive-descent parser for the DSL -------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+
+using namespace panthera::dsl;
+
+Parser::Parser(std::string_view Source) : Lex(Source) { Tok = Lex.next(); }
+
+void Parser::bump() { Tok = Lex.next(); }
+
+void Parser::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({Loc, std::move(Message)});
+}
+
+bool Parser::expect(TokenKind K, const char *What) {
+  if (Tok.Kind == K) {
+    bump();
+    return true;
+  }
+  error(Tok.Loc, std::string("expected ") + tokenKindName(K) + " " + What +
+                     ", found " + tokenKindName(Tok.Kind));
+  return false;
+}
+
+std::vector<Arg> Parser::parseArgs() {
+  std::vector<Arg> Args;
+  if (Tok.Kind == TokenKind::RParen)
+    return Args;
+  while (true) {
+    Arg A;
+    A.Loc = Tok.Loc;
+    switch (Tok.Kind) {
+    case TokenKind::Identifier:
+      A.K = Arg::Kind::Var;
+      A.Text = Tok.Text;
+      break;
+    case TokenKind::String:
+      A.K = Arg::Kind::Str;
+      A.Text = Tok.Text;
+      break;
+    case TokenKind::Integer:
+      A.K = Arg::Kind::Num;
+      A.Num = Tok.IntValue;
+      break;
+    default:
+      error(Tok.Loc, std::string("expected argument, found ") +
+                         tokenKindName(Tok.Kind));
+      return Args;
+    }
+    bump();
+    Args.push_back(std::move(A));
+    if (Tok.Kind != TokenKind::Comma)
+      break;
+    bump();
+  }
+  return Args;
+}
+
+MethodCall Parser::parseCall() {
+  MethodCall Call;
+  Call.Loc = Tok.Loc;
+  if (Tok.Kind != TokenKind::Identifier) {
+    error(Tok.Loc, std::string("expected method name, found ") +
+                       tokenKindName(Tok.Kind));
+    return Call;
+  }
+  Call.Name = Tok.Text;
+  bump();
+  if (!expect(TokenKind::LParen, "after method name"))
+    return Call;
+  Call.Args = parseArgs();
+  expect(TokenKind::RParen, "to close the argument list");
+  return Call;
+}
+
+Chain Parser::parseChain() {
+  Chain C;
+  C.Loc = Tok.Loc;
+  if (Tok.Kind != TokenKind::Identifier) {
+    error(Tok.Loc, std::string("expected RDD variable or source, found ") +
+                       tokenKindName(Tok.Kind));
+    return C;
+  }
+  C.RootName = Tok.Text;
+  bump();
+  if (Tok.Kind == TokenKind::LParen) {
+    C.RootIsSource = true;
+    bump();
+    C.RootArgs = parseArgs();
+    expect(TokenKind::RParen, "to close the source-call argument list");
+  }
+  while (Tok.Kind == TokenKind::Dot) {
+    bump();
+    C.Calls.push_back(parseCall());
+  }
+  return C;
+}
+
+StmtPtr Parser::parseLoop() {
+  auto S = std::make_unique<Stmt>();
+  S->K = Stmt::Kind::Loop;
+  S->Loc = Tok.Loc;
+  bump(); // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+  if (Tok.Kind == TokenKind::Identifier) {
+    S->IndexVar = Tok.Text;
+    bump();
+  } else {
+    error(Tok.Loc, "expected loop index variable");
+  }
+  expect(TokenKind::KwIn, "after loop index");
+  if (Tok.Kind == TokenKind::Integer) {
+    S->LoopBegin = Tok.IntValue;
+    bump();
+  } else {
+    error(Tok.Loc, "expected loop lower bound");
+  }
+  expect(TokenKind::DotDot, "in loop range");
+  if (Tok.Kind == TokenKind::Integer) {
+    S->LoopEnd = Tok.IntValue;
+    bump();
+  } else if (Tok.Kind == TokenKind::Identifier) {
+    S->LoopEndVar = Tok.Text;
+    bump();
+  } else {
+    error(Tok.Loc, "expected loop upper bound");
+  }
+  expect(TokenKind::RParen, "to close the loop header");
+  expect(TokenKind::LBrace, "to open the loop body");
+  while (Tok.Kind != TokenKind::RBrace && Tok.Kind != TokenKind::Eof) {
+    StmtPtr Body = parseStmt();
+    if (!Body)
+      break;
+    S->Body.push_back(std::move(Body));
+  }
+  expect(TokenKind::RBrace, "to close the loop body");
+  return S;
+}
+
+StmtPtr Parser::parseStmt() {
+  if (Tok.Kind == TokenKind::KwFor)
+    return parseLoop();
+
+  if (Tok.Kind != TokenKind::Identifier) {
+    error(Tok.Loc, std::string("expected statement, found ") +
+                       tokenKindName(Tok.Kind));
+    bump(); // make progress so errors cannot loop forever
+    return nullptr;
+  }
+
+  // Lookahead-free trick: parse the leading identifier, then decide
+  // between assignment and expression statement by the next token.
+  Token First = Tok;
+  bump();
+  auto S = std::make_unique<Stmt>();
+  S->Loc = First.Loc;
+  if (Tok.Kind == TokenKind::Equals) {
+    bump();
+    S->K = Stmt::Kind::Assign;
+    S->Var = First.Text;
+    S->Value = parseChain();
+  } else {
+    // Re-root the chain at the already-consumed identifier.
+    S->K = Stmt::Kind::Expr;
+    Chain C;
+    C.Loc = First.Loc;
+    C.RootName = First.Text;
+    if (Tok.Kind == TokenKind::LParen) {
+      C.RootIsSource = true;
+      bump();
+      C.RootArgs = parseArgs();
+      expect(TokenKind::RParen, "to close the source-call argument list");
+    }
+    while (Tok.Kind == TokenKind::Dot) {
+      bump();
+      C.Calls.push_back(parseCall());
+    }
+    S->Value = std::move(C);
+  }
+  expect(TokenKind::Semicolon, "to end the statement");
+  return S;
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  expect(TokenKind::KwProgram, "at the start of the file");
+  if (Tok.Kind == TokenKind::Identifier) {
+    P.Name = Tok.Text;
+    bump();
+  } else {
+    error(Tok.Loc, "expected program name");
+  }
+  expect(TokenKind::LBrace, "to open the program body");
+  while (Tok.Kind != TokenKind::RBrace && Tok.Kind != TokenKind::Eof) {
+    StmtPtr S = parseStmt();
+    if (S)
+      P.Body.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to close the program body");
+  return P;
+}
+
+Program panthera::dsl::parseDriverProgram(std::string_view Source,
+                                          std::vector<Diagnostic> &Diags) {
+  Parser P(Source);
+  Program Prog = P.parseProgram();
+  Diags.insert(Diags.end(), P.diagnostics().begin(), P.diagnostics().end());
+  return Prog;
+}

@@ -1,0 +1,72 @@
+//===- dsl/Parser.h - Recursive-descent parser for the DSL ------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a dsl::Program. Errors are collected
+/// as diagnostics (with source locations) rather than thrown; a program is
+/// usable only when no diagnostics were produced.
+///
+/// Grammar:
+///   program   ::= 'program' IDENT '{' stmt* '}'
+///   stmt      ::= IDENT '=' chain ';' | chain ';' | loop
+///   loop      ::= 'for' '(' IDENT 'in' INT '..' (INT | IDENT) ')'
+///                 '{' stmt* '}'
+///   chain     ::= root ('.' call)*
+///   root      ::= IDENT | IDENT '(' args? ')'
+///   call      ::= IDENT '(' args? ')'
+///   args      ::= arg (',' arg)*
+///   arg       ::= IDENT | STRING | INT
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_DSL_PARSER_H
+#define PANTHERA_DSL_PARSER_H
+
+#include "dsl/Ast.h"
+#include "dsl/Lexer.h"
+
+#include <string_view>
+#include <vector>
+
+namespace panthera {
+namespace dsl {
+
+/// Parses a full driver program.
+class Parser {
+public:
+  explicit Parser(std::string_view Source);
+
+  /// Parses the source; the returned program is meaningful only when
+  /// diagnostics() is empty afterwards.
+  Program parseProgram();
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+private:
+  void bump();
+  bool expect(TokenKind K, const char *What);
+  void error(SourceLoc Loc, std::string Message);
+
+  StmtPtr parseStmt();
+  StmtPtr parseLoop();
+  Chain parseChain();
+  MethodCall parseCall();
+  std::vector<Arg> parseArgs();
+
+  Lexer Lex;
+  Token Tok;
+  std::vector<Diagnostic> Diags;
+};
+
+/// Convenience entry point: parses \p Source, appending diagnostics to
+/// \p Diags. Returns the (possibly partial) program.
+Program parseDriverProgram(std::string_view Source,
+                           std::vector<Diagnostic> &Diags);
+
+} // namespace dsl
+} // namespace panthera
+
+#endif // PANTHERA_DSL_PARSER_H

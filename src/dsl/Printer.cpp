@@ -1,0 +1,101 @@
+//===- dsl/Printer.cpp - Pretty-printer for the driver DSL ----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Printer.h"
+
+#include <sstream>
+
+using namespace panthera;
+using namespace panthera::dsl;
+
+static void printArgs(std::ostringstream &Out, const std::vector<Arg> &Args) {
+  Out << '(';
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out << ", ";
+    const Arg &A = Args[I];
+    switch (A.K) {
+    case Arg::Kind::Var:
+      Out << A.Text;
+      break;
+    case Arg::Kind::Str:
+      Out << '"' << A.Text << '"';
+      break;
+    case Arg::Kind::Num:
+      Out << A.Num;
+      break;
+    }
+  }
+  Out << ')';
+}
+
+std::string panthera::dsl::printChain(const Chain &C) {
+  std::ostringstream Out;
+  Out << C.RootName;
+  if (C.RootIsSource)
+    printArgs(Out, C.RootArgs);
+  for (const MethodCall &Call : C.Calls) {
+    Out << '.' << Call.Name;
+    printArgs(Out, Call.Args);
+  }
+  return Out.str();
+}
+
+static void printStmt(std::ostringstream &Out, const Stmt &S,
+                      unsigned Indent) {
+  std::string Pad(Indent * 2, ' ');
+  switch (S.K) {
+  case Stmt::Kind::Assign:
+    Out << Pad << S.Var << " = " << printChain(S.Value) << ";\n";
+    break;
+  case Stmt::Kind::Expr:
+    Out << Pad << printChain(S.Value) << ";\n";
+    break;
+  case Stmt::Kind::Loop:
+    Out << Pad << "for (" << S.IndexVar << " in " << S.LoopBegin << "..";
+    if (!S.LoopEndVar.empty())
+      Out << S.LoopEndVar;
+    else
+      Out << S.LoopEnd;
+    Out << ") {\n";
+    for (const StmtPtr &Body : S.Body)
+      printStmt(Out, *Body, Indent + 1);
+    Out << Pad << "}\n";
+    break;
+  }
+}
+
+std::string panthera::dsl::printProgram(const Program &P) {
+  std::ostringstream Out;
+  Out << "program " << P.Name << " {\n";
+  for (const StmtPtr &S : P.Body)
+    printStmt(Out, *S, 1);
+  Out << "}\n";
+  return Out.str();
+}
+
+StmtPtr panthera::dsl::cloneStmt(const Stmt &S) {
+  auto Copy = std::make_unique<Stmt>();
+  Copy->K = S.K;
+  Copy->Loc = S.Loc;
+  Copy->Var = S.Var;
+  Copy->Value = S.Value; // Chain is value-copyable
+  Copy->IndexVar = S.IndexVar;
+  Copy->LoopBegin = S.LoopBegin;
+  Copy->LoopEnd = S.LoopEnd;
+  Copy->LoopEndVar = S.LoopEndVar;
+  for (const StmtPtr &Body : S.Body)
+    Copy->Body.push_back(cloneStmt(*Body));
+  return Copy;
+}
+
+Program panthera::dsl::cloneProgram(const Program &P) {
+  Program Copy;
+  Copy.Name = P.Name;
+  for (const StmtPtr &S : P.Body)
+    Copy.Body.push_back(cloneStmt(*S));
+  return Copy;
+}

@@ -1,0 +1,40 @@
+//===- dsl/Printer.h - Pretty-printer for the driver DSL --------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a dsl::Program back to source text. Output is canonical (one
+/// statement per line, two-space loop indentation) and re-parseable, so
+/// print(parse(s)) is a fixpoint -- the property the instrumentation pass
+/// and the round-trip tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_DSL_PRINTER_H
+#define PANTHERA_DSL_PRINTER_H
+
+#include "dsl/Ast.h"
+
+#include <string>
+
+namespace panthera {
+namespace dsl {
+
+/// Renders \p P as canonical DSL source.
+std::string printProgram(const Program &P);
+
+/// Renders one chain (without the trailing semicolon).
+std::string printChain(const Chain &C);
+
+/// Deep-copies a statement tree (the AST is move-only by default).
+StmtPtr cloneStmt(const Stmt &S);
+
+/// Deep-copies a whole program.
+Program cloneProgram(const Program &P);
+
+} // namespace dsl
+} // namespace panthera
+
+#endif // PANTHERA_DSL_PRINTER_H

@@ -1,0 +1,63 @@
+//===- dsl/Token.h - Tokens of the driver-program DSL -----------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for the Spark driver-program DSL. The DSL captures the
+/// program structure the paper's §3 static analysis consumes: RDD variable
+/// definitions as transformation chains, persist calls with storage levels,
+/// actions, and loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_DSL_TOKEN_H
+#define PANTHERA_DSL_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace panthera {
+namespace dsl {
+
+/// A position in the DSL source, for diagnostics.
+struct SourceLoc {
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  Integer,
+  String,
+  KwProgram,
+  KwFor,
+  KwIn,
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  Semicolon,
+  Comma,
+  Dot,
+  DotDot,
+  Equals,
+  Error,
+};
+
+const char *tokenKindName(TokenKind K);
+
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  /// Identifier / string / integer spelling (strings without quotes).
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+} // namespace dsl
+} // namespace panthera
+
+#endif // PANTHERA_DSL_TOKEN_H

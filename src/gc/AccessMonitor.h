@@ -1,0 +1,60 @@
+//===- gc/AccessMonitor.h - RDD call-frequency monitoring -------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lightweight method-level monitor of §4.2.2: the instrumented Spark
+/// program invokes a native call at every transformation/action call site
+/// on an RDD object; the runtime keeps a hash table mapping the RDD to its
+/// call count. At each major GC the collector consults the window counts to
+/// migrate mis-placed RDDs, then resets the window (the paper resets the
+/// frequency of each RDD at the end of every major GC).
+///
+/// Table 5 reports the total number of monitored calls per program, which
+/// totalCalls() reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_GC_ACCESSMONITOR_H
+#define PANTHERA_GC_ACCESSMONITOR_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace panthera {
+namespace gc {
+
+/// Per-RDD call-frequency table with a reset-at-major-GC window.
+class AccessMonitor {
+public:
+  /// Records one method invocation on the RDD identified by \p RddId.
+  void recordCall(uint32_t RddId) {
+    if (RddId == 0)
+      return;
+    ++Window[RddId];
+    ++Total;
+  }
+
+  /// Calls observed on \p RddId since the last window reset.
+  uint32_t callsInWindow(uint32_t RddId) const {
+    auto It = Window.find(RddId);
+    return It == Window.end() ? 0 : It->second;
+  }
+
+  /// Clears the window (end of a major GC).
+  void resetWindow() { Window.clear(); }
+
+  /// Total calls monitored over the program's lifetime (Table 5, col 2).
+  uint64_t totalCalls() const { return Total; }
+
+private:
+  std::unordered_map<uint32_t, uint32_t> Window;
+  uint64_t Total = 0;
+};
+
+} // namespace gc
+} // namespace panthera
+
+#endif // PANTHERA_GC_ACCESSMONITOR_H

@@ -1,0 +1,686 @@
+//===- gc/Collector.cpp - Panthera generational collector ----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+
+#include "gc/HeapVerifier.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace panthera;
+using namespace panthera::gc;
+using heap::CardTable;
+using heap::ObjectHeader;
+using heap::ObjectKind;
+using heap::ObjRef;
+using heap::Space;
+
+[[noreturn]] static void fatalGc(const char *What) {
+  std::fprintf(stderr, "panthera: gc failure: %s\n", What);
+  std::abort();
+}
+
+Collector::Collector(heap::Heap &H, PolicyKind Policy, AccessMonitor *Monitor)
+    : H(H), Policy(Policy), Monitor(Monitor) {
+  H.setGcHost(this);
+}
+
+Collector::~Collector() { H.setGcHost(nullptr); }
+
+//===----------------------------------------------------------------------===
+// Minor GC
+//===----------------------------------------------------------------------===
+
+bool Collector::inCollectedYoung(uint64_t Addr) const {
+  const heap::Heap &CH = H;
+  return const_cast<heap::Heap &>(CH).eden().contains(Addr) ||
+         const_cast<heap::Heap &>(CH).fromSpace().contains(Addr);
+}
+
+ObjRef Collector::evacuate(ObjRef Ref, MemTag IncomingTag) {
+  uint64_t Addr = Ref.addr();
+  ObjectHeader *Hdr = H.header(Addr);
+  if (Hdr->isForwarded()) {
+    // A later reference may still carry a stronger (DRAM) tag; keep it on
+    // the copy so the next major GC can correct the placement.
+    ObjectHeader *NewHdr = H.header(Hdr->Forward);
+    NewHdr->setMemTag(mergeTags(NewHdr->memTag(), IncomingTag));
+    return ObjRef(Hdr->Forward);
+  }
+
+  MemTag Tag = mergeTags(Hdr->memTag(), IncomingTag);
+  uint32_t Size = Hdr->SizeBytes;
+  // Any card-spanning reference array can create the §4.2.3 shared-card
+  // pathology, so padding applies to all of them on promotion ("card
+  // sharing among arrays is completely eliminated").
+  bool IsRddArray = Hdr->kind() == ObjectKind::RefArray &&
+                    Size >= CardTable::CardBytes;
+  const heap::GcTuning &T = H.config().Tuning;
+
+  uint64_t NewAddr = 0;
+  bool Promoted = false;
+  bool TagPromote =
+      Tag != MemTag::None && T.EagerPromotion && H.hasSplitOldGen();
+  bool AgePromote = static_cast<uint8_t>(Hdr->Age + 1) >= T.TenureAge;
+  if (TagPromote || AgePromote) {
+    MemTag PromoTag = Tag;
+    if (T.KwWriteMonitoring)
+      PromoTag =
+          Hdr->WriteCount >= T.KwHotWrites ? MemTag::Dram : MemTag::Nvm;
+    NewAddr = H.allocateInOld(Size, PromoTag, IsRddArray);
+    Promoted = NewAddr != 0;
+    if (TagPromote && Promoted)
+      ++Stats.EagerPromotions;
+  }
+  if (!NewAddr)
+    NewAddr = H.toSpace().allocate(Size);
+  if (!NewAddr) {
+    // Survivor overflow: tenure regardless of age.
+    NewAddr = H.allocateInOld(Size, Tag, IsRddArray);
+    Promoted = NewAddr != 0;
+  }
+  if (!NewAddr)
+    fatalGc("no space left for a surviving object during scavenge");
+
+  H.account(Addr, Size, /*IsWrite=*/false);
+  H.account(NewAddr, Size, /*IsWrite=*/true);
+  std::memcpy(H.rawBytes(NewAddr), H.rawBytes(Addr), Size);
+  ObjectHeader *NewHdr = H.header(NewAddr);
+  NewHdr->setMemTag(Tag);
+  NewHdr->Forward = 0;
+  NewHdr->Age = Promoted ? Hdr->Age : static_cast<uint8_t>(Hdr->Age + 1);
+  Hdr->Forward = NewAddr;
+  if (Promoted)
+    Stats.BytesPromoted += Size;
+  else
+    Stats.BytesCopiedToSurvivor += Size;
+  Worklist.push_back(NewAddr);
+  return ObjRef(NewAddr);
+}
+
+void Collector::scanCopied(uint64_t Addr) {
+  ObjectHeader *Hdr = H.header(Addr);
+  MemTag Tag = Hdr->memTag();
+  bool ParentOld = H.isOld(Addr);
+  uint32_t N = Hdr->numRefSlots();
+  for (uint32_t I = 0; I != N; ++I) {
+    uint64_t SlotAddr = H.refSlotAddr(Addr, I);
+    H.account(SlotAddr, heap::RefSlotBytes, /*IsWrite=*/false);
+    ObjRef Child = H.rawLoadRef(Addr, I);
+    if (!Child)
+      continue;
+    if (inCollectedYoung(Child.addr())) {
+      ObjRef Moved = evacuate(Child, Tag);
+      H.rawStoreRef(Addr, I, Moved);
+      H.account(SlotAddr, heap::RefSlotBytes, /*IsWrite=*/true);
+      Child = Moved;
+    }
+    // A promoted object that still points into the young generation must
+    // be visible to the next minor GC's card scan.
+    if (ParentOld && H.isYoung(Child.addr()))
+      H.cardTable().dirtyCardFor(SlotAddr);
+  }
+}
+
+void Collector::drainWorklist() {
+  while (!Worklist.empty()) {
+    uint64_t Addr = Worklist.back();
+    Worklist.pop_back();
+    scanCopied(Addr);
+  }
+}
+
+/// Scans ref slots [SlotBegin, SlotEnd) of the object at \p Addr,
+/// evacuating young referents with the object's tag. Returns true when a
+/// young referent remains after scanning (card must stay dirty).
+static bool scanSlotRange(heap::Heap &H, Collector &C, uint64_t Addr,
+                          uint32_t SlotBegin, uint32_t SlotEnd,
+                          const std::function<ObjRef(ObjRef, MemTag)> &Evac) {
+  (void)C;
+  ObjectHeader *Hdr = H.header(Addr);
+  MemTag Tag = Hdr->memTag();
+  bool YoungRemains = false;
+  for (uint32_t I = SlotBegin; I != SlotEnd; ++I) {
+    uint64_t SlotAddr = H.refSlotAddr(Addr, I);
+    H.account(SlotAddr, heap::RefSlotBytes, /*IsWrite=*/false);
+    ObjRef Child = H.rawLoadRef(Addr, I);
+    if (!Child)
+      continue;
+    ObjRef Moved = Evac(Child, Tag);
+    if (Moved != Child) {
+      H.rawStoreRef(Addr, I, Moved);
+      H.account(SlotAddr, heap::RefSlotBytes, /*IsWrite=*/true);
+    }
+    if (H.isYoung(Moved.addr()))
+      YoungRemains = true;
+  }
+  return YoungRemains;
+}
+
+void Collector::scanCard(Space &S, size_t CardIdx) {
+  ++Stats.CardsScanned;
+  CardTable &Cards = H.cardTable();
+  uint64_t CardLo = Cards.cardStart(CardIdx);
+  uint64_t CardHi = CardLo + CardTable::CardBytes;
+
+  uint64_t First = H.firstObjectIntersectingCard(S, CardIdx);
+  if (!First) {
+    Cards.clean(CardIdx);
+    return;
+  }
+
+  // Collect the objects intersecting this card.
+  std::vector<uint64_t> Objs;
+  unsigned LargeArrays = 0;
+  for (uint64_t A = First; A < S.top() && A < CardHi;
+       A += H.header(A)->SizeBytes) {
+    Objs.push_back(A);
+    ObjectHeader *Hdr = H.header(A);
+    if (Hdr->kind() == ObjectKind::RefArray &&
+        Hdr->SizeBytes >= CardTable::CardBytes)
+      ++LargeArrays;
+  }
+
+  auto Evac = [this](ObjRef Child, MemTag Tag) {
+    if (inCollectedYoung(Child.addr()))
+      return evacuate(Child, Tag);
+    return Child;
+  };
+
+  if (LargeArrays >= 2) {
+    // §4.2.3 pathology: two large arrays share the card; neither GC thread
+    // can prove the card clean, so every element of each array is rescanned
+    // on every minor GC and the card stays dirty until a major GC.
+    ++Stats.SharedArrayCardScans;
+    for (uint64_t A : Objs)
+      scanSlotRange(H, *this, A, 0, H.header(A)->numRefSlots(), Evac);
+    return;
+  }
+
+  bool YoungRemains = false;
+  for (uint64_t A : Objs) {
+    ObjectHeader *Hdr = H.header(A);
+    uint32_t N = Hdr->numRefSlots();
+    uint64_t SlotsBase = A + sizeof(ObjectHeader);
+    // Clamp the scan to the slots whose addresses fall inside the card.
+    uint32_t Begin = 0;
+    if (CardLo > SlotsBase)
+      Begin = static_cast<uint32_t>(
+          (CardLo - SlotsBase + heap::RefSlotBytes - 1) /
+          heap::RefSlotBytes);
+    uint32_t End = N;
+    if (SlotsBase < CardHi) {
+      uint64_t Fit = (CardHi - SlotsBase + heap::RefSlotBytes - 1) /
+                     heap::RefSlotBytes;
+      End = static_cast<uint32_t>(std::min<uint64_t>(N, Fit));
+    } else {
+      End = 0;
+    }
+    if (Begin < End)
+      YoungRemains |= scanSlotRange(H, *this, A, Begin, End, Evac);
+  }
+  if (!YoungRemains) {
+    Cards.clean(CardIdx);
+    ++Stats.CardsCleaned;
+  }
+}
+
+void Collector::scanOldToYoungCards(GcEvent &Event) {
+  // The paper splits the old-to-young task into a DRAM-to-young and an
+  // NVM-to-young task; iterating the (up to two) old spaces separately is
+  // the sequential equivalent, and each task's cost is recorded.
+  CardTable &Cards = H.cardTable();
+  for (Space *S : H.oldSpaces()) {
+    if (S->usedBytes() == 0)
+      continue;
+    double Before = H.memory().gcTimeNs();
+    size_t FirstCard = Cards.cardIndex(S->base());
+    size_t LastCard = Cards.cardIndex(S->top() - 1);
+    for (size_t C = FirstCard; C <= LastCard; ++C)
+      if (Cards.isDirty(C))
+        scanCard(*S, C);
+    double Spent = H.memory().gcTimeNs() - Before;
+    if (H.hasSplitOldGen() && S == &H.oldDram())
+      Event.DramToYoungTaskNs += Spent;
+    else
+      Event.NvmToYoungTaskNs += Spent;
+  }
+}
+
+void Collector::collectMinor(const char *Reason) {
+  assert(!H.inGc() && "re-entrant collection");
+  H.setInGc(true);
+  GcEvent Event;
+  Event.Major = false;
+  Event.Reason = Reason;
+  Event.StartNs = H.memory().totalTimeNs();
+  double GcNsBefore = H.memory().gcTimeNs();
+  uint64_t PromotedBefore = Stats.BytesPromoted;
+  uint64_t CopiedBefore = Stats.BytesCopiedToSurvivor;
+  uint64_t CardsBefore = Stats.CardsScanned;
+  {
+    memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
+    ++Stats.MinorGcs;
+    Worklist.clear();
+
+    // Root task: stack handles and persisted-RDD roots. Top RDD objects
+    // with MEMORY_BITS set are promoted here (§4.2.2 root-task change).
+    double PhaseStart = H.memory().gcTimeNs();
+    H.forEachRoot([this](ObjRef &R) {
+      if (inCollectedYoung(R.addr()))
+        R = evacuate(R, MemTag::None);
+    });
+    Event.RootTaskNs = H.memory().gcTimeNs() - PhaseStart;
+
+    scanOldToYoungCards(Event);
+
+    PhaseStart = H.memory().gcTimeNs();
+    drainWorklist();
+    Event.DrainNs = H.memory().gcTimeNs() - PhaseStart;
+
+    // Young spaces: eden and from are now garbage; survivors sit in 'to'.
+    uint64_t YoungLo = std::min(
+        {H.eden().base(), H.fromSpace().base(), H.toSpace().base()});
+    uint64_t YoungHi =
+        std::max({H.eden().end(), H.fromSpace().end(), H.toSpace().end()});
+    H.eden().reset();
+    H.fromSpace().reset();
+    H.swapSurvivors();
+    // Young cards are never scanned; drop any stale dirty bits, but keep
+    // the old-generation cards (including uncleanable shared ones).
+    for (size_t C = H.cardTable().cardIndex(YoungLo),
+                E = H.cardTable().cardIndex(YoungHi - 1);
+         C <= E; ++C)
+      H.cardTable().clean(C);
+  }
+  H.setInGc(false);
+  Event.DurationNs = H.memory().gcTimeNs() - GcNsBefore;
+  Event.BytesPromoted = Stats.BytesPromoted - PromotedBefore;
+  Event.BytesCopiedToSurvivor =
+      Stats.BytesCopiedToSurvivor - CopiedBefore;
+  Event.CardsScanned = Stats.CardsScanned - CardsBefore;
+  Events.push_back(Event);
+  if (H.config().Tuning.VerifyHeap) {
+    VerifyResult V = verifyHeap(H);
+    if (!V.Ok) {
+      std::fprintf(stderr, "verify after minor gc #%llu: %s\n",
+                   static_cast<unsigned long long>(Stats.MinorGcs),
+                   V.FirstProblem.c_str());
+      std::abort();
+    }
+  }
+  maybeTriggerMajor();
+}
+
+void Collector::maybeTriggerMajor() {
+  double Threshold = H.config().Tuning.MajorGcOccupancy;
+  uint64_t Used = 0;
+  uint64_t Size = 0;
+  for (Space *S : H.oldSpaces()) {
+    Used += S->usedBytes();
+    Size += S->sizeBytes();
+  }
+  if (Size == 0)
+    return;
+  // Progress guard: require a couple of minor collections between majors
+  // so a heap legitimately full of hot data does not thrash in
+  // back-to-back full collections.
+  if (Stats.MinorGcs < MinorsAtLastMajor + 3)
+    return;
+  bool TotalFull =
+      static_cast<double>(Used) >= Threshold * static_cast<double>(Size);
+  // The old generation's DRAM component is the scarce resource: when it
+  // fills up, a full GC gives dynamic migration the chance to demote cold
+  // RDDs and reclaim DRAM (§4.2.2).
+  bool DramFull = false;
+  if (H.hasSplitOldGen() && H.oldDram().sizeBytes() > 0) {
+    uint64_t DUsed = H.oldDram().usedBytes();
+    uint64_t DSize = H.oldDram().sizeBytes();
+    DramFull =
+        static_cast<double>(DUsed) >= Threshold * static_cast<double>(DSize);
+  }
+  if (TotalFull || DramFull)
+    collectMajor(DramFull ? "old DRAM component occupancy"
+                          : "old generation occupancy");
+}
+
+//===----------------------------------------------------------------------===
+// Major GC
+//===----------------------------------------------------------------------===
+
+void Collector::markObject(uint64_t Addr, std::vector<uint64_t> &Stack) {
+  ObjectHeader *Hdr = H.header(Addr);
+  if (Hdr->isMarked())
+    return;
+  Hdr->setMarked(true);
+  Stack.push_back(Addr);
+}
+
+void Collector::markFromRoots() {
+  std::vector<uint64_t> Stack;
+  H.forEachRoot([this, &Stack](ObjRef &R) { markObject(R.addr(), Stack); });
+  while (!Stack.empty()) {
+    uint64_t Addr = Stack.back();
+    Stack.pop_back();
+    ObjectHeader *Hdr = H.header(Addr);
+    H.account(Addr, sizeof(ObjectHeader), /*IsWrite=*/false);
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      H.account(H.refSlotAddr(Addr, I), heap::RefSlotBytes,
+                /*IsWrite=*/false);
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (Child)
+        markObject(Child.addr(), Stack);
+    }
+  }
+}
+
+void Collector::propagateMigrationTag(uint64_t ArrayAddr, MemTag Target) {
+  std::vector<uint64_t> Stack;
+  Stack.push_back(ArrayAddr);
+  // The migrating array itself is retagged unconditionally; reachable
+  // objects only ever gain a tag at least as strong (DRAM > NVM).
+  H.header(ArrayAddr)->setMemTag(Target);
+  while (!Stack.empty()) {
+    uint64_t Addr = Stack.back();
+    Stack.pop_back();
+    ObjectHeader *Hdr = H.header(Addr);
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (!Child)
+        continue;
+      ObjectHeader *CHdr = H.header(Child.addr());
+      MemTag Merged = mergeTags(CHdr->memTag(), Target);
+      if (Merged == CHdr->memTag())
+        continue; // already at least as strong; subtree settled
+      CHdr->setMemTag(Merged);
+      Stack.push_back(Child.addr());
+    }
+  }
+}
+
+void Collector::planMigrations() {
+  if (!usesDynamicMigration(Policy) || !Monitor || !H.hasSplitOldGen())
+    return;
+  const heap::GcTuning &T = H.config().Tuning;
+  // Collect decisions first; propagation mutates tags which must not feed
+  // back into the scan.
+  struct Decision {
+    uint64_t Addr;
+    uint32_t RddId;
+    MemTag Target;
+  };
+  std::vector<Decision> Decisions;
+  for (Space *S : H.oldSpaces()) {
+    H.walkObjects(S->base(), S->top(), [&](uint64_t Addr) {
+      ObjectHeader *Hdr = H.header(Addr);
+      // RDD arrays carry the owning RDD id: reference arrays for
+      // deserialized caches, primitive arrays for serialized ones.
+      if (!Hdr->isMarked() || Hdr->RddId == 0 ||
+          Hdr->kind() == ObjectKind::Plain)
+        return;
+      uint32_t Calls = Monitor->callsInWindow(Hdr->RddId);
+      bool InDram = H.oldDram().contains(Addr);
+      if (!InDram && Calls >= T.MigrationHotCalls)
+        Decisions.push_back({Addr, Hdr->RddId, MemTag::Dram});
+      else if (InDram && Calls == 0)
+        Decisions.push_back({Addr, Hdr->RddId, MemTag::Nvm});
+    });
+  }
+  // Apply NVM demotions first so DRAM promotions win any shared-object
+  // conflict (DRAM > NVM, §4.2.2).
+  std::stable_sort(Decisions.begin(), Decisions.end(),
+                   [](const Decision &A, const Decision &B) {
+                     return A.Target == MemTag::Nvm && B.Target == MemTag::Dram;
+                   });
+  for (const Decision &D : Decisions) {
+    propagateMigrationTag(D.Addr, D.Target);
+    MigratedRddIds.insert(D.RddId);
+    if (D.Target == MemTag::Dram)
+      ++Stats.MigratedRddArraysToDram;
+    else
+      ++Stats.MigratedRddArraysToNvm;
+  }
+  Stats.RddsMigrated = MigratedRddIds.size();
+}
+
+MemTag Collector::majorTargetTag(uint64_t Addr, bool WasYoung) {
+  ObjectHeader *Hdr = H.header(Addr);
+  const heap::GcTuning &T = H.config().Tuning;
+  if (!H.hasSplitOldGen())
+    return MemTag::None;
+  if (T.KwWriteMonitoring)
+    return Hdr->WriteCount >= T.KwHotWrites ? MemTag::Dram : MemTag::Nvm;
+  MemTag Tag = Hdr->memTag();
+  if (Tag != MemTag::None)
+    return Tag;
+  if (WasYoung)
+    return MemTag::Nvm; // untagged objects tenure into NVM
+  // Untagged old objects stay on their side of the boundary: compaction
+  // must not move data across DRAM/NVM (§4.2.2).
+  return H.oldDram().contains(Addr) ? MemTag::Dram : MemTag::Nvm;
+}
+
+namespace {
+
+/// Bump cursor over one target space during compaction planning.
+struct SpacePlan {
+  Space *S = nullptr;
+  uint64_t Cursor = 0;
+  /// (OldAddr, NewAddr, Size) for live objects placed here.
+  struct Move {
+    uint64_t OldAddr;
+    uint64_t NewAddr;
+    uint32_t Size;
+  };
+  std::vector<Move> Moves;
+  /// (Addr, Bytes) filler runs recreated for card padding.
+  std::vector<std::pair<uint64_t, uint64_t>> Fillers;
+
+  bool fits(uint64_t Bytes) const {
+    return S && Cursor + Bytes <= S->end();
+  }
+};
+
+} // namespace
+
+void Collector::compactHeap() {
+  const heap::GcTuning &T = H.config().Tuning;
+  SpacePlan DramPlan, NvmPlan;
+  if (H.hasSplitOldGen()) {
+    DramPlan.S = &H.oldDram();
+    DramPlan.Cursor = H.oldDram().base();
+  }
+  NvmPlan.S = &H.oldNvm();
+  NvmPlan.Cursor = H.oldNvm().base();
+
+  auto PlanFor = [&](MemTag Tag) -> std::pair<SpacePlan *, SpacePlan *> {
+    if (!H.hasSplitOldGen())
+      return {&NvmPlan, nullptr};
+    if (Tag == MemTag::Dram)
+      return {&DramPlan, &NvmPlan};
+    return {&NvmPlan, DramPlan.S && DramPlan.S->sizeBytes() ? &DramPlan
+                                                            : nullptr};
+  };
+
+  auto Place = [&](uint64_t Addr, bool WasYoung) {
+    ObjectHeader *Hdr = H.header(Addr);
+    if (!Hdr->isMarked())
+      return;
+    uint32_t Size = Hdr->SizeBytes;
+    MemTag Tag = majorTargetTag(Addr, WasYoung);
+    auto [Primary, Fallback] = PlanFor(Tag);
+    SpacePlan *Target = Primary->fits(Size)
+                            ? Primary
+                            : (Fallback && Fallback->fits(Size) ? Fallback
+                                                                : nullptr);
+    if (!Target)
+      fatalGc("old generation exhausted during compaction");
+    uint64_t NewAddr = Target->Cursor;
+    Target->Cursor += Size;
+    Target->Moves.push_back({Addr, NewAddr, Size});
+    Hdr->Forward = NewAddr;
+    // Re-establish card padding behind large reference arrays (§4.2.3).
+    bool IsRddArray = Hdr->kind() == ObjectKind::RefArray &&
+                      Size >= CardTable::CardBytes;
+    if (IsRddArray && T.CardPadding) {
+      uint64_t Misalign = Target->Cursor % CardTable::CardBytes;
+      if (Misalign != 0) {
+        uint64_t Gap = CardTable::CardBytes - Misalign;
+        if (Gap < sizeof(ObjectHeader))
+          Gap += CardTable::CardBytes;
+        if (Target->Cursor + Gap <= Target->S->end()) {
+          Target->Fillers.push_back({Target->Cursor, Gap});
+          Target->Cursor += Gap;
+        }
+      }
+    }
+  };
+
+  // Place old-generation objects first (their spaces are the compaction
+  // targets), then promote every live young object.
+  for (Space *S : H.oldSpaces())
+    H.walkObjects(S->base(), S->top(),
+                  [&](uint64_t A) { Place(A, /*WasYoung=*/false); });
+  for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace()})
+    H.walkObjects(S->base(), S->top(),
+                  [&](uint64_t A) { Place(A, /*WasYoung=*/true); });
+
+  // Update every reference (roots + live objects) to the forward address.
+  H.forEachRoot([this](ObjRef &R) {
+    ObjectHeader *Hdr = H.header(R.addr());
+    assert(Hdr->isMarked() && "root points to unmarked object");
+    R = ObjRef(Hdr->Forward);
+  });
+  auto UpdateRefs = [&](uint64_t Addr) {
+    ObjectHeader *Hdr = H.header(Addr);
+    if (!Hdr->isMarked())
+      return;
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (!Child)
+        continue;
+      ObjectHeader *CHdr = H.header(Child.addr());
+      assert(CHdr->isMarked() && "live object references dead object");
+      H.rawStoreRef(Addr, I, ObjRef(CHdr->Forward));
+    }
+  };
+  for (Space *S : H.oldSpaces())
+    H.walkObjects(S->base(), S->top(), UpdateRefs);
+  for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace()})
+    H.walkObjects(S->base(), S->top(), UpdateRefs);
+
+  // Copy through staging images. Migration makes sources and targets
+  // overlap across spaces (a DRAM-resident object may move to NVM while a
+  // hot NVM object moves the other way), so *every* staging image must be
+  // built from the originals before any space is overwritten.
+  CardTable &Cards = H.cardTable();
+  std::vector<uint8_t> StagingImages[2];
+  SpacePlan *Plans[2] = {&DramPlan, &NvmPlan};
+  for (unsigned PI = 0; PI != 2; ++PI) {
+    SpacePlan *Plan = Plans[PI];
+    if (!Plan->S || Plan->S->sizeBytes() == 0)
+      continue;
+    Space *S = Plan->S;
+    std::vector<uint8_t> &Staging = StagingImages[PI];
+    Staging.assign(static_cast<size_t>(Plan->Cursor - S->base()), 0);
+    for (const SpacePlan::Move &M : Plan->Moves) {
+      H.account(M.OldAddr, M.Size, /*IsWrite=*/false);
+      H.account(M.NewAddr, M.Size, /*IsWrite=*/true);
+      std::memcpy(&Staging[M.NewAddr - S->base()], H.rawBytes(M.OldAddr),
+                  M.Size);
+      ObjectHeader *NewHdr =
+          reinterpret_cast<ObjectHeader *>(&Staging[M.NewAddr - S->base()]);
+      NewHdr->Forward = 0;
+      NewHdr->setMarked(false);
+      NewHdr->Age = T.TenureAge; // everything here is tenured now
+      NewHdr->WriteCount = 0;    // KW monitoring window resets
+    }
+    for (auto [Addr, Bytes] : Plan->Fillers) {
+      ObjectHeader *F =
+          reinterpret_cast<ObjectHeader *>(&Staging[Addr - S->base()]);
+      F->SizeBytes = static_cast<uint32_t>(Bytes);
+      F->Kind = static_cast<uint8_t>(ObjectKind::PrimArray);
+      F->Aux = 1;
+      F->Length = static_cast<uint32_t>(Bytes - sizeof(ObjectHeader));
+    }
+  }
+  for (unsigned PI = 0; PI != 2; ++PI) {
+    SpacePlan *Plan = Plans[PI];
+    if (!Plan->S)
+      continue;
+    Space *S = Plan->S;
+    Cards.clearRange(S->base(), S->end());
+    if (S->sizeBytes() == 0)
+      continue;
+    std::vector<uint8_t> &Staging = StagingImages[PI];
+    if (!Staging.empty())
+      std::memcpy(H.rawBytes(S->base()), Staging.data(), Staging.size());
+    S->reset();
+    S->setTop(Plan->Cursor);
+    for (const SpacePlan::Move &M : Plan->Moves)
+      Cards.noteObjectStart(M.NewAddr);
+    for (auto [Addr, Bytes] : Plan->Fillers) {
+      (void)Bytes;
+      Cards.noteObjectStart(Addr);
+    }
+  }
+
+  // The young generation is empty after a full GC.
+  uint64_t YoungLo =
+      std::min({H.eden().base(), H.fromSpace().base(), H.toSpace().base()});
+  uint64_t YoungHi =
+      std::max({H.eden().end(), H.fromSpace().end(), H.toSpace().end()});
+  Cards.clearRange(YoungLo, YoungHi);
+  H.eden().reset();
+  H.fromSpace().reset();
+  H.toSpace().reset();
+}
+
+void Collector::collectMajor(const char *Reason) {
+  assert(!H.inGc() && "re-entrant collection");
+  H.setInGc(true);
+  GcEvent Event;
+  Event.Major = true;
+  Event.Reason = Reason;
+  Event.StartNs = H.memory().totalTimeNs();
+  double GcNsBefore = H.memory().gcTimeNs();
+  uint64_t MigratedBefore =
+      Stats.MigratedRddArraysToDram + Stats.MigratedRddArraysToNvm;
+  {
+    memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
+    ++Stats.MajorGcs;
+    double PhaseStart = H.memory().gcTimeNs();
+    markFromRoots();
+    Event.MarkNs = H.memory().gcTimeNs() - PhaseStart;
+    planMigrations();
+    PhaseStart = H.memory().gcTimeNs();
+    compactHeap();
+    Event.CompactNs = H.memory().gcTimeNs() - PhaseStart;
+    if (Monitor)
+      Monitor->resetWindow(); // §4.2.2: frequencies reset per major GC
+    MinorsAtLastMajor = Stats.MinorGcs;
+  }
+  H.setInGc(false);
+  Event.DurationNs = H.memory().gcTimeNs() - GcNsBefore;
+  Event.RddArraysMigrated = Stats.MigratedRddArraysToDram +
+                            Stats.MigratedRddArraysToNvm - MigratedBefore;
+  Events.push_back(Event);
+  if (H.config().Tuning.VerifyHeap) {
+    VerifyResult V = verifyHeap(H);
+    if (!V.Ok) {
+      std::fprintf(stderr, "verify after major gc #%llu: %s\n",
+                   static_cast<unsigned long long>(Stats.MajorGcs),
+                   V.FirstProblem.c_str());
+      std::abort();
+    }
+  }
+}

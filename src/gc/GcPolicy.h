@@ -1,0 +1,100 @@
+//===- gc/GcPolicy.h - Memory-management policies under test ----*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five memory-management policies the paper evaluates (§5.2):
+///
+///   DramOnly    - the whole heap in DRAM; the normalization baseline.
+///   Unmanaged   - young gen in DRAM; old gen virtual-address chunks mapped
+///                 to DRAM with probability = DRAM ratio (common practice to
+///                 combine the two devices' bandwidth). No semantics.
+///   Kingsguard-Nursery (KN)  - young gen DRAM, old gen entirely NVM [7].
+///   Kingsguard-Writes  (KW)  - KN plus write-monitoring barriers; objects
+///                 observed to be write-hot are kept/migrated in DRAM [7].
+///   Panthera    - split old gen; static tags pretenure RDDs; eager
+///                 promotion, card padding, dynamic migration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_GC_GCPOLICY_H
+#define PANTHERA_GC_GCPOLICY_H
+
+#include "heap/HeapConfig.h"
+
+namespace panthera {
+namespace gc {
+
+/// Which end-to-end memory-management configuration is running.
+enum class PolicyKind : uint8_t {
+  DramOnly,
+  Unmanaged,
+  KingsguardNursery,
+  KingsguardWrites,
+  Panthera,
+};
+
+inline const char *policyName(PolicyKind K) {
+  switch (K) {
+  case PolicyKind::DramOnly:
+    return "DRAM-only";
+  case PolicyKind::Unmanaged:
+    return "Unmanaged";
+  case PolicyKind::KingsguardNursery:
+    return "Kingsguard-N";
+  case PolicyKind::KingsguardWrites:
+    return "Kingsguard-W";
+  case PolicyKind::Panthera:
+    return "Panthera";
+  }
+  return "?";
+}
+
+/// True when the policy consumes the static analysis' DRAM/NVM tags.
+inline bool usesStaticTags(PolicyKind K) { return K == PolicyKind::Panthera; }
+
+/// True when the policy migrates RDDs at major GCs using call counts.
+inline bool usesDynamicMigration(PolicyKind K) {
+  return K == PolicyKind::Panthera;
+}
+
+/// Builds the heap configuration for \p Kind with \p HeapPaperGB of heap
+/// and the given DRAM : total-memory ratio.
+inline heap::HeapConfig makeHeapConfig(PolicyKind Kind, unsigned HeapPaperGB,
+                                       double DramRatio) {
+  heap::HeapConfig C;
+  C.HeapBytes = static_cast<uint64_t>(HeapPaperGB) * PaperGB;
+  C.DramRatio = DramRatio;
+  // Eager promotion and card padding are Panthera's GC changes (§4.2);
+  // every baseline runs the stock Parallel Scavenge behavior -- including
+  // the §4.2.3 shared-card pathology on large arrays.
+  C.Tuning.EagerPromotion = Kind == PolicyKind::Panthera;
+  C.Tuning.CardPadding = Kind == PolicyKind::Panthera;
+  switch (Kind) {
+  case PolicyKind::DramOnly:
+    C.Layout = heap::OldGenLayout::UnifiedDram;
+    C.DramRatio = 1.0;
+    break;
+  case PolicyKind::Unmanaged:
+    C.Layout = heap::OldGenLayout::UnifiedInterleaved;
+    break;
+  case PolicyKind::KingsguardNursery:
+    C.Layout = heap::OldGenLayout::UnifiedNvm;
+    break;
+  case PolicyKind::KingsguardWrites:
+    C.Layout = heap::OldGenLayout::SplitDramNvm;
+    C.Tuning.KwWriteMonitoring = true;
+    break;
+  case PolicyKind::Panthera:
+    C.Layout = heap::OldGenLayout::SplitDramNvm;
+    break;
+  }
+  return C;
+}
+
+} // namespace gc
+} // namespace panthera
+
+#endif // PANTHERA_GC_GCPOLICY_H

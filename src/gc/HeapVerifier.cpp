@@ -1,0 +1,96 @@
+//===- gc/HeapVerifier.cpp - Post-GC heap integrity checking --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+using namespace panthera;
+using namespace panthera::gc;
+using heap::Heap;
+using heap::ObjectHeader;
+using heap::ObjRef;
+using heap::Space;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(Heap &H) : H(H) {}
+
+  VerifyResult run() {
+    H.forEachRoot([this](ObjRef &R) {
+      if (Result.Ok)
+        checkAndPush(R.addr(), /*From=*/0, ~0u);
+    });
+    while (Result.Ok && !Stack.empty()) {
+      uint64_t Addr = Stack.back();
+      Stack.pop_back();
+      ++Result.ObjectsVisited;
+      ObjectHeader *Hdr = H.header(Addr);
+      uint32_t N = Hdr->numRefSlots();
+      for (uint32_t I = 0; I != N && Result.Ok; ++I) {
+        ObjRef Child = H.rawLoadRef(Addr, I);
+        if (Child)
+          checkAndPush(Child.addr(), Addr, I);
+      }
+    }
+    return Result;
+  }
+
+private:
+  Space *spaceOf(uint64_t Addr) {
+    for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace(), &H.oldDram(),
+                     &H.oldNvm()})
+      if (S->contains(Addr))
+        return S;
+    return nullptr;
+  }
+
+  void fail(uint64_t Addr, uint64_t From, uint32_t Slot, const char *Why) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "object 0x%" PRIx64 " (reached from 0x%" PRIx64
+                  " slot %u): %s",
+                  Addr, From, Slot, Why);
+    Result.Ok = false;
+    Result.FirstProblem = Buf;
+  }
+
+  void checkAndPush(uint64_t Addr, uint64_t From, uint32_t Slot) {
+    if (!Visited.insert(Addr).second)
+      return;
+    if (Addr % 8 != 0)
+      return fail(Addr, From, Slot, "misaligned reference");
+    Space *S = spaceOf(Addr);
+    if (!S)
+      return fail(Addr, From, Slot, "outside every heap space");
+    if (Addr >= S->top())
+      return fail(Addr, From, Slot,
+                  "beyond its space's allocation frontier (dangling)");
+    ObjectHeader *Hdr = H.header(Addr);
+    if (Hdr->SizeBytes < sizeof(ObjectHeader) ||
+        Addr + Hdr->SizeBytes > S->top())
+      return fail(Addr, From, Slot, "corrupt object size");
+    if (Hdr->isForwarded())
+      return fail(Addr, From, Slot, "stale forwarding pointer");
+    Stack.push_back(Addr);
+  }
+
+  Heap &H;
+  VerifyResult Result;
+  std::unordered_set<uint64_t> Visited;
+  std::vector<uint64_t> Stack;
+};
+
+} // namespace
+
+VerifyResult panthera::gc::verifyHeap(Heap &H) {
+  return Verifier(H).run();
+}

@@ -1,0 +1,44 @@
+//===- gc/HeapVerifier.h - Post-GC heap integrity checking ------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A debugging verifier that walks the reachable object graph and checks
+/// structural invariants: every root and every reference field must point
+/// at a well-formed object header inside the *live* portion of some heap
+/// space (never into evacuated eden/from space, fillers, or mid-object).
+/// The collector runs it after every phase when GcTuning.VerifyHeap is on;
+/// tests use it directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_GC_HEAPVERIFIER_H
+#define PANTHERA_GC_HEAPVERIFIER_H
+
+#include "heap/Heap.h"
+
+#include <string>
+
+namespace panthera {
+namespace gc {
+
+/// Result of one verification pass.
+struct VerifyResult {
+  bool Ok = true;
+  std::string FirstProblem; ///< Description of the first violation found.
+  uint64_t ObjectsVisited = 0;
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Verifies the reachable graph of \p H. References into evacuated space
+/// are caught by the allocation-frontier check (reset spaces have an empty
+/// live region).
+VerifyResult verifyHeap(heap::Heap &H);
+
+} // namespace gc
+} // namespace panthera
+
+#endif // PANTHERA_GC_HEAPVERIFIER_H

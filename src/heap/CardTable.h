@@ -1,0 +1,84 @@
+//===- heap/CardTable.h - 512-byte card table + object starts ---*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// OpenJDK-style card table: the heap is divided into 512-byte cards; the
+/// write barrier dirties the card containing an object whose reference
+/// field was stored. Minor GCs scan dirty old-generation cards to find
+/// old-to-young references (§4.2.3).
+///
+/// The table also keeps a per-card "first object start" map (the analogue
+/// of OpenJDK's block-offset table) so a dirty card's overlapping objects
+/// can be located without walking the whole space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_HEAP_CARDTABLE_H
+#define PANTHERA_HEAP_CARDTABLE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+namespace heap {
+
+/// Dirty-card tracking plus object-start lookup over the whole heap range.
+class CardTable {
+public:
+  static constexpr uint64_t CardBytes = 512;
+
+  explicit CardTable(uint64_t TotalBytes)
+      : Dirty((TotalBytes + CardBytes - 1) / CardBytes, 0),
+        FirstObj(Dirty.size(), 0) {}
+
+  size_t numCards() const { return Dirty.size(); }
+
+  size_t cardIndex(uint64_t Addr) const {
+    size_t Idx = static_cast<size_t>(Addr / CardBytes);
+    assert(Idx < Dirty.size() && "address beyond card table");
+    return Idx;
+  }
+  uint64_t cardStart(size_t Idx) const { return Idx * CardBytes; }
+
+  void dirtyCardFor(uint64_t Addr) { Dirty[cardIndex(Addr)] = 1; }
+  bool isDirty(size_t Idx) const { return Dirty[Idx] != 0; }
+  void clean(size_t Idx) { Dirty[Idx] = 0; }
+  void dirtyIndex(size_t Idx) { Dirty[Idx] = 1; }
+
+  /// Records that an object begins at \p Addr (old-generation allocation).
+  /// Keeps the lowest start per card; bump allocation visits addresses in
+  /// ascending order so the first note wins.
+  void noteObjectStart(uint64_t Addr) {
+    size_t Idx = cardIndex(Addr);
+    if (FirstObj[Idx] == 0 || Addr < FirstObj[Idx])
+      FirstObj[Idx] = Addr;
+  }
+
+  /// Address of the first object starting inside card \p Idx, 0 if none.
+  uint64_t firstObjectInCard(size_t Idx) const { return FirstObj[Idx]; }
+
+  /// Drops object-start and dirty state for [Start, End) -- used when a
+  /// space is evacuated or recompacted.
+  void clearRange(uint64_t Start, uint64_t End) {
+    for (size_t Idx = cardIndex(Start),
+                E = (End + CardBytes - 1) / CardBytes;
+         Idx != E; ++Idx) {
+      Dirty[Idx] = 0;
+      FirstObj[Idx] = 0;
+    }
+  }
+
+private:
+  std::vector<uint8_t> Dirty;
+  std::vector<uint64_t> FirstObj;
+};
+
+} // namespace heap
+} // namespace panthera
+
+#endif // PANTHERA_HEAP_CARDTABLE_H

@@ -1,0 +1,445 @@
+//===- heap/Heap.cpp - The managed heap over hybrid memory ---------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace panthera;
+using namespace panthera::heap;
+using memsim::Device;
+
+GcHost::~GcHost() = default;
+
+[[noreturn]] static void fatalOom(const char *What) {
+  std::fprintf(stderr, "panthera: out of memory: %s\n", What);
+  std::abort();
+}
+
+Heap::Heap(const HeapConfig &Config, memsim::HybridMemory &Mem)
+    : Config(Config), Mem(Mem), Cards(Mem.map().totalBytes()) {
+  uint64_t EdenBytes = Config.edenBytes();
+  uint64_t SurvivorBytes = Config.survivorBytes();
+  uint64_t OldBytes = Config.HeapBytes - EdenBytes - 2 * SurvivorBytes;
+  OldBytes = HeapConfig::alignPage(OldBytes);
+
+  uint64_t OldDramBytes = 0;
+  uint64_t OldNvmBytes = OldBytes;
+  if (Config.Layout == OldGenLayout::SplitDramNvm) {
+    OldDramBytes = HeapConfig::alignPage(Config.oldDramBytes());
+    if (OldDramBytes > OldBytes)
+      OldDramBytes = OldBytes;
+    OldNvmBytes = OldBytes - OldDramBytes;
+  }
+
+  // Leave page zero unused so address 0 is a valid null reference.
+  uint64_t Cursor = 4096;
+  Eden = Space("eden", Cursor, EdenBytes);
+  Cursor += EdenBytes;
+  From = Space("from", Cursor, SurvivorBytes);
+  Cursor += SurvivorBytes;
+  To = Space("to", Cursor, SurvivorBytes);
+  Cursor += SurvivorBytes;
+  OldDramSpace = Space("old-dram", Cursor, OldDramBytes);
+  Cursor += OldDramBytes;
+  OldNvmSpace = Space("old-nvm", Cursor, OldNvmBytes);
+  Cursor += OldNvmBytes;
+  NativeSpace = Space("native", Cursor, Config.NativeBytes);
+  Cursor += Config.NativeBytes;
+
+  uint64_t Total = Mem.map().totalBytes();
+  if (Cursor > Total)
+    fatalOom("simulated memory smaller than configured heap");
+  Buffer.assign(Total, 0);
+
+  // Back each range with its device. The nursery is always DRAM (§4.1).
+  memsim::AddressMap &Map = Mem.map();
+  Map.setRange(Eden.base(), To.end(), Device::DRAM);
+  switch (Config.Layout) {
+  case OldGenLayout::SplitDramNvm:
+    Map.setRange(OldDramSpace.base(), OldDramSpace.end(), Device::DRAM);
+    Map.setRange(OldNvmSpace.base(), OldNvmSpace.end(), Device::NVM);
+    break;
+  case OldGenLayout::UnifiedDram:
+    Map.setRange(OldNvmSpace.base(), OldNvmSpace.end(), Device::DRAM);
+    break;
+  case OldGenLayout::UnifiedNvm:
+    Map.setRange(OldNvmSpace.base(), OldNvmSpace.end(), Device::NVM);
+    break;
+  case OldGenLayout::UnifiedInterleaved:
+    Map.interleaveRange(OldNvmSpace.base(), OldNvmSpace.end(),
+                        Config.InterleaveChunkBytes, Config.DramRatio,
+                        Config.InterleaveSeed);
+    break;
+  }
+  Map.setRange(NativeSpace.base(), NativeSpace.end(), Device::NVM);
+}
+
+std::vector<Space *> Heap::oldSpaces() {
+  std::vector<Space *> Result;
+  if (OldDramSpace.sizeBytes() > 0)
+    Result.push_back(&OldDramSpace);
+  Result.push_back(&OldNvmSpace);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===
+// Allocation
+//===----------------------------------------------------------------------===
+
+void Heap::formatObject(uint64_t Addr, uint32_t SizeBytes, ObjectKind Kind,
+                        uint32_t Aux, uint32_t Length, uint32_t RddId,
+                        MemTag Tag) {
+  std::memset(&Buffer[Addr], 0, SizeBytes);
+  ObjectHeader *H = header(Addr);
+  H->SizeBytes = SizeBytes;
+  H->Kind = static_cast<uint8_t>(Kind);
+  H->Aux = static_cast<uint8_t>(Aux);
+  H->Length = Length;
+  H->RddId = RddId;
+  H->setMemTag(Tag);
+  ++Stats.ObjectsAllocated;
+  Stats.BytesAllocated += SizeBytes;
+  // Zero-initialization traffic (TLAB zeroing in a real JVM).
+  Mem.onAccess(Addr, SizeBytes, /*IsWrite=*/true);
+  Mem.addCpuWorkNs(Config.Tuning.AllocCpuNs);
+}
+
+uint64_t Heap::allocateYoung(uint32_t Bytes) {
+  assert(!InGcFlag && "collector must not allocate through the young path");
+  uint64_t Addr = Eden.allocate(Bytes);
+  if (Addr)
+    return Addr;
+  if (Host) {
+    Host->collectMinor("eden full");
+    Addr = Eden.allocate(Bytes);
+    if (Addr)
+      return Addr;
+  }
+  // Object larger than eden: place it directly in the old generation.
+  Addr = allocateInOld(Bytes, MemTag::None, /*IsRddArray=*/false);
+  if (!Addr && Host) {
+    Host->collectMajor("old gen full on young overflow");
+    Addr = allocateInOld(Bytes, MemTag::None, /*IsRddArray=*/false);
+  }
+  if (!Addr)
+    fatalOom("allocation does not fit in eden or the old generation");
+  return Addr;
+}
+
+void Heap::insertFiller(uint64_t Addr, uint64_t Bytes) {
+  assert(Bytes >= sizeof(ObjectHeader) && (Bytes & 7) == 0 &&
+         "filler must hold a header");
+  std::memset(&Buffer[Addr], 0, sizeof(ObjectHeader));
+  ObjectHeader *H = header(Addr);
+  H->SizeBytes = static_cast<uint32_t>(Bytes);
+  H->Kind = static_cast<uint8_t>(ObjectKind::PrimArray);
+  H->Aux = 1;
+  H->Length = static_cast<uint32_t>(Bytes - sizeof(ObjectHeader));
+  Cards.noteObjectStart(Addr);
+  Stats.CardPaddingWasteBytes += Bytes;
+}
+
+uint64_t Heap::allocateInOld(uint64_t Bytes, MemTag Tag, bool IsRddArray) {
+  Space *Primary;
+  Space *Fallback = nullptr;
+  if (!hasSplitOldGen()) {
+    Primary = &OldNvmSpace; // the unified old space
+  } else if (Tag == MemTag::Dram) {
+    Primary = &OldDramSpace;
+    Fallback = &OldNvmSpace;
+  } else {
+    Primary = &OldNvmSpace;
+    Fallback = &OldDramSpace;
+  }
+
+  bool Pad = IsRddArray && Config.Tuning.CardPadding;
+  for (Space *S : {Primary, Fallback}) {
+    if (!S || S->sizeBytes() == 0)
+      continue;
+    uint64_t Addr = S->allocate(Bytes);
+    if (!Addr)
+      continue;
+    if (S == Fallback && Tag == MemTag::Dram)
+      ++Stats.PretenureDramFallbacks;
+    Cards.noteObjectStart(Addr);
+    if (Pad) {
+      // §4.2.3 card padding: align the end of the array region to a card
+      // boundary so no later large array shares this array's last card.
+      uint64_t Misalign = S->top() % CardTable::CardBytes;
+      if (Misalign != 0) {
+        uint64_t Gap = CardTable::CardBytes - Misalign;
+        if (Gap < sizeof(ObjectHeader))
+          Gap += CardTable::CardBytes;
+        uint64_t FillerAddr = S->allocate(Gap);
+        if (FillerAddr)
+          insertFiller(FillerAddr, Gap);
+      }
+    }
+    return Addr;
+  }
+  return 0;
+}
+
+ObjRef Heap::allocPlain(uint32_t NumRefs, uint32_t PayloadBytes) {
+  assert(NumRefs <= 255 && "Plain objects carry at most 255 ref slots");
+  uint32_t Size = plainObjectSize(NumRefs, PayloadBytes);
+  uint64_t Addr = allocateYoung(Size);
+  formatObject(Addr, Size, ObjectKind::Plain, NumRefs,
+               NumRefs * RefSlotBytes + PayloadBytes, /*RddId=*/0,
+               MemTag::None);
+  return ObjRef(Addr);
+}
+
+ObjRef Heap::allocRefArray(uint32_t Length) {
+  uint32_t Size = refArraySize(Length);
+  MemTag Tag = MemTag::None;
+  uint32_t RddId = 0;
+  // §4.2.1: a pending rdd_alloc tag claims the next large array.
+  if (PendingTag != MemTag::None && Length >= Config.Tuning.LargeArrayElems) {
+    Tag = PendingTag;
+    RddId = PendingRddId;
+    PendingTag = MemTag::None;
+    PendingRddId = 0;
+    uint64_t Addr = allocateInOld(Size, Tag, /*IsRddArray=*/true);
+    if (!Addr && Host && !InGcFlag) {
+      Host->collectMajor("old gen full on pretenured array");
+      Addr = allocateInOld(Size, Tag, /*IsRddArray=*/true);
+    }
+    if (Addr) {
+      ++Stats.ArraysPretenured;
+      formatObject(Addr, Size, ObjectKind::RefArray, 0, Length, RddId, Tag);
+      return ObjRef(Addr);
+    }
+    // Old generation exhausted: fall through to a young allocation; the
+    // header keeps the tag so the GC promotes it eagerly later.
+  }
+  uint64_t Addr = allocateYoung(Size);
+  formatObject(Addr, Size, ObjectKind::RefArray, 0, Length, RddId, Tag);
+  return ObjRef(Addr);
+}
+
+ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
+  assert(ElemBytes > 0 && ElemBytes <= 255 && "element size fits Aux");
+  uint32_t Size = primArraySize(Length, ElemBytes);
+  // Serialized RDD caches are large primitive arrays; the rdd_alloc wait
+  // state pretenures them exactly like reference arrays. No card padding
+  // is needed: primitive arrays hold no references and are never scanned.
+  if (PendingTag != MemTag::None && Length >= Config.Tuning.LargeArrayElems) {
+    MemTag Tag = PendingTag;
+    uint32_t RddId = PendingRddId;
+    PendingTag = MemTag::None;
+    PendingRddId = 0;
+    uint64_t Addr = allocateInOld(Size, Tag, /*IsRddArray=*/false);
+    if (!Addr && Host && !InGcFlag) {
+      Host->collectMajor("old gen full on pretenured serialized array");
+      Addr = allocateInOld(Size, Tag, /*IsRddArray=*/false);
+    }
+    if (Addr) {
+      ++Stats.ArraysPretenured;
+      formatObject(Addr, Size, ObjectKind::PrimArray, ElemBytes, Length,
+                   RddId, Tag);
+      return ObjRef(Addr);
+    }
+  }
+  uint64_t Addr = allocateYoung(Size);
+  formatObject(Addr, Size, ObjectKind::PrimArray, ElemBytes, Length,
+               /*RddId=*/0, MemTag::None);
+  return ObjRef(Addr);
+}
+
+uint64_t Heap::allocNative(uint64_t Bytes) {
+  uint64_t Aligned = (Bytes + 7) & ~7ull;
+  uint64_t Addr = NativeSpace.allocate(Aligned);
+  if (!Addr)
+    fatalOom("native (off-heap) region exhausted");
+  return Addr;
+}
+
+//===----------------------------------------------------------------------===
+// Accessors
+//===----------------------------------------------------------------------===
+
+void Heap::writeBarrier(ObjRef Obj, uint64_t SlotAddr) {
+  ++Stats.RefStores;
+  Cards.dirtyCardFor(SlotAddr);
+  Mem.addCpuWorkNs(Config.Tuning.BarrierCpuNs);
+  if (Config.Tuning.KwWriteMonitoring) {
+    ObjectHeader *H = header(Obj.addr());
+    if (H->WriteCount != UINT32_MAX)
+      ++H->WriteCount;
+    Mem.onAccess(Obj.addr(), sizeof(uint32_t), /*IsWrite=*/true);
+  }
+}
+
+ObjRef Heap::loadRef(ObjRef Obj, uint32_t Slot) {
+  assert(Obj && "null dereference");
+  assert(Slot < header(Obj.addr())->numRefSlots() && "ref slot out of range");
+  uint64_t SlotAddr = refSlotAddr(Obj.addr(), Slot);
+  Mem.onAccess(SlotAddr, RefSlotBytes, /*IsWrite=*/false);
+  return rawLoadRef(Obj.addr(), Slot);
+}
+
+void Heap::storeRef(ObjRef Obj, uint32_t Slot, ObjRef Value) {
+  assert(Obj && "null dereference");
+  assert(Slot < header(Obj.addr())->numRefSlots() && "ref slot out of range");
+  uint64_t SlotAddr = refSlotAddr(Obj.addr(), Slot);
+  Mem.onAccess(SlotAddr, RefSlotBytes, /*IsWrite=*/true);
+  rawStoreRef(Obj.addr(), Slot, Value);
+  writeBarrier(Obj, SlotAddr);
+}
+
+int64_t Heap::loadI64(ObjRef Obj, uint32_t ByteOffset) {
+  uint64_t Addr = Obj.addr() + plainPayloadOffset(Obj) + ByteOffset;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/false);
+  int64_t V;
+  std::memcpy(&V, &Buffer[Addr], sizeof(V));
+  return V;
+}
+
+void Heap::storeI64(ObjRef Obj, uint32_t ByteOffset, int64_t Value) {
+  uint64_t Addr = Obj.addr() + plainPayloadOffset(Obj) + ByteOffset;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/true);
+  std::memcpy(&Buffer[Addr], &Value, sizeof(Value));
+  if (Config.Tuning.KwWriteMonitoring) {
+    ObjectHeader *H = header(Obj.addr());
+    if (H->WriteCount != UINT32_MAX)
+      ++H->WriteCount;
+  }
+}
+
+double Heap::loadF64(ObjRef Obj, uint32_t ByteOffset) {
+  uint64_t Addr = Obj.addr() + plainPayloadOffset(Obj) + ByteOffset;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/false);
+  double V;
+  std::memcpy(&V, &Buffer[Addr], sizeof(V));
+  return V;
+}
+
+void Heap::storeF64(ObjRef Obj, uint32_t ByteOffset, double Value) {
+  uint64_t Addr = Obj.addr() + plainPayloadOffset(Obj) + ByteOffset;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/true);
+  std::memcpy(&Buffer[Addr], &Value, sizeof(Value));
+}
+
+int64_t Heap::loadElemI64(ObjRef Array, uint32_t Index) {
+  assert(header(Array.addr())->kind() == ObjectKind::PrimArray &&
+         header(Array.addr())->Aux == 8 && "not an 8-byte prim array");
+  assert(Index < header(Array.addr())->Length && "index out of range");
+  uint64_t Addr = Array.addr() + sizeof(ObjectHeader) + Index * 8ull;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/false);
+  int64_t V;
+  std::memcpy(&V, &Buffer[Addr], sizeof(V));
+  return V;
+}
+
+void Heap::storeElemI64(ObjRef Array, uint32_t Index, int64_t Value) {
+  assert(Index < header(Array.addr())->Length && "index out of range");
+  uint64_t Addr = Array.addr() + sizeof(ObjectHeader) + Index * 8ull;
+  Mem.onAccess(Addr, 8, /*IsWrite=*/true);
+  std::memcpy(&Buffer[Addr], &Value, sizeof(Value));
+}
+
+double Heap::loadElemF64(ObjRef Array, uint32_t Index) {
+  int64_t Bits = loadElemI64(Array, Index);
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+void Heap::storeElemF64(ObjRef Array, uint32_t Index, double Value) {
+  int64_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  storeElemI64(Array, Index, Bits);
+}
+
+void Heap::nativeWrite(uint64_t Addr, const void *Src, uint64_t Bytes) {
+  assert(NativeSpace.contains(Addr) && "native write outside native space");
+  Mem.onAccess(Addr, static_cast<uint32_t>(Bytes), /*IsWrite=*/true);
+  std::memcpy(&Buffer[Addr], Src, Bytes);
+}
+
+void Heap::nativeRead(uint64_t Addr, void *Dst, uint64_t Bytes) {
+  assert(NativeSpace.contains(Addr) && "native read outside native space");
+  Mem.onAccess(Addr, static_cast<uint32_t>(Bytes), /*IsWrite=*/false);
+  std::memcpy(Dst, &Buffer[Addr], Bytes);
+}
+
+//===----------------------------------------------------------------------===
+// Roots
+//===----------------------------------------------------------------------===
+
+size_t Heap::addPersistentRoot(ObjRef R) {
+  if (!FreePersistentSlots.empty()) {
+    size_t Id = FreePersistentSlots.back();
+    FreePersistentSlots.pop_back();
+    PersistentRoots[Id] = R;
+    return Id;
+  }
+  PersistentRoots.push_back(R);
+  return PersistentRoots.size() - 1;
+}
+
+void Heap::removePersistentRoot(size_t Id) {
+  assert(Id < PersistentRoots.size() && "bad persistent root id");
+  PersistentRoots[Id] = ObjRef();
+  FreePersistentSlots.push_back(Id);
+}
+
+void Heap::forEachRoot(const std::function<void(ObjRef &)> &Fn) {
+  for (ObjRef &R : RootStack)
+    if (R)
+      Fn(R);
+  for (ObjRef &R : PersistentRoots)
+    if (R)
+      Fn(R);
+}
+
+//===----------------------------------------------------------------------===
+// Space walking
+//===----------------------------------------------------------------------===
+
+void Heap::walkObjects(uint64_t Start, uint64_t End,
+                       const std::function<void(uint64_t)> &Fn) {
+  uint64_t Addr = Start;
+  while (Addr < End) {
+    uint32_t Size = header(Addr)->SizeBytes;
+    assert(Size >= sizeof(ObjectHeader) && "corrupt object header");
+    Fn(Addr);
+    Addr += Size;
+  }
+}
+
+uint64_t Heap::firstObjectIntersectingCard(Space &S, size_t CardIdx) {
+  uint64_t CardLo = Cards.cardStart(CardIdx);
+  uint64_t CardHi = CardLo + CardTable::CardBytes;
+  if (CardLo >= S.top())
+    return 0;
+
+  // Anchor: the nearest known object start strictly before this card (the
+  // covering object may begin in an earlier card); fall back to the space
+  // base, from which every object is reachable by walking headers.
+  uint64_t Anchor = S.base();
+  size_t BaseCard = Cards.cardIndex(S.base());
+  for (size_t C = CardIdx; C > BaseCard;) {
+    --C;
+    uint64_t A = Cards.firstObjectInCard(C);
+    if (A && A < S.top()) {
+      Anchor = A;
+      break;
+    }
+  }
+
+  uint64_t Addr = Anchor;
+  while (Addr < S.top()) {
+    uint32_t Size = header(Addr)->SizeBytes;
+    if (Addr + Size > CardLo)
+      return Addr < CardHi ? Addr : 0;
+    Addr += Size;
+  }
+  return 0;
+}

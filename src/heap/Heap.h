@@ -1,0 +1,303 @@
+//===- heap/Heap.h - The managed heap over hybrid memory --------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The managed heap: a young generation (eden + two survivor semispaces)
+/// placed entirely in DRAM, an old generation laid out per the configured
+/// policy (split DRAM/NVM for Panthera, unified for the baselines), and an
+/// NVM-backed native region for off-heap storage (§4.1, Fig 3).
+///
+/// Every mutator field access goes through the accessor methods, which
+/// route traffic to the HybridMemory cost model and run the card-marking
+/// write barrier. The collector (src/gc) drives evacuation through the
+/// "runtime-internal" raw accessors, charging its own traffic explicitly.
+///
+/// Code holding references across any allocation must protect them with
+/// GcRoot handles -- a minor collection can move any young object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_HEAP_HEAP_H
+#define PANTHERA_HEAP_HEAP_H
+
+#include "heap/CardTable.h"
+#include "heap/HeapConfig.h"
+#include "heap/ObjectModel.h"
+#include "heap/Space.h"
+#include "memsim/HybridMemory.h"
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+namespace panthera {
+namespace heap {
+
+/// Interface the collector implements so the heap can request collections
+/// on allocation failure without depending on the gc library.
+class GcHost {
+public:
+  virtual ~GcHost();
+  /// Runs a minor (young-generation) collection.
+  virtual void collectMinor(const char *Reason) = 0;
+  /// Runs a major (full-heap) collection.
+  virtual void collectMajor(const char *Reason) = 0;
+};
+
+/// Allocation / barrier counters.
+struct HeapStats {
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t ArraysPretenured = 0;
+  uint64_t PretenureDramFallbacks = 0; ///< DRAM-tagged arrays that landed
+                                       ///< in NVM because DRAM was full.
+  uint64_t RefStores = 0;
+  uint64_t CardPaddingWasteBytes = 0;
+};
+
+class Heap;
+
+/// RAII stack root: registers a slot the collector scans and updates.
+/// Strictly LIFO, like a handle scope.
+class GcRoot {
+public:
+  explicit GcRoot(Heap &H, ObjRef Initial = ObjRef());
+  ~GcRoot();
+
+  GcRoot(const GcRoot &) = delete;
+  GcRoot &operator=(const GcRoot &) = delete;
+
+  ObjRef get() const;
+  void set(ObjRef R);
+
+private:
+  Heap &H;
+  size_t Index;
+};
+
+/// The managed heap.
+class Heap {
+public:
+  Heap(const HeapConfig &Config, memsim::HybridMemory &Mem);
+
+  const HeapConfig &config() const { return Config; }
+  memsim::HybridMemory &memory() { return Mem; }
+  CardTable &cardTable() { return Cards; }
+  HeapStats &stats() { return Stats; }
+
+  void setGcHost(GcHost *Host) { this->Host = Host; }
+
+  //===--------------------------------------------------------------------===
+  // Spaces
+  //===--------------------------------------------------------------------===
+
+  Space &eden() { return Eden; }
+  Space &fromSpace() { return From; }
+  Space &toSpace() { return To; }
+  /// Old-generation DRAM component (empty-sized for UnifiedNvm layouts).
+  Space &oldDram() { return OldDramSpace; }
+  /// Old-generation NVM component (or the unified space for baselines).
+  Space &oldNvm() { return OldNvmSpace; }
+  Space &native() { return NativeSpace; }
+  /// True when the old generation has distinct DRAM and NVM components.
+  bool hasSplitOldGen() const {
+    return Config.Layout == OldGenLayout::SplitDramNvm;
+  }
+  /// The old-generation spaces in address order (1 for unified layouts).
+  std::vector<Space *> oldSpaces();
+
+  bool isYoung(uint64_t Addr) const {
+    return Eden.contains(Addr) || From.contains(Addr) || To.contains(Addr);
+  }
+  bool isOld(uint64_t Addr) const {
+    return OldDramSpace.contains(Addr) || OldNvmSpace.contains(Addr);
+  }
+
+  /// Exchanges the survivor semispaces after a scavenge.
+  void swapSurvivors() { std::swap(From, To); }
+
+  //===--------------------------------------------------------------------===
+  // Allocation (mutator-facing; may trigger GC)
+  //===--------------------------------------------------------------------===
+
+  /// Allocates a Plain object with \p NumRefs leading reference slots and
+  /// \p PayloadBytes raw bytes.
+  ObjRef allocPlain(uint32_t NumRefs, uint32_t PayloadBytes);
+
+  /// Allocates a reference array. If a pretenure tag is pending (§4.2.1's
+  /// rdd_alloc wait state) and \p Length reaches the large-array threshold,
+  /// the array goes directly into the tagged old-generation space.
+  ObjRef allocRefArray(uint32_t Length);
+
+  /// Allocates a primitive array of \p Length elements x \p ElemBytes.
+  /// Like allocRefArray, a sufficiently large primitive array claims a
+  /// pending rdd_alloc tag and is pretenured (serialized RDD caches are
+  /// single large primitive arrays).
+  ObjRef allocPrimArray(uint32_t Length, uint32_t ElemBytes);
+
+  /// Allocates raw native (off-heap, NVM) storage; never collected.
+  uint64_t allocNative(uint64_t Bytes);
+
+  /// Arms the rdd_alloc wait state: the next sufficiently large RefArray
+  /// allocation is placed per \p Tag and stamped with \p RddId.
+  void setPendingArrayTag(MemTag Tag, uint32_t RddId) {
+    PendingTag = Tag;
+    PendingRddId = RddId;
+  }
+  MemTag pendingArrayTag() const { return PendingTag; }
+
+  //===--------------------------------------------------------------------===
+  // Mutator field access (accounted + write barrier)
+  //===--------------------------------------------------------------------===
+
+  ObjRef loadRef(ObjRef Obj, uint32_t Slot);
+  void storeRef(ObjRef Obj, uint32_t Slot, ObjRef Value);
+  int64_t loadI64(ObjRef Obj, uint32_t ByteOffset);
+  void storeI64(ObjRef Obj, uint32_t ByteOffset, int64_t Value);
+  double loadF64(ObjRef Obj, uint32_t ByteOffset);
+  void storeF64(ObjRef Obj, uint32_t ByteOffset, double Value);
+
+  /// Primitive-array element access (ElemBytes must be 8 for these).
+  int64_t loadElemI64(ObjRef Array, uint32_t Index);
+  void storeElemI64(ObjRef Array, uint32_t Index, int64_t Value);
+  double loadElemF64(ObjRef Array, uint32_t Index);
+  void storeElemF64(ObjRef Array, uint32_t Index, double Value);
+
+  /// Native-region access (accounted, no barrier).
+  void nativeWrite(uint64_t Addr, const void *Src, uint64_t Bytes);
+  void nativeRead(uint64_t Addr, void *Dst, uint64_t Bytes);
+
+  uint32_t arrayLength(ObjRef Obj) const {
+    return header(Obj.addr())->Length;
+  }
+  uint32_t plainPayloadOffset(ObjRef Obj) const {
+    return sizeof(ObjectHeader) + header(Obj.addr())->Aux * RefSlotBytes;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Roots
+  //===--------------------------------------------------------------------===
+
+  /// Registers a long-lived root slot (persisted RDDs); returns its id.
+  size_t addPersistentRoot(ObjRef R);
+  void removePersistentRoot(size_t Id);
+  ObjRef persistentRoot(size_t Id) const { return PersistentRoots[Id]; }
+  void setPersistentRoot(size_t Id, ObjRef R) { PersistentRoots[Id] = R; }
+
+  /// Applies \p Fn to every root slot (stack handles + persistent roots);
+  /// the collector uses this to trace and to fix up moved references.
+  void forEachRoot(const std::function<void(ObjRef &)> &Fn);
+
+  //===--------------------------------------------------------------------===
+  // Runtime-internal interface (collector use; unaccounted unless noted)
+  //===--------------------------------------------------------------------===
+
+  ObjectHeader *header(uint64_t Addr) {
+    return reinterpret_cast<ObjectHeader *>(&Buffer[Addr]);
+  }
+  const ObjectHeader *header(uint64_t Addr) const {
+    return reinterpret_cast<const ObjectHeader *>(&Buffer[Addr]);
+  }
+
+  uint64_t refSlotAddr(uint64_t Obj, uint32_t Slot) const {
+    return Obj + sizeof(ObjectHeader) +
+           static_cast<uint64_t>(Slot) * RefSlotBytes;
+  }
+
+  ObjRef rawLoadRef(uint64_t Obj, uint32_t Slot) const {
+    uint64_t V;
+    std::memcpy(&V, &Buffer[refSlotAddr(Obj, Slot)], sizeof(V));
+    return ObjRef(V);
+  }
+  void rawStoreRef(uint64_t Obj, uint32_t Slot, ObjRef R) {
+    uint64_t V = R.addr();
+    std::memcpy(&Buffer[refSlotAddr(Obj, Slot)], &V, sizeof(V));
+  }
+
+  uint8_t *rawBytes(uint64_t Addr) { return &Buffer[Addr]; }
+
+  /// Charges device traffic for a GC-driven (or other explicit) access.
+  void account(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
+    Mem.onAccess(Addr, Bytes, IsWrite);
+  }
+
+  /// Allocates \p Bytes in the old generation honoring \p Tag; applies the
+  /// Panthera card-padding rule when \p IsRddArray. Returns 0 when full.
+  /// Never triggers a collection (GC promotion path uses this).
+  uint64_t allocateInOld(uint64_t Bytes, MemTag Tag, bool IsRddArray);
+
+  /// Walks all objects in [Start, End) in address order.
+  void walkObjects(uint64_t Start, uint64_t End,
+                   const std::function<void(uint64_t)> &Fn);
+
+  /// First object whose byte range intersects card \p CardIdx of \p S,
+  /// or 0 when the card is past the space's allocation frontier.
+  uint64_t firstObjectIntersectingCard(Space &S, size_t CardIdx);
+
+  bool inGc() const { return InGcFlag; }
+  void setInGc(bool V) { InGcFlag = V; }
+
+  /// Requests a full collection (the engine uses this after evicting a
+  /// storage block so the freed space becomes allocatable).
+  void requestMajorGc(const char *Reason) {
+    if (Host && !InGcFlag)
+      Host->collectMajor(Reason);
+  }
+
+private:
+  friend class GcRoot;
+
+  /// Initializes a header at \p Addr and zeroes the payload; charges the
+  /// allocation-write traffic.
+  void formatObject(uint64_t Addr, uint32_t SizeBytes, ObjectKind Kind,
+                    uint32_t Aux, uint32_t Length, uint32_t RddId,
+                    MemTag Tag);
+
+  /// Allocates in eden, collecting when full. Returns the address.
+  uint64_t allocateYoung(uint32_t Bytes);
+
+  /// Plugs [Addr, Addr+Bytes) with a filler object so spaces stay walkable.
+  void insertFiller(uint64_t Addr, uint64_t Bytes);
+
+  void writeBarrier(ObjRef Obj, uint64_t SlotAddr);
+
+  HeapConfig Config;
+  memsim::HybridMemory &Mem;
+  CardTable Cards;
+  HeapStats Stats;
+  GcHost *Host = nullptr;
+
+  std::vector<uint8_t> Buffer;
+  Space Eden, From, To;
+  Space OldDramSpace, OldNvmSpace;
+  Space NativeSpace;
+
+  MemTag PendingTag = MemTag::None;
+  uint32_t PendingRddId = 0;
+  bool InGcFlag = false;
+
+  std::vector<ObjRef> RootStack;
+  std::vector<ObjRef> PersistentRoots;
+  std::vector<size_t> FreePersistentSlots;
+};
+
+inline GcRoot::GcRoot(Heap &H, ObjRef Initial) : H(H) {
+  Index = H.RootStack.size();
+  H.RootStack.push_back(Initial);
+}
+
+inline GcRoot::~GcRoot() {
+  assert(Index == H.RootStack.size() - 1 && "GcRoots must nest LIFO");
+  H.RootStack.pop_back();
+}
+
+inline ObjRef GcRoot::get() const { return H.RootStack[Index]; }
+inline void GcRoot::set(ObjRef R) { H.RootStack[Index] = R; }
+
+} // namespace heap
+} // namespace panthera
+
+#endif // PANTHERA_HEAP_HEAP_H

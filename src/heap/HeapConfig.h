@@ -1,0 +1,117 @@
+//===- heap/HeapConfig.h - Heap sizing and GC tuning ------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the managed heap's layout over hybrid memory and the
+/// collector's tunables. The defaults mirror the paper's evaluation setup:
+/// nursery = 1/6 of the heap, entirely in DRAM (§5.2); old generation split
+/// into a DRAM component sized DramRatio * heap - nursery and an NVM
+/// component holding the rest (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_HEAP_HEAPCONFIG_H
+#define PANTHERA_HEAP_HEAPCONFIG_H
+
+#include "support/Units.h"
+
+#include <cstdint>
+
+namespace panthera {
+namespace heap {
+
+/// How the old generation is laid out over the two devices.
+enum class OldGenLayout : uint8_t {
+  /// Panthera / Kingsguard-style: a DRAM space plus an NVM space.
+  SplitDramNvm,
+  /// One space, all DRAM (the DRAM-only baseline).
+  UnifiedDram,
+  /// One space, all NVM (Kingsguard-Nursery).
+  UnifiedNvm,
+  /// One space over chunks mapped to DRAM with probability = DramRatio
+  /// (the paper's Unmanaged baseline, §5.2).
+  UnifiedInterleaved,
+};
+
+/// Collector tunables, including the §4.2.2/§4.2.3 optimizations whose
+/// ablations the paper reports.
+struct GcTuning {
+  /// §4.2.2: move tagged survivors straight to their old-gen space during
+  /// the first minor GC that sees them, instead of waiting out TenureAge.
+  bool EagerPromotion = true;
+  /// §4.2.3: pad RDD-array allocations so no two large arrays share a card.
+  bool CardPadding = true;
+  /// Minor GCs an untagged object must survive before tenuring.
+  uint8_t TenureAge = 3;
+  /// Trigger a major GC when old-gen occupancy crosses this fraction.
+  double MajorGcOccupancy = 0.85;
+  /// Arrays at least this long are "RDD arrays" for pretenuring (paper:
+  /// one million elements; scaled 1024x like every size).
+  uint32_t LargeArrayElems = ScaledLargeArrayThreshold;
+  /// Kingsguard-Writes: count stores per object and place write-hot
+  /// objects in DRAM. Off for every other policy.
+  bool KwWriteMonitoring = false;
+  /// KW: writes within one monitoring window that make an object hot.
+  uint32_t KwHotWrites = 1;
+  /// §4.2.2 dynamic migration: RDD method calls per major-GC window that
+  /// make an NVM-resident RDD hot enough to migrate to DRAM. Calls are
+  /// counted per task (partition), so the threshold covers several full
+  /// scans of a 4-partition RDD.
+  uint32_t MigrationHotCalls = 16;
+  /// CPU cost charged per write barrier / allocation, in nanoseconds.
+  double BarrierCpuNs = 0.5;
+  double AllocCpuNs = 4.0;
+  /// Debugging: run the heap verifier after every collection and abort on
+  /// the first violation.
+  bool VerifyHeap = false;
+};
+
+/// Heap layout over the simulated physical memory.
+struct HeapConfig {
+  uint64_t HeapBytes = 64 * PaperGB;
+  /// DRAM : total memory ratio (the paper's 1/4 and 1/3 configurations).
+  double DramRatio = 1.0 / 3.0;
+  /// Nursery fraction of the heap (the paper settles on 1/6).
+  double NurseryFraction = 1.0 / 6.0;
+  /// Eden fraction of the nursery; the two survivor spaces split the rest.
+  double EdenFraction = 0.8;
+  /// Off-heap native memory (OFF_HEAP storage), placed entirely in NVM.
+  uint64_t NativeBytes = 16 * PaperGB;
+  OldGenLayout Layout = OldGenLayout::SplitDramNvm;
+  /// Unmanaged baseline: interleave chunk size (paper: 1 GB, scaled).
+  uint64_t InterleaveChunkBytes = PaperGB;
+  uint64_t InterleaveSeed = 42;
+  GcTuning Tuning;
+
+  uint64_t nurseryBytes() const {
+    return alignPage(static_cast<uint64_t>(HeapBytes * NurseryFraction));
+  }
+  uint64_t edenBytes() const {
+    return alignPage(static_cast<uint64_t>(nurseryBytes() * EdenFraction));
+  }
+  uint64_t survivorBytes() const {
+    return alignPage((nurseryBytes() - edenBytes()) / 2);
+  }
+  uint64_t dramBytes() const {
+    return alignPage(static_cast<uint64_t>(HeapBytes * DramRatio));
+  }
+  uint64_t oldBytes() const { return HeapBytes - nurseryBytes(); }
+  /// DRAM left for the old generation once the nursery took its share.
+  uint64_t oldDramBytes() const {
+    uint64_t Dram = dramBytes();
+    uint64_t Nursery = nurseryBytes();
+    return Dram > Nursery ? Dram - Nursery : 0;
+  }
+
+  static uint64_t alignPage(uint64_t Bytes) {
+    return (Bytes + 4095) & ~static_cast<uint64_t>(4095);
+  }
+};
+
+} // namespace heap
+} // namespace panthera
+
+#endif // PANTHERA_HEAP_HEAPCONFIG_H

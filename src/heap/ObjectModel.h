@@ -1,0 +1,130 @@
+//===- heap/ObjectModel.h - Object headers and references -------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The managed object model. Every heap object starts with an
+/// ObjectHeader; the payload layout depends on the object kind:
+///
+///   Plain:     Aux leading 8-byte reference slots, then raw payload bytes.
+///   RefArray:  Length 8-byte reference slots.
+///   PrimArray: Length elements of Aux bytes each, no references.
+///
+/// The header carries the paper's two MEMORY_BITS (§4.1) in its flag byte,
+/// a survivor age for tenuring, a mark bit for the major GC, the owning RDD
+/// id used by dynamic migration (§4.2.2), a forwarding address used while
+/// objects move, and a write counter used only by the Kingsguard-Writes
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_HEAP_OBJECTMODEL_H
+#define PANTHERA_HEAP_OBJECTMODEL_H
+
+#include "support/MemTag.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace panthera {
+namespace heap {
+
+/// Shape of a heap object's payload.
+enum class ObjectKind : uint8_t {
+  Plain = 0,    ///< Aux ref slots followed by raw payload bytes.
+  RefArray = 1, ///< Length reference slots.
+  PrimArray = 2 ///< Length elements of Aux bytes each.
+};
+
+/// A reference to a managed object: its address in the simulated physical
+/// address space. Address 0 is never allocated and acts as null.
+class ObjRef {
+public:
+  ObjRef() : Addr(0) {}
+  explicit ObjRef(uint64_t Addr) : Addr(Addr) {}
+
+  uint64_t addr() const { return Addr; }
+  bool isNull() const { return Addr == 0; }
+  explicit operator bool() const { return Addr != 0; }
+
+  friend bool operator==(ObjRef A, ObjRef B) { return A.Addr == B.Addr; }
+  friend bool operator!=(ObjRef A, ObjRef B) { return A.Addr != B.Addr; }
+
+private:
+  uint64_t Addr;
+};
+
+/// Header preceding every object's payload. 32 bytes, 8-byte aligned.
+struct ObjectHeader {
+  // Flag bits.
+  static constexpr uint8_t MemoryBitsMask = 0x3; ///< §4.1 MEMORY_BITS.
+  static constexpr uint8_t MarkBit = 0x4;        ///< Major-GC mark.
+
+  uint32_t SizeBytes; ///< Total size including this header, 8-aligned.
+  uint8_t Kind;       ///< ObjectKind.
+  uint8_t Flags;      ///< MEMORY_BITS | mark.
+  uint8_t Age;        ///< Minor GCs survived (tenuring clock).
+  uint8_t Aux;        ///< Plain: #ref slots. PrimArray: element bytes.
+  uint32_t Length;    ///< Arrays: element count. Plain: payload bytes.
+  uint32_t RddId;     ///< Owning RDD for monitoring/migration; 0 = none.
+  uint64_t Forward;   ///< Forwarding address during GC; 0 = not forwarded.
+  uint32_t WriteCount; ///< Kingsguard-Writes: stores observed this window.
+  uint32_t Reserved;
+
+  ObjectKind kind() const { return static_cast<ObjectKind>(Kind); }
+
+  MemTag memTag() const {
+    return static_cast<MemTag>(Flags & MemoryBitsMask);
+  }
+  void setMemTag(MemTag T) {
+    Flags = static_cast<uint8_t>((Flags & ~MemoryBitsMask) |
+                                 static_cast<uint8_t>(T));
+  }
+
+  bool isMarked() const { return Flags & MarkBit; }
+  void setMarked(bool M) {
+    Flags = M ? (Flags | MarkBit) : (Flags & ~MarkBit);
+  }
+
+  bool isForwarded() const { return Forward != 0; }
+
+  /// Number of leading reference slots to trace.
+  uint32_t numRefSlots() const {
+    switch (kind()) {
+    case ObjectKind::Plain:
+      return Aux;
+    case ObjectKind::RefArray:
+      return Length;
+    case ObjectKind::PrimArray:
+      return 0;
+    }
+    return 0;
+  }
+};
+
+static_assert(sizeof(ObjectHeader) == 32, "header layout must stay compact");
+
+constexpr uint32_t RefSlotBytes = 8;
+
+/// Size in bytes of a Plain object with \p NumRefs refs and \p PayloadBytes
+/// raw bytes, rounded to 8.
+inline uint32_t plainObjectSize(uint32_t NumRefs, uint32_t PayloadBytes) {
+  uint32_t Raw = sizeof(ObjectHeader) + NumRefs * RefSlotBytes + PayloadBytes;
+  return (Raw + 7) & ~7u;
+}
+
+inline uint32_t refArraySize(uint32_t Length) {
+  return sizeof(ObjectHeader) + Length * RefSlotBytes;
+}
+
+inline uint32_t primArraySize(uint32_t Length, uint32_t ElemBytes) {
+  uint32_t Raw = sizeof(ObjectHeader) + Length * ElemBytes;
+  return (Raw + 7) & ~7u;
+}
+
+} // namespace heap
+} // namespace panthera
+
+#endif // PANTHERA_HEAP_OBJECTMODEL_H

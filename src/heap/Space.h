@@ -1,0 +1,73 @@
+//===- heap/Space.h - Bump-allocated heap space -----------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A contiguous bump-allocated region of the simulated address space.
+/// Eden, the two survivor semispaces, the old-generation components, and
+/// native memory are all Spaces. Objects within [base, top) are contiguous
+/// (fillers plug any alignment padding), so a space can be walked linearly
+/// by object headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_HEAP_SPACE_H
+#define PANTHERA_HEAP_SPACE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace panthera {
+namespace heap {
+
+/// A bump-pointer region.
+class Space {
+public:
+  Space() = default;
+  Space(std::string Name, uint64_t Base, uint64_t Size)
+      : Name(std::move(Name)), Base(Base), End(Base + Size), Top(Base) {}
+
+  const std::string &name() const { return Name; }
+  uint64_t base() const { return Base; }
+  uint64_t end() const { return End; }
+  uint64_t top() const { return Top; }
+  uint64_t sizeBytes() const { return End - Base; }
+  uint64_t usedBytes() const { return Top - Base; }
+  uint64_t freeBytes() const { return End - Top; }
+
+  bool contains(uint64_t Addr) const { return Addr >= Base && Addr < End; }
+
+  /// Bump-allocates \p Bytes (caller guarantees 8-alignment); returns 0 when
+  /// the space cannot fit the request.
+  uint64_t allocate(uint64_t Bytes) {
+    assert((Bytes & 7) == 0 && "allocation size must be 8-aligned");
+    if (Top + Bytes > End)
+      return 0;
+    uint64_t Addr = Top;
+    Top += Bytes;
+    return Addr;
+  }
+
+  /// Empties the space (GC evacuation / compaction rebuild).
+  void reset() { Top = Base; }
+
+  /// Sets the bump pointer directly (compaction installs the new top).
+  void setTop(uint64_t NewTop) {
+    assert(NewTop >= Base && NewTop <= End && "top outside space");
+    Top = NewTop;
+  }
+
+private:
+  std::string Name;
+  uint64_t Base = 0;
+  uint64_t End = 0;
+  uint64_t Top = 0;
+};
+
+} // namespace heap
+} // namespace panthera
+
+#endif // PANTHERA_HEAP_SPACE_H

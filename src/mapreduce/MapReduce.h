@@ -1,0 +1,96 @@
+//===- mapreduce/MapReduce.h - Hadoop-like layer on Panthera ----*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Hadoop-style MapReduce framework built directly on the
+/// managed heap and the two §4.3 Panthera APIs -- no RDD engine involved.
+/// This demonstrates the paper's applicability claim: any Big Data system
+/// whose backbone is a key-value array can adopt the runtime.
+///
+/// Execution model (one "job"):
+///   * map tasks stream input splits, emitting (int64, double) pairs into
+///     heap-resident spill buffers (young-generation churn, like Hadoop's
+///     MapOutputBuffer);
+///   * the shuffle groups pairs by reducer;
+///   * reduce tasks aggregate each key group and write the output table
+///     -- a key-value array pre-tenured through the Panthera API: DRAM
+///     when the job declares its output hot (HashJoin's build table),
+///     NVM when it is archival.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_MAPREDUCE_MAPREDUCE_H
+#define PANTHERA_MAPREDUCE_MAPREDUCE_H
+
+#include "core/Runtime.h"
+
+#include <functional>
+#include <vector>
+
+namespace panthera {
+namespace mapreduce {
+
+/// One input record.
+struct KeyValue {
+  int64_t Key;
+  double Value;
+};
+
+/// Emits intermediate pairs from a map task.
+using Emitter = std::function<void(int64_t, double)>;
+/// Mapper: input record -> zero or more emitted pairs.
+using MapFn = std::function<void(const KeyValue &, const Emitter &)>;
+/// Reducer: combines two values of one key.
+using ReduceFn = std::function<double(double, double)>;
+
+/// Job configuration.
+struct JobConfig {
+  /// Number of reduce tasks (output table partitions).
+  uint32_t NumReducers = 4;
+  /// Placement of the output table (§4.3: hot -> DRAM, archival -> NVM).
+  MemTag OutputTag = MemTag::Dram;
+  /// Identifier for dynamic monitoring of the output table.
+  uint32_t OutputStructureId = 0;
+  /// CPU nanoseconds per record per phase.
+  double RecordCpuNs = 20.0;
+};
+
+/// A completed job's output: a heap-resident key-value table (the §4.3
+/// "key-value array backbone"), readable until released.
+class OutputTable {
+public:
+  OutputTable() = default;
+  OutputTable(heap::Heap &H, std::vector<size_t> PartitionRoots)
+      : H(&H), Roots(std::move(PartitionRoots)) {}
+
+  uint32_t numPartitions() const {
+    return static_cast<uint32_t>(Roots.size());
+  }
+  /// Rows in partition \p P.
+  uint32_t rows(uint32_t P) const;
+  /// Reads row \p I of partition \p P (accounted heap reads).
+  KeyValue row(uint32_t P, uint32_t I) const;
+  /// Looks up \p Key (scans its partition). Returns false when absent.
+  bool lookup(int64_t Key, double &ValueOut) const;
+  /// Sum of all values (streams the whole table).
+  double total() const;
+  /// Releases the table's roots; the next full GC reclaims it.
+  void release();
+
+private:
+  heap::Heap *H = nullptr;
+  std::vector<size_t> Roots;
+};
+
+/// Runs a MapReduce job over \p Splits inside \p RT.
+OutputTable runJob(core::Runtime &RT, const JobConfig &Config,
+                   const std::vector<std::vector<KeyValue>> &Splits,
+                   const MapFn &Map, const ReduceFn &Reduce);
+
+} // namespace mapreduce
+} // namespace panthera
+
+#endif // PANTHERA_MAPREDUCE_MAPREDUCE_H

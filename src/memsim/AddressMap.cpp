@@ -1,0 +1,53 @@
+//===- memsim/AddressMap.cpp - Address-to-device mapping -----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/AddressMap.h"
+
+#include "support/Random.h"
+
+using namespace panthera;
+using namespace panthera::memsim;
+
+AddressMap::AddressMap(uint64_t TotalBytes) {
+  assert(TotalBytes % PageBytes == 0 && "memory size must be page-aligned");
+  PageDevice.assign(TotalBytes / PageBytes,
+                    static_cast<uint8_t>(Device::DRAM));
+}
+
+void AddressMap::setRange(uint64_t Start, uint64_t End, Device D) {
+  assert(Start % PageBytes == 0 && End % PageBytes == 0 &&
+         "range must be page-aligned");
+  assert(Start <= End && End <= totalBytes() && "range out of bounds");
+  for (uint64_t Page = Start / PageBytes, E = End / PageBytes; Page != E;
+       ++Page)
+    PageDevice[Page] = static_cast<uint8_t>(D);
+}
+
+void AddressMap::interleaveRange(uint64_t Start, uint64_t End,
+                                 uint64_t ChunkBytes, double DramProbability,
+                                 uint64_t Seed) {
+  assert(ChunkBytes % PageBytes == 0 && "chunk must be page-aligned");
+  SplitMix64 Rng(Seed);
+  for (uint64_t ChunkStart = Start; ChunkStart < End;
+       ChunkStart += ChunkBytes) {
+    uint64_t ChunkEnd = ChunkStart + ChunkBytes;
+    if (ChunkEnd > End)
+      ChunkEnd = End;
+    Device D =
+        Rng.nextDouble() < DramProbability ? Device::DRAM : Device::NVM;
+    setRange(ChunkStart, ChunkEnd, D);
+  }
+}
+
+uint64_t AddressMap::bytesBackedBy(uint64_t Start, uint64_t End,
+                                   Device D) const {
+  uint64_t Bytes = 0;
+  for (uint64_t Page = Start / PageBytes, E = (End + PageBytes - 1) / PageBytes;
+       Page != E; ++Page)
+    if (PageDevice[Page] == static_cast<uint8_t>(D))
+      Bytes += PageBytes;
+  return Bytes;
+}

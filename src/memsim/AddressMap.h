@@ -1,0 +1,63 @@
+//===- memsim/AddressMap.h - Address-to-device mapping ----------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps simulated physical addresses to the device (DRAM or NVM) backing
+/// them, at page granularity. Heap spaces claim contiguous ranges; the
+/// Unmanaged baseline instead interleaves fixed-size chunks probabilistically
+/// (paper §5.2: 1 GB virtual-address chunks mapped to DRAM with probability
+/// equal to the system's DRAM ratio).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_MEMSIM_ADDRESSMAP_H
+#define PANTHERA_MEMSIM_ADDRESSMAP_H
+
+#include "memsim/MemoryTechnology.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+namespace memsim {
+
+/// Page-granularity device map over a flat simulated address space.
+class AddressMap {
+public:
+  static constexpr uint64_t PageBytes = 4096;
+
+  /// Creates a map over \p TotalBytes of address space, all DRAM initially.
+  explicit AddressMap(uint64_t TotalBytes);
+
+  uint64_t totalBytes() const { return PageDevice.size() * PageBytes; }
+
+  /// Backs [Start, End) with \p D. Both bounds must be page-aligned.
+  void setRange(uint64_t Start, uint64_t End, Device D);
+
+  /// Backs [Start, End) with chunks of \p ChunkBytes, each mapped to DRAM
+  /// with probability \p DramProbability (deterministically from \p Seed).
+  /// This is the Unmanaged baseline's layout (§5.2).
+  void interleaveRange(uint64_t Start, uint64_t End, uint64_t ChunkBytes,
+                       double DramProbability, uint64_t Seed);
+
+  Device deviceOf(uint64_t Addr) const {
+    uint64_t Page = Addr / PageBytes;
+    assert(Page < PageDevice.size() && "address outside simulated memory");
+    return static_cast<Device>(PageDevice[Page]);
+  }
+
+  /// Number of bytes in [Start, End) currently backed by \p D.
+  uint64_t bytesBackedBy(uint64_t Start, uint64_t End, Device D) const;
+
+private:
+  std::vector<uint8_t> PageDevice;
+};
+
+} // namespace memsim
+} // namespace panthera
+
+#endif // PANTHERA_MEMSIM_ADDRESSMAP_H

@@ -1,0 +1,75 @@
+//===- memsim/CacheModel.cpp - Set-associative LLC model -----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/CacheModel.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace panthera::memsim;
+
+static uint32_t roundUpToPowerOfTwo(uint32_t V) {
+  uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+CacheModel::CacheModel(const CacheConfig &Config)
+    : LineBytes(Config.LineBytes), Associativity(Config.Associativity) {
+  assert(Config.CapacityBytes >= Config.LineBytes * Config.Associativity &&
+         "cache must hold at least one set");
+  uint32_t RawSets = static_cast<uint32_t>(
+      Config.CapacityBytes / (Config.LineBytes * Config.Associativity));
+  // Power-of-two set count keeps indexing a mask operation.
+  NumSets = roundUpToPowerOfTwo(RawSets == 0 ? 1 : RawSets);
+  Lines.assign(static_cast<size_t>(NumSets) * Associativity, Line());
+}
+
+CacheResult CacheModel::access(uint64_t Addr, bool IsWrite) {
+  uint64_t LineAddr = Addr / LineBytes;
+  uint32_t Set = static_cast<uint32_t>(LineAddr & (NumSets - 1));
+  Line *Ways = &Lines[static_cast<size_t>(Set) * Associativity];
+  ++UseClock;
+
+  CacheResult Result;
+  // Hit path: bump recency and possibly mark dirty.
+  for (uint32_t W = 0; W != Associativity; ++W) {
+    if (Ways[W].Tag == LineAddr) {
+      Ways[W].LastUse = UseClock;
+      Ways[W].Dirty |= IsWrite;
+      ++Hits;
+      Result.Hit = true;
+      return Result;
+    }
+  }
+
+  // Miss: fill the least-recently-used way (empty ways have LastUse 0 and
+  // thus lose ties to any used way, so they fill first).
+  ++Misses;
+  uint32_t VictimWay = 0;
+  for (uint32_t W = 1; W != Associativity; ++W)
+    if (Ways[W].LastUse < Ways[VictimWay].LastUse)
+      VictimWay = W;
+
+  Line &Victim = Ways[VictimWay];
+  if (Victim.Tag != ~0ull && Victim.Dirty) {
+    Result.Writeback = true;
+    Result.VictimLineAddr = Victim.Tag * LineBytes;
+  }
+  Victim.Tag = LineAddr;
+  Victim.LastUse = UseClock;
+  Victim.Dirty = IsWrite;
+  return Result;
+}
+
+void CacheModel::reset() {
+  for (Line &L : Lines)
+    L = Line();
+  UseClock = 0;
+  Hits = 0;
+  Misses = 0;
+}

@@ -1,0 +1,95 @@
+//===- memsim/EnergyModel.h - §5.1 energy estimation ------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory energy estimation following the paper's §5.1 methodology:
+///
+///  * DRAM is modeled from Micron's DDR4 specification (TN-40-07): a static
+///    (background + refresh) component proportional to provisioned capacity
+///    and elapsed time, plus per-cache-line dynamic read/write energy.
+///  * NVM follows Lee et al. [30]: static power is negligible compared to
+///    DRAM; reads are cheaper than DRAM reads (non-destructive, no restore);
+///    writes are expensive -- the paper computes 31200 pJ per cache-line
+///    write from the row-buffer model (miss ratio 0.5, 1.02 pJ/bit buffer
+///    write, 16.8 pJ/bit x 7.6% partial array write-back, 2.47 pJ/bit array
+///    read), and that exact figure is used here.
+///
+/// Traffic counts are the simulator's per-device line reads/writes -- the
+/// stand-in for the paper's VTune UNC_M_CAS_COUNT.{RD,WR} uncore events.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_MEMSIM_ENERGYMODEL_H
+#define PANTHERA_MEMSIM_ENERGYMODEL_H
+
+#include <cstdint>
+
+namespace panthera {
+namespace memsim {
+
+/// Per-device traffic totals (cache-line granularity).
+struct TrafficCounters {
+  uint64_t LineReads = 0;
+  uint64_t LineWrites = 0;
+};
+
+/// Energy model parameters. Capacities are expressed in *paper* gigabytes
+/// (the scale factor cancels in every normalized result the benches print).
+struct EnergyParams {
+  /// DDR4 background + refresh power per provisioned gigabyte. A 8 GB DDR4
+  /// DIMM idles around 3 W in TN-40-07's worked examples.
+  double DramStaticWattsPerGB = 0.375;
+  /// NVM static power per gigabyte; "negligible compared to DRAM" [30].
+  double NvmStaticWattsPerGB = 0.0375;
+  /// DDR4 activate+read energy per 64 B line (~20 pJ/bit incl. I/O).
+  double DramReadNanojoulesPerLine = 10.0;
+  /// DDR4 activate+write energy per 64 B line.
+  double DramWriteNanojoulesPerLine = 10.0;
+  /// PCM array read: 2.47 pJ/bit x 512 bits, plus row-buffer overheads.
+  double NvmReadNanojoulesPerLine = 2.0;
+  /// The paper's computed figure: 31200 pJ per cache-line NVM write.
+  double NvmWriteNanojoulesPerLine = 31.2;
+};
+
+/// A complete energy accounting for one run.
+struct EnergyBreakdown {
+  double DramStaticJoules = 0.0;
+  double NvmStaticJoules = 0.0;
+  double DramDynamicJoules = 0.0;
+  double NvmDynamicJoules = 0.0;
+
+  double totalJoules() const {
+    return DramStaticJoules + NvmStaticJoules + DramDynamicJoules +
+           NvmDynamicJoules;
+  }
+};
+
+/// Computes the energy of a run that lasted \p ElapsedNs simulated
+/// nanoseconds on a system provisioned with \p DramGB + \p NvmGB of memory,
+/// generating \p Dram / \p Nvm line traffic.
+inline EnergyBreakdown computeEnergy(const EnergyParams &P, double ElapsedNs,
+                                     double DramGB, double NvmGB,
+                                     const TrafficCounters &Dram,
+                                     const TrafficCounters &Nvm) {
+  EnergyBreakdown E;
+  double Seconds = ElapsedNs * 1e-9;
+  E.DramStaticJoules = P.DramStaticWattsPerGB * DramGB * Seconds;
+  E.NvmStaticJoules = P.NvmStaticWattsPerGB * NvmGB * Seconds;
+  E.DramDynamicJoules =
+      (static_cast<double>(Dram.LineReads) * P.DramReadNanojoulesPerLine +
+       static_cast<double>(Dram.LineWrites) * P.DramWriteNanojoulesPerLine) *
+      1e-9;
+  E.NvmDynamicJoules =
+      (static_cast<double>(Nvm.LineReads) * P.NvmReadNanojoulesPerLine +
+       static_cast<double>(Nvm.LineWrites) * P.NvmWriteNanojoulesPerLine) *
+      1e-9;
+  return E;
+}
+
+} // namespace memsim
+} // namespace panthera
+
+#endif // PANTHERA_MEMSIM_ENERGYMODEL_H

@@ -1,0 +1,110 @@
+//===- memsim/HybridMemory.cpp - Hybrid DRAM/NVM cost model --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/HybridMemory.h"
+
+#include <cstddef>
+
+using namespace panthera::memsim;
+
+HybridMemory::HybridMemory(uint64_t TotalBytes, const MemoryTechnology &Tech,
+                           const CacheConfig &CacheCfg, double EpochNs)
+    : Map(TotalBytes), Tech(Tech), Cache(CacheCfg), EpochNs(EpochNs),
+      Streams(Tech.PrefetchStreams) {}
+
+bool HybridMemory::checkPrefetch(uint64_t LineAddr) {
+  ++StreamClock;
+  size_t Lru = 0;
+  for (size_t I = 0; I != Streams.size(); ++I) {
+    if (Streams[I].NextLine == LineAddr) {
+      Streams[I].NextLine = LineAddr + 1;
+      Streams[I].LastUse = StreamClock;
+      return true;
+    }
+    if (Streams[I].LastUse < Streams[Lru].LastUse)
+      Lru = I;
+  }
+  // New stream candidate: predict the sequential successor.
+  Streams[Lru].NextLine = LineAddr + 1;
+  Streams[Lru].LastUse = StreamClock;
+  return false;
+}
+
+void HybridMemory::recordTraffic(uint64_t LineAddr, bool IsWrite) {
+  Device D = Map.deviceOf(LineAddr);
+  TrafficCounters &C = Traffic[static_cast<unsigned>(D)];
+  if (IsWrite)
+    ++C.LineWrites;
+  else
+    ++C.LineReads;
+
+  // Bucket into the bandwidth trace by current simulated time.
+  size_t Epoch = static_cast<size_t>(totalTimeNs() / EpochNs);
+  if (Trace.size() <= Epoch)
+    Trace.resize(Epoch + 1);
+  EpochSample &S = Trace[Epoch];
+  double Bytes = CacheLineBytes;
+  if (D == Device::DRAM) {
+    (IsWrite ? S.DramWriteBytes : S.DramReadBytes) += Bytes;
+  } else {
+    (IsWrite ? S.NvmWriteBytes : S.NvmReadBytes) += Bytes;
+  }
+}
+
+void HybridMemory::onAccess(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
+  assert(Bytes > 0 && "zero-size access");
+  uint64_t FirstLine = Addr / CacheLineBytes;
+  uint64_t LastLine = (Addr + Bytes - 1) / CacheLineBytes;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line) {
+    uint64_t LineAddr = Line * CacheLineBytes;
+    if (Tech.Mode == EmulationMode::NaiveInjection) {
+      // §5.1's rejected alternative: a fixed delay per executed
+      // load/store, blind to caches and overlap.
+      Device D = Map.deviceOf(LineAddr);
+      chargeNs(IsWrite ? Tech.writeLatencyNs(D) : Tech.readLatencyNs(D));
+      recordTraffic(LineAddr, IsWrite);
+      continue;
+    }
+    CacheResult R = Cache.access(LineAddr, IsWrite);
+    if (R.Hit) {
+      chargeNs(Tech.CacheHitNs / Tech.mlp(Current));
+      continue;
+    }
+    // Miss: fill the line from its device. A write miss performs a
+    // read-for-ownership; the store itself is absorbed by the cache and
+    // reaches the device later as a writeback. Sequential-stream misses
+    // are hidden by the prefetcher and cost only bandwidth.
+    Device D = Map.deviceOf(LineAddr);
+    bool Prefetched =
+        Tech.StreamPrefetcher && checkPrefetch(Line);
+    if (Prefetched) {
+      ++PrefetchedMisses;
+      // Prefetched lines stream concurrently with compute.
+      chargeOverlappableNs(
+          Tech.missCostNs(D, Current, /*IsWrite=*/false, Prefetched));
+    } else {
+      // A demand miss is a dependent load: the pipeline stalls.
+      chargeNs(Tech.missCostNs(D, Current, /*IsWrite=*/false, Prefetched));
+    }
+    recordTraffic(LineAddr, /*IsWrite=*/false);
+    if (R.Writeback) {
+      // Writebacks drain asynchronously; they consume bandwidth (and on
+      // NVM, substantial energy) but overlap with compute.
+      Device VictimDev = Map.deviceOf(R.VictimLineAddr);
+      chargeOverlappableNs(static_cast<double>(CacheLineBytes) /
+                           Tech.bandwidthGBs(VictimDev));
+      recordTraffic(R.VictimLineAddr, /*IsWrite=*/true);
+    }
+  }
+}
+
+void HybridMemory::addCpuWorkNs(double Ns) {
+  chargeNs(Ns);
+  double &Slack = CpuSlackNs[static_cast<unsigned>(Current)];
+  Slack += Ns;
+  if (Slack > Tech.CpuOverlapWindowNs)
+    Slack = Tech.CpuOverlapWindowNs;
+}

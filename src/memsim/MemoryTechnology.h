@@ -1,0 +1,127 @@
+//===- memsim/MemoryTechnology.h - Device parameters (Table 2) --*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Device-level timing parameters for the hybrid DRAM/NVM memory model.
+///
+/// The defaults reproduce Table 2 of the paper: DRAM read latency 120 ns and
+/// 30 GB/s bandwidth; NVM read latency 300 ns (2.5x DRAM, the paper's
+/// one-hop NUMA emulation) and 10 GB/s bandwidth (thermally throttled in the
+/// paper's emulator). Like the paper's emulator we do not distinguish read
+/// and write bandwidth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_MEMSIM_MEMORYTECHNOLOGY_H
+#define PANTHERA_MEMSIM_MEMORYTECHNOLOGY_H
+
+#include <cstdint>
+
+namespace panthera {
+namespace memsim {
+
+/// Physical memory technology an address range is backed by.
+enum class Device : uint8_t { DRAM = 0, NVM = 1 };
+
+constexpr unsigned NumDevices = 2;
+
+/// Who is issuing a memory access. The simulator charges time to separate
+/// mutator/GC clocks (Fig 5's computation-vs-GC breakdown) and applies a
+/// different memory-level-parallelism factor to each.
+enum class Actor : uint8_t { Mutator = 0, Gc = 1 };
+
+constexpr unsigned NumActors = 2;
+
+/// A cache line, the granularity of all device traffic accounting (the
+/// VTune UNC_M_CAS_COUNT events the paper measures count 64 B CAS commands).
+constexpr uint32_t CacheLineBytes = 64;
+
+/// How memory time is modeled. CacheAware is the calibrated default; §5.1
+/// describes the alternative the paper rejects -- instrumenting every
+/// load/store with an injected delay -- precisely because it ignores
+/// caching effects and memory-level parallelism. NaiveInjection implements
+/// that rejected model so the difference can be measured
+/// (bench/emulator_validation).
+enum class EmulationMode : uint8_t {
+  CacheAware,     ///< LLC + prefetcher + MLP-aware miss costs.
+  NaiveInjection, ///< Full device latency charged on every access.
+};
+
+/// Timing parameters of the simulated devices and the access-cost model.
+///
+/// Cost per missing cache line: max(latency / MLP, bytes / bandwidth).
+/// The mutator's modest MLP leaves it latency-bound on both devices (NVM
+/// costs ~2.5x DRAM per miss). GC tracing models the Parallel Scavenge
+/// collector's 16 threads: aggregate parallelism is high enough that the GC
+/// is *bandwidth*-bound, so tracing NVM costs 3x DRAM -- this is exactly the
+/// effect §5.3 describes ("NVM's limited bandwidth has a large negative
+/// impact on the performance of Parallel Scavenge").
+struct MemoryTechnology {
+  EmulationMode Mode = EmulationMode::CacheAware;
+  double DramReadLatencyNs = 120.0;
+  double NvmReadLatencyNs = 300.0;
+  double DramWriteLatencyNs = 120.0;
+  double NvmWriteLatencyNs = 300.0;
+  double DramBandwidthGBs = 30.0;
+  double NvmBandwidthGBs = 10.0;
+
+  /// Outstanding misses an out-of-order core overlaps for application code.
+  double MutatorMlp = 4.0;
+  /// Effective parallelism of the 16 GC threads (16 threads x ~4
+  /// outstanding misses each); large enough to hit the bandwidth roof.
+  double GcMlp = 64.0;
+
+  /// Cost of a last-level-cache hit.
+  double CacheHitNs = 10.0;
+
+  /// Hardware-prefetcher model: a miss that continues a detected
+  /// sequential stream is served at bandwidth cost (the latency is hidden
+  /// by the prefetcher), which is how streaming scans behave on both DRAM
+  /// and NVM-class memory. Pointer-chasing misses still pay full latency.
+  bool StreamPrefetcher = true;
+  /// Concurrently tracked sequential streams.
+  unsigned PrefetchStreams = 8;
+
+  /// Out-of-order overlap: prefetched misses and writebacks proceed in
+  /// parallel with already-charged CPU work, so their cost is first taken
+  /// out of accumulated CPU slack (a roofline-style max(compute, stream)
+  /// model). Dependent (non-prefetched) misses stall the pipeline and are
+  /// never hidden. 0 disables the overlap (the calibrated default: the
+  /// prefetcher's bandwidth-only cost already captures most of the hiding,
+  /// and full overlap mutes the policy differentiation the paper reports).
+  double CpuOverlapWindowNs = 0.0;
+
+  double readLatencyNs(Device D) const {
+    return D == Device::DRAM ? DramReadLatencyNs : NvmReadLatencyNs;
+  }
+  double writeLatencyNs(Device D) const {
+    return D == Device::DRAM ? DramWriteLatencyNs : NvmWriteLatencyNs;
+  }
+  double bandwidthGBs(Device D) const {
+    return D == Device::DRAM ? DramBandwidthGBs : NvmBandwidthGBs;
+  }
+  double mlp(Actor A) const {
+    return A == Actor::Mutator ? MutatorMlp : GcMlp;
+  }
+
+  /// Simulated nanoseconds to service one cache-line miss. A \p Prefetched
+  /// miss (sequential-stream continuation) pays only the bandwidth term.
+  double missCostNs(Device D, Actor A, bool IsWrite,
+                    bool Prefetched = false) const {
+    double BandwidthTerm = static_cast<double>(CacheLineBytes) /
+                           bandwidthGBs(D); // GB/s == bytes/ns
+    if (Prefetched)
+      return BandwidthTerm;
+    double Latency = IsWrite ? writeLatencyNs(D) : readLatencyNs(D);
+    double LatencyTerm = Latency / mlp(A);
+    return LatencyTerm > BandwidthTerm ? LatencyTerm : BandwidthTerm;
+  }
+};
+
+} // namespace memsim
+} // namespace panthera
+
+#endif // PANTHERA_MEMSIM_MEMORYTECHNOLOGY_H

@@ -1,0 +1,292 @@
+//===- mllib/MLlib.cpp - MLlib-like algorithms over the RDD API ----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mllib/MLlib.h"
+
+#include "rdd/Broadcast.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace panthera;
+using namespace panthera::mllib;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::SourceRecord;
+
+/// Nearest center by scanning a broadcast block (accounted heap reads,
+/// like a Spark task probing a broadcast array).
+static uint32_t nearestCenter(const rdd::Broadcast &Centers, double X) {
+  uint32_t Best = 0;
+  double BestDist = std::abs(X - Centers.get(0));
+  for (uint32_t I = 1; I != Centers.size(); ++I) {
+    double Dist = std::abs(X - Centers.get(I));
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = I;
+    }
+  }
+  return Best;
+}
+
+KMeansModel panthera::mllib::trainKMeans(const Rdd &Points, uint32_t K,
+                                         uint32_t Iterations) {
+  KMeansModel Model;
+  Model.Centers.resize(K);
+  for (uint32_t I = 0; I != K; ++I)
+    Model.Centers[I] = 100.0 * (I + 0.5) / K;
+
+  heap::Heap &H = Points.context()->heapRef();
+  for (uint32_t Iter = 0; Iter != Iterations; ++Iter) {
+    rdd::Broadcast Centers(H, Model.Centers); // DRAM-tagged broadcast
+    Rdd Assigned = Points.map([Centers](RddContext &C, ObjRef T) {
+      double X = C.value(T);
+      return C.makeTuple(nearestCenter(Centers, X), X);
+    });
+    std::vector<SourceRecord> Sums =
+        Assigned.reduceByKey([](double A, double B) { return A + B; })
+            .collect();
+    std::vector<SourceRecord> Counts =
+        Assigned.mapValues([](double) { return 1.0; })
+            .reduceByKey([](double A, double B) { return A + B; })
+            .collect();
+    std::map<int64_t, double> CountByCenter;
+    for (const SourceRecord &Rec : Counts)
+      CountByCenter[Rec.Key] = Rec.Val;
+    for (const SourceRecord &Rec : Sums) {
+      double N = CountByCenter[Rec.Key];
+      if (N > 0.0)
+        Model.Centers[static_cast<size_t>(Rec.Key)] = Rec.Val / N;
+    }
+    Centers.destroy();
+    ++Model.Iterations;
+  }
+
+  // Final cost pass.
+  rdd::Broadcast Centers(H, Model.Centers);
+  Model.Cost = Points
+                   .map([Centers](RddContext &C, ObjRef T) {
+                     double X = C.value(T);
+                     double D = X - Centers.get(nearestCenter(Centers, X));
+                     return C.makeTuple(0, D * D);
+                   })
+                   .reduce([](double A, double B) { return A + B; });
+  Centers.destroy();
+  return Model;
+}
+
+namespace {
+
+/// Reads a point's coordinate buffer into \p Out (at most 32 dims) and
+/// returns the nearest center index by scanning the broadcast block.
+uint32_t assignND(RddContext &C, ObjRef T, const rdd::Broadcast &Centers,
+                  uint32_t K, uint32_t Dims, double *Out) {
+  heap::GcRoot Buf(C.heap(), C.payload(T));
+  uint32_t N = Buf.get() ? C.heap().arrayLength(Buf.get()) : 0;
+  for (uint32_t D = 0; D != Dims; ++D)
+    Out[D] = D < N ? C.bufferValue(Buf.get(), D) : 0.0;
+  uint32_t Best = 0;
+  double BestDist = 1e300;
+  for (uint32_t Center = 0; Center != K; ++Center) {
+    double Dist = 0.0;
+    for (uint32_t D = 0; D != Dims; ++D) {
+      double Delta = Out[D] - Centers.get(Center * Dims + D);
+      Dist += Delta * Delta;
+    }
+    if (Dist < BestDist) {
+      BestDist = Dist;
+      Best = Center;
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+KMeansNDModel panthera::mllib::trainKMeansND(const Rdd &Points, uint32_t K,
+                                             uint32_t Dims,
+                                             uint32_t Iterations) {
+  assert(Dims >= 1 && Dims <= 32 && "dimension out of supported range");
+  KMeansNDModel Model;
+  Model.Dims = Dims;
+  Model.Centers.assign(static_cast<size_t>(K) * Dims, 0.0);
+  for (uint32_t C = 0; C != K; ++C)
+    for (uint32_t D = 0; D != Dims; ++D)
+      Model.Centers[C * Dims + D] = 100.0 * (C + 0.5) / K;
+
+  heap::Heap &H = Points.context()->heapRef();
+  for (uint32_t Iter = 0; Iter != Iterations; ++Iter) {
+    rdd::Broadcast Centers(H, Model.Centers);
+    // Per point: emit one record per dimension (center*(Dims+1)+d, x_d)
+    // plus a count record (center*(Dims+1)+Dims, 1).
+    Rdd Stats =
+        Points
+            .flatMap([Centers, K, Dims](RddContext &C, ObjRef T,
+                                        const rdd::TupleSink &S) {
+              double Coords[32];
+              uint32_t Best = assignND(C, T, Centers, K, Dims, Coords);
+              int64_t Base = static_cast<int64_t>(Best) * (Dims + 1);
+              for (uint32_t D = 0; D != Dims; ++D)
+                S(C.makeTuple(Base + D, Coords[D]));
+              S(C.makeTuple(Base + Dims, 1.0));
+            })
+            .reduceByKey([](double A, double B) { return A + B; });
+    std::vector<SourceRecord> Rows = Stats.collect();
+    std::vector<double> Sums(static_cast<size_t>(K) * (Dims + 1), 0.0);
+    for (const SourceRecord &Rec : Rows)
+      Sums[static_cast<size_t>(Rec.Key)] = Rec.Val;
+    for (uint32_t C = 0; C != K; ++C) {
+      double N = Sums[static_cast<size_t>(C) * (Dims + 1) + Dims];
+      if (N > 0.0)
+        for (uint32_t D = 0; D != Dims; ++D)
+          Model.Centers[C * Dims + D] =
+              Sums[static_cast<size_t>(C) * (Dims + 1) + D] / N;
+    }
+    Centers.destroy();
+    ++Model.Iterations;
+  }
+
+  rdd::Broadcast Centers(H, Model.Centers);
+  Model.Cost =
+      Points
+          .map([Centers, K, Dims](RddContext &C, ObjRef T) {
+            double Coords[32];
+            uint32_t Best = assignND(C, T, Centers, K, Dims, Coords);
+            double Dist = 0.0;
+            for (uint32_t D = 0; D != Dims; ++D) {
+              double Delta = Coords[D] - Centers.get(Best * Dims + D);
+              Dist += Delta * Delta;
+            }
+            return C.makeTuple(0, Dist);
+          })
+          .reduce([](double A, double B) { return A + B; });
+  Centers.destroy();
+  return Model;
+}
+
+static double sigmoid(double Z) { return 1.0 / (1.0 + std::exp(-Z)); }
+
+LogisticModel panthera::mllib::trainLogistic(const Rdd &Points,
+                                             uint32_t Iterations,
+                                             double LearningRate) {
+  LogisticModel Model;
+  int64_t N = Points.count();
+  if (N == 0)
+    return Model;
+  for (uint32_t Iter = 0; Iter != Iterations; ++Iter) {
+    double W = Model.W, B = Model.B;
+    // One pass for dW, one for dB (Spark LR similarly re-scans the cached
+    // point RDD per iteration).
+    double GradW = Points
+                       .map([W, B](RddContext &C, ObjRef T) {
+                         double Y = static_cast<double>(C.key(T) & 1);
+                         double X = C.value(T);
+                         return C.makeTuple(0, (sigmoid(W * X + B) - Y) * X);
+                       })
+                       .reduce([](double A, double Bv) { return A + Bv; });
+    double GradB = Points
+                       .map([W, B](RddContext &C, ObjRef T) {
+                         double Y = static_cast<double>(C.key(T) & 1);
+                         double X = C.value(T);
+                         return C.makeTuple(0, sigmoid(W * X + B) - Y);
+                       })
+                       .reduce([](double A, double Bv) { return A + Bv; });
+    Model.W -= LearningRate * GradW / static_cast<double>(N);
+    Model.B -= LearningRate * GradB / static_cast<double>(N);
+    ++Model.Iterations;
+  }
+  double W = Model.W, B = Model.B;
+  Model.Loss = Points
+                   .map([W, B](RddContext &C, ObjRef T) {
+                     double Y = static_cast<double>(C.key(T) & 1);
+                     double P = sigmoid(W * C.value(T) + B);
+                     double Eps = 1e-12;
+                     return C.makeTuple(
+                         0, -(Y * std::log(P + Eps) +
+                              (1.0 - Y) * std::log(1.0 - P + Eps)));
+                   })
+                   .reduce([](double A, double Bv) { return A + Bv; }) /
+               static_cast<double>(N);
+  return Model;
+}
+
+NaiveBayesModel panthera::mllib::trainNaiveBayes(const Rdd &Events,
+                                                 uint32_t NumFeatures,
+                                                 uint32_t NumLabels) {
+  NaiveBayesModel Model;
+  Model.NumFeatures = NumFeatures;
+  Model.NumLabels = NumLabels;
+  Model.LogPrior.assign(NumLabels, 0.0);
+  Model.LogLikelihood.assign(static_cast<size_t>(NumFeatures) * NumLabels,
+                             0.0);
+
+  std::vector<SourceRecord> FeatureCounts =
+      Events.reduceByKey([](double A, double B) { return A + B; }).collect();
+  std::vector<SourceRecord> LabelCounts =
+      Events
+          .map([NumFeatures](RddContext &C, ObjRef T) {
+            return C.makeTuple(C.key(T) / NumFeatures, C.value(T));
+          })
+          .reduceByKey([](double A, double B) { return A + B; })
+          .collect();
+
+  double Total = 0.0;
+  std::vector<double> PerLabel(NumLabels, 0.0);
+  for (const SourceRecord &Rec : LabelCounts) {
+    PerLabel[static_cast<size_t>(Rec.Key)] = Rec.Val;
+    Total += Rec.Val;
+  }
+  for (uint32_t L = 0; L != NumLabels; ++L)
+    Model.LogPrior[L] = std::log((PerLabel[L] + 1.0) / (Total + NumLabels));
+  // Laplace-smoothed class-conditional likelihoods.
+  for (uint32_t L = 0; L != NumLabels; ++L)
+    for (uint32_t F = 0; F != NumFeatures; ++F)
+      Model.LogLikelihood[static_cast<size_t>(L) * NumFeatures + F] =
+          std::log(1.0 / (PerLabel[L] + NumFeatures));
+  for (const SourceRecord &Rec : FeatureCounts) {
+    size_t L = static_cast<size_t>(Rec.Key) / NumFeatures;
+    size_t F = static_cast<size_t>(Rec.Key) % NumFeatures;
+    Model.LogLikelihood[L * NumFeatures + F] = std::log(
+        (Rec.Val + 1.0) / (PerLabel[L] + NumFeatures));
+  }
+  return Model;
+}
+
+double panthera::mllib::naiveBayesAccuracy(const Rdd &Events,
+                                           const NaiveBayesModel &Model) {
+  // Predict the label of each event's feature; compare to the true label
+  // encoded in the key. Classification happens inside the pipeline so the
+  // scoring pass streams like any other Spark job.
+  NaiveBayesModel M = Model; // captured by value below
+  int64_t Total = Events.count();
+  if (Total == 0)
+    return 0.0;
+  int64_t Correct =
+      Events
+          .filter([M](RddContext &C, ObjRef T) {
+            int64_t Key = C.key(T);
+            uint32_t TrueLabel =
+                static_cast<uint32_t>(Key / M.NumFeatures);
+            uint32_t Feature = static_cast<uint32_t>(Key % M.NumFeatures);
+            uint32_t Best = 0;
+            double BestScore = -1e300;
+            for (uint32_t L = 0; L != M.NumLabels; ++L) {
+              double Score =
+                  M.LogPrior[L] +
+                  M.LogLikelihood[static_cast<size_t>(L) * M.NumFeatures +
+                                  Feature];
+              if (Score > BestScore) {
+                BestScore = Score;
+                Best = L;
+              }
+            }
+            return Best == TrueLabel;
+          })
+          .count();
+  return static_cast<double>(Correct) / static_cast<double>(Total);
+}

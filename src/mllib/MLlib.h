@@ -1,0 +1,92 @@
+//===- mllib/MLlib.h - MLlib-like algorithms over the RDD API ---*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MLlib-style machine-learning algorithms implemented against the RDD
+/// API, standing in for the Spark MLlib programs the paper evaluates
+/// (K-Means, Logistic Regression, Naive Bayes Classifiers).
+///
+/// The engine's record model is (int64 key, double value), so the feature
+/// spaces are one-dimensional: K-Means clusters scalar points, logistic
+/// regression fits (w, b) on scalar features with the label in the key's
+/// low bit, and Naive Bayes consumes (label * F + feature) occurrence
+/// events. The *memory* behaviour the paper measures -- a large persisted
+/// training RDD re-scanned every iteration against short-lived per-record
+/// intermediates -- is identical to the multi-dimensional originals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_MLLIB_MLLIB_H
+#define PANTHERA_MLLIB_MLLIB_H
+
+#include "rdd/Rdd.h"
+
+#include <vector>
+
+namespace panthera {
+namespace mllib {
+
+/// K-Means result.
+struct KMeansModel {
+  std::vector<double> Centers;
+  double Cost = 0.0; ///< Sum of squared distances to assigned centers.
+  uint32_t Iterations = 0;
+};
+
+/// Lloyd's algorithm on a persisted 1-D point RDD (records: (id, x)).
+/// Centers start evenly spaced over [0, 100).
+KMeansModel trainKMeans(const rdd::Rdd &Points, uint32_t K,
+                        uint32_t Iterations);
+
+/// Multi-dimensional K-Means result (centers flattened K x Dims).
+struct KMeansNDModel {
+  uint32_t Dims = 0;
+  std::vector<double> Centers; ///< Center c's coordinate d: [c*Dims + d].
+  double Cost = 0.0;
+  uint32_t Iterations = 0;
+};
+
+/// Lloyd's algorithm over multi-dimensional points. \p Points must be a
+/// grouped RDD whose tuples carry a CompactBuffer of exactly \p Dims
+/// coordinates (e.g. genClusteredPointsND source -> groupByKey). Centers
+/// are broadcast each iteration; assignment statistics flow through a
+/// flatMap + reduceByKey like Spark MLlib's implementation.
+KMeansNDModel trainKMeansND(const rdd::Rdd &Points, uint32_t K,
+                            uint32_t Dims, uint32_t Iterations);
+
+/// Logistic-regression result for the 1-D model p = sigmoid(w x + b).
+struct LogisticModel {
+  double W = 0.0;
+  double B = 0.0;
+  double Loss = 0.0; ///< Final mean log-loss.
+  uint32_t Iterations = 0;
+};
+
+/// Batch gradient descent; records are ((id << 1) | label, x).
+LogisticModel trainLogistic(const rdd::Rdd &Points, uint32_t Iterations,
+                            double LearningRate);
+
+/// Multinomial Naive Bayes over (label * NumFeatures + feature, count)
+/// events.
+struct NaiveBayesModel {
+  uint32_t NumFeatures = 0;
+  uint32_t NumLabels = 0;
+  std::vector<double> LogPrior;      ///< Per label.
+  std::vector<double> LogLikelihood; ///< label * NumFeatures + feature.
+};
+
+NaiveBayesModel trainNaiveBayes(const rdd::Rdd &Events, uint32_t NumFeatures,
+                                uint32_t NumLabels);
+
+/// Classifies each event's feature and returns the fraction whose
+/// predicted label matches the label encoded in the event key.
+double naiveBayesAccuracy(const rdd::Rdd &Events,
+                          const NaiveBayesModel &Model);
+
+} // namespace mllib
+} // namespace panthera
+
+#endif // PANTHERA_MLLIB_MLLIB_H

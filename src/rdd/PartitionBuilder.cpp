@@ -1,0 +1,76 @@
+//===- rdd/PartitionBuilder.cpp - GC-safe growable partition -------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rdd/PartitionBuilder.h"
+
+using namespace panthera;
+using namespace panthera::rdd;
+using heap::GcRoot;
+using heap::ObjRef;
+
+PartitionBuilder::PartitionBuilder(heap::Heap &H, uint32_t MaxChunks)
+    : H(H), Directory(H, H.allocRefArray(MaxChunks)) {}
+
+void PartitionBuilder::append(ObjRef Element) {
+  if (InChunk == ChunkCapacity) {
+    // Need a fresh chunk; the element must survive the allocation.
+    GcRoot Saved(H, Element);
+    ObjRef Chunk = H.allocRefArray(ChunkCapacity);
+    assert(NumChunks < H.arrayLength(Directory.get()) &&
+           "partition exceeds builder capacity");
+    H.storeRef(Directory.get(), NumChunks, Chunk);
+    ++NumChunks;
+    InChunk = 0;
+    Element = Saved.get();
+  }
+  ObjRef Chunk = H.loadRef(Directory.get(), NumChunks - 1);
+  H.storeRef(Chunk, InChunk, Element);
+  ++InChunk;
+  ++Count;
+}
+
+void PartitionBuilder::forEach(const std::function<void(ObjRef)> &Fn) {
+  uint32_t Index = 0;
+  for (uint32_t C = 0; C != NumChunks && Index != Count; ++C) {
+    ObjRef Chunk = H.loadRef(Directory.get(), C);
+    uint32_t Limit =
+        (C == NumChunks - 1) ? (Count - C * ChunkCapacity) : ChunkCapacity;
+    for (uint32_t I = 0; I != Limit; ++I, ++Index)
+      Fn(H.loadRef(Chunk, I));
+  }
+}
+
+void PartitionBuilder::clear() {
+  // Null the chunk references so the staged data is unreachable.
+  for (uint32_t C = 0; C != NumChunks; ++C)
+    H.storeRef(Directory.get(), C, ObjRef());
+  NumChunks = 0;
+  InChunk = ChunkCapacity;
+  Count = 0;
+}
+
+ObjRef PartitionBuilder::finish(MemTag Tag, uint32_t RddId) {
+  if (Tag != MemTag::None)
+    H.setPendingArrayTag(Tag, RddId);
+  ObjRef Array = H.allocRefArray(Count);
+  // A partition below the large-array threshold leaves the pending state
+  // armed; disarm so an unrelated allocation cannot claim the tag.
+  H.setPendingArrayTag(MemTag::None, 0);
+  if (RddId != 0)
+    H.header(Array.addr())->RddId = RddId;
+
+  GcRoot ArrayRoot(H, Array);
+  uint32_t Index = 0;
+  for (uint32_t C = 0; C != NumChunks && Index != Count; ++C) {
+    ObjRef Chunk = H.loadRef(Directory.get(), C);
+    uint32_t Limit =
+        (C == NumChunks - 1) ? (Count - C * ChunkCapacity) : ChunkCapacity;
+    for (uint32_t I = 0; I != Limit; ++I, ++Index)
+      H.storeRef(ArrayRoot.get(), Index, H.loadRef(Chunk, I));
+  }
+  assert(Index == Count && "chunk bookkeeping out of sync");
+  return ArrayRoot.get();
+}

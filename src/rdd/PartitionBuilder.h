@@ -1,0 +1,67 @@
+//===- rdd/PartitionBuilder.h - GC-safe growable partition ------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulates streamed tuples into a partition array when the final count
+/// is unknown (persisted narrow RDDs downstream of filter/flatMap). Native
+/// vectors of ObjRefs would dangle across moving collections, so elements
+/// are staged in heap-allocated chunk arrays hung off a rooted directory;
+/// finish() allocates the exact-size partition array -- through the
+/// rdd_alloc pretenuring pathway when a tag applies -- and copies the
+/// references over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_RDD_PARTITIONBUILDER_H
+#define PANTHERA_RDD_PARTITIONBUILDER_H
+
+#include "heap/Heap.h"
+
+#include <functional>
+
+namespace panthera {
+namespace rdd {
+
+/// GC-safe append-only staging buffer for one partition's tuples.
+class PartitionBuilder {
+public:
+  /// \p MaxChunks bounds capacity at MaxChunks * ChunkCapacity elements.
+  explicit PartitionBuilder(heap::Heap &H, uint32_t MaxChunks = 4096);
+
+  /// Appends one element (rooted internally while chunks grow).
+  void append(heap::ObjRef Element);
+
+  uint32_t size() const { return Count; }
+
+  /// Visits every staged element in append order. \p Fn must not allocate
+  /// (elements are re-read per chunk, not individually rooted).
+  void forEach(const std::function<void(heap::ObjRef)> &Fn);
+
+  /// Drops all staged elements (they become garbage) and resets the
+  /// builder for reuse. Used by shuffle spilling: the rooted directory
+  /// slot is retained, so GC-root LIFO order is preserved.
+  void clear();
+
+  /// Allocates the exact-size partition array and fills it. When \p Tag is
+  /// not None, arms the heap's pending-array state first (the §4.2.1
+  /// rdd_alloc protocol) so a sufficiently large array is pretenured into
+  /// the tagged old-generation space and stamped with \p RddId.
+  heap::ObjRef finish(MemTag Tag, uint32_t RddId);
+
+  static constexpr uint32_t ChunkCapacity = 4096;
+
+private:
+  heap::Heap &H;
+  heap::GcRoot Directory; ///< RefArray of chunk arrays.
+  uint32_t NumChunks = 0;
+  uint32_t InChunk = ChunkCapacity; // force a chunk on first append
+  uint32_t Count = 0;
+};
+
+} // namespace rdd
+} // namespace panthera
+
+#endif // PANTHERA_RDD_PARTITIONBUILDER_H

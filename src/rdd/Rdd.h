@@ -1,0 +1,336 @@
+//===- rdd/Rdd.h - RDD lineage graph and the driver-facing API --*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Spark-like data-parallel engine: lazy RDD lineage nodes, the typed
+/// driver-facing Rdd handle (map/filter/flatMap/mapValues/groupByKey/
+/// reduceByKey/distinct/join/union + persist and actions), and the
+/// SparkContext that schedules execution.
+///
+/// Execution model (mirroring §2):
+///  * Narrow transformations stream: each record is a short-lived tuple
+///    object allocated in the young generation and passed through the
+///    function chain (the paper's "intermediate RDDs die young").
+///  * Wide transformations cut stages: the map side streams parent
+///    partitions into hash-partitioned native shuffle buckets ("disk");
+///    the reduce side materializes a ShuffledRDD -- real heap arrays of
+///    tuples -- as the next stage's input.
+///  * persist() materializes a variable's partitions in the heap and roots
+///    them; the §3 static tag is applied through the rdd_alloc pathway at
+///    each partition-array allocation (§4.2.1).
+///  * Memory tags propagate backward through the lineage when stages are
+///    scheduled: an untagged ShuffledRDD inherits the tag of the closest
+///    downstream tagged RDD, DRAM winning conflicts (§3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_RDD_RDD_H
+#define PANTHERA_RDD_RDD_H
+
+#include "analysis/TagInference.h"
+#include "gc/AccessMonitor.h"
+#include "heap/Heap.h"
+#include "rdd/StorageLevel.h"
+#include "rdd/Tuple.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace panthera {
+namespace rdd {
+
+/// Operator of a lineage node.
+enum class OpKind : uint8_t {
+  Source,
+  Map,
+  Filter,
+  FlatMap,
+  MapValues,
+  Union,
+  GroupByKey,
+  ReduceByKey,
+  Distinct,
+  Join,
+  Repartition, ///< Implicit hash-repartition inserted before joins whose
+               ///< left input is not hash-partitioned.
+  SortByKey,   ///< Range-partitioned total sort (sampled splitters).
+};
+
+/// How a node's output records are distributed across partitions.
+enum class Partitioning : uint8_t {
+  None, ///< Arbitrary (source splits, key-changing maps).
+  Hash, ///< Hash of the key mod partitions (shuffle outputs).
+  Range ///< Sorted, range-partitioned (sortByKey outputs).
+};
+
+/// True for operators that introduce a wide (shuffle) dependency. Join is
+/// narrow here: both inputs are key-partitioned (the engine inserts an
+/// implicit Repartition otherwise), which is exactly Spark's co-partitioned
+/// join optimization.
+inline bool isWideOp(OpKind K) {
+  return K == OpKind::GroupByKey || K == OpKind::ReduceByKey ||
+         K == OpKind::Distinct || K == OpKind::Repartition ||
+         K == OpKind::SortByKey;
+}
+
+const char *opKindName(OpKind K);
+
+/// One record of source ("text file") data.
+struct SourceRecord {
+  int64_t Key;
+  double Val;
+};
+
+/// Per-partition source data, generated natively by the workloads.
+using SourceData = std::vector<std::vector<SourceRecord>>;
+
+/// Receives streamed tuples.
+using TupleSink = std::function<void(heap::ObjRef)>;
+
+/// User functions. They receive heap tuples; any tuple held across an
+/// allocation must be protected with heap::GcRoot (see rdd/Tuple.h).
+using MapFn = std::function<heap::ObjRef(RddContext &, heap::ObjRef)>;
+using FilterFn = std::function<bool(RddContext &, heap::ObjRef)>;
+using FlatMapFn =
+    std::function<void(RddContext &, heap::ObjRef, const TupleSink &)>;
+using ValueFn = std::function<double(double)>;
+/// mapValuesWithKey's function: receives (key, value), returns new value.
+using ValueKeyFn = std::function<double(int64_t, double)>;
+using CombineFn = std::function<double(double, double)>;
+/// Join combiner: left tuple (with payload) plus the matching right-side
+/// value (shuffles carry (int64, double) records).
+using JoinFn =
+    std::function<heap::ObjRef(RddContext &, heap::ObjRef, double)>;
+
+class SparkContext;
+
+/// A lineage node. Driver code uses the Rdd handle below instead.
+struct RddNode {
+  uint32_t Id = 0;
+  std::string VarName; ///< Driver variable name; "" for intermediates.
+  OpKind Op = OpKind::Source;
+  std::vector<std::shared_ptr<RddNode>> Parents;
+
+  MapFn Map;
+  FilterFn Filter;
+  FlatMapFn FlatMap;
+  ValueFn MapValue;
+  ValueKeyFn MapValueKey;
+  CombineFn Combine;
+  JoinFn Join;
+  const SourceData *Source = nullptr;
+
+  bool PersistRequested = false;
+  StorageLevel Level = StorageLevel::MemoryOnly;
+  /// Tag from the §3 static analysis (applied at persist/action sites).
+  MemTag StaticTag = MemTag::None;
+  /// Tag after lineage back-propagation (set during scheduling).
+  MemTag EffectiveTag = MemTag::None;
+
+  /// How this node's output is partitioned by key.
+  Partitioning PartitionedBy = Partitioning::None;
+
+  // Materialization state.
+  bool Materialized = false;
+  /// True when partitions are stored serialized: one primitive array of
+  /// (key, value-bits) pairs per partition instead of tuple object graphs
+  /// (the _SER storage levels). GC-cheap; reads pay deserialization.
+  bool SerializedInMemory = false;
+  size_t TopRootId = SIZE_MAX; ///< Persistent root of the top object.
+  /// LRU clock for storage eviction (bumped on every materialized read).
+  uint64_t LastUse = 0;
+  /// OFF_HEAP / DISK_ONLY backing: per-partition (native address, count).
+  struct NativePartition {
+    uint64_t Addr = 0;
+    uint32_t Count = 0;
+  };
+  std::vector<NativePartition> NativeParts;
+  std::vector<std::vector<SourceRecord>> DiskParts; ///< DISK_ONLY rows.
+};
+
+using RddRef = std::shared_ptr<RddNode>;
+
+/// Driver-facing RDD handle: a thin typed wrapper over a lineage node.
+class Rdd {
+public:
+  Rdd() = default;
+  Rdd(SparkContext *Ctx, RddRef Node) : Ctx(Ctx), Node(std::move(Node)) {}
+
+  bool valid() const { return Node != nullptr; }
+  RddRef node() const { return Node; }
+  SparkContext *context() const { return Ctx; }
+  uint32_t id() const { return Node->Id; }
+  const std::string &varName() const { return Node->VarName; }
+
+  //===--- transformations (lazy) -----------------------------------------===
+  Rdd map(MapFn Fn) const;
+  Rdd filter(FilterFn Fn) const;
+  Rdd flatMap(FlatMapFn Fn) const;
+  Rdd mapValues(ValueFn Fn) const;
+  /// Like mapValues but the function also sees the key. Keys are unchanged
+  /// so partitioning is preserved.
+  Rdd mapValuesWithKey(ValueKeyFn Fn) const;
+  Rdd groupByKey() const;
+  Rdd reduceByKey(CombineFn Fn) const;
+  Rdd distinct() const;
+  /// Globally sorts by key via sampled range partitioning (TeraSort-style
+  /// total order: partition i's keys all precede partition i+1's).
+  Rdd sortByKey() const;
+  /// Keeps each record with probability \p Fraction (deterministic per
+  /// key and \p Seed); a narrow Bernoulli sample.
+  Rdd sample(double Fraction, uint64_t Seed) const;
+  /// Joins this RDD (left, payloads preserved) with \p Right's values.
+  Rdd join(const Rdd &Right, JoinFn Fn) const;
+  Rdd unionWith(const Rdd &Other) const;
+
+  //===--- persistence ----------------------------------------------------===
+  /// Names this RDD after driver variable \p Var (the analysis key) and
+  /// requests persistence at \p Level.
+  Rdd persistAs(const std::string &Var, StorageLevel Level) const;
+  /// Names the RDD without persisting (action-materialized variables).
+  Rdd named(const std::string &Var) const;
+  void unpersist() const;
+  /// Eagerly writes this RDD to reliable storage ("disk") and truncates
+  /// its lineage: later reads deserialize the checkpoint instead of
+  /// recomputing upstream stages (Spark's RDD.checkpoint()).
+  void checkpoint() const;
+
+  //===--- actions (eager) ------------------------------------------------===
+  int64_t count() const;
+  double reduce(CombineFn Fn) const;
+  /// Collects (key, value) pairs; payload refs are not collected.
+  std::vector<SourceRecord> collect() const;
+
+private:
+  SparkContext *Ctx = nullptr;
+  RddRef Node;
+};
+
+/// Engine configuration.
+struct EngineConfig {
+  uint32_t NumPartitions = 4;
+  /// Whether §3 static tags flow into rdd_alloc (Panthera policy only).
+  bool UseStaticTags = true;
+  /// CPU nanoseconds charged per record per operator application.
+  double PerRecordCpuNs = 20.0;
+  /// CPU nanoseconds per record of shuffle serialization ("disk" I/O).
+  double ShuffleRecordCpuNs = 15.0;
+  /// Records a map-side shuffle buffer holds before spilling to "disk"
+  /// (Spark's ExternalSorter spill threshold, scaled).
+  uint32_t ShuffleSpillRecords = 16384;
+  /// CPU nanoseconds per record read back from or written to "disk"
+  /// (eviction and DISK_ONLY I/O; the device itself is unaccounted).
+  double DiskRecordCpuNs = 60.0;
+  /// Old-generation occupancy at which MEMORY_AND_DISK blocks evict.
+  double EvictionOccupancy = 0.80;
+};
+
+/// Engine statistics (Table 5 and general sanity checks).
+struct EngineStats {
+  uint64_t StagesRun = 0;
+  uint64_t ShuffleRecords = 0;
+  uint64_t ShuffleSpills = 0;
+  uint64_t RddsMaterialized = 0;
+  uint64_t RddsEvictedToDisk = 0;
+  uint64_t RecordsStreamed = 0;
+};
+
+/// The executor + scheduler. One per Runtime.
+class SparkContext {
+public:
+  SparkContext(heap::Heap &H, gc::AccessMonitor *Monitor,
+               const EngineConfig &Config);
+
+  heap::Heap &heapRef() { return H; }
+  const EngineConfig &config() const { return Config; }
+  EngineStats &stats() { return Stats; }
+
+  /// Installs the static-analysis result; persistAs/named consult it.
+  void setAnalysis(const analysis::AnalysisResult *Result) {
+    Analysis = Result;
+  }
+
+  /// Creates a source RDD over \p Data (whose lifetime the caller owns).
+  Rdd source(const SourceData *Data, const std::string &Name = "");
+
+  /// Maps an RDD instance id to its driver variable name ("" if none).
+  std::string varNameOf(uint32_t RddId) const;
+
+  // Internal API used by the Rdd handle.
+  Rdd derive(OpKind Op, std::vector<RddRef> Parents);
+  void persist(const RddRef &R, StorageLevel Level, const std::string &Var);
+  void unpersist(const RddRef &R);
+  int64_t runCount(const RddRef &R);
+  double runReduce(const RddRef &R, const CombineFn &Fn);
+  std::vector<SourceRecord> runCollect(const RddRef &R);
+  void recordCall(const RddRef &R);
+
+  /// Drops the in-heap copy of a materialized MEMORY_AND_DISK RDD to
+  /// "disk" (the BlockManager eviction path); later reads deserialize
+  /// from the disk copy instead of recomputing the lineage.
+  void evictToDisk(const RddRef &R);
+
+private:
+  //===--- scheduling -----------------------------------------------------===
+  /// Prepares \p R for streaming: back-propagates \p DownstreamTag,
+  /// materializes persisted RDDs and wide dependencies. With
+  /// \p DeferMaterialize, R's own materialization is left to the caller
+  /// (shuffle fusion: the consuming wide op materializes it in the same
+  /// streaming pass that writes the shuffle, as Spark does).
+  void prepare(const RddRef &R, MemTag DownstreamTag,
+               bool DeferMaterialize = false);
+  /// Streams partition \p P of a prepared narrow chain into \p Sink.
+  void streamPartition(const RddRef &R, uint32_t P, const TupleSink &Sink);
+  void streamMaterialized(const RddRef &R, uint32_t P,
+                          const TupleSink &Sink);
+  /// Materializes a narrow persisted RDD; \p Tee additionally receives
+  /// every streamed tuple (shuffle fusion).
+  void materializeNarrow(const RddRef &R, const TupleSink *Tee = nullptr);
+  void materializeWide(const RddRef &R);
+  void finishAction();
+  /// True when the shuffle feeding a wide op can materialize \p Parent in
+  /// the same pass instead of re-reading it afterwards.
+  bool canFuseIntoShuffle(const RddRef &Parent) const;
+
+  /// Under old-generation pressure, drops the in-heap copy of the
+  /// least-recently-used MEMORY_AND_DISK(_SER) RDDs to "disk" (Spark's
+  /// BlockManager eviction) until occupancy falls below the threshold.
+  void maybeEvictStorage();
+
+  /// Runs the map side of a shuffle of \p Parent into Buckets, routing by
+  /// \p Partitioner (hash of the key when empty; sortByKey passes a range
+  /// partitioner built from sampled splitters).
+  using Buckets = std::vector<std::vector<SourceRecord>>;
+  Buckets shuffle(const RddRef &Parent,
+                  const std::function<uint32_t(int64_t)> &Partitioner = {});
+
+  heap::ObjRef buildPartitionArray(const RddRef &R, uint32_t P,
+                                   const std::vector<heap::ObjRef> &) =
+      delete; // tuples cannot live in native vectors across GC
+
+  void installMaterialized(const RddRef &R, heap::ObjRef Top);
+
+  friend class Rdd; // checkpoint() drives prepare/stream directly
+
+  heap::Heap &H;
+  gc::AccessMonitor *Monitor;
+  EngineConfig Config;
+  EngineStats Stats;
+  const analysis::AnalysisResult *Analysis = nullptr;
+  uint32_t NextRddId = 1;
+  uint64_t UseClock = 0;
+  std::vector<RddRef> TempMaterialized;
+  /// Heap-materialized MEMORY_AND_DISK(_SER) RDDs, eligible for eviction.
+  std::vector<RddRef> EvictableStore;
+  std::vector<std::pair<uint32_t, std::string>> IdToVar;
+};
+
+} // namespace rdd
+} // namespace panthera
+
+#endif // PANTHERA_RDD_RDD_H

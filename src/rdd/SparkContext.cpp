@@ -1,0 +1,920 @@
+//===- rdd/SparkContext.cpp - RDD scheduler and executor ------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rdd/Rdd.h"
+
+#include "rdd/PartitionBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+using namespace panthera;
+using namespace panthera::rdd;
+using heap::GcRoot;
+using heap::ObjRef;
+
+const char *panthera::rdd::opKindName(OpKind K) {
+  switch (K) {
+  case OpKind::Source:
+    return "source";
+  case OpKind::Map:
+    return "map";
+  case OpKind::Filter:
+    return "filter";
+  case OpKind::FlatMap:
+    return "flatMap";
+  case OpKind::MapValues:
+    return "mapValues";
+  case OpKind::Union:
+    return "union";
+  case OpKind::GroupByKey:
+    return "groupByKey";
+  case OpKind::ReduceByKey:
+    return "reduceByKey";
+  case OpKind::Distinct:
+    return "distinct";
+  case OpKind::Join:
+    return "join";
+  case OpKind::Repartition:
+    return "repartition";
+  case OpKind::SortByKey:
+    return "sortByKey";
+  }
+  return "?";
+}
+
+/// Shuffle partitioner: SplitMix64 finalizer over the key, mod partitions.
+static uint32_t partitionOf(int64_t Key, uint32_t NumPartitions) {
+  uint64_t Z = static_cast<uint64_t>(Key) + 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<uint32_t>((Z ^ (Z >> 31)) % NumPartitions);
+}
+
+//===----------------------------------------------------------------------===
+// Rdd handle methods
+//===----------------------------------------------------------------------===
+
+Rdd Rdd::map(MapFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::Map, {Node});
+  R.node()->Map = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::filter(FilterFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::Filter, {Node});
+  R.node()->Filter = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::flatMap(FlatMapFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::FlatMap, {Node});
+  R.node()->FlatMap = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::mapValues(ValueFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::MapValues, {Node});
+  R.node()->MapValue = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::mapValuesWithKey(ValueKeyFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::MapValues, {Node});
+  R.node()->MapValueKey = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::groupByKey() const {
+  Ctx->recordCall(Node);
+  return Ctx->derive(OpKind::GroupByKey, {Node});
+}
+
+Rdd Rdd::reduceByKey(CombineFn Fn) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::ReduceByKey, {Node});
+  R.node()->Combine = std::move(Fn);
+  return R;
+}
+
+Rdd Rdd::distinct() const {
+  Ctx->recordCall(Node);
+  return Ctx->derive(OpKind::Distinct, {Node});
+}
+
+Rdd Rdd::sortByKey() const {
+  Ctx->recordCall(Node);
+  return Ctx->derive(OpKind::SortByKey, {Node});
+}
+
+Rdd Rdd::sample(double Fraction, uint64_t Seed) const {
+  Ctx->recordCall(Node);
+  Rdd R = Ctx->derive(OpKind::Filter, {Node});
+  R.node()->Filter = [Fraction, Seed](RddContext &C, ObjRef T) {
+    // Deterministic Bernoulli draw from (key, seed).
+    uint64_t Z = static_cast<uint64_t>(C.key(T)) * 0x9e3779b97f4a7c15ull +
+                 Seed;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    Z ^= Z >> 31;
+    return static_cast<double>(Z >> 11) * 0x1.0p-53 < Fraction;
+  };
+  return R;
+}
+
+Rdd Rdd::join(const Rdd &Right, JoinFn Fn) const {
+  Ctx->recordCall(Node);
+  Ctx->recordCall(Right.Node);
+  RddRef Left = Node;
+  // Joins match records per partition; both inputs must be co-partitioned
+  // by hash, so anything else (arbitrary or range) gets an implicit
+  // repartition stage.
+  if (Left->PartitionedBy != Partitioning::Hash)
+    Left = Ctx->derive(OpKind::Repartition, {Left}).node();
+  RddRef R = Right.Node;
+  if (R->PartitionedBy != Partitioning::Hash)
+    R = Ctx->derive(OpKind::Repartition, {R}).node();
+  Rdd J = Ctx->derive(OpKind::Join, {Left, R});
+  J.node()->Join = std::move(Fn);
+  return J;
+}
+
+Rdd Rdd::unionWith(const Rdd &Other) const {
+  Ctx->recordCall(Node);
+  Ctx->recordCall(Other.Node);
+  return Ctx->derive(OpKind::Union, {Node, Other.Node});
+}
+
+Rdd Rdd::persistAs(const std::string &Var, StorageLevel Level) const {
+  Ctx->persist(Node, Level, Var);
+  return *this;
+}
+
+Rdd Rdd::named(const std::string &Var) const {
+  Ctx->persist(Node, Node->Level, Var);
+  Node->PersistRequested = false; // named-only: action materialization
+  return *this;
+}
+
+void Rdd::unpersist() const { Ctx->unpersist(Node); }
+
+void Rdd::checkpoint() const {
+  Ctx->recordCall(Node);
+  if (Node->Materialized && !Node->DiskParts.empty())
+    return; // already checkpointed
+  // Compute (or reuse) the data, write it to disk, then truncate the
+  // lineage so upstream stages can never be re-run for this RDD.
+  rdd::RddContext C(Ctx->heapRef());
+  std::vector<std::vector<SourceRecord>> Parts(
+      Ctx->config().NumPartitions);
+  Ctx->prepare(Node, MemTag::None);
+  for (uint32_t P = 0; P != Ctx->config().NumPartitions; ++P)
+    Ctx->streamPartition(Node, P, [&](heap::ObjRef T) {
+      Parts[P].push_back({C.key(T), C.value(T)});
+    });
+  Ctx->finishAction();
+  // Drop any heap materialization; the disk copy is authoritative.
+  if (Node->TopRootId != SIZE_MAX) {
+    Ctx->heapRef().removePersistentRoot(Node->TopRootId);
+    Node->TopRootId = SIZE_MAX;
+  }
+  Node->SerializedInMemory = false;
+  Node->DiskParts = std::move(Parts);
+  Node->Materialized = true;
+  Node->Parents.clear(); // lineage truncation
+}
+
+int64_t Rdd::count() const { return Ctx->runCount(Node); }
+
+double Rdd::reduce(CombineFn Fn) const { return Ctx->runReduce(Node, Fn); }
+
+std::vector<SourceRecord> Rdd::collect() const {
+  return Ctx->runCollect(Node);
+}
+
+//===----------------------------------------------------------------------===
+// SparkContext: construction and lineage building
+//===----------------------------------------------------------------------===
+
+SparkContext::SparkContext(heap::Heap &H, gc::AccessMonitor *Monitor,
+                           const EngineConfig &Config)
+    : H(H), Monitor(Monitor), Config(Config) {}
+
+Rdd SparkContext::source(const SourceData *Data, const std::string &Name) {
+  assert(Data && Data->size() == Config.NumPartitions &&
+         "source data must have one vector per partition");
+  Rdd R = derive(OpKind::Source, {});
+  R.node()->Source = Data;
+  if (!Name.empty())
+    R.node()->VarName = Name;
+  return R;
+}
+
+Rdd SparkContext::derive(OpKind Op, std::vector<RddRef> Parents) {
+  auto Node = std::make_shared<RddNode>();
+  Node->Id = NextRddId++;
+  Node->Op = Op;
+  Node->Parents = std::move(Parents);
+  switch (Op) {
+  case OpKind::Source:
+  case OpKind::Map:
+  case OpKind::FlatMap:
+    Node->PartitionedBy = Partitioning::None;
+    break;
+  case OpKind::Filter:
+  case OpKind::MapValues:
+    Node->PartitionedBy = Node->Parents[0]->PartitionedBy;
+    break;
+  case OpKind::Union:
+    Node->PartitionedBy =
+        Node->Parents[0]->PartitionedBy == Node->Parents[1]->PartitionedBy
+            ? Node->Parents[0]->PartitionedBy
+            : Partitioning::None;
+    break;
+  case OpKind::GroupByKey:
+  case OpKind::ReduceByKey:
+  case OpKind::Distinct:
+  case OpKind::Repartition:
+    Node->PartitionedBy = Partitioning::Hash;
+    break;
+  case OpKind::Join:
+    // Join preserves the (hash) partitioning of its co-partitioned inputs.
+    Node->PartitionedBy = Partitioning::Hash;
+    break;
+  case OpKind::SortByKey:
+    Node->PartitionedBy = Partitioning::Range;
+    break;
+  }
+  return Rdd(this, Node);
+}
+
+void SparkContext::persist(const RddRef &R, StorageLevel Level,
+                           const std::string &Var) {
+  R->PersistRequested = true;
+  R->Level = Level;
+  R->VarName = Var;
+  IdToVar.emplace_back(R->Id, Var);
+  if (Analysis)
+    R->StaticTag = Analysis->tagFor(Var);
+  recordCall(R);
+}
+
+void SparkContext::unpersist(const RddRef &R) {
+  recordCall(R);
+  if (!R->Materialized)
+    return;
+  if (R->TopRootId != SIZE_MAX) {
+    H.removePersistentRoot(R->TopRootId);
+    R->TopRootId = SIZE_MAX;
+  }
+  R->NativeParts.clear();
+  R->DiskParts.clear();
+  R->Materialized = false;
+}
+
+std::string SparkContext::varNameOf(uint32_t RddId) const {
+  for (const auto &[Id, Var] : IdToVar)
+    if (Id == RddId)
+      return Var;
+  return "";
+}
+
+void SparkContext::recordCall(const RddRef &R) {
+  if (Monitor && !R->VarName.empty())
+    Monitor->recordCall(R->Id);
+}
+
+//===----------------------------------------------------------------------===
+// Scheduling
+//===----------------------------------------------------------------------===
+
+bool SparkContext::canFuseIntoShuffle(const RddRef &Parent) const {
+  return Parent->PersistRequested && !Parent->Materialized &&
+         !isWideOp(Parent->Op) && Parent->Op != OpKind::Source &&
+         isHeapLevel(Parent->Level);
+}
+
+void SparkContext::prepare(const RddRef &R, MemTag DownstreamTag,
+                           bool DeferMaterialize) {
+  MemTag Own = Config.UseStaticTags ? R->StaticTag : MemTag::None;
+  MemTag Effective = Own != MemTag::None ? Own : DownstreamTag;
+  // Lineage back-propagation with DRAM-wins conflict resolution (§3).
+  R->EffectiveTag = mergeTags(R->EffectiveTag, Effective);
+
+  if (R->Materialized || R->Op == OpKind::Source)
+    return;
+
+  bool Materializes =
+      (isWideOp(R->Op) || R->PersistRequested) && !DeferMaterialize;
+  size_t TempSnapshot = TempMaterialized.size();
+  if (isWideOp(R->Op)) {
+    // Shuffle fusion (Spark behavior): a persist-pending narrow parent is
+    // materialized by the shuffle's own map pass rather than beforehand,
+    // so its data is written once and never re-read from its cache.
+    const RddRef &Parent = R->Parents[0];
+    prepare(Parent, R->EffectiveTag,
+            /*DeferMaterialize=*/canFuseIntoShuffle(Parent));
+  } else {
+    for (const RddRef &Parent : R->Parents)
+      prepare(Parent, R->EffectiveTag);
+  }
+
+  if (isWideOp(R->Op)) {
+    materializeWide(R);
+    if (!R->PersistRequested)
+      TempMaterialized.push_back(R);
+  } else if (R->PersistRequested && !DeferMaterialize) {
+    materializeNarrow(R);
+  }
+  // A completed materialization ends the stage that computed it; shuffle
+  // outputs consumed by that stage are released (collected at next GC).
+  // R itself stays: its consumer has not streamed it yet.
+  if (Materializes) {
+    std::vector<RddRef> Kept;
+    while (TempMaterialized.size() > TempSnapshot) {
+      RddRef Temp = TempMaterialized.back();
+      TempMaterialized.pop_back();
+      if (Temp == R)
+        Kept.push_back(Temp);
+      else
+        unpersist(Temp);
+    }
+    for (auto It = Kept.rbegin(); It != Kept.rend(); ++It)
+      TempMaterialized.push_back(*It);
+  }
+}
+
+void SparkContext::streamPartition(const RddRef &R, uint32_t P,
+                                   const TupleSink &Sink) {
+  if (R->Materialized) {
+    streamMaterialized(R, P, Sink);
+    return;
+  }
+  RddContext Ctx(H);
+  memsim::HybridMemory &Mem = H.memory();
+  switch (R->Op) {
+  case OpKind::Source: {
+    const std::vector<SourceRecord> &Rows = (*R->Source)[P];
+    for (const SourceRecord &Row : Rows) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      ++Stats.RecordsStreamed;
+      Sink(Ctx.makeTuple(Row.Key, Row.Val));
+    }
+    return;
+  }
+  case OpKind::Map:
+    streamPartition(R->Parents[0], P, [&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      Sink(R->Map(Ctx, T));
+    });
+    return;
+  case OpKind::Filter:
+    streamPartition(R->Parents[0], P, [&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      if (R->Filter(Ctx, T))
+        Sink(T);
+    });
+    return;
+  case OpKind::FlatMap:
+    streamPartition(R->Parents[0], P, [&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      R->FlatMap(Ctx, T, Sink);
+    });
+    return;
+  case OpKind::MapValues:
+    streamPartition(R->Parents[0], P, [&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      int64_t K = Ctx.key(T);
+      double V = R->MapValueKey ? R->MapValueKey(K, Ctx.value(T))
+                                : R->MapValue(Ctx.value(T));
+      Sink(Ctx.makeTuple(K, V));
+    });
+    return;
+  case OpKind::Union:
+    streamPartition(R->Parents[0], P, Sink);
+    streamPartition(R->Parents[1], P, Sink);
+    return;
+  case OpKind::Join: {
+    // Both sides are key-partitioned; build a native value index over the
+    // right side's partition, then probe while streaming the left side.
+    std::unordered_map<int64_t, std::vector<double>> Index;
+    streamPartition(R->Parents[1], P, [&](ObjRef T) {
+      Index[Ctx.key(T)].push_back(Ctx.value(T));
+    });
+    streamPartition(R->Parents[0], P, [&](ObjRef T) {
+      auto It = Index.find(Ctx.key(T));
+      if (It == Index.end())
+        return;
+      // One output per matching right value. The left tuple must be
+      // re-rooted across emissions: the join function allocates.
+      GcRoot Left(H, T);
+      for (double V : It->second) {
+        Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+        Sink(R->Join(Ctx, Left.get(), V));
+      }
+    });
+    return;
+  }
+  case OpKind::GroupByKey:
+  case OpKind::ReduceByKey:
+  case OpKind::Distinct:
+  case OpKind::Repartition:
+  case OpKind::SortByKey:
+    assert(false && "wide RDD streamed before materialization");
+    return;
+  }
+}
+
+void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
+                                      const TupleSink &Sink) {
+  RddContext Ctx(H);
+  memsim::HybridMemory &Mem = H.memory();
+  R->LastUse = ++UseClock;
+  // Each per-partition read is a task invoking iterator() on the RDD
+  // object -- one monitored call (the Table 5 counts scale with tasks).
+  recordCall(R);
+  if (!R->NativeParts.empty()) {
+    // OFF_HEAP: deserialize records from native NVM into young tuples.
+    const RddNode::NativePartition &Part = R->NativeParts[P];
+    for (uint32_t I = 0; I != Part.Count; ++I) {
+      SourceRecord Row;
+      H.nativeRead(Part.Addr + I * sizeof(SourceRecord), &Row, sizeof(Row));
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+      Sink(Ctx.makeTuple(Row.Key, Row.Val));
+    }
+    return;
+  }
+  if (!R->DiskParts.empty()) {
+    // DISK_ONLY or evicted MEMORY_AND_DISK: re-read from "disk"
+    // (unaccounted device; deserialization CPU cost only).
+    for (const SourceRecord &Row : R->DiskParts[P]) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs + Config.DiskRecordCpuNs);
+      Sink(Ctx.makeTuple(Row.Key, Row.Val));
+    }
+    return;
+  }
+  assert(R->TopRootId != SIZE_MAX && "materialized RDD lost its root");
+  GcRoot Top(H, H.persistentRoot(R->TopRootId));
+  GcRoot Dir(H, H.loadRef(Top.get(), 0));
+  GcRoot Arr(H, H.loadRef(Dir.get(), P));
+  if (R->SerializedInMemory) {
+    // Deserialize: sequential reads of the byte buffer, one young tuple
+    // allocated per record.
+    uint32_t Pairs = H.arrayLength(Arr.get()) / 2;
+    for (uint32_t I = 0; I != Pairs; ++I) {
+      int64_t Key = H.loadElemI64(Arr.get(), 2 * I);
+      double Val = H.loadElemF64(Arr.get(), 2 * I + 1);
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs + Config.ShuffleRecordCpuNs);
+      Sink(Ctx.makeTuple(Key, Val));
+    }
+    return;
+  }
+  uint32_t Len = H.arrayLength(Arr.get());
+  for (uint32_t I = 0; I != Len; ++I) {
+    Mem.addCpuWorkNs(Config.PerRecordCpuNs);
+    Sink(H.loadRef(Arr.get(), I));
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Materialization
+//===----------------------------------------------------------------------===
+
+void SparkContext::installMaterialized(const RddRef &R, ObjRef Top) {
+  R->TopRootId = H.addPersistentRoot(Top);
+  R->Materialized = true;
+  R->LastUse = ++UseClock;
+  ++Stats.RddsMaterialized;
+  // Only MEMORY_AND_DISK levels may fall back to disk under pressure, and
+  // only flat (payload-free) tuples serialize; grouped RDDs stay pinned.
+  if (R->PersistRequested &&
+      (R->Level == StorageLevel::MemoryAndDisk ||
+       R->Level == StorageLevel::MemoryAndDiskSer) &&
+      R->Op != OpKind::GroupByKey)
+    EvictableStore.push_back(R);
+}
+
+void SparkContext::evictToDisk(const RddRef &R) {
+  assert(R->Materialized && R->TopRootId != SIZE_MAX && "nothing to evict");
+  memsim::HybridMemory &Mem = H.memory();
+  RddContext Ctx(H);
+  uint32_t P = Config.NumPartitions;
+  // Collect into a staging structure first: streamMaterialized dispatches
+  // on DiskParts, which must stay empty until the read-back completes.
+  std::vector<std::vector<SourceRecord>> Collected(P);
+  for (uint32_t I = 0; I != P; ++I)
+    streamMaterialized(R, I, [&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.DiskRecordCpuNs);
+      Collected[I].push_back({Ctx.key(T), Ctx.value(T)});
+    });
+  R->DiskParts = std::move(Collected);
+  // Drop the heap copy; the next full GC reclaims it.
+  H.removePersistentRoot(R->TopRootId);
+  R->TopRootId = SIZE_MAX;
+  R->SerializedInMemory = false;
+  ++Stats.RddsEvictedToDisk;
+}
+
+void SparkContext::maybeEvictStorage() {
+  auto Occupancy = [this] {
+    uint64_t Used = 0, Size = 0;
+    for (heap::Space *S : H.oldSpaces()) {
+      Used += S->usedBytes();
+      Size += S->sizeBytes();
+    }
+    return Size ? static_cast<double>(Used) / static_cast<double>(Size)
+                : 0.0;
+  };
+  if (Occupancy() < Config.EvictionOccupancy)
+    return;
+  while (true) {
+    // Pick the least-recently-used still-resident evictable block.
+    RddRef Victim;
+    for (const RddRef &R : EvictableStore)
+      if (R->Materialized && R->TopRootId != SIZE_MAX &&
+          (!Victim || R->LastUse < Victim->LastUse))
+        Victim = R;
+    if (!Victim)
+      return;
+    evictToDisk(Victim);
+    H.requestMajorGc("storage eviction");
+    if (Occupancy() < Config.EvictionOccupancy)
+      return;
+  }
+}
+
+void SparkContext::materializeNarrow(const RddRef &R, const TupleSink *Tee) {
+  uint32_t P = Config.NumPartitions;
+  MemTag Tag = Config.UseStaticTags ? R->EffectiveTag : MemTag::None;
+  assert((!Tee || isHeapLevel(R->Level)) &&
+         "shuffle fusion applies to heap-materialized RDDs only");
+  maybeEvictStorage();
+
+  if (R->Level == StorageLevel::OffHeap && R->PersistRequested) {
+    // Serialize into native NVM memory (the paper places all off-heap
+    // native memory in NVM, §4.1).
+    R->NativeParts.resize(P);
+    for (uint32_t I = 0; I != P; ++I) {
+      std::vector<SourceRecord> Rows;
+      RddContext Ctx(H);
+      streamPartition(R, I, [&](ObjRef T) {
+        Rows.push_back({Ctx.key(T), Ctx.value(T)});
+      });
+      uint64_t Addr = H.allocNative(Rows.size() * sizeof(SourceRecord));
+      for (size_t J = 0; J != Rows.size(); ++J)
+        H.nativeWrite(Addr + J * sizeof(SourceRecord), &Rows[J],
+                      sizeof(SourceRecord));
+      R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
+    }
+    R->Materialized = true;
+    ++Stats.RddsMaterialized;
+    return;
+  }
+  if (R->Level == StorageLevel::DiskOnly && R->PersistRequested) {
+    R->DiskParts.resize(P);
+    for (uint32_t I = 0; I != P; ++I) {
+      RddContext Ctx(H);
+      streamPartition(R, I, [&](ObjRef T) {
+        R->DiskParts[I].push_back({Ctx.key(T), Ctx.value(T)});
+      });
+    }
+    R->Materialized = true;
+    ++Stats.RddsMaterialized;
+    return;
+  }
+
+  if (R->Level == StorageLevel::MemoryOnlySer ||
+      R->Level == StorageLevel::MemoryAndDiskSer) {
+    // Serialized in-memory storage: each partition is ONE primitive array
+    // of (key, value-bits) pairs. No tuple objects survive, so the cache
+    // is nearly invisible to the GC -- which is why the paper persists
+    // its fault-tolerance caches (e.g. PageRank's contribs) this way.
+    GcRoot Dir(H, H.allocRefArray(P));
+    RddContext Ctx(H);
+    for (uint32_t I = 0; I != P; ++I) {
+      std::vector<SourceRecord> Rows;
+      streamPartition(R, I, [&](ObjRef T) {
+        if (Tee) {
+          GcRoot Saved(H, T);
+          (*Tee)(T);
+          T = Saved.get();
+        }
+        Rows.push_back({Ctx.key(T), Ctx.value(T)});
+        H.memory().addCpuWorkNs(Config.ShuffleRecordCpuNs); // serialize
+      });
+      if (Tag != MemTag::None)
+        H.setPendingArrayTag(Tag, R->Id);
+      ObjRef Buf =
+          H.allocPrimArray(static_cast<uint32_t>(Rows.size()) * 2, 8);
+      H.setPendingArrayTag(MemTag::None, 0);
+      H.header(Buf.addr())->RddId = R->Id;
+      {
+        GcRoot BufRoot(H, Buf);
+        for (uint32_t J = 0; J != Rows.size(); ++J) {
+          H.storeElemI64(BufRoot.get(), 2 * J, Rows[J].Key);
+          H.storeElemF64(BufRoot.get(), 2 * J + 1, Rows[J].Val);
+        }
+        H.storeRef(Dir.get(), I, BufRoot.get());
+      }
+    }
+    ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
+    heap::ObjectHeader *TopHdr = H.header(Top.addr());
+    TopHdr->RddId = R->Id;
+    if (Tag != MemTag::None)
+      TopHdr->setMemTag(Tag);
+    H.storeRef(Top, 0, Dir.get());
+    R->SerializedInMemory = true;
+    installMaterialized(R, Top);
+    return;
+  }
+
+  // Heap materialization: directory -> per-partition arrays of tuples.
+  GcRoot Dir(H, H.allocRefArray(P));
+  for (uint32_t I = 0; I != P; ++I) {
+    PartitionBuilder Builder(H);
+    streamPartition(R, I, [&](ObjRef T) {
+      if (Tee) {
+        // Shuffle fusion: feed the consuming shuffle in the same pass.
+        // The tee may allocate (spill buffers), so re-root the tuple.
+        GcRoot Saved(H, T);
+        (*Tee)(T);
+        T = Saved.get();
+      }
+      Builder.append(T);
+    });
+    ObjRef Arr = Builder.finish(Tag, R->Id);
+    H.storeRef(Dir.get(), I, Arr);
+  }
+  // rdd_alloc also stamps the *top* object's MEMORY_BITS so the root task
+  // promotes it to the right space (§4.2.1).
+  ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
+  heap::ObjectHeader *TopHdr = H.header(Top.addr());
+  TopHdr->RddId = R->Id;
+  if (Tag != MemTag::None)
+    TopHdr->setMemTag(Tag);
+  H.storeRef(Top, 0, Dir.get());
+  installMaterialized(R, Top);
+}
+
+SparkContext::Buckets
+SparkContext::shuffle(const RddRef &Parent,
+                      const std::function<uint32_t(int64_t)> &Partitioner) {
+  uint32_t P = Config.NumPartitions;
+  RddContext Ctx(H);
+  memsim::HybridMemory &Mem = H.memory();
+  ++Stats.StagesRun;
+
+  // Map side. As in Spark, the shuffle's write buffers are heap data: the
+  // routed records accumulate in per-target-partition buffers that stay
+  // live for the whole map pass -- this transient bulk is precisely the
+  // "large amounts of intermediate data" whose collection dominates the
+  // paper's GC costs. Builders are destroyed in reverse construction
+  // order (GC root discipline is LIFO).
+  std::vector<std::unique_ptr<PartitionBuilder>> Buffers;
+  Buffers.reserve(P);
+  for (uint32_t I = 0; I != P; ++I)
+    Buffers.emplace_back(std::make_unique<PartitionBuilder>(H));
+  Buckets Out(P);
+  // Spills a buffer to "disk" (native memory, unaccounted like the
+  // paper's disk I/O) and recycles it.
+  auto Spill = [&](uint32_t Target) {
+    PartitionBuilder &B = *Buffers[Target];
+    Out[Target].reserve(Out[Target].size() + B.size());
+    B.forEach([&](ObjRef T) {
+      Mem.addCpuWorkNs(Config.ShuffleRecordCpuNs);
+      Out[Target].push_back({Ctx.key(T), Ctx.value(T)});
+    });
+    B.clear();
+  };
+  TupleSink Route = [&](ObjRef T) {
+    Mem.addCpuWorkNs(Config.ShuffleRecordCpuNs);
+    ++Stats.ShuffleRecords;
+    int64_t K = Ctx.key(T);
+    uint32_t Target = Partitioner ? Partitioner(K) : partitionOf(K, P);
+    Buffers[Target]->append(T);
+    if (Buffers[Target]->size() >= Config.ShuffleSpillRecords) {
+      ++Stats.ShuffleSpills;
+      Spill(Target);
+    }
+  };
+  if (canFuseIntoShuffle(Parent)) {
+    // Materialize the persist-pending parent and write the shuffle in one
+    // streaming pass: its cached partitions are written once, not re-read.
+    materializeNarrow(Parent, &Route);
+  } else {
+    for (uint32_t I = 0; I != P; ++I)
+      streamPartition(Parent, I, Route);
+  }
+  // Final shuffle write of whatever remains buffered.
+  for (uint32_t I = 0; I != P; ++I)
+    Spill(I);
+  while (!Buffers.empty())
+    Buffers.pop_back();
+  return Out;
+}
+
+void SparkContext::materializeWide(const RddRef &R) {
+  uint32_t P = Config.NumPartitions;
+  MemTag Tag = Config.UseStaticTags ? R->EffectiveTag : MemTag::None;
+  maybeEvictStorage();
+  RddContext Ctx(H);
+
+  // sortByKey first runs a sampling pass over its parent to choose range
+  // splitters (Spark's RangePartitioner does the same extra job).
+  std::function<uint32_t(int64_t)> Partitioner;
+  if (R->Op == OpKind::SortByKey) {
+    std::vector<int64_t> Sample;
+    uint64_t Counter = 0;
+    for (uint32_t I = 0; I != P; ++I)
+      streamPartition(R->Parents[0], I, [&](ObjRef T) {
+        if ((Counter++ & 15) == 0)
+          Sample.push_back(Ctx.key(T));
+      });
+    std::sort(Sample.begin(), Sample.end());
+    std::vector<int64_t> Splitters;
+    for (uint32_t I = 1; I < P; ++I)
+      Splitters.push_back(
+          Sample.empty() ? 0 : Sample[I * Sample.size() / P]);
+    Partitioner = [Splitters](int64_t K) {
+      return static_cast<uint32_t>(
+          std::upper_bound(Splitters.begin(), Splitters.end(), K) -
+          Splitters.begin());
+    };
+  }
+
+  Buckets In = shuffle(R->Parents[0], Partitioner);
+
+  GcRoot Dir(H, H.allocRefArray(P));
+  for (uint32_t I = 0; I != P; ++I) {
+    std::vector<SourceRecord> &Rows = In[I];
+    switch (R->Op) {
+    case OpKind::ReduceByKey: {
+      std::map<int64_t, double> Agg;
+      for (const SourceRecord &Row : Rows) {
+        auto [It, New] = Agg.emplace(Row.Key, Row.Val);
+        if (!New)
+          It->second = R->Combine(It->second, Row.Val);
+      }
+      if (Tag != MemTag::None)
+        H.setPendingArrayTag(Tag, R->Id);
+      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Agg.size()));
+      H.setPendingArrayTag(MemTag::None, 0);
+      H.header(ArrRaw.addr())->RddId = R->Id;
+      GcRoot Arr(H, ArrRaw);
+      uint32_t Index = 0;
+      for (const auto &[K, V] : Agg) {
+        ObjRef T = Ctx.makeTuple(K, V);
+        H.storeRef(Arr.get(), Index++, T);
+      }
+      H.storeRef(Dir.get(), I, Arr.get());
+      break;
+    }
+    case OpKind::GroupByKey: {
+      std::map<int64_t, std::vector<double>> Groups;
+      for (const SourceRecord &Row : Rows)
+        Groups[Row.Key].push_back(Row.Val);
+      if (Tag != MemTag::None)
+        H.setPendingArrayTag(Tag, R->Id);
+      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Groups.size()));
+      H.setPendingArrayTag(MemTag::None, 0);
+      H.header(ArrRaw.addr())->RddId = R->Id;
+      GcRoot Arr(H, ArrRaw);
+      uint32_t Index = 0;
+      for (const auto &[K, Values] : Groups) {
+        // CompactBuffer (Fig 1): tuple -> reference array -> boxed value
+        // objects. The indirection is load-bearing: reading a cached
+        // grouped RDD is a pointer chase, exactly like the paper's
+        // String-element buffers.
+        ObjRef Buf =
+            H.allocRefArray(static_cast<uint32_t>(Values.size()));
+        {
+          GcRoot BufRoot(H, Buf);
+          for (uint32_t J = 0; J != Values.size(); ++J) {
+            ObjRef Box = Ctx.makeBox(Values[J]);
+            H.storeRef(BufRoot.get(), J, Box);
+          }
+          ObjRef T = Ctx.makeTupleWithRef(K, 0.0, BufRoot.get());
+          H.storeRef(Arr.get(), Index++, T);
+        }
+      }
+      H.storeRef(Dir.get(), I, Arr.get());
+      break;
+    }
+    case OpKind::Distinct: {
+      std::map<std::pair<int64_t, int64_t>, bool> Seen;
+      std::vector<SourceRecord> Unique;
+      for (const SourceRecord &Row : Rows) {
+        int64_t Bits;
+        std::memcpy(&Bits, &Row.Val, sizeof(Bits));
+        if (Seen.emplace(std::make_pair(Row.Key, Bits), true).second)
+          Unique.push_back(Row);
+      }
+      if (Tag != MemTag::None)
+        H.setPendingArrayTag(Tag, R->Id);
+      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Unique.size()));
+      H.setPendingArrayTag(MemTag::None, 0);
+      H.header(ArrRaw.addr())->RddId = R->Id;
+      GcRoot Arr(H, ArrRaw);
+      for (uint32_t J = 0; J != Unique.size(); ++J) {
+        ObjRef T = Ctx.makeTuple(Unique[J].Key, Unique[J].Val);
+        H.storeRef(Arr.get(), J, T);
+      }
+      H.storeRef(Dir.get(), I, Arr.get());
+      break;
+    }
+    case OpKind::SortByKey:
+      std::sort(Rows.begin(), Rows.end(),
+                [](const SourceRecord &A, const SourceRecord &B) {
+                  return A.Key != B.Key ? A.Key < B.Key : A.Val < B.Val;
+                });
+      [[fallthrough]];
+    case OpKind::Repartition: {
+      if (Tag != MemTag::None)
+        H.setPendingArrayTag(Tag, R->Id);
+      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Rows.size()));
+      H.setPendingArrayTag(MemTag::None, 0);
+      H.header(ArrRaw.addr())->RddId = R->Id;
+      GcRoot Arr(H, ArrRaw);
+      for (uint32_t J = 0; J != Rows.size(); ++J) {
+        ObjRef T = Ctx.makeTuple(Rows[J].Key, Rows[J].Val);
+        H.storeRef(Arr.get(), J, T);
+      }
+      H.storeRef(Dir.get(), I, Arr.get());
+      break;
+    }
+    default:
+      assert(false && "not a materializing wide op");
+    }
+  }
+
+  ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
+  heap::ObjectHeader *TopHdr = H.header(Top.addr());
+  TopHdr->RddId = R->Id;
+  if (Tag != MemTag::None)
+    TopHdr->setMemTag(Tag);
+  H.storeRef(Top, 0, Dir.get());
+  installMaterialized(R, Top);
+}
+
+//===----------------------------------------------------------------------===
+// Actions
+//===----------------------------------------------------------------------===
+
+void SparkContext::finishAction() {
+  while (!TempMaterialized.empty()) {
+    RddRef Temp = TempMaterialized.back();
+    TempMaterialized.pop_back();
+    unpersist(Temp);
+  }
+}
+
+int64_t SparkContext::runCount(const RddRef &R) {
+  recordCall(R);
+  prepare(R, MemTag::None);
+  int64_t Total = 0;
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
+    streamPartition(R, P, [&](ObjRef) { ++Total; });
+  finishAction();
+  return Total;
+}
+
+double SparkContext::runReduce(const RddRef &R, const CombineFn &Fn) {
+  recordCall(R);
+  prepare(R, MemTag::None);
+  RddContext Ctx(H);
+  bool Seeded = false;
+  double Acc = 0.0;
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
+    streamPartition(R, P, [&](ObjRef T) {
+      double V = Ctx.value(T);
+      Acc = Seeded ? Fn(Acc, V) : V;
+      Seeded = true;
+    });
+  finishAction();
+  return Acc;
+}
+
+std::vector<SourceRecord> SparkContext::runCollect(const RddRef &R) {
+  recordCall(R);
+  prepare(R, MemTag::None);
+  RddContext Ctx(H);
+  std::vector<SourceRecord> Out;
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
+    streamPartition(R, P, [&](ObjRef T) {
+      Out.push_back({Ctx.key(T), Ctx.value(T)});
+    });
+  finishAction();
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- rdd/StorageLevel.h - Spark storage levels ----------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spark storage levels for persisted RDDs, plus the paper's §3 expansion
+/// of each memory level into _DRAM and _NVM sub-levels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_RDD_STORAGELEVEL_H
+#define PANTHERA_RDD_STORAGELEVEL_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace panthera {
+namespace rdd {
+
+/// Where a persisted RDD's partitions live.
+enum class StorageLevel : uint8_t {
+  MemoryOnly,
+  MemoryOnlySer,
+  MemoryAndDisk,
+  MemoryAndDiskSer,
+  DiskOnly,
+  OffHeap,
+};
+
+inline const char *storageLevelName(StorageLevel L) {
+  switch (L) {
+  case StorageLevel::MemoryOnly:
+    return "MEMORY_ONLY";
+  case StorageLevel::MemoryOnlySer:
+    return "MEMORY_ONLY_SER";
+  case StorageLevel::MemoryAndDisk:
+    return "MEMORY_AND_DISK";
+  case StorageLevel::MemoryAndDiskSer:
+    return "MEMORY_AND_DISK_SER";
+  case StorageLevel::DiskOnly:
+    return "DISK_ONLY";
+  case StorageLevel::OffHeap:
+    return "OFF_HEAP";
+  }
+  return "?";
+}
+
+/// True when the level keeps deserialized objects in the managed heap
+/// (these are the levels Panthera's tags act on).
+inline bool isHeapLevel(StorageLevel L) {
+  return L == StorageLevel::MemoryOnly || L == StorageLevel::MemoryOnlySer ||
+         L == StorageLevel::MemoryAndDisk ||
+         L == StorageLevel::MemoryAndDiskSer;
+}
+
+/// Parses the DSL spelling; defaults to MEMORY_ONLY for unknown names.
+inline StorageLevel parseStorageLevel(std::string_view Name) {
+  if (Name == "MEMORY_ONLY_SER")
+    return StorageLevel::MemoryOnlySer;
+  if (Name == "MEMORY_AND_DISK")
+    return StorageLevel::MemoryAndDisk;
+  if (Name == "MEMORY_AND_DISK_SER")
+    return StorageLevel::MemoryAndDiskSer;
+  if (Name == "DISK_ONLY")
+    return StorageLevel::DiskOnly;
+  if (Name == "OFF_HEAP")
+    return StorageLevel::OffHeap;
+  return StorageLevel::MemoryOnly;
+}
+
+} // namespace rdd
+} // namespace panthera
+
+#endif // PANTHERA_RDD_STORAGELEVEL_H

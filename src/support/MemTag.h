@@ -1,0 +1,52 @@
+//===- support/MemTag.h - DRAM/NVM memory tags ------------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory tag carried from the static analysis down to the runtime.
+/// Matches the paper's two reserved object-header MEMORY_BITS: 00 = no tag,
+/// 01 = DRAM, 10 = NVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_MEMTAG_H
+#define PANTHERA_SUPPORT_MEMTAG_H
+
+#include <cstdint>
+
+namespace panthera {
+
+/// Placement hint for an RDD (and transitively its data objects).
+enum class MemTag : uint8_t {
+  None = 0, ///< MEMORY_BITS 00: untagged; ages normally, tenures to NVM.
+  Dram = 1, ///< MEMORY_BITS 01: pretenure into the old gen's DRAM space.
+  Nvm = 2,  ///< MEMORY_BITS 10: pretenure into the old gen's NVM space.
+};
+
+/// Resolves a tag conflict. §3/§4.2.2: DRAM has priority over NVM, because
+/// the goal is to minimize NVM-induced slowdowns on frequently-read data.
+inline MemTag mergeTags(MemTag A, MemTag B) {
+  if (A == MemTag::Dram || B == MemTag::Dram)
+    return MemTag::Dram;
+  if (A == MemTag::Nvm || B == MemTag::Nvm)
+    return MemTag::Nvm;
+  return MemTag::None;
+}
+
+inline const char *memTagName(MemTag T) {
+  switch (T) {
+  case MemTag::None:
+    return "NONE";
+  case MemTag::Dram:
+    return "DRAM";
+  case MemTag::Nvm:
+    return "NVM";
+  }
+  return "?";
+}
+
+} // namespace panthera
+
+#endif // PANTHERA_SUPPORT_MEMTAG_H

@@ -1,0 +1,32 @@
+//===- support/Random.cpp - Deterministic PRNG and samplers --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace panthera;
+
+ZipfSampler::ZipfSampler(uint64_t N, double Skew) {
+  assert(N > 0 && "Zipf domain must be nonempty");
+  Cdf.resize(N);
+  double Total = 0.0;
+  for (uint64_t I = 0; I < N; ++I) {
+    Total += 1.0 / std::pow(static_cast<double>(I + 1), Skew);
+    Cdf[I] = Total;
+  }
+  for (uint64_t I = 0; I < N; ++I)
+    Cdf[I] /= Total;
+}
+
+uint64_t ZipfSampler::sample(SplitMix64 &Rng) const {
+  double U = Rng.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<uint64_t>(It - Cdf.begin());
+}

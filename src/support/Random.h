@@ -1,0 +1,76 @@
+//===- support/Random.h - Deterministic PRNG and samplers ------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation used by the dataset
+/// generators and the Unmanaged baseline's probabilistic chunk interleaving.
+/// Everything in the repository draws randomness from SplitMix64 so that a
+/// given seed reproduces a bit-identical experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_RANDOM_H
+#define PANTHERA_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+
+/// SplitMix64 generator (Steele, Lea & Flood). Tiny state, full 64-bit
+/// output, passes BigCrush; more than adequate for workload synthesis.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the bounds used in this project.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Samples integers in [0, N) from a Zipf(s) distribution using a
+/// precomputed inverse CDF table. Used to synthesize the power-law degree
+/// structure of web graphs (the paper's Wikipedia/Notre Dame inputs).
+class ZipfSampler {
+public:
+  /// Builds the CDF for \p N items with exponent \p Skew (typically ~1.0).
+  ZipfSampler(uint64_t N, double Skew);
+
+  /// Draws one sample in [0, N).
+  uint64_t sample(SplitMix64 &Rng) const;
+
+  uint64_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace panthera
+
+#endif // PANTHERA_SUPPORT_RANDOM_H

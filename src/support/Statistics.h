@@ -1,0 +1,73 @@
+//===- support/Statistics.h - Small numeric helpers -------------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tiny numeric helpers shared by the benchmark harnesses: running means,
+/// geometric means for normalized ratios, and simple ratio formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_STATISTICS_H
+#define PANTHERA_SUPPORT_STATISTICS_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+
+/// Arithmetic mean of \p Values; zero for an empty vector.
+inline double mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+/// Geometric mean of \p Values (all must be positive); used to average
+/// normalized time/energy ratios across benchmarks, as is conventional.
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Running min/max/sum accumulator.
+class Accumulator {
+public:
+  void add(double V) {
+    Sum += V;
+    Count += 1;
+    if (Count == 1 || V < Minimum)
+      Minimum = V;
+    if (Count == 1 || V > Maximum)
+      Maximum = V;
+  }
+
+  double sum() const { return Sum; }
+  double average() const { return Count ? Sum / Count : 0.0; }
+  double min() const { return Minimum; }
+  double max() const { return Maximum; }
+  uint64_t count() const { return Count; }
+
+private:
+  double Sum = 0.0;
+  double Minimum = 0.0;
+  double Maximum = 0.0;
+  uint64_t Count = 0;
+};
+
+} // namespace panthera
+
+#endif // PANTHERA_SUPPORT_STATISTICS_H

@@ -1,0 +1,38 @@
+//===- support/Units.h - Size units and the paper's scale factor -*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Byte-size unit helpers and the global paper-to-simulation scale factor.
+///
+/// The paper evaluates 64 GB and 120 GB heaps on a NUMA emulator. The
+/// simulator in this repository scales every size by 1 GB -> 1 MB (heaps,
+/// the Unmanaged baseline's interleave chunks, dataset footprints, and the
+/// large-array pretenuring threshold), which preserves every ratio the
+/// evaluation depends on while keeping runs laptop-sized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_UNITS_H
+#define PANTHERA_SUPPORT_UNITS_H
+
+#include <cstdint>
+
+namespace panthera {
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * KiB;
+constexpr uint64_t GiB = 1024 * MiB;
+
+/// One "paper gigabyte" expressed in simulated bytes (1 GB -> 1 MB).
+constexpr uint64_t PaperGB = MiB;
+
+/// The paper pretenures the first array allocation whose length exceeds one
+/// million elements after an rdd_alloc call; scaled by the same 1024x factor.
+constexpr uint32_t ScaledLargeArrayThreshold = 1024;
+
+} // namespace panthera
+
+#endif // PANTHERA_SUPPORT_UNITS_H

@@ -1,0 +1,124 @@
+//===- workloads/DataGen.cpp - Synthetic dataset generators --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/DataGen.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace panthera;
+using namespace panthera::workloads;
+using rdd::SourceData;
+
+GraphData panthera::workloads::genPowerLawGraph(uint32_t Partitions,
+                                                int64_t NumVertices,
+                                                int64_t NumEdges, double Skew,
+                                                uint64_t Seed) {
+  GraphData G;
+  G.NumVertices = NumVertices;
+  G.NumEdges = NumEdges;
+  G.Edges.resize(Partitions);
+  SplitMix64 Rng(Seed);
+  ZipfSampler Sources(static_cast<uint64_t>(NumVertices), Skew);
+  for (int64_t I = 0; I != NumEdges; ++I) {
+    int64_t Src = static_cast<int64_t>(Sources.sample(Rng));
+    int64_t Dst = static_cast<int64_t>(
+        Rng.nextBelow(static_cast<uint64_t>(NumVertices)));
+    if (Dst == Src)
+      Dst = (Dst + 1) % NumVertices;
+    G.Edges[static_cast<size_t>(I) % Partitions].push_back(
+        {Src, static_cast<double>(Dst)});
+  }
+  return G;
+}
+
+/// Standard-normal sample via Box-Muller.
+static double gaussian(SplitMix64 &Rng) {
+  double U1 = Rng.nextDouble();
+  double U2 = Rng.nextDouble();
+  if (U1 < 1e-300)
+    U1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+}
+
+SourceData panthera::workloads::genClusteredPoints(uint32_t Partitions,
+                                                   int64_t NumPoints,
+                                                   uint32_t NumClusters,
+                                                   uint64_t Seed) {
+  SourceData Data(Partitions);
+  SplitMix64 Rng(Seed);
+  for (int64_t I = 0; I != NumPoints; ++I) {
+    uint32_t Cluster = static_cast<uint32_t>(Rng.nextBelow(NumClusters));
+    double Center = 100.0 * (Cluster + 0.5) / NumClusters;
+    double X = Center + 2.0 * gaussian(Rng);
+    Data[static_cast<size_t>(I) % Partitions].push_back({I, X});
+  }
+  return Data;
+}
+
+double panthera::workloads::clusterCenterND(uint32_t C, uint32_t D,
+                                            uint32_t NumClusters) {
+  // A shifted diagonal: in every dimension the clusters take K distinct,
+  // evenly spaced coordinates, so clusters are well separated and no
+  // dimension is degenerate.
+  return 100.0 * ((C + D) % NumClusters + 0.5) /
+         static_cast<double>(NumClusters);
+}
+
+SourceData panthera::workloads::genClusteredPointsND(uint32_t Partitions,
+                                                     int64_t NumPoints,
+                                                     uint32_t Dims,
+                                                     uint32_t NumClusters,
+                                                     uint64_t Seed) {
+  SourceData Data(Partitions);
+  SplitMix64 Rng(Seed);
+  for (int64_t I = 0; I != NumPoints; ++I) {
+    uint32_t Cluster = static_cast<uint32_t>(Rng.nextBelow(NumClusters));
+    size_t Part = static_cast<size_t>(I) % Partitions;
+    for (uint32_t D = 0; D != Dims; ++D) {
+      double X = clusterCenterND(Cluster, D, NumClusters) +
+                 1.5 * gaussian(Rng);
+      Data[Part].push_back({I, X});
+    }
+  }
+  return Data;
+}
+
+SourceData panthera::workloads::genLabeledPoints(uint32_t Partitions,
+                                                 int64_t NumPoints,
+                                                 uint64_t Seed) {
+  SourceData Data(Partitions);
+  SplitMix64 Rng(Seed);
+  for (int64_t I = 0; I != NumPoints; ++I) {
+    int64_t Y = static_cast<int64_t>(Rng.nextBelow(2));
+    double X = (2.0 * static_cast<double>(Y) - 1.0) + gaussian(Rng);
+    Data[static_cast<size_t>(I) % Partitions].push_back(
+        {(I << 1) | Y, X});
+  }
+  return Data;
+}
+
+SourceData panthera::workloads::genFeatureEvents(uint32_t Partitions,
+                                                 int64_t NumEvents,
+                                                 uint32_t NumFeatures,
+                                                 uint32_t NumLabels,
+                                                 uint64_t Seed) {
+  SourceData Data(Partitions);
+  SplitMix64 Rng(Seed);
+  ZipfSampler Features(NumFeatures, 1.1);
+  for (int64_t I = 0; I != NumEvents; ++I) {
+    int64_t Label = static_cast<int64_t>(Rng.nextBelow(NumLabels));
+    // Shift the Zipf head per label so class-conditionals differ.
+    int64_t Feature =
+        static_cast<int64_t>((Features.sample(Rng) +
+                              Label * (NumFeatures / NumLabels)) %
+                             NumFeatures);
+    Data[static_cast<size_t>(I) % Partitions].push_back(
+        {Label * NumFeatures + Feature, 1.0});
+  }
+  return Data;
+}

@@ -1,0 +1,73 @@
+//===- workloads/DataGen.h - Synthetic dataset generators -------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic substitutes for the paper's datasets (Table 4):
+/// power-law (Zipf-out-degree) graphs stand in for the Wikipedia link dumps
+/// and the Notre Dame webgraph; Gaussian-mixture points for the K-Means /
+/// Logistic Regression feature vectors; and Zipf-distributed (label,
+/// feature) events for the KDD2012 classification input. Every generator
+/// is seeded, so a given configuration reproduces bit-identical inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_WORKLOADS_DATAGEN_H
+#define PANTHERA_WORKLOADS_DATAGEN_H
+
+#include "rdd/Rdd.h"
+
+#include <cstdint>
+
+namespace panthera {
+namespace workloads {
+
+/// An edge list partitioned for the engine: records are (src, dst).
+struct GraphData {
+  rdd::SourceData Edges;
+  int64_t NumVertices = 0;
+  int64_t NumEdges = 0;
+};
+
+/// Generates a directed graph whose out-edges follow a Zipf(\p Skew)
+/// source distribution (hubs like a web graph) with uniform targets.
+/// Self-loops are retargeted so every edge is meaningful.
+GraphData genPowerLawGraph(uint32_t Partitions, int64_t NumVertices,
+                           int64_t NumEdges, double Skew, uint64_t Seed);
+
+/// 1-D points drawn from \p NumClusters Gaussian components spread over
+/// [0, 100). Records are (point id, coordinate).
+rdd::SourceData genClusteredPoints(uint32_t Partitions, int64_t NumPoints,
+                                   uint32_t NumClusters, uint64_t Seed);
+
+/// Multi-dimensional points: \p Dims records per point, (point id,
+/// coordinate), emitted in dimension order so a groupByKey reassembles
+/// each point's coordinate buffer in order. Cluster centers sit on a
+/// simplex-like grid over [0, 100)^Dims.
+rdd::SourceData genClusteredPointsND(uint32_t Partitions, int64_t NumPoints,
+                                     uint32_t Dims, uint32_t NumClusters,
+                                     uint64_t Seed);
+
+/// The ground-truth center of cluster \p C in dimension \p D for the ND
+/// generator (tests compare recovered centers against these).
+double clusterCenterND(uint32_t C, uint32_t D, uint32_t NumClusters);
+
+/// Binary-labeled 1-D points: label y in {0,1} encoded in the key's low
+/// bit (key = id << 1 | y), feature x ~ N(2y - 1, 1). Linearly separable
+/// in expectation, so logistic regression converges.
+rdd::SourceData genLabeledPoints(uint32_t Partitions, int64_t NumPoints,
+                                 uint64_t Seed);
+
+/// (label, feature) occurrence events for Naive Bayes: records are
+/// (label * NumFeatures + feature, 1.0) with a per-label Zipf feature
+/// distribution (class-conditional skew differs so classes separate).
+rdd::SourceData genFeatureEvents(uint32_t Partitions, int64_t NumEvents,
+                                 uint32_t NumFeatures, uint32_t NumLabels,
+                                 uint64_t Seed);
+
+} // namespace workloads
+} // namespace panthera
+
+#endif // PANTHERA_WORKLOADS_DATAGEN_H

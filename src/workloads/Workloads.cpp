@@ -1,0 +1,350 @@
+//===- workloads/Workloads.cpp - The paper's seven programs --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "graphx/Pregel.h"
+#include "mllib/MLlib.h"
+#include "workloads/DataGen.h"
+
+#include <cmath>
+
+using namespace panthera;
+using namespace panthera::workloads;
+using heap::GcRoot;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::SourceData;
+using rdd::StorageLevel;
+using rdd::TupleSink;
+
+//===----------------------------------------------------------------------===
+// PageRank (the paper's Fig 2 running example)
+//===----------------------------------------------------------------------===
+
+static const char *PageRankDsl = R"(
+program pagerank {
+  lines = textFile("graph");
+  links = lines.map().distinct().groupByKey().persist(MEMORY_ONLY);
+  ranks = links.mapValues();
+  for (i in 1..iters) {
+    contribs = links.join(ranks).flatMap().persist(MEMORY_AND_DISK_SER);
+    ranks = contribs.reduceByKey().mapValues();
+  }
+  ranks.count();
+}
+)";
+
+static double runPageRank(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(PageRankDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t V = static_cast<int64_t>(10000 * Scale);
+  const int64_t E = static_cast<int64_t>(50000 * Scale);
+  const unsigned Iters = 8;
+  GraphData G = genPowerLawGraph(Ctx.config().NumPartitions, V, E,
+                                 /*Skew=*/1.0, /*Seed=*/42);
+
+  Rdd Lines = Ctx.source(&G.Edges);
+  Rdd Links = Lines.distinct().groupByKey().persistAs(
+      "links", StorageLevel::MemoryOnly);
+  Rdd Ranks =
+      Links.mapValuesWithKey([](int64_t, double) { return 1.0; });
+
+  for (unsigned I = 0; I != Iters; ++I) {
+    // contribs = links.join(ranks).values.flatMap { spread rank }.
+    Rdd Joined = Links.join(
+        Ranks, [](RddContext &C, ObjRef Left, double Rank) {
+          return C.makeTupleWithRef(C.key(Left), Rank, C.payload(Left));
+        });
+    Rdd Contribs =
+        Joined
+            .flatMap([](RddContext &C, ObjRef T, const TupleSink &S) {
+              double Rank = C.value(T);
+              GcRoot Buf(C.heap(), C.payload(T));
+              if (Buf.get().isNull())
+                return;
+              uint32_t Size = C.heap().arrayLength(Buf.get());
+              double Share = Rank / Size;
+              for (uint32_t J = 0; J != Size; ++J) {
+                int64_t Url =
+                    static_cast<int64_t>(C.bufferValue(Buf.get(), J));
+                S(C.makeTuple(Url, Share));
+              }
+            })
+            .persistAs("contribs", StorageLevel::MemoryAndDiskSer);
+    Ranks = Contribs.reduceByKey([](double A, double B) { return A + B; })
+                .mapValues([](double Sum) { return 0.15 + 0.85 * Sum; });
+  }
+  Ranks = Ranks.named("ranks");
+  // The single action evaluates the whole 8-stage lineage (lazy Spark).
+  return Ranks.reduce([](double A, double B) { return A + B; });
+}
+
+//===----------------------------------------------------------------------===
+// K-Means
+//===----------------------------------------------------------------------===
+
+static const char *KMeansDsl = R"(
+program kmeans {
+  points = textFile("points").map().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    closest = points.map();
+    sums = closest.reduceByKey();
+    counts = closest.mapValues().reduceByKey();
+    sums.collect();
+    counts.collect();
+  }
+}
+)";
+
+static double runKMeans(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(KMeansDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t N = static_cast<int64_t>(100000 * Scale);
+  SourceData Data = genClusteredPoints(Ctx.config().NumPartitions, N,
+                                       /*NumClusters=*/8, /*Seed=*/17);
+  Rdd Points = Ctx.source(&Data)
+                   .map([](RddContext &C, ObjRef T) {
+                     return C.makeTuple(C.key(T), C.value(T));
+                   })
+                   .persistAs("points", StorageLevel::MemoryOnly);
+  mllib::KMeansModel Model =
+      mllib::trainKMeans(Points, /*K=*/8, /*Iterations=*/10);
+  return Model.Cost;
+}
+
+//===----------------------------------------------------------------------===
+// Logistic Regression
+//===----------------------------------------------------------------------===
+
+static const char *LogisticDsl = R"(
+program lr {
+  points = textFile("points").map().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    gradw = points.map();
+    gradb = points.map();
+    gradw.reduce();
+    gradb.reduce();
+  }
+}
+)";
+
+static double runLogistic(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(LogisticDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t N = static_cast<int64_t>(100000 * Scale);
+  SourceData Data =
+      genLabeledPoints(Ctx.config().NumPartitions, N, /*Seed=*/23);
+  Rdd Points = Ctx.source(&Data)
+                   .map([](RddContext &C, ObjRef T) {
+                     return C.makeTuple(C.key(T), C.value(T));
+                   })
+                   .persistAs("points", StorageLevel::MemoryOnly);
+  mllib::LogisticModel Model =
+      mllib::trainLogistic(Points, /*Iterations=*/10, /*LearningRate=*/2.0);
+  return Model.W + Model.Loss;
+}
+
+//===----------------------------------------------------------------------===
+// Transitive Closure
+//===----------------------------------------------------------------------===
+
+static const char *TransitiveClosureDsl = R"(
+program tc {
+  raw = textFile("graph");
+  edges = raw.map().distinct().persist(MEMORY_ONLY);
+  paths = edges.map().distinct().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    paths = paths.map().join(edges).map().union(paths).distinct()
+                 .persist(MEMORY_ONLY);
+    paths.count();
+  }
+}
+)";
+
+static double runTransitiveClosure(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(TransitiveClosureDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t V = static_cast<int64_t>(350 * std::sqrt(Scale));
+  const int64_t E = static_cast<int64_t>(1400 * Scale);
+  const unsigned Iters = 5;
+  GraphData G = genPowerLawGraph(Ctx.config().NumPartitions, V, E,
+                                 /*Skew=*/0.8, /*Seed=*/7);
+
+  Rdd Raw = Ctx.source(&G.Edges);
+  Rdd Edges = Raw.distinct().persistAs("edges", StorageLevel::MemoryOnly);
+  Rdd Paths = Edges;
+  int64_t Count = Edges.count();
+  for (unsigned I = 0; I != Iters; ++I) {
+    // paths(a,b) x edges(b,c) -> (a,c), keyed through b on both sides.
+    Rdd Reversed = Paths.map([](RddContext &C, ObjRef T) {
+      return C.makeTuple(static_cast<int64_t>(C.value(T)),
+                         static_cast<double>(C.key(T)));
+    });
+    Rdd NewPaths =
+        Reversed.join(Edges, [](RddContext &C, ObjRef Left, double Dst) {
+          return C.makeTuple(static_cast<int64_t>(C.value(Left)), Dst);
+        });
+    Paths = Paths.unionWith(NewPaths).distinct().persistAs(
+        "paths", StorageLevel::MemoryOnly);
+    int64_t Next = Paths.count();
+    if (Next == Count)
+      break; // closure reached
+    Count = Next;
+  }
+  return static_cast<double>(Count);
+}
+
+//===----------------------------------------------------------------------===
+// GraphX Connected Components / SSSP
+//===----------------------------------------------------------------------===
+
+// The driver shape GraphX produces: each outer iteration persists a fresh
+// vertex RDD; the aggregate-messages step reads it (the inner loop from
+// the analysis' point of view). §5.5: the analysis cannot see unpersists,
+// so every generation is tagged DRAM and stale ones are later demoted by
+// dynamic migration.
+static const char *ConnectedComponentsDsl = R"(
+program cc {
+  raw = textFile("graph");
+  edges = raw.flatMap().groupByKey().persist(MEMORY_ONLY);
+  vertices = edges.mapValues().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    msgs = edges.join(vertices).flatMap();
+    vertices = msgs.union(vertices).reduceByKey().persist(MEMORY_ONLY);
+    for (j in 1..supersteps) {
+      probe = edges.join(vertices).map();
+      probe.count();
+    }
+  }
+  vertices.count();
+}
+)";
+
+static double runConnectedComponents(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(ConnectedComponentsDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t V = static_cast<int64_t>(12000 * Scale);
+  const int64_t E = static_cast<int64_t>(44000 * Scale);
+  GraphData G = genPowerLawGraph(Ctx.config().NumPartitions, V, E,
+                                 /*Skew=*/1.0, /*Seed=*/11);
+  Rdd EdgeList = Ctx.source(&G.Edges);
+  Rdd Adjacency =
+      graphx::buildAdjacency(Ctx, EdgeList, "edges", /*Symmetrize=*/true);
+  graphx::PregelConfig Config;
+  Config.MaxIterations = 10;
+  Config.VertexVar = "vertices";
+  Rdd Labels = graphx::connectedComponents(Ctx, Adjacency, Config);
+  return Labels.reduce([](double A, double B) { return A + B; });
+}
+
+static const char *ShortestPathsDsl = R"(
+program sssp {
+  raw = textFile("graph");
+  edges = raw.flatMap().groupByKey().persist(MEMORY_ONLY);
+  vertices = edges.mapValues().persist(MEMORY_ONLY);
+  for (i in 1..iters) {
+    msgs = edges.join(vertices).flatMap();
+    vertices = msgs.union(vertices).reduceByKey().persist(MEMORY_ONLY);
+    for (j in 1..supersteps) {
+      probe = edges.join(vertices).map();
+      probe.count();
+    }
+  }
+  vertices.count();
+}
+)";
+
+static double runShortestPaths(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(ShortestPathsDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t V = static_cast<int64_t>(12000 * Scale);
+  const int64_t E = static_cast<int64_t>(44000 * Scale);
+  GraphData G = genPowerLawGraph(Ctx.config().NumPartitions, V, E,
+                                 /*Skew=*/1.0, /*Seed=*/11);
+  Rdd EdgeList = Ctx.source(&G.Edges);
+  Rdd Adjacency =
+      graphx::buildAdjacency(Ctx, EdgeList, "edges", /*Symmetrize=*/true);
+  graphx::PregelConfig Config;
+  Config.MaxIterations = 10;
+  Config.VertexVar = "vertices";
+  Rdd Dists = graphx::shortestPaths(Ctx, Adjacency, /*SourceVertex=*/0,
+                                    Config);
+  // Cap unreachable distances so the checksum stays finite.
+  return Dists
+      .mapValues([V](double D) {
+        return D < graphx::Unreachable ? D : static_cast<double>(V);
+      })
+      .reduce([](double A, double B) { return A + B; });
+}
+
+//===----------------------------------------------------------------------===
+// MLlib Naive Bayes Classifiers
+//===----------------------------------------------------------------------===
+
+static const char *NaiveBayesDsl = R"(
+program bayes {
+  data = textFile("kdd").map().persist(MEMORY_ONLY);
+  model = data.reduceByKey().persist(MEMORY_ONLY);
+  model.count();
+}
+)";
+
+static double runNaiveBayes(core::Runtime &RT, double Scale) {
+  RT.analyzeAndInstall(NaiveBayesDsl);
+  rdd::SparkContext &Ctx = RT.ctx();
+  const int64_t N = static_cast<int64_t>(150000 * Scale);
+  const uint32_t NumFeatures = 200;
+  const uint32_t NumLabels = 4;
+  SourceData Events = genFeatureEvents(Ctx.config().NumPartitions, N,
+                                       NumFeatures, NumLabels, /*Seed=*/13);
+  Rdd Data = Ctx.source(&Events)
+                 .map([](RddContext &C, ObjRef T) {
+                   return C.makeTuple(C.key(T), C.value(T));
+                 })
+                 .persistAs("data", StorageLevel::MemoryOnly);
+  mllib::NaiveBayesModel Model =
+      mllib::trainNaiveBayes(Data, NumFeatures, NumLabels);
+  return mllib::naiveBayesAccuracy(Data, Model);
+}
+
+//===----------------------------------------------------------------------===
+// Registry
+//===----------------------------------------------------------------------===
+
+const std::vector<WorkloadSpec> &panthera::workloads::allWorkloads() {
+  static const std::vector<WorkloadSpec> Specs = {
+      {"PR", "PageRank", "power-law graph (Wikipedia-de substitute)",
+       PageRankDsl, runPageRank},
+      {"KM", "K-Means", "Gaussian-mixture points (Wikipedia-en substitute)",
+       KMeansDsl, runKMeans},
+      {"LR", "Logistic Regression",
+       "labeled Gaussian points (Wikipedia-en substitute)", LogisticDsl,
+       runLogistic},
+      {"TC", "Transitive Closure",
+       "small power-law graph (Notre Dame substitute)", TransitiveClosureDsl,
+       runTransitiveClosure},
+      {"CC", "GraphX-Connected Components",
+       "symmetrized power-law graph (Wikipedia-en substitute)",
+       ConnectedComponentsDsl, runConnectedComponents},
+      {"SSSP", "GraphX-Single Source Shortest Path",
+       "symmetrized power-law graph (Wikipedia-en substitute)",
+       ShortestPathsDsl, runShortestPaths},
+      {"BC", "MLlib-Naive Bayes Classifiers",
+       "Zipf feature events (KDD 2012 substitute)", NaiveBayesDsl,
+       runNaiveBayes},
+  };
+  return Specs;
+}
+
+const WorkloadSpec *
+panthera::workloads::findWorkload(std::string_view ShortName) {
+  for (const WorkloadSpec &Spec : allWorkloads())
+    if (Spec.ShortName == ShortName)
+      return &Spec;
+  return nullptr;
+}

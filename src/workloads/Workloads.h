@@ -1,0 +1,57 @@
+//===- workloads/Workloads.h - The paper's seven programs -------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation workloads of Table 4, implemented against the engine:
+///
+///   PR    PageRank on Spark            (power-law graph)
+///   KM    K-Means on Spark             (Gaussian-mixture points)
+///   LR    Logistic Regression on Spark (labeled points)
+///   TC    Transitive Closure on Spark  (small power-law graph)
+///   CC    GraphX Connected Components  (symmetrized power-law graph)
+///   SSSP  GraphX Shortest Paths        (symmetrized power-law graph)
+///   BC    MLlib Naive Bayes            (Zipf feature events)
+///
+/// Each workload carries its driver program in the DSL (the §3 analysis
+/// input) and a Run function that generates its dataset, executes the
+/// pipeline inside a Runtime, and returns a policy-independent checksum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_WORKLOADS_WORKLOADS_H
+#define PANTHERA_WORKLOADS_WORKLOADS_H
+
+#include "core/Runtime.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace panthera {
+namespace workloads {
+
+/// One benchmark program.
+struct WorkloadSpec {
+  std::string ShortName; ///< "PR", "KM", ...
+  std::string FullName;
+  std::string Dataset; ///< Synthetic dataset description.
+  std::string Dsl;     ///< Driver program for the static analysis.
+  /// Runs the workload; \p Scale multiplies dataset sizes (1.0 = the
+  /// repository's default, sized for 64-120 paper-GB heaps). Returns a
+  /// deterministic checksum that must not depend on the memory policy.
+  std::function<double(core::Runtime &, double Scale)> Run;
+};
+
+/// All seven workloads, in the paper's Table 4 order.
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/// Finds a workload by short name; null when unknown.
+const WorkloadSpec *findWorkload(std::string_view ShortName);
+
+} // namespace workloads
+} // namespace panthera
+
+#endif // PANTHERA_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,122 @@
+//===- tests/test_cardtable.cpp - Card table / object-start tests ---------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/CardTable.h"
+#include "heap/Heap.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace panthera;
+using namespace panthera::heap;
+
+TEST(CardTable, IndexingAndDirtying) {
+  CardTable CT(1 << 20);
+  EXPECT_EQ(CT.cardIndex(0), 0u);
+  EXPECT_EQ(CT.cardIndex(511), 0u);
+  EXPECT_EQ(CT.cardIndex(512), 1u);
+  EXPECT_EQ(CT.cardStart(3), 3u * 512);
+  EXPECT_FALSE(CT.isDirty(5));
+  CT.dirtyCardFor(5 * 512 + 100);
+  EXPECT_TRUE(CT.isDirty(5));
+  CT.clean(5);
+  EXPECT_FALSE(CT.isDirty(5));
+}
+
+TEST(CardTable, ObjectStartKeepsLowestPerCard) {
+  CardTable CT(1 << 20);
+  CT.noteObjectStart(1024 + 128);
+  CT.noteObjectStart(1024 + 64); // lower in the same card
+  CT.noteObjectStart(1024 + 256);
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1024)), 1024u + 64);
+}
+
+TEST(CardTable, ClearRangeResetsBothTables) {
+  CardTable CT(1 << 20);
+  CT.dirtyCardFor(2048);
+  CT.noteObjectStart(2048);
+  CT.clearRange(1536, 4096);
+  EXPECT_FALSE(CT.isDirty(CT.cardIndex(2048)));
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(2048)), 0u);
+}
+
+namespace {
+
+class BotTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    HeapConfig Config;
+    Config.HeapBytes = 8 * PaperGB;
+    Config.NativeBytes = 2 * PaperGB;
+    Config.Layout = OldGenLayout::SplitDramNvm;
+    Mem = std::make_unique<memsim::HybridMemory>(
+        16 * PaperGB, memsim::MemoryTechnology{}, memsim::CacheConfig{});
+    H = std::make_unique<Heap>(Config, *Mem);
+  }
+  std::unique_ptr<memsim::HybridMemory> Mem;
+  std::unique_ptr<Heap> H;
+};
+
+TEST_F(BotTest, FindsObjectSpanningManyCards) {
+  // One giant array covers dozens of cards with no object start in them.
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef Big = H->allocRefArray(8192); // 64 KB+, ~128 cards
+  Space &S = H->oldNvm();
+  size_t FirstCard = H->cardTable().cardIndex(Big.addr());
+  for (size_t Off : {size_t(1), size_t(17), size_t(100)}) {
+    EXPECT_EQ(H->firstObjectIntersectingCard(S, FirstCard + Off),
+              Big.addr())
+        << "card " << Off << " cards past the array start";
+  }
+}
+
+TEST_F(BotTest, ReturnsZeroBeyondAllocationFrontier) {
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  H->allocRefArray(2048);
+  Space &S = H->oldNvm();
+  size_t TopCard = H->cardTable().cardIndex(S.top());
+  EXPECT_EQ(H->firstObjectIntersectingCard(S, TopCard + 10), 0u);
+}
+
+TEST_F(BotTest, FindsSecondObjectInSharedCard) {
+  // Without padding, a small filler-free layout puts the boundary of two
+  // arrays inside one card; the walk from the first must reach both.
+  HeapConfig Config;
+  Config.HeapBytes = 8 * PaperGB;
+  Config.NativeBytes = 2 * PaperGB;
+  Config.Tuning.CardPadding = false;
+  Mem = std::make_unique<memsim::HybridMemory>(
+      16 * PaperGB, memsim::MemoryTechnology{}, memsim::CacheConfig{});
+  H = std::make_unique<Heap>(Config, *Mem);
+
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef A = H->allocRefArray(1056); // ends mid-card
+  H->setPendingArrayTag(MemTag::Nvm, 2);
+  ObjRef B = H->allocRefArray(1056);
+  size_t BoundaryCard = H->cardTable().cardIndex(B.addr());
+  uint64_t First = H->firstObjectIntersectingCard(H->oldNvm(), BoundaryCard);
+  EXPECT_EQ(First, A.addr()) << "the covering object starts earlier";
+  // Walking from First by sizes must reach B within the card.
+  uint64_t Next = First + H->header(First)->SizeBytes;
+  EXPECT_EQ(Next, B.addr());
+}
+
+TEST_F(BotTest, WalkObjectsSeesContiguousRun) {
+  H->setPendingArrayTag(MemTag::Dram, 1);
+  H->allocRefArray(1100);
+  H->setPendingArrayTag(MemTag::Dram, 2);
+  H->allocRefArray(1100);
+  uint64_t Covered = 0;
+  H->walkObjects(H->oldDram().base(), H->oldDram().top(), [&](uint64_t A) {
+    Covered += H->header(A)->SizeBytes;
+  });
+  EXPECT_EQ(Covered, H->oldDram().usedBytes())
+      << "headers + fillers must tile the space exactly";
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/test_datagen.cpp - Dataset generator tests -------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "workloads/DataGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+using namespace panthera;
+using namespace panthera::workloads;
+
+TEST(SplitMix64, DeterministicAndWellSpread) {
+  SplitMix64 A(7), B(7), C(8);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+  // Uniformity smoke check: mean of nextDouble near 0.5.
+  SplitMix64 R(123);
+  double Sum = 0;
+  for (int I = 0; I != 10000; ++I)
+    Sum += R.nextDouble();
+  EXPECT_NEAR(Sum / 10000, 0.5, 0.02);
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 R(99);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(ZipfSampler, HeadIsHeavierThanTail) {
+  ZipfSampler Z(1000, 1.0);
+  SplitMix64 R(11);
+  std::map<uint64_t, int> Counts;
+  for (int I = 0; I != 50000; ++I)
+    ++Counts[Z.sample(R)];
+  EXPECT_GT(Counts[0], Counts[100] * 5)
+      << "rank-0 must dominate rank-100 under Zipf(1)";
+  EXPECT_GT(Counts[0], 50000 / 1000) << "head far above uniform share";
+}
+
+TEST(ZipfSampler, SamplesStayInDomain) {
+  ZipfSampler Z(32, 1.2);
+  SplitMix64 R(5);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Z.sample(R), 32u);
+}
+
+TEST(PowerLawGraph, EdgeCountAndRangeHold) {
+  GraphData G = genPowerLawGraph(4, 500, 2000, 1.0, 42);
+  int64_t Total = 0;
+  for (const auto &Part : G.Edges)
+    for (const rdd::SourceRecord &E : Part) {
+      ++Total;
+      EXPECT_GE(E.Key, 0);
+      EXPECT_LT(E.Key, 500);
+      EXPECT_GE(E.Val, 0.0);
+      EXPECT_LT(E.Val, 500.0);
+      EXPECT_NE(E.Key, static_cast<int64_t>(E.Val)) << "no self loops";
+    }
+  EXPECT_EQ(Total, 2000);
+}
+
+TEST(PowerLawGraph, DeterministicPerSeed) {
+  GraphData A = genPowerLawGraph(4, 100, 400, 1.0, 1);
+  GraphData B = genPowerLawGraph(4, 100, 400, 1.0, 1);
+  GraphData C = genPowerLawGraph(4, 100, 400, 1.0, 2);
+  ASSERT_EQ(A.Edges[0].size(), B.Edges[0].size());
+  EXPECT_EQ(A.Edges[0][0].Key, B.Edges[0][0].Key);
+  bool Differs = false;
+  for (size_t I = 0; I != std::min(A.Edges[0].size(), C.Edges[0].size());
+       ++I)
+    Differs |= A.Edges[0][I].Key != C.Edges[0][I].Key;
+  EXPECT_TRUE(Differs);
+}
+
+TEST(PowerLawGraph, OutDegreeIsSkewed) {
+  GraphData G = genPowerLawGraph(4, 1000, 20000, 1.0, 3);
+  std::map<int64_t, int> OutDeg;
+  for (const auto &Part : G.Edges)
+    for (const rdd::SourceRecord &E : Part)
+      ++OutDeg[E.Key];
+  EXPECT_GT(OutDeg[0], 20000 / 1000 * 10)
+      << "vertex 0 must be a hub under Zipf sources";
+}
+
+TEST(ClusteredPoints, MomentsMatchTheMixture) {
+  rdd::SourceData Data = genClusteredPoints(4, 50000, 4, 7);
+  double Sum = 0;
+  int64_t N = 0;
+  for (const auto &Part : Data)
+    for (const rdd::SourceRecord &P : Part) {
+      Sum += P.Val;
+      ++N;
+    }
+  EXPECT_EQ(N, 50000);
+  // Components at 12.5/37.5/62.5/87.5, equal weights: mean 50.
+  EXPECT_NEAR(Sum / N, 50.0, 1.0);
+}
+
+TEST(LabeledPoints, LabelsBalancedAndEncoded) {
+  rdd::SourceData Data = genLabeledPoints(4, 40000, 13);
+  int64_t Positives = 0, N = 0;
+  double SumPos = 0, SumNeg = 0;
+  for (const auto &Part : Data)
+    for (const rdd::SourceRecord &P : Part) {
+      int64_t Y = P.Key & 1;
+      Positives += Y;
+      (Y ? SumPos : SumNeg) += P.Val;
+      ++N;
+    }
+  EXPECT_NEAR(static_cast<double>(Positives) / N, 0.5, 0.02);
+  EXPECT_GT(SumPos / Positives, 0.5) << "positive class centered at +1";
+  EXPECT_LT(SumNeg / (N - Positives), -0.5) << "negative class at -1";
+}
+
+TEST(FeatureEvents, KeysEncodeLabelAndFeature) {
+  const uint32_t F = 64, L = 4;
+  rdd::SourceData Data = genFeatureEvents(4, 10000, F, L, 21);
+  for (const auto &Part : Data)
+    for (const rdd::SourceRecord &E : Part) {
+      EXPECT_GE(E.Key, 0);
+      EXPECT_LT(E.Key, static_cast<int64_t>(F) * L);
+      EXPECT_DOUBLE_EQ(E.Val, 1.0);
+    }
+}
+
+TEST(FeatureEvents, ClassConditionalsDiffer) {
+  const uint32_t F = 64, L = 2;
+  rdd::SourceData Data = genFeatureEvents(4, 40000, F, L, 22);
+  std::vector<int> Head(L, 0);
+  for (const auto &Part : Data)
+    for (const rdd::SourceRecord &E : Part) {
+      uint32_t Label = static_cast<uint32_t>(E.Key / F);
+      uint32_t Feature = static_cast<uint32_t>(E.Key % F);
+      // The Zipf head is shifted by label * F/L.
+      if (Feature == Label * (F / L))
+        ++Head[Label];
+    }
+  EXPECT_GT(Head[0], 100);
+  EXPECT_GT(Head[1], 100);
+}

@@ -1,0 +1,143 @@
+//===- tests/test_dsl.cpp - DSL lexer/parser tests ------------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera::dsl;
+
+static Program parseOk(std::string_view Src) {
+  std::vector<Diagnostic> Diags;
+  Program P = parseDriverProgram(Src, Diags);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags[0].Message);
+  return P;
+}
+
+TEST(Lexer, TokenizesPunctuationAndKeywords) {
+  Lexer L("program p { for (i in 1..10) { } }");
+  EXPECT_EQ(L.next().Kind, TokenKind::KwProgram);
+  EXPECT_EQ(L.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(L.next().Kind, TokenKind::LBrace);
+  EXPECT_EQ(L.next().Kind, TokenKind::KwFor);
+  EXPECT_EQ(L.next().Kind, TokenKind::LParen);
+  EXPECT_EQ(L.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(L.next().Kind, TokenKind::KwIn);
+  Token One = L.next();
+  EXPECT_EQ(One.Kind, TokenKind::Integer);
+  EXPECT_EQ(One.IntValue, 1);
+  EXPECT_EQ(L.next().Kind, TokenKind::DotDot);
+}
+
+TEST(Lexer, StringsAndComments) {
+  Lexer L("// a comment\n\"hello\" x");
+  Token S = L.next();
+  EXPECT_EQ(S.Kind, TokenKind::String);
+  EXPECT_EQ(S.Text, "hello");
+  EXPECT_EQ(S.Loc.Line, 2u);
+  EXPECT_EQ(L.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(L.next().Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  Lexer L("\"oops");
+  EXPECT_EQ(L.next().Kind, TokenKind::Error);
+}
+
+TEST(Lexer, DistinguishesDotFromDotDot) {
+  Lexer L("a.b 1..2");
+  EXPECT_EQ(L.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(L.next().Kind, TokenKind::Dot);
+  EXPECT_EQ(L.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(L.next().Kind, TokenKind::Integer);
+  EXPECT_EQ(L.next().Kind, TokenKind::DotDot);
+  EXPECT_EQ(L.next().Kind, TokenKind::Integer);
+}
+
+TEST(Parser, ParsesAssignmentChain) {
+  Program P = parseOk("program t { links = textFile(\"in\").map()"
+                      ".distinct().groupByKey().persist(MEMORY_ONLY); }");
+  ASSERT_EQ(P.Body.size(), 1u);
+  const Stmt &S = *P.Body[0];
+  EXPECT_EQ(S.K, Stmt::Kind::Assign);
+  EXPECT_EQ(S.Var, "links");
+  EXPECT_TRUE(S.Value.RootIsSource);
+  EXPECT_EQ(S.Value.RootName, "textFile");
+  ASSERT_EQ(S.Value.Calls.size(), 4u);
+  EXPECT_EQ(S.Value.Calls[3].Name, "persist");
+  ASSERT_EQ(S.Value.Calls[3].Args.size(), 1u);
+  EXPECT_EQ(S.Value.Calls[3].Args[0].Text, "MEMORY_ONLY");
+}
+
+TEST(Parser, ParsesLoopWithSymbolicBound) {
+  Program P = parseOk(
+      "program t { for (i in 1..iters) { x = y.map(); } }");
+  ASSERT_EQ(P.Body.size(), 1u);
+  const Stmt &L = *P.Body[0];
+  EXPECT_EQ(L.K, Stmt::Kind::Loop);
+  EXPECT_EQ(L.IndexVar, "i");
+  EXPECT_EQ(L.LoopBegin, 1);
+  EXPECT_EQ(L.LoopEndVar, "iters");
+  ASSERT_EQ(L.Body.size(), 1u);
+  EXPECT_EQ(L.Body[0]->K, Stmt::Kind::Assign);
+}
+
+TEST(Parser, ParsesExpressionStatementAction) {
+  Program P = parseOk("program t { ranks.count(); }");
+  ASSERT_EQ(P.Body.size(), 1u);
+  const Stmt &S = *P.Body[0];
+  EXPECT_EQ(S.K, Stmt::Kind::Expr);
+  EXPECT_FALSE(S.Value.RootIsSource);
+  EXPECT_EQ(S.Value.RootName, "ranks");
+  ASSERT_EQ(S.Value.Calls.size(), 1u);
+  EXPECT_EQ(S.Value.Calls[0].Name, "count");
+}
+
+TEST(Parser, ParsesVariableArguments) {
+  Program P =
+      parseOk("program t { c = links.join(ranks).flatMap(); }");
+  const Stmt &S = *P.Body[0];
+  ASSERT_EQ(S.Value.Calls.size(), 2u);
+  ASSERT_EQ(S.Value.Calls[0].Args.size(), 1u);
+  EXPECT_EQ(S.Value.Calls[0].Args[0].K, Arg::Kind::Var);
+  EXPECT_EQ(S.Value.Calls[0].Args[0].Text, "ranks");
+}
+
+TEST(Parser, NestedLoopsParse) {
+  Program P = parseOk("program t { for (i in 1..3) { for (j in 1..2) { "
+                      "x = y.map(); } z = x.map(); } }");
+  const Stmt &Outer = *P.Body[0];
+  ASSERT_EQ(Outer.Body.size(), 2u);
+  EXPECT_EQ(Outer.Body[0]->K, Stmt::Kind::Loop);
+  EXPECT_EQ(Outer.Body[1]->K, Stmt::Kind::Assign);
+}
+
+TEST(Parser, DiagnosesMissingSemicolon) {
+  std::vector<Diagnostic> Diags;
+  parseDriverProgram("program t { x = y.map() }", Diags);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Message.find("';'"), std::string::npos);
+}
+
+TEST(Parser, DiagnosesGarbageWithLocation) {
+  std::vector<Diagnostic> Diags;
+  parseDriverProgram("program t {\n  = broken;\n}", Diags);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_EQ(Diags[0].Loc.Line, 2u);
+}
+
+TEST(Parser, RecoversAndKeepsParsingAfterError) {
+  std::vector<Diagnostic> Diags;
+  Program P = parseDriverProgram(
+      "program t { = bad; good = x.map(); }", Diags);
+  EXPECT_FALSE(Diags.empty());
+  // The good statement is still in the tree.
+  bool FoundGood = false;
+  for (const auto &S : P.Body)
+    if (S && S->K == Stmt::Kind::Assign && S->Var == "good")
+      FoundGood = true;
+  EXPECT_TRUE(FoundGood);
+}

@@ -1,0 +1,221 @@
+//===- tests/test_heap.cpp - Managed heap unit tests ----------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace panthera;
+using namespace panthera::heap;
+using memsim::Device;
+
+namespace {
+
+/// Small Panthera-layout heap fixture (no collector attached).
+class HeapTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Config.HeapBytes = 8 * PaperGB;
+    Config.DramRatio = 1.0 / 3.0;
+    Config.NativeBytes = 2 * PaperGB;
+    Config.Layout = OldGenLayout::SplitDramNvm;
+    Mem = std::make_unique<memsim::HybridMemory>(
+        16 * PaperGB, memsim::MemoryTechnology{}, memsim::CacheConfig{});
+    H = std::make_unique<Heap>(Config, *Mem);
+  }
+
+  HeapConfig Config;
+  std::unique_ptr<memsim::HybridMemory> Mem;
+  std::unique_ptr<Heap> H;
+};
+
+TEST_F(HeapTest, LayoutRespectsConfiguredFractions) {
+  uint64_t Nursery = H->eden().sizeBytes() + H->fromSpace().sizeBytes() +
+                     H->toSpace().sizeBytes();
+  EXPECT_NEAR(static_cast<double>(Nursery) / Config.HeapBytes, 1.0 / 6.0,
+              0.01);
+  uint64_t Old = H->oldDram().sizeBytes() + H->oldNvm().sizeBytes();
+  EXPECT_NEAR(static_cast<double>(Nursery + Old), Config.HeapBytes,
+              2.0 * 4096);
+  // DRAM total = nursery + old DRAM component ~= ratio * heap.
+  EXPECT_NEAR(static_cast<double>(Nursery + H->oldDram().sizeBytes()) /
+                  Config.HeapBytes,
+              Config.DramRatio, 0.01);
+}
+
+TEST_F(HeapTest, DevicesMatchSpaces) {
+  EXPECT_EQ(Mem->map().deviceOf(H->eden().base()), Device::DRAM);
+  EXPECT_EQ(Mem->map().deviceOf(H->oldDram().base()), Device::DRAM);
+  EXPECT_EQ(Mem->map().deviceOf(H->oldNvm().base()), Device::NVM);
+  EXPECT_EQ(Mem->map().deviceOf(H->native().base()), Device::NVM);
+}
+
+TEST_F(HeapTest, AllocPlainRoundTripsFields) {
+  ObjRef T = H->allocPlain(1, 16);
+  H->storeI64(T, 0, 42);
+  H->storeF64(T, 8, 2.5);
+  EXPECT_EQ(H->loadI64(T, 0), 42);
+  EXPECT_DOUBLE_EQ(H->loadF64(T, 8), 2.5);
+  EXPECT_TRUE(H->loadRef(T, 0).isNull()) << "ref slots zero-initialized";
+}
+
+TEST_F(HeapTest, RefArrayStoresAndLoads) {
+  ObjRef Arr = H->allocRefArray(8);
+  ObjRef T = H->allocPlain(0, 8);
+  H->storeRef(Arr, 3, T);
+  EXPECT_EQ(H->loadRef(Arr, 3), T);
+  EXPECT_EQ(H->arrayLength(Arr), 8u);
+}
+
+TEST_F(HeapTest, PrimArrayElementAccess) {
+  ObjRef Arr = H->allocPrimArray(16, 8);
+  H->storeElemF64(Arr, 5, 3.25);
+  H->storeElemI64(Arr, 6, -9);
+  EXPECT_DOUBLE_EQ(H->loadElemF64(Arr, 5), 3.25);
+  EXPECT_EQ(H->loadElemI64(Arr, 6), -9);
+}
+
+TEST_F(HeapTest, YoungAllocationGoesToEden) {
+  ObjRef T = H->allocPlain(1, 16);
+  EXPECT_TRUE(H->eden().contains(T.addr()));
+  EXPECT_TRUE(H->isYoung(T.addr()));
+  EXPECT_FALSE(H->isOld(T.addr()));
+}
+
+TEST_F(HeapTest, PendingTagPretenuresLargeArray) {
+  H->setPendingArrayTag(MemTag::Nvm, /*RddId=*/7);
+  ObjRef Arr = H->allocRefArray(2048);
+  EXPECT_TRUE(H->oldNvm().contains(Arr.addr()));
+  EXPECT_EQ(H->header(Arr.addr())->memTag(), MemTag::Nvm);
+  EXPECT_EQ(H->header(Arr.addr())->RddId, 7u);
+  EXPECT_EQ(H->stats().ArraysPretenured, 1u);
+  EXPECT_EQ(H->pendingArrayTag(), MemTag::None) << "tag consumed";
+}
+
+TEST_F(HeapTest, PendingDramTagUsesOldDram) {
+  H->setPendingArrayTag(MemTag::Dram, 9);
+  ObjRef Arr = H->allocRefArray(2048);
+  EXPECT_TRUE(H->oldDram().contains(Arr.addr()));
+  EXPECT_EQ(H->header(Arr.addr())->memTag(), MemTag::Dram);
+}
+
+TEST_F(HeapTest, SmallArrayDoesNotConsumePendingTag) {
+  H->setPendingArrayTag(MemTag::Nvm, 7);
+  ObjRef Small = H->allocRefArray(16);
+  EXPECT_TRUE(H->eden().contains(Small.addr()));
+  EXPECT_EQ(H->pendingArrayTag(), MemTag::Nvm) << "still armed";
+  H->setPendingArrayTag(MemTag::None, 0);
+}
+
+TEST_F(HeapTest, CardPaddingAlignsArrayEnds) {
+  // Two consecutive pretenured arrays must not share a card.
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef A = H->allocRefArray(2048);
+  H->setPendingArrayTag(MemTag::Nvm, 2);
+  ObjRef B = H->allocRefArray(2048);
+  size_t EndCardA =
+      (A.addr() + H->header(A.addr())->SizeBytes - 1) / CardTable::CardBytes;
+  size_t StartCardB = B.addr() / CardTable::CardBytes;
+  EXPECT_LT(EndCardA, StartCardB);
+  EXPECT_GT(H->stats().CardPaddingWasteBytes, 0u);
+}
+
+TEST_F(HeapTest, NoPaddingWhenDisabled) {
+  Config.Tuning.CardPadding = false;
+  Mem = std::make_unique<memsim::HybridMemory>(
+      16 * PaperGB, memsim::MemoryTechnology{}, memsim::CacheConfig{});
+  H = std::make_unique<Heap>(Config, *Mem);
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef A = H->allocRefArray(1056); // size 32 + 8448 = not card multiple
+  H->setPendingArrayTag(MemTag::Nvm, 2);
+  ObjRef B = H->allocRefArray(1056);
+  size_t EndCardA =
+      (A.addr() + H->header(A.addr())->SizeBytes - 1) / CardTable::CardBytes;
+  size_t StartCardB = B.addr() / CardTable::CardBytes;
+  EXPECT_EQ(EndCardA, StartCardB) << "arrays share a boundary card";
+}
+
+TEST_F(HeapTest, StoreRefDirtiesSlotCard) {
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef Arr = H->allocRefArray(2048);
+  ObjRef T = H->allocPlain(0, 8);
+  H->storeRef(Arr, 1000, T);
+  uint64_t SlotAddr = H->refSlotAddr(Arr.addr(), 1000);
+  EXPECT_TRUE(H->cardTable().isDirty(H->cardTable().cardIndex(SlotAddr)));
+}
+
+TEST_F(HeapTest, WalkObjectsVisitsAllocationOrder) {
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef A = H->allocRefArray(2048);
+  H->setPendingArrayTag(MemTag::Nvm, 2);
+  ObjRef B = H->allocRefArray(2048);
+  std::vector<uint64_t> Seen;
+  H->walkObjects(H->oldNvm().base(), H->oldNvm().top(),
+                 [&](uint64_t Addr) { Seen.push_back(Addr); });
+  // A, filler, B, filler (padding enabled by default).
+  ASSERT_GE(Seen.size(), 2u);
+  EXPECT_EQ(Seen.front(), A.addr());
+  EXPECT_TRUE(std::find(Seen.begin(), Seen.end(), B.addr()) != Seen.end());
+}
+
+TEST_F(HeapTest, FirstObjectIntersectingCardFindsCoveringArray) {
+  H->setPendingArrayTag(MemTag::Nvm, 1);
+  ObjRef A = H->allocRefArray(2048); // spans ~32 cards
+  size_t MidCard = H->cardTable().cardIndex(A.addr() + 8 * 1024);
+  EXPECT_EQ(H->firstObjectIntersectingCard(H->oldNvm(), MidCard), A.addr());
+}
+
+TEST_F(HeapTest, PersistentRootsSurviveAndFree) {
+  ObjRef T = H->allocPlain(0, 8);
+  size_t Id = H->addPersistentRoot(T);
+  EXPECT_EQ(H->persistentRoot(Id), T);
+  H->removePersistentRoot(Id);
+  size_t Id2 = H->addPersistentRoot(T);
+  EXPECT_EQ(Id2, Id) << "slots are recycled";
+  H->removePersistentRoot(Id2);
+}
+
+TEST_F(HeapTest, GcRootsAreVisited) {
+  ObjRef T = H->allocPlain(0, 8);
+  GcRoot R(*H, T);
+  int Count = 0;
+  H->forEachRoot([&](ObjRef &Ref) {
+    ++Count;
+    EXPECT_EQ(Ref, T);
+  });
+  EXPECT_EQ(Count, 1);
+}
+
+TEST_F(HeapTest, NativeAllocationInNvm) {
+  uint64_t Addr = H->allocNative(256);
+  EXPECT_TRUE(H->native().contains(Addr));
+  EXPECT_EQ(Mem->map().deviceOf(Addr), Device::NVM);
+  int64_t V = 123456789;
+  H->nativeWrite(Addr, &V, sizeof(V));
+  int64_t Back = 0;
+  H->nativeRead(Addr, &Back, sizeof(Back));
+  EXPECT_EQ(Back, V);
+}
+
+TEST_F(HeapTest, UnifiedInterleavedLayoutMixesDevices) {
+  Config.Layout = OldGenLayout::UnifiedInterleaved;
+  Config.InterleaveChunkBytes = PaperGB / 4;
+  Mem = std::make_unique<memsim::HybridMemory>(
+      16 * PaperGB, memsim::MemoryTechnology{}, memsim::CacheConfig{});
+  H = std::make_unique<Heap>(Config, *Mem);
+  EXPECT_FALSE(H->hasSplitOldGen());
+  uint64_t DramBytes = Mem->map().bytesBackedBy(
+      H->oldNvm().base(), H->oldNvm().end(), Device::DRAM);
+  uint64_t NvmBytes = Mem->map().bytesBackedBy(
+      H->oldNvm().base(), H->oldNvm().end(), Device::NVM);
+  EXPECT_GT(DramBytes, 0u);
+  EXPECT_GT(NvmBytes, 0u);
+}
+
+} // namespace

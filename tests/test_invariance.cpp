@@ -1,0 +1,97 @@
+//===- tests/test_invariance.cpp - Cross-cutting invariance sweeps --------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The system's master property: memory management must never change
+/// results. These sweeps stress it across the GC-tuning matrix (eager
+/// promotion x card padding x nursery fraction x heap size) and across
+/// engine knobs, on real workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace panthera;
+using namespace panthera::workloads;
+
+namespace {
+
+/// (eager promotion, card padding, nursery fraction, heap GB).
+using Tuning = std::tuple<bool, bool, double, unsigned>;
+
+class TuningInvariance : public ::testing::TestWithParam<Tuning> {};
+
+double runPr(const Tuning &T) {
+  auto [Eager, Padding, Nursery, HeapGB] = T;
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.HeapPaperGB = HeapGB;
+  Config.EagerPromotion = Eager;
+  Config.CardPadding = Padding;
+  Config.NurseryFraction = Nursery;
+  core::Runtime RT(Config);
+  return findWorkload("PR")->Run(RT, 0.4);
+}
+
+TEST_P(TuningInvariance, PageRankChecksumUnchanged) {
+  static const double Reference =
+      runPr({true, true, 1.0 / 6.0, 64}); // the default configuration
+  EXPECT_DOUBLE_EQ(runPr(GetParam()), Reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TuningInvariance,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1.0 / 4.0, 1.0 / 6.0),
+                       ::testing::Values(32u, 64u)));
+
+/// Partition-count invariance: results must not depend on parallelism.
+class PartitionInvariance : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartitionInvariance, AggregationUnchanged) {
+  auto Run = [&](uint32_t Partitions) {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 16;
+    Config.Engine.NumPartitions = Partitions;
+    core::Runtime RT(Config);
+    rdd::SourceData Data(Partitions);
+    for (int64_t I = 0; I != 20000; ++I)
+      Data[static_cast<size_t>(I) % Partitions].push_back({I % 321, 1.0});
+    return RT.ctx()
+        .source(&Data)
+        .mapValues([](double V) { return V * 3.0; })
+        .reduceByKey([](double A, double B) { return A + B; })
+        .reduce([](double A, double B) { return A + B; });
+  };
+  EXPECT_DOUBLE_EQ(Run(GetParam()), Run(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PartitionInvariance,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+/// DRAM-ratio invariance under Panthera: placement shifts, results don't.
+class RatioInvariance : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioInvariance, ConnectedComponentsUnchanged) {
+  auto Run = [&](double Ratio) {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 64;
+    Config.DramRatio = Ratio;
+    core::Runtime RT(Config);
+    return findWorkload("CC")->Run(RT, 0.4);
+  };
+  EXPECT_DOUBLE_EQ(Run(GetParam()), Run(1.0 / 3.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, RatioInvariance,
+                         ::testing::Values(0.15, 0.25, 0.5));
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/test_mapreduce.cpp - MapReduce-layer tests -------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+#include "mapreduce/MapReduce.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+using namespace panthera::mapreduce;
+
+namespace {
+
+class MapReduceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 16;
+    RT = std::make_unique<core::Runtime>(Config);
+  }
+
+  std::vector<std::vector<KeyValue>> splits(int64_t N, int64_t KeyMod,
+                                            unsigned NumSplits = 4) {
+    std::vector<std::vector<KeyValue>> Out(NumSplits);
+    for (int64_t I = 0; I != N; ++I)
+      Out[static_cast<size_t>(I) % NumSplits].push_back({I % KeyMod, 1.0});
+    return Out;
+  }
+
+  std::unique_ptr<core::Runtime> RT;
+};
+
+TEST_F(MapReduceTest, WordCountStyleAggregation) {
+  JobConfig Config;
+  OutputTable Table = runJob(
+      *RT, Config, splits(10000, 25),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key, KV.Value);
+      },
+      [](double A, double B) { return A + B; });
+  // 25 keys, 400 records each.
+  uint32_t TotalRows = 0;
+  for (uint32_t P = 0; P != Table.numPartitions(); ++P)
+    TotalRows += Table.rows(P);
+  EXPECT_EQ(TotalRows, 25u);
+  double V = 0;
+  ASSERT_TRUE(Table.lookup(7, V));
+  EXPECT_DOUBLE_EQ(V, 400.0);
+  EXPECT_DOUBLE_EQ(Table.total(), 10000.0);
+  Table.release();
+}
+
+TEST_F(MapReduceTest, MapperCanExpandAndRekey) {
+  JobConfig Config;
+  OutputTable Table = runJob(
+      *RT, Config, splits(1000, 1000000),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key % 2, 1.0); // parity histogram
+        Emit(2, 1.0);          // plus a total bucket
+      },
+      [](double A, double B) { return A + B; });
+  double Even = 0, Odd = 0, All = 0;
+  ASSERT_TRUE(Table.lookup(0, Even));
+  ASSERT_TRUE(Table.lookup(1, Odd));
+  ASSERT_TRUE(Table.lookup(2, All));
+  EXPECT_DOUBLE_EQ(Even, 500.0);
+  EXPECT_DOUBLE_EQ(Odd, 500.0);
+  EXPECT_DOUBLE_EQ(All, 1000.0);
+  Table.release();
+}
+
+TEST_F(MapReduceTest, OutputTagControlsPlacement) {
+  JobConfig Hot;
+  Hot.OutputTag = MemTag::Dram;
+  Hot.OutputStructureId = 11;
+  // 8000 distinct keys -> ~2000 rows per reducer: above the pretenure
+  // threshold, so the output arrays place directly.
+  OutputTable HotTable = runJob(
+      *RT, Hot, splits(8000, 1000000),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key, KV.Value);
+      },
+      [](double A, double B) { return A + B; });
+  EXPECT_GT(RT->heap().oldDram().usedBytes(), 0u);
+
+  uint64_t NvmBefore = RT->heap().oldNvm().usedBytes();
+  JobConfig Archival;
+  Archival.OutputTag = MemTag::Nvm;
+  Archival.OutputStructureId = 12;
+  OutputTable Archive = runJob(
+      *RT, Archival, splits(8000, 1000000),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key, KV.Value);
+      },
+      [](double A, double B) { return A + B; });
+  EXPECT_GT(RT->heap().oldNvm().usedBytes(), NvmBefore);
+  HotTable.release();
+  Archive.release();
+}
+
+TEST_F(MapReduceTest, SurvivesCollectionsAndRelease) {
+  JobConfig Config;
+  OutputTable Table = runJob(
+      *RT, Config, splits(5000, 50),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key, KV.Value);
+      },
+      [](double A, double B) { return A + B; });
+  RT->collector().collectMinor("test");
+  RT->collector().collectMajor("test");
+  EXPECT_DOUBLE_EQ(Table.total(), 5000.0);
+  Table.release();
+  RT->collector().collectMajor("reclaim");
+  // Heap integrity after release + reclamation.
+  gc::VerifyResult V = gc::verifyHeap(RT->heap());
+  EXPECT_TRUE(V.Ok) << V.FirstProblem;
+}
+
+TEST_F(MapReduceTest, JobsGenerateYoungChurn) {
+  // The map side's emitted pairs are heap objects: a big job must drive
+  // minor collections (the paper's intermediate-data story, on Hadoop).
+  JobConfig Config;
+  uint64_t Before = RT->collector().stats().MinorGcs;
+  OutputTable Table = runJob(
+      *RT, Config, splits(60000, 500),
+      [](const KeyValue &KV, const Emitter &Emit) {
+        Emit(KV.Key, KV.Value);
+      },
+      [](double A, double B) { return A + B; });
+  EXPECT_GT(RT->collector().stats().MinorGcs, Before);
+  Table.release();
+}
+
+TEST_F(MapReduceTest, DeterministicAcrossPolicies) {
+  auto Run = [&](gc::PolicyKind Policy) {
+    core::RuntimeConfig Config;
+    Config.Policy = Policy;
+    Config.HeapPaperGB = 16;
+    core::Runtime Local(Config);
+    JobConfig Job;
+    OutputTable T = runJob(
+        Local, Job, splits(20000, 123),
+        [](const KeyValue &KV, const Emitter &Emit) {
+          Emit(KV.Key * 3 % 41, KV.Value * 2.0);
+        },
+        [](double A, double B) { return A + B; });
+    double Total = T.total();
+    T.release();
+    return Total;
+  };
+  double A = Run(gc::PolicyKind::DramOnly);
+  EXPECT_DOUBLE_EQ(Run(gc::PolicyKind::Panthera), A);
+  EXPECT_DOUBLE_EQ(Run(gc::PolicyKind::Unmanaged), A);
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+//===- tests/test_memsim.cpp - Hybrid-memory simulator tests -------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/AddressMap.h"
+#include "memsim/CacheModel.h"
+#include "memsim/EnergyModel.h"
+#include "memsim/HybridMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+using namespace panthera::memsim;
+
+TEST(AddressMap, DefaultsToDram) {
+  AddressMap Map(1 << 20);
+  EXPECT_EQ(Map.deviceOf(0), Device::DRAM);
+  EXPECT_EQ(Map.deviceOf((1 << 20) - 1), Device::DRAM);
+}
+
+TEST(AddressMap, SetRangeChangesDevice) {
+  AddressMap Map(1 << 20);
+  Map.setRange(4096, 8192, Device::NVM);
+  EXPECT_EQ(Map.deviceOf(4095), Device::DRAM);
+  EXPECT_EQ(Map.deviceOf(4096), Device::NVM);
+  EXPECT_EQ(Map.deviceOf(8191), Device::NVM);
+  EXPECT_EQ(Map.deviceOf(8192), Device::DRAM);
+}
+
+TEST(AddressMap, InterleaveRespectsProbabilityRoughly) {
+  AddressMap Map(64 << 20);
+  Map.interleaveRange(0, 64 << 20, 1 << 20, 0.25, /*Seed=*/7);
+  uint64_t DramBytes = Map.bytesBackedBy(0, 64 << 20, Device::DRAM);
+  double Ratio = static_cast<double>(DramBytes) / (64 << 20);
+  // 64 chunks at p=0.25: expect within a loose binomial bound.
+  EXPECT_GT(Ratio, 0.05);
+  EXPECT_LT(Ratio, 0.55);
+}
+
+TEST(AddressMap, InterleaveIsDeterministic) {
+  AddressMap A(16 << 20), B(16 << 20);
+  A.interleaveRange(0, 16 << 20, 1 << 20, 0.5, 99);
+  B.interleaveRange(0, 16 << 20, 1 << 20, 0.5, 99);
+  for (uint64_t Addr = 0; Addr < (16u << 20); Addr += 1 << 20)
+    EXPECT_EQ(A.deviceOf(Addr), B.deviceOf(Addr));
+}
+
+TEST(CacheModel, HitAfterMiss) {
+  CacheModel C(CacheConfig{});
+  EXPECT_FALSE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x1000, false).Hit);
+  EXPECT_TRUE(C.access(0x1020, false).Hit) << "same 64B line";
+  EXPECT_FALSE(C.access(0x1040, false).Hit) << "next line";
+}
+
+TEST(CacheModel, DirtyEvictionReportsWriteback) {
+  CacheConfig Small;
+  Small.CapacityBytes = 2 * 64; // two lines total
+  Small.Associativity = 2;      // one set
+  CacheModel C(Small);
+  C.access(0, true);      // dirty line 0
+  C.access(64, false);    // fill line 1
+  CacheResult R = C.access(128, false); // evicts LRU = line 0 (dirty)
+  EXPECT_FALSE(R.Hit);
+  EXPECT_TRUE(R.Writeback);
+  EXPECT_EQ(R.VictimLineAddr, 0u);
+}
+
+TEST(CacheModel, LruPrefersOldest) {
+  CacheConfig Small;
+  Small.CapacityBytes = 2 * 64;
+  Small.Associativity = 2;
+  CacheModel C(Small);
+  C.access(0, false);
+  C.access(64, false);
+  C.access(0, false);                    // line 0 now most recent
+  CacheResult R = C.access(128, true);   // must evict line 64
+  EXPECT_FALSE(R.Hit);
+  EXPECT_FALSE(R.Writeback) << "victim was clean";
+  EXPECT_TRUE(C.access(0, false).Hit) << "line 0 must survive";
+}
+
+TEST(MissCost, NvmCostsMoreThanDram) {
+  MemoryTechnology T;
+  EXPECT_GT(T.missCostNs(Device::NVM, Actor::Mutator, false),
+            T.missCostNs(Device::DRAM, Actor::Mutator, false));
+  EXPECT_GT(T.missCostNs(Device::NVM, Actor::Gc, false),
+            T.missCostNs(Device::DRAM, Actor::Gc, false));
+}
+
+TEST(MissCost, GcIsBandwidthBoundOnNvm) {
+  // With the default 64-way GC MLP, the NVM bandwidth term dominates the
+  // latency term -- the §5.3 effect that makes Parallel Scavenge suffer.
+  MemoryTechnology T;
+  double BandwidthTerm = CacheLineBytes / T.NvmBandwidthGBs;
+  EXPECT_DOUBLE_EQ(T.missCostNs(Device::NVM, Actor::Gc, false),
+                   BandwidthTerm);
+}
+
+TEST(HybridMemory, ChargesActorClocksSeparately) {
+  HybridMemory Mem(1 << 20, MemoryTechnology{}, CacheConfig{});
+  Mem.onAccess(0, 8, false);
+  EXPECT_GT(Mem.mutatorTimeNs(), 0.0);
+  EXPECT_EQ(Mem.gcTimeNs(), 0.0);
+  {
+    ActorScope Scope(Mem, Actor::Gc);
+    Mem.onAccess(4096, 8, false);
+  }
+  EXPECT_GT(Mem.gcTimeNs(), 0.0);
+  EXPECT_EQ(Mem.actor(), Actor::Mutator) << "scope must restore";
+}
+
+TEST(HybridMemory, CountsTrafficPerDevice) {
+  HybridMemory Mem(1 << 20, MemoryTechnology{}, CacheConfig{});
+  Mem.map().setRange(0, 4096, Device::NVM);
+  Mem.onAccess(0, 8, false);
+  Mem.onAccess(8192, 8, false);
+  EXPECT_EQ(Mem.traffic(Device::NVM).LineReads, 1u);
+  EXPECT_EQ(Mem.traffic(Device::DRAM).LineReads, 1u);
+}
+
+TEST(HybridMemory, MultiLineAccessTouchesEveryLine) {
+  HybridMemory Mem(1 << 20, MemoryTechnology{}, CacheConfig{});
+  Mem.onAccess(0, 256, false); // 4 lines
+  EXPECT_EQ(Mem.traffic(Device::DRAM).LineReads, 4u);
+}
+
+TEST(HybridMemory, BandwidthTraceAccumulates) {
+  HybridMemory Mem(1 << 20, MemoryTechnology{}, CacheConfig{}, /*Epoch=*/1e3);
+  for (int I = 0; I != 100; ++I)
+    Mem.onAccess(static_cast<uint64_t>(I) * 64, 8, false);
+  double Total = 0;
+  for (const EpochSample &S : Mem.bandwidthTrace())
+    Total += S.DramReadBytes;
+  EXPECT_DOUBLE_EQ(Total, 100.0 * 64.0);
+}
+
+TEST(Energy, NvmWritesDominatePerLine) {
+  EnergyParams P;
+  TrafficCounters Dram{1000, 1000}, Nvm{1000, 1000};
+  EnergyBreakdown E = computeEnergy(P, 0.0, 1.0, 1.0, Dram, Nvm);
+  EXPECT_GT(E.NvmDynamicJoules, E.DramDynamicJoules);
+}
+
+TEST(Energy, StaticScalesWithCapacityAndTime) {
+  EnergyParams P;
+  TrafficCounters None;
+  EnergyBreakdown A = computeEnergy(P, 1e9, 64.0, 0.0, None, None);
+  EnergyBreakdown B = computeEnergy(P, 1e9, 32.0, 0.0, None, None);
+  EXPECT_NEAR(A.DramStaticJoules, 2.0 * B.DramStaticJoules, 1e-9);
+  EnergyBreakdown C = computeEnergy(P, 2e9, 64.0, 0.0, None, None);
+  EXPECT_NEAR(C.DramStaticJoules, 2.0 * A.DramStaticJoules, 1e-9);
+}
+
+TEST(Energy, NvmStaticIsSmallRelativeToDram) {
+  EnergyParams P;
+  TrafficCounters None;
+  EnergyBreakdown E = computeEnergy(P, 1e9, 32.0, 32.0, None, None);
+  EXPECT_LT(E.NvmStaticJoules, 0.2 * E.DramStaticJoules);
+}
+
+TEST(Prefetcher, SequentialMissesAreBandwidthBound) {
+  MemoryTechnology T;
+  HybridMemory Mem(1 << 22, T, CacheConfig{});
+  // A long unit-stride scan: after the first few misses the stream is
+  // detected and each line costs only the bandwidth term.
+  double Before = Mem.mutatorTimeNs();
+  const int Lines = 1000;
+  for (int I = 0; I != Lines; ++I)
+    Mem.onAccess(static_cast<uint64_t>(I) * 64, 8, false);
+  double PerLine = (Mem.mutatorTimeNs() - Before) / Lines;
+  EXPECT_LT(PerLine, 1.2 * 64.0 / T.DramBandwidthGBs)
+      << "sequential DRAM scan should cost ~bandwidth only";
+  EXPECT_GT(Mem.prefetchedMisses(), static_cast<uint64_t>(Lines * 9 / 10));
+}
+
+TEST(Prefetcher, RandomMissesPayFullLatency) {
+  MemoryTechnology T;
+  HybridMemory Mem(64 << 20, T, CacheConfig{});
+  double Before = Mem.mutatorTimeNs();
+  const int Lines = 1000;
+  uint64_t Addr = 0;
+  for (int I = 0; I != Lines; ++I) {
+    Mem.onAccess(Addr % (48u << 20), 8, false);
+    Addr += 4099 * 64; // large prime stride defeats the stream table
+  }
+  double PerLine = (Mem.mutatorTimeNs() - Before) / Lines;
+  EXPECT_NEAR(PerLine, T.DramReadLatencyNs / T.MutatorMlp, 2.0);
+}
+
+TEST(Prefetcher, TracksMultipleConcurrentStreams) {
+  MemoryTechnology T;
+  HybridMemory Mem(64 << 20, T, CacheConfig{});
+  // Four interleaved unit-stride streams at distant bases.
+  uint64_t Bases[4] = {0, 8 << 20, 16 << 20, 24 << 20};
+  for (int I = 0; I != 400; ++I)
+    Mem.onAccess(Bases[I % 4] + static_cast<uint64_t>(I / 4) * 64, 8,
+                 false);
+  EXPECT_GT(Mem.prefetchedMisses(), 350u)
+      << "the 8-entry stream table must hold 4 streams";
+}
+
+TEST(Prefetcher, CanBeDisabled) {
+  MemoryTechnology T;
+  T.StreamPrefetcher = false;
+  HybridMemory Mem(1 << 22, T, CacheConfig{});
+  double Before = Mem.mutatorTimeNs();
+  for (int I = 0; I != 100; ++I)
+    Mem.onAccess(static_cast<uint64_t>(I) * 64, 8, false);
+  double PerLine = (Mem.mutatorTimeNs() - Before) / 100;
+  EXPECT_NEAR(PerLine, T.DramReadLatencyNs / T.MutatorMlp, 2.0);
+  EXPECT_EQ(Mem.prefetchedMisses(), 0u);
+}
+
+TEST(CpuOverlap, HidesPrefetchedStreamsBehindCompute) {
+  MemoryTechnology T;
+  T.CpuOverlapWindowNs = 200.0;
+  HybridMemory Mem(1 << 22, T, CacheConfig{});
+  // Interleave compute with a sequential scan: the stream cost should be
+  // (mostly) absorbed into the CPU time.
+  double Start = Mem.mutatorTimeNs();
+  double CpuTotal = 0;
+  for (int I = 0; I != 500; ++I) {
+    Mem.addCpuWorkNs(20.0);
+    CpuTotal += 20.0;
+    Mem.onAccess(static_cast<uint64_t>(I) * 64, 8, false);
+  }
+  double Elapsed = Mem.mutatorTimeNs() - Start;
+  EXPECT_LT(Elapsed, CpuTotal * 1.15)
+      << "prefetched lines must overlap with compute";
+}
+
+TEST(EmulationMode, NaiveInjectionChargesEveryAccess) {
+  MemoryTechnology T;
+  T.Mode = EmulationMode::NaiveInjection;
+  HybridMemory Mem(1 << 20, T, CacheConfig{});
+  // Two accesses to the same line: no cache, both pay full latency.
+  Mem.onAccess(0, 8, false);
+  Mem.onAccess(8, 8, false);
+  EXPECT_DOUBLE_EQ(Mem.mutatorTimeNs(), 2.0 * T.DramReadLatencyNs);
+  EXPECT_EQ(Mem.traffic(Device::DRAM).LineReads, 2u);
+}
+
+TEST(EmulationMode, NaiveInjectionOvershootsCacheAware) {
+  MemoryTechnology Naive;
+  Naive.Mode = EmulationMode::NaiveInjection;
+  HybridMemory A(1 << 20, Naive, CacheConfig{});
+  HybridMemory B(1 << 20, MemoryTechnology{}, CacheConfig{});
+  for (int I = 0; I != 1000; ++I) {
+    A.onAccess(static_cast<uint64_t>(I % 64) * 8, 8, false);
+    B.onAccess(static_cast<uint64_t>(I % 64) * 8, 8, false);
+  }
+  EXPECT_GT(A.mutatorTimeNs(), 10.0 * B.mutatorTimeNs())
+      << "ignoring the cache must cost dearly on a hot working set";
+}

@@ -1,0 +1,171 @@
+//===- tests/test_mllib.cpp - MLlib-layer tests ---------------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "mllib/MLlib.h"
+#include "workloads/DataGen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace panthera;
+using rdd::Rdd;
+using rdd::SourceData;
+
+namespace {
+
+class MllibTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 32;
+    RT = std::make_unique<core::Runtime>(Config);
+  }
+
+  Rdd persistPoints(const SourceData *Data) {
+    return RT->ctx().source(Data).persistAs("points",
+                                            rdd::StorageLevel::MemoryOnly);
+  }
+
+  std::unique_ptr<core::Runtime> RT;
+};
+
+TEST_F(MllibTest, KMeansRecoversWellSeparatedCenters) {
+  SourceData Data = workloads::genClusteredPoints(4, 20000, 4, /*Seed=*/3);
+  Rdd Points = persistPoints(&Data);
+  mllib::KMeansModel Model = mllib::trainKMeans(Points, 4, 15);
+  // True centers are at 12.5, 37.5, 62.5, 87.5 with sigma 2.
+  std::vector<double> Sorted = Model.Centers;
+  std::sort(Sorted.begin(), Sorted.end());
+  const double Expected[] = {12.5, 37.5, 62.5, 87.5};
+  for (int I = 0; I != 4; ++I)
+    EXPECT_NEAR(Sorted[I], Expected[I], 1.0) << "center " << I;
+}
+
+TEST_F(MllibTest, KMeansCostDecreasesWithMoreIterations) {
+  SourceData Data = workloads::genClusteredPoints(4, 10000, 8, /*Seed=*/9);
+  Rdd Points = persistPoints(&Data);
+  double Cost1 = mllib::trainKMeans(Points, 8, 1).Cost;
+  double Cost10 = mllib::trainKMeans(Points, 8, 10).Cost;
+  EXPECT_LE(Cost10, Cost1);
+}
+
+TEST_F(MllibTest, LogisticRegressionLearnsTheSeparator) {
+  SourceData Data = workloads::genLabeledPoints(4, 20000, /*Seed=*/4);
+  Rdd Points = persistPoints(&Data);
+  mllib::LogisticModel Model = mllib::trainLogistic(Points, 30, 2.0);
+  // Data: x ~ N(2y-1, 1): positive weight separates the classes, and the
+  // boundary sits near x = 0 (so |B| stays small relative to W).
+  EXPECT_GT(Model.W, 0.5);
+  EXPECT_LT(std::abs(Model.B), Model.W);
+  EXPECT_LT(Model.Loss, 0.60) << "should beat the 0.693 chance log-loss";
+}
+
+TEST_F(MllibTest, LogisticLossDecreasesOverTraining) {
+  SourceData Data = workloads::genLabeledPoints(4, 10000, /*Seed=*/8);
+  Rdd Points = persistPoints(&Data);
+  double Loss2 = mllib::trainLogistic(Points, 2, 1.0).Loss;
+  double Loss20 = mllib::trainLogistic(Points, 20, 1.0).Loss;
+  EXPECT_LT(Loss20, Loss2);
+}
+
+TEST_F(MllibTest, NaiveBayesBeatsChanceOnSkewedClasses) {
+  const uint32_t F = 100, L = 4;
+  SourceData Data = workloads::genFeatureEvents(4, 40000, F, L, /*Seed=*/6);
+  Rdd Events = persistPoints(&Data);
+  mllib::NaiveBayesModel Model = mllib::trainNaiveBayes(Events, F, L);
+  double Accuracy = mllib::naiveBayesAccuracy(Events, Model);
+  EXPECT_GT(Accuracy, 1.0 / L + 0.15)
+      << "training accuracy must clearly beat the 25% chance level";
+}
+
+TEST_F(MllibTest, NaiveBayesPriorsReflectLabelBalance) {
+  const uint32_t F = 50, L = 2;
+  SourceData Data = workloads::genFeatureEvents(4, 20000, F, L, /*Seed=*/7);
+  Rdd Events = persistPoints(&Data);
+  mllib::NaiveBayesModel Model = mllib::trainNaiveBayes(Events, F, L);
+  // Labels are drawn uniformly: both priors near log(0.5).
+  EXPECT_NEAR(Model.LogPrior[0], std::log(0.5), 0.1);
+  EXPECT_NEAR(Model.LogPrior[1], std::log(0.5), 0.1);
+}
+
+TEST_F(MllibTest, NaiveBayesLikelihoodsAreNormalizedPerLabel) {
+  const uint32_t F = 30, L = 3;
+  SourceData Data = workloads::genFeatureEvents(4, 15000, F, L, /*Seed=*/2);
+  Rdd Events = persistPoints(&Data);
+  mllib::NaiveBayesModel Model = mllib::trainNaiveBayes(Events, F, L);
+  for (uint32_t Label = 0; Label != L; ++Label) {
+    double Sum = 0.0;
+    for (uint32_t Feat = 0; Feat != F; ++Feat)
+      Sum += std::exp(Model.LogLikelihood[Label * F + Feat]);
+    EXPECT_NEAR(Sum, 1.0, 0.05) << "label " << Label;
+  }
+}
+
+TEST_F(MllibTest, TrainingIsDeterministic) {
+  SourceData Data = workloads::genClusteredPoints(4, 5000, 4, /*Seed=*/1);
+  Rdd Points = persistPoints(&Data);
+  double A = mllib::trainKMeans(Points, 4, 5).Cost;
+  double B = mllib::trainKMeans(Points, 4, 5).Cost;
+  EXPECT_DOUBLE_EQ(A, B);
+}
+
+
+TEST_F(MllibTest, KMeansNDRecoversGridCenters) {
+  const uint32_t K = 2, Dims = 3;
+  SourceData Data = workloads::genClusteredPointsND(4, 6000, Dims, K, 31);
+  Rdd Points = RT->ctx()
+                   .source(&Data)
+                   .groupByKey()
+                   .persistAs("points", rdd::StorageLevel::MemoryOnly);
+  mllib::KMeansNDModel Model = mllib::trainKMeansND(Points, K, Dims, 12);
+  // Every recovered center must be close to SOME ground-truth center.
+  for (uint32_t C = 0; C != K; ++C) {
+    double BestDist = 1e300;
+    for (uint32_t Truth = 0; Truth != K; ++Truth) {
+      double Dist = 0;
+      for (uint32_t D = 0; D != Dims; ++D) {
+        double Delta = Model.Centers[C * Dims + D] -
+                       workloads::clusterCenterND(Truth, D, K);
+        Dist += Delta * Delta;
+      }
+      BestDist = std::min(BestDist, Dist);
+    }
+    EXPECT_LT(BestDist, 9.0) << "recovered center " << C
+                             << " is far from every true center";
+  }
+}
+
+TEST_F(MllibTest, KMeansNDCostShrinksWithIterations) {
+  const uint32_t K = 3, Dims = 2;
+  SourceData Data = workloads::genClusteredPointsND(4, 3000, Dims, K, 9);
+  SourceData Copy = Data;
+  Rdd P1 = RT->ctx().source(&Data).groupByKey().persistAs(
+      "p1", rdd::StorageLevel::MemoryOnly);
+  double Cost1 = mllib::trainKMeansND(P1, K, Dims, 1).Cost;
+  Rdd P2 = RT->ctx().source(&Copy).groupByKey().persistAs(
+      "p2", rdd::StorageLevel::MemoryOnly);
+  double Cost8 = mllib::trainKMeansND(P2, K, Dims, 8).Cost;
+  EXPECT_LE(Cost8, Cost1);
+}
+
+TEST_F(MllibTest, GroupByKeyReassemblesCoordinateOrder) {
+  // The ND pipeline depends on buffers preserving dimension order.
+  const uint32_t Dims = 4;
+  SourceData Data = workloads::genClusteredPointsND(4, 200, Dims, 2, 77);
+  Rdd Points = RT->ctx().source(&Data).groupByKey();
+  Rdd Check = Points.flatMap([](rdd::RddContext &C, heap::ObjRef T,
+                                const rdd::TupleSink &S) {
+    S(C.makeTuple(C.key(T), static_cast<double>(C.bufferLength(T))));
+  });
+  for (const rdd::SourceRecord &Rec : Check.collect())
+    EXPECT_DOUBLE_EQ(Rec.Val, Dims) << "point " << Rec.Key;
+}
+
+} // namespace

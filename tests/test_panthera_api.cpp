@@ -1,0 +1,83 @@
+//===- tests/test_panthera_api.cpp - §4.3 public API tests ----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PantheraApi.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+using heap::GcRoot;
+using heap::ObjRef;
+
+namespace {
+
+class PantheraApiTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 16;
+    RT = std::make_unique<core::Runtime>(Config);
+  }
+  std::unique_ptr<core::Runtime> RT;
+};
+
+TEST_F(PantheraApiTest, PretenureNextArrayPlacesPerTag) {
+  heap::Heap &H = RT->heap();
+  core::pretenureNextArray(H, MemTag::Dram, 5);
+  ObjRef A = H.allocRefArray(2048);
+  EXPECT_TRUE(H.oldDram().contains(A.addr()));
+  EXPECT_EQ(H.header(A.addr())->RddId, 5u);
+  core::pretenureNextArray(H, MemTag::Nvm, 6);
+  ObjRef B = H.allocRefArray(2048);
+  EXPECT_TRUE(H.oldNvm().contains(B.addr()));
+}
+
+TEST_F(PantheraApiTest, TagDataStructureMovesClosureAtNextGc) {
+  heap::Heap &H = RT->heap();
+  GcRoot Root(H, H.allocPlain(1, 8));
+  {
+    ObjRef Child = H.allocPlain(0, 8);
+    H.storeI64(Child, 0, 42);
+    H.storeRef(Root.get(), 0, Child);
+  }
+  core::tagDataStructure(H, Root.get(), MemTag::Dram, 9);
+  RT->collector().collectMinor("api");
+  EXPECT_TRUE(H.oldDram().contains(Root.get().addr()));
+  ObjRef Child = H.loadRef(Root.get(), 0);
+  EXPECT_TRUE(H.oldDram().contains(Child.addr()))
+      << "the reachable closure follows the tagged root";
+  EXPECT_EQ(H.loadI64(Child, 0), 42);
+}
+
+TEST_F(PantheraApiTest, TrackedStructureMigratesByFrequency) {
+  heap::Heap &H = RT->heap();
+  // Untagged array, tenured to NVM by age, tracked with id 7.
+  GcRoot Arr(H, H.allocRefArray(2048));
+  core::trackDataStructure(H, Arr.get(), 7);
+  for (int I = 0; I != 4; ++I)
+    RT->collector().collectMinor("age");
+  ASSERT_TRUE(H.oldNvm().contains(Arr.get().addr()));
+  // Record heavy use, then a full GC must promote it to DRAM.
+  for (int I = 0; I != 20; ++I)
+    core::recordStructureUse(RT->monitor(), 7);
+  RT->collector().collectMajor("api");
+  EXPECT_TRUE(H.oldDram().contains(Arr.get().addr()));
+}
+
+TEST_F(PantheraApiTest, UntrackedColdStructureStaysPut) {
+  heap::Heap &H = RT->heap();
+  GcRoot Arr(H, H.allocRefArray(2048)); // untagged, no structure id
+  for (int I = 0; I != 4; ++I)
+    RT->collector().collectMinor("age");
+  ASSERT_TRUE(H.oldNvm().contains(Arr.get().addr()));
+  RT->collector().collectMajor("api");
+  EXPECT_TRUE(H.oldNvm().contains(Arr.get().addr()))
+      << "structures without an id are invisible to migration";
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/test_passes.cpp - Printer / instrumenter / stage planner -----===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Instrumenter.h"
+#include "analysis/StagePlanner.h"
+#include "analysis/TagInference.h"
+#include "dsl/Parser.h"
+#include "dsl/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+using namespace panthera::analysis;
+
+static dsl::Program parse(std::string_view Src) {
+  std::vector<dsl::Diagnostic> Diags;
+  dsl::Program P = dsl::parseDriverProgram(Src, Diags);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags[0].Message);
+  return P;
+}
+
+static const char *PageRankDsl = R"(
+program pagerank {
+  lines = textFile("graph");
+  links = lines.map().distinct().groupByKey().persist(MEMORY_ONLY);
+  ranks = links.mapValues();
+  for (i in 1..iters) {
+    contribs = links.join(ranks).flatMap().persist(MEMORY_AND_DISK_SER);
+    ranks = contribs.reduceByKey().mapValues();
+  }
+  ranks.count();
+}
+)";
+
+//===----------------------------------------------------------------------===
+// Printer
+//===----------------------------------------------------------------------===
+
+TEST(Printer, RoundTripIsAFixpoint) {
+  dsl::Program P = parse(PageRankDsl);
+  std::string Once = dsl::printProgram(P);
+  dsl::Program P2 = parse(Once);
+  std::string Twice = dsl::printProgram(P2);
+  EXPECT_EQ(Once, Twice);
+}
+
+TEST(Printer, PreservesSemantics) {
+  // The analysis result on the printed program equals the original's.
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Before = inferMemoryTags(P);
+  dsl::Program P2 = parse(dsl::printProgram(P));
+  AnalysisResult After = inferMemoryTags(P2);
+  ASSERT_EQ(Before.Vars.size(), After.Vars.size());
+  for (const auto &[Var, Info] : Before.Vars) {
+    ASSERT_TRUE(After.Vars.count(Var));
+    EXPECT_EQ(After.Vars.at(Var).Tag, Info.Tag) << Var;
+    EXPECT_EQ(After.Vars.at(Var).Reason, Info.Reason) << Var;
+  }
+}
+
+TEST(Printer, RendersAllArgKinds) {
+  dsl::Program P = parse(
+      "program t { x = src(\"file\", 42, other).map(); x.count(); }");
+  std::string Out = dsl::printProgram(P);
+  EXPECT_NE(Out.find("src(\"file\", 42, other)"), std::string::npos) << Out;
+}
+
+TEST(Printer, CloneIsDeep) {
+  dsl::Program P = parse(PageRankDsl);
+  dsl::Program Copy = dsl::cloneProgram(P);
+  P.Body.clear(); // must not affect the copy
+  EXPECT_EQ(dsl::printProgram(Copy), dsl::printProgram(parse(PageRankDsl)));
+}
+
+//===----------------------------------------------------------------------===
+// Instrumenter
+//===----------------------------------------------------------------------===
+
+TEST(Instrumenter, InsertsOneCallPerTaggedVariable) {
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Tags = inferMemoryTags(P);
+  InstrumentationStats Stats;
+  dsl::Program Out = instrumentProgram(P, Tags, &Stats);
+  // links (DRAM), contribs (NVM), ranks (NVM, action-materialized).
+  EXPECT_EQ(Stats.CallsInserted, 3u);
+  std::string Src = dsl::printProgram(Out);
+  EXPECT_NE(Src.find("rddAlloc(links, DRAM);"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("rddAlloc(contribs, NVM);"), std::string::npos);
+  EXPECT_NE(Src.find("rddAlloc(ranks, NVM);"), std::string::npos);
+}
+
+TEST(Instrumenter, OutputReparsesAndKeepsTags) {
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Tags = inferMemoryTags(P);
+  dsl::Program Out = instrumentProgram(P, Tags);
+  dsl::Program Re = parse(dsl::printProgram(Out));
+  AnalysisResult Tags2 = inferMemoryTags(Re);
+  EXPECT_EQ(Tags2.tagFor("links"), MemTag::Dram)
+      << "rddAlloc calls must not perturb the analysis";
+  EXPECT_EQ(Tags2.tagFor("contribs"), MemTag::Nvm);
+}
+
+TEST(Instrumenter, CallFollowsThePersistingDefinition) {
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Tags = inferMemoryTags(P);
+  std::string Src = dsl::printProgram(instrumentProgram(P, Tags));
+  size_t Def = Src.find("links = ");
+  size_t Call = Src.find("rddAlloc(links");
+  ASSERT_NE(Def, std::string::npos);
+  ASSERT_NE(Call, std::string::npos);
+  EXPECT_LT(Def, Call) << "the variable must be bound before the call";
+}
+
+TEST(Instrumenter, ActionMaterializedCallPrecedesTheAction) {
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Tags = inferMemoryTags(P);
+  std::string Src = dsl::printProgram(instrumentProgram(P, Tags));
+  size_t Call = Src.find("rddAlloc(ranks");
+  size_t Action = Src.find("ranks.count()");
+  ASSERT_NE(Call, std::string::npos);
+  ASSERT_NE(Action, std::string::npos);
+  EXPECT_LT(Call, Action);
+}
+
+TEST(Instrumenter, SkipsUntaggedVariables) {
+  dsl::Program P = parse(R"(
+program t {
+  spill = textFile("a").persist(DISK_ONLY);
+  live = textFile("b").persist(MEMORY_ONLY);
+  for (i in 1..n) { x = live.map(); x.count(); }
+}
+)");
+  AnalysisResult Tags = inferMemoryTags(P);
+  InstrumentationStats Stats;
+  std::string Src = dsl::printProgram(instrumentProgram(P, Tags, &Stats));
+  EXPECT_EQ(Src.find("rddAlloc(spill"), std::string::npos)
+      << "DISK_ONLY has no memory tag";
+  EXPECT_NE(Src.find("rddAlloc(live"), std::string::npos);
+}
+
+TEST(Instrumenter, InstrumentsInsideLoops) {
+  dsl::Program P = parse(PageRankDsl);
+  AnalysisResult Tags = inferMemoryTags(P);
+  std::string Src = dsl::printProgram(instrumentProgram(P, Tags));
+  // contribs materializes inside the loop; its call must be indented
+  // within the loop body.
+  EXPECT_NE(Src.find("    rddAlloc(contribs, NVM);"), std::string::npos)
+      << Src;
+}
+
+//===----------------------------------------------------------------------===
+// Stage planner
+//===----------------------------------------------------------------------===
+
+TEST(StagePlanner, PageRankIterationHasTheFig2bShuffles) {
+  dsl::Program P = parse(PageRankDsl);
+  StagePlan Plan = planStages(P);
+  // Shuffles: distinct, groupByKey (links build) and the per-iteration
+  // reduceByKey -- three wide edges in one representative iteration.
+  EXPECT_EQ(Plan.NumShuffles, 3u);
+  EXPECT_GE(Plan.NumStages, 3u);
+}
+
+TEST(StagePlanner, NarrowChainsShareOneStage) {
+  StagePlan Plan = planStages(parse(
+      "program t { x = textFile(\"a\").map().filter().flatMap(); "
+      "x.count(); }"));
+  EXPECT_EQ(Plan.NumShuffles, 0u);
+  EXPECT_EQ(Plan.NumStages, 1u);
+}
+
+TEST(StagePlanner, EachWideOpCutsAStage) {
+  StagePlan Plan = planStages(parse(
+      "program t { x = textFile(\"a\").map().reduceByKey().map()"
+      ".groupByKey().map(); x.count(); }"));
+  EXPECT_EQ(Plan.NumShuffles, 2u);
+  EXPECT_EQ(Plan.NumStages, 3u);
+}
+
+TEST(StagePlanner, JoinMergesLineages) {
+  StagePlan Plan = planStages(parse(R"(
+program t {
+  a = textFile("a").reduceByKey();
+  b = textFile("b").reduceByKey();
+  c = a.join(b).map();
+  c.count();
+}
+)"));
+  // join is narrow over co-partitioned inputs; both reduceByKey cuts.
+  EXPECT_EQ(Plan.NumShuffles, 2u);
+  // Find the join node and check it has two parents.
+  bool Found = false;
+  for (const LineageNode &N : Plan.Nodes)
+    if (N.Op == "join") {
+      Found = true;
+      EXPECT_EQ(N.Parents.size(), 2u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(StagePlanner, PersistAndActionAnnotationsLand) {
+  StagePlan Plan = planStages(parse(PageRankDsl));
+  bool SawPersistedLinks = false;
+  for (const LineageNode &N : Plan.Nodes)
+    if (N.Var == "links")
+      SawPersistedLinks = N.Persisted;
+  EXPECT_TRUE(SawPersistedLinks);
+  std::string Listing = printStagePlan(Plan);
+  EXPECT_NE(Listing.find("links"), std::string::npos);
+  EXPECT_NE(Listing.find("stages:"), std::string::npos);
+}
+

@@ -1,0 +1,173 @@
+//===- tests/test_serialized_cache.cpp - _SER storage-level tests ---------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The serialized in-memory storage levels (MEMORY_ONLY_SER,
+/// MEMORY_AND_DISK_SER): partitions stored as single primitive arrays.
+/// These are the levels the paper's fault-tolerance caches use (PageRank
+/// persists contribs MEMORY_AND_DISK_SER), and the reason such caches are
+/// nearly free for the GC.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+#include "gc/HeapVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+using heap::ObjRef;
+using rdd::Rdd;
+using rdd::RddContext;
+using rdd::SourceData;
+
+namespace {
+
+class SerializedCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.HeapPaperGB = 16;
+    RT = std::make_unique<core::Runtime>(Config);
+  }
+
+  SourceData makeData(int64_t N) {
+    SourceData Data(RT->ctx().config().NumPartitions);
+    for (int64_t I = 0; I != N; ++I)
+      Data[static_cast<size_t>(I) % Data.size()].push_back(
+          {I, static_cast<double>(I) * 0.5});
+    return Data;
+  }
+
+  Rdd persistSer(const SourceData *Data, rdd::StorageLevel Level) {
+    return RT->ctx()
+        .source(Data)
+        .map([](RddContext &C, ObjRef T) {
+          return C.makeTuple(C.key(T), C.value(T));
+        })
+        .persistAs("ser", Level);
+  }
+
+  std::unique_ptr<core::Runtime> RT;
+};
+
+TEST_F(SerializedCacheTest, RoundTripsValues) {
+  SourceData Data = makeData(5000);
+  Rdd R = persistSer(&Data, rdd::StorageLevel::MemoryOnlySer);
+  EXPECT_EQ(R.count(), 5000);
+  for (const rdd::SourceRecord &Rec : R.collect())
+    EXPECT_DOUBLE_EQ(Rec.Val, Rec.Key * 0.5);
+  EXPECT_TRUE(R.node()->SerializedInMemory);
+}
+
+TEST_F(SerializedCacheTest, ReusesTheCacheAcrossActions) {
+  SourceData Data = makeData(3000);
+  int Applications = 0;
+  Rdd R = RT->ctx()
+              .source(&Data)
+              .map([&Applications](RddContext &C, ObjRef T) {
+                ++Applications;
+                return C.makeTuple(C.key(T), C.value(T));
+              })
+              .persistAs("ser", rdd::StorageLevel::MemoryOnlySer);
+  R.count();
+  R.count();
+  EXPECT_EQ(Applications, 3000) << "second action reads the byte buffer";
+}
+
+TEST_F(SerializedCacheTest, NvmTaggedBufferIsPretenuredToNvm) {
+  RT->analyzeAndInstall(R"(
+program t {
+  hot = textFile("h").map().persist(MEMORY_ONLY);
+  for (i in 1..n) {
+    ser = hot.map().persist(MEMORY_ONLY_SER);
+    ser.count();
+  }
+}
+)");
+  ASSERT_EQ(RT->analysis().tagFor("ser"), MemTag::Nvm);
+  SourceData Data = makeData(8000); // 2000 pairs/partition -> 4000 elems
+  Rdd R = persistSer(&Data, rdd::StorageLevel::MemoryOnlySer);
+  R.count();
+  EXPECT_GT(RT->heap().oldNvm().usedBytes(), 0u);
+  EXPECT_GE(RT->heap().stats().ArraysPretenured, 4u)
+      << "the serialized buffers pretenure like RDD arrays";
+}
+
+TEST_F(SerializedCacheTest, SurvivesCollectionsIntact) {
+  SourceData Data = makeData(6000);
+  Rdd R = persistSer(&Data, rdd::StorageLevel::MemoryAndDiskSer);
+  R.count();
+  RT->collector().collectMinor("test");
+  RT->collector().collectMajor("test");
+  double Sum = R.reduce([](double A, double B) { return A + B; });
+  double Expected = 0;
+  for (int64_t I = 0; I != 6000; ++I)
+    Expected += I * 0.5;
+  EXPECT_DOUBLE_EQ(Sum, Expected);
+}
+
+TEST_F(SerializedCacheTest, CheaperForTheGcThanDeserialized) {
+  // The same data persisted both ways: the serialized cache must leave
+  // far fewer live objects for the collector to visit.
+  SourceData Data = makeData(20000);
+  {
+    SourceData Local = Data;
+    Rdd Deser = persistSer(&Local, rdd::StorageLevel::MemoryOnly);
+    Deser.count();
+    RT->collector().collectMajor("measure");
+  }
+  uint64_t DeserVisited = 0;
+  {
+    gc::VerifyResult V = gc::verifyHeap(RT->heap());
+    DeserVisited = V.ObjectsVisited;
+  }
+  SetUp(); // fresh runtime
+  {
+    SourceData Local = Data;
+    Rdd Ser = persistSer(&Local, rdd::StorageLevel::MemoryOnlySer);
+    Ser.count();
+    RT->collector().collectMajor("measure");
+  }
+  gc::VerifyResult V = gc::verifyHeap(RT->heap());
+  EXPECT_LT(V.ObjectsVisited * 10, DeserVisited)
+      << "serialized caches should be >10x fewer objects";
+}
+
+TEST_F(SerializedCacheTest, SerAndDeserProduceIdenticalResults) {
+  SourceData Data = makeData(4000);
+  SourceData Copy = Data;
+  double A = persistSer(&Data, rdd::StorageLevel::MemoryOnlySer)
+                 .reduce([](double X, double Y) { return X + Y; });
+  double B = persistSer(&Copy, rdd::StorageLevel::MemoryOnly)
+                 .reduce([](double X, double Y) { return X + Y; });
+  EXPECT_DOUBLE_EQ(A, B);
+}
+
+TEST_F(SerializedCacheTest, UnpersistReleasesTheBuffers) {
+  RT->analyzeAndInstall(R"(
+program t {
+  hot = textFile("h").map().persist(MEMORY_ONLY);
+  for (i in 1..n) {
+    ser = hot.map().persist(MEMORY_ONLY_SER);
+    ser.count();
+  }
+}
+)");
+  SourceData Data = makeData(8000);
+  Rdd R = persistSer(&Data, rdd::StorageLevel::MemoryOnlySer);
+  R.count();
+  ASSERT_GT(RT->heap().oldNvm().usedBytes(), 0u);
+  uint64_t Before = RT->heap().oldNvm().usedBytes() +
+                    RT->heap().oldDram().usedBytes();
+  R.unpersist();
+  RT->collector().collectMajor("reclaim");
+  uint64_t After = RT->heap().oldNvm().usedBytes() +
+                   RT->heap().oldDram().usedBytes();
+  EXPECT_LT(After, Before);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- tests/test_support.cpp - Support-library tests ---------------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SparkOps.h"
+#include "rdd/StorageLevel.h"
+#include "support/MemTag.h"
+#include "support/Statistics.h"
+#include "support/Units.h"
+
+#include <gtest/gtest.h>
+
+using namespace panthera;
+
+TEST(MemTag, MergePrefersDram) {
+  EXPECT_EQ(mergeTags(MemTag::Dram, MemTag::Nvm), MemTag::Dram);
+  EXPECT_EQ(mergeTags(MemTag::Nvm, MemTag::Dram), MemTag::Dram);
+  EXPECT_EQ(mergeTags(MemTag::Nvm, MemTag::None), MemTag::Nvm);
+  EXPECT_EQ(mergeTags(MemTag::None, MemTag::None), MemTag::None);
+  EXPECT_EQ(mergeTags(MemTag::Dram, MemTag::Dram), MemTag::Dram);
+}
+
+TEST(MemTag, MergeIsCommutativeAndIdempotent) {
+  const MemTag Tags[] = {MemTag::None, MemTag::Dram, MemTag::Nvm};
+  for (MemTag A : Tags)
+    for (MemTag B : Tags) {
+      EXPECT_EQ(mergeTags(A, B), mergeTags(B, A));
+      EXPECT_EQ(mergeTags(A, A), A);
+      // Merging never weakens either operand (lattice property).
+      MemTag M = mergeTags(A, B);
+      EXPECT_EQ(mergeTags(M, A), M);
+      EXPECT_EQ(mergeTags(M, B), M);
+    }
+}
+
+TEST(MemTag, Names) {
+  EXPECT_STREQ(memTagName(MemTag::None), "NONE");
+  EXPECT_STREQ(memTagName(MemTag::Dram), "DRAM");
+  EXPECT_STREQ(memTagName(MemTag::Nvm), "NVM");
+}
+
+TEST(Statistics, GeomeanOfEqualValues) {
+  EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Statistics, MeanAndAccumulator) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  Accumulator A;
+  A.add(3.0);
+  A.add(1.0);
+  A.add(2.0);
+  EXPECT_DOUBLE_EQ(A.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(A.average(), 2.0);
+  EXPECT_DOUBLE_EQ(A.min(), 1.0);
+  EXPECT_DOUBLE_EQ(A.max(), 3.0);
+  EXPECT_EQ(A.count(), 3u);
+}
+
+TEST(Units, PaperScaleIsConsistent) {
+  EXPECT_EQ(PaperGB, MiB);
+  EXPECT_EQ(GiB / PaperGB, 1024u) << "1 GB -> 1 MB";
+  // The pretenure threshold scales by the same factor as sizes: 1M
+  // elements / 1024.
+  EXPECT_EQ(ScaledLargeArrayThreshold, 1024u * 1024u / 1024u);
+}
+
+TEST(StorageLevel, ParseRoundTrips) {
+  using rdd::parseStorageLevel;
+  using rdd::StorageLevel;
+  using rdd::storageLevelName;
+  for (StorageLevel L :
+       {StorageLevel::MemoryOnly, StorageLevel::MemoryOnlySer,
+        StorageLevel::MemoryAndDisk, StorageLevel::MemoryAndDiskSer,
+        StorageLevel::DiskOnly, StorageLevel::OffHeap})
+    EXPECT_EQ(parseStorageLevel(storageLevelName(L)), L);
+  EXPECT_EQ(parseStorageLevel("SOMETHING_ELSE"),
+            StorageLevel::MemoryOnly);
+}
+
+TEST(StorageLevel, HeapLevelClassification) {
+  using rdd::isHeapLevel;
+  using rdd::StorageLevel;
+  EXPECT_TRUE(isHeapLevel(StorageLevel::MemoryOnly));
+  EXPECT_TRUE(isHeapLevel(StorageLevel::MemoryAndDiskSer));
+  EXPECT_FALSE(isHeapLevel(StorageLevel::DiskOnly));
+  EXPECT_FALSE(isHeapLevel(StorageLevel::OffHeap));
+}
+
+TEST(SparkOps, Classification) {
+  using namespace panthera::analysis;
+  EXPECT_TRUE(isTransformation("map"));
+  EXPECT_TRUE(isTransformation("reduceByKey"));
+  EXPECT_FALSE(isTransformation("count"));
+  EXPECT_TRUE(isAction("count"));
+  EXPECT_TRUE(isAction("collectAsMap"));
+  EXPECT_FALSE(isAction("join"));
+  EXPECT_TRUE(isPersist("persist"));
+  EXPECT_TRUE(isUnpersist("unpersist"));
+  EXPECT_TRUE(isMemoryStorageLevel("MEMORY_AND_DISK_SER"));
+  EXPECT_FALSE(isMemoryStorageLevel("DISK_ONLY"));
+  EXPECT_FALSE(isMemoryStorageLevel("OFF_HEAP"));
+}

@@ -1,0 +1,161 @@
+//===- tools/panthera_sim.cpp - The all-in-one simulation driver ----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Command-line driver over the whole system: pick a workload, a memory
+/// policy, and a configuration; get the complete report -- timing split,
+/// GC log, energy breakdown, device traffic, and heap residency.
+///
+/// Usage:
+///   panthera_sim [--workload=PR|KM|LR|TC|CC|SSSP|BC]
+///                [--policy=panthera|unmanaged|dram|kn|kw]
+///                [--heap=64] [--ratio=0.333] [--scale=1.0]
+///                [--nursery=0.1667] [--no-eager] [--no-padding]
+///                [--gclog] [--verify] [--list]
+///
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace panthera;
+
+static gc::PolicyKind parsePolicy(const std::string &Name) {
+  if (Name == "unmanaged")
+    return gc::PolicyKind::Unmanaged;
+  if (Name == "dram" || Name == "dram-only")
+    return gc::PolicyKind::DramOnly;
+  if (Name == "kn")
+    return gc::PolicyKind::KingsguardNursery;
+  if (Name == "kw")
+    return gc::PolicyKind::KingsguardWrites;
+  return gc::PolicyKind::Panthera;
+}
+
+int main(int Argc, char **Argv) {
+  std::string Workload = "PR";
+  std::string Policy = "panthera";
+  core::RuntimeConfig Config;
+  double Scale = 1.0;
+  bool GcLog = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto Val = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return std::strncmp(A, Prefix, N) == 0 ? A + N : nullptr;
+    };
+    if (const char *V = Val("--workload="))
+      Workload = V;
+    else if (const char *V = Val("--policy="))
+      Policy = V;
+    else if (const char *V = Val("--heap="))
+      Config.HeapPaperGB = static_cast<unsigned>(std::atoi(V));
+    else if (const char *V = Val("--ratio="))
+      Config.DramRatio = std::atof(V);
+    else if (const char *V = Val("--nursery="))
+      Config.NurseryFraction = std::atof(V);
+    else if (const char *V = Val("--scale="))
+      Scale = std::atof(V);
+    else if (std::strcmp(A, "--no-eager") == 0)
+      Config.EagerPromotion = false;
+    else if (std::strcmp(A, "--no-padding") == 0)
+      Config.CardPadding = false;
+    else if (std::strcmp(A, "--gclog") == 0)
+      GcLog = true;
+    else if (std::strcmp(A, "--verify") == 0)
+      Config.VerifyHeap = true;
+    else if (std::strcmp(A, "--list") == 0) {
+      for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
+        std::printf("%-5s %-36s %s\n", Spec.ShortName.c_str(),
+                    Spec.FullName.c_str(), Spec.Dataset.c_str());
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see the file header)\n", A);
+      return 1;
+    }
+  }
+
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload(Workload);
+  if (!Spec) {
+    std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                 Workload.c_str());
+    return 1;
+  }
+  Config.Policy = parsePolicy(Policy);
+
+  std::printf("%s under %s | heap %u GB, DRAM ratio %.3f, nursery %.3f, "
+              "scale %.2f\n",
+              Spec->FullName.c_str(), gc::policyName(Config.Policy),
+              Config.HeapPaperGB, Config.DramRatio, Config.NurseryFraction,
+              Scale);
+
+  core::Runtime RT(Config);
+  double Checksum = Spec->Run(RT, Scale);
+  core::RunReport R = RT.report();
+
+  std::printf("\nresult checksum: %g\n", Checksum);
+  std::printf("\ntime:   %10.3f simulated ms total\n", R.TotalNs / 1e6);
+  std::printf("        %10.3f ms mutator (%.1f%%)\n", R.MutatorNs / 1e6,
+              100.0 * R.MutatorNs / R.TotalNs);
+  std::printf("        %10.3f ms GC (%.1f%%), %llu minor + %llu major\n",
+              R.GcNs / 1e6, 100.0 * R.GcNs / R.TotalNs,
+              static_cast<unsigned long long>(R.Gc.MinorGcs),
+              static_cast<unsigned long long>(R.Gc.MajorGcs));
+  std::printf("\ntraffic: DRAM %llu reads / %llu writes, NVM %llu reads / "
+              "%llu writes (lines)\n",
+              static_cast<unsigned long long>(R.DramTraffic.LineReads),
+              static_cast<unsigned long long>(R.DramTraffic.LineWrites),
+              static_cast<unsigned long long>(R.NvmTraffic.LineReads),
+              static_cast<unsigned long long>(R.NvmTraffic.LineWrites));
+  std::printf("\nenergy: %8.3f J total = %.3f DRAM static + %.3f NVM "
+              "static + %.3f DRAM dyn + %.3f NVM dyn\n",
+              R.TotalJoules, R.Energy.DramStaticJoules,
+              R.Energy.NvmStaticJoules, R.Energy.DramDynamicJoules,
+              R.Energy.NvmDynamicJoules);
+  std::printf("\nheap:   old DRAM %llu / %llu KB, old NVM %llu / %llu KB\n",
+              static_cast<unsigned long long>(
+                  RT.heap().oldDram().usedBytes() / 1024),
+              static_cast<unsigned long long>(
+                  RT.heap().oldDram().sizeBytes() / 1024),
+              static_cast<unsigned long long>(
+                  RT.heap().oldNvm().usedBytes() / 1024),
+              static_cast<unsigned long long>(
+                  RT.heap().oldNvm().sizeBytes() / 1024));
+  std::printf("        %llu arrays pretenured, %llu eager promotions, "
+              "%llu/%llu RDD arrays migrated to DRAM/NVM\n",
+              static_cast<unsigned long long>(
+                  RT.heap().stats().ArraysPretenured),
+              static_cast<unsigned long long>(R.Gc.EagerPromotions),
+              static_cast<unsigned long long>(R.Gc.MigratedRddArraysToDram),
+              static_cast<unsigned long long>(R.Gc.MigratedRddArraysToNvm));
+  std::printf("engine: %llu stages, %llu shuffle records (%llu spills), "
+              "%llu RDDs materialized, %llu evicted, %llu monitored calls\n",
+              static_cast<unsigned long long>(R.Engine.StagesRun),
+              static_cast<unsigned long long>(R.Engine.ShuffleRecords),
+              static_cast<unsigned long long>(R.Engine.ShuffleSpills),
+              static_cast<unsigned long long>(R.Engine.RddsMaterialized),
+              static_cast<unsigned long long>(R.Engine.RddsEvictedToDisk),
+              static_cast<unsigned long long>(R.MonitoredCalls));
+
+  if (GcLog) {
+    std::printf("\ngc log:\n%4s %-6s %9s %9s %8s %8s %8s %8s\n", "#",
+                "kind", "t(ms)", "dur(us)", "root", "d2y", "n2y",
+                "drain");
+    unsigned Index = 0;
+    for (const gc::GcEvent &E : RT.collector().eventLog())
+      std::printf("%4u %-6s %9.2f %9.1f %8.1f %8.1f %8.1f %8.1f  %s\n",
+                  Index++, E.Major ? "major" : "minor", E.StartNs / 1e6,
+                  E.DurationNs / 1e3, E.RootTaskNs / 1e3,
+                  E.DramToYoungTaskNs / 1e3, E.NvmToYoungTaskNs / 1e3,
+                  E.DrainNs / 1e3, E.Reason);
+  }
+  return 0;
+}
