@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gc_opts.dir/ablation_gc_opts.cpp.o"
+  "CMakeFiles/ablation_gc_opts.dir/ablation_gc_opts.cpp.o.d"
+  "ablation_gc_opts"
+  "ablation_gc_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gc_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nursery.dir/ablation_nursery.cpp.o"
+  "CMakeFiles/ablation_nursery.dir/ablation_nursery.cpp.o.d"
+  "ablation_nursery"
+  "ablation_nursery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nursery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

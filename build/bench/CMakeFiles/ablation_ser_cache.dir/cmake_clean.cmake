@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ser_cache.dir/ablation_ser_cache.cpp.o"
+  "CMakeFiles/ablation_ser_cache.dir/ablation_ser_cache.cpp.o.d"
+  "ablation_ser_cache"
+  "ablation_ser_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ser_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulator_validation.dir/emulator_validation.cpp.o"
+  "CMakeFiles/emulator_validation.dir/emulator_validation.cpp.o.d"
+  "emulator_validation"
+  "emulator_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulator_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

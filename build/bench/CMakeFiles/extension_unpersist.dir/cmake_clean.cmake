@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_unpersist.dir/extension_unpersist.cpp.o"
+  "CMakeFiles/extension_unpersist.dir/extension_unpersist.cpp.o.d"
+  "extension_unpersist"
+  "extension_unpersist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_unpersist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

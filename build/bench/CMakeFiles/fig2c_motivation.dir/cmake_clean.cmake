@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_motivation.dir/fig2c_motivation.cpp.o"
+  "CMakeFiles/fig2c_motivation.dir/fig2c_motivation.cpp.o.d"
+  "fig2c_motivation"
+  "fig2c_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

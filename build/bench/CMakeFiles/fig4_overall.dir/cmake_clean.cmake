@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overall.dir/fig4_overall.cpp.o"
+  "CMakeFiles/fig4_overall.dir/fig4_overall.cpp.o.d"
+  "fig4_overall"
+  "fig4_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

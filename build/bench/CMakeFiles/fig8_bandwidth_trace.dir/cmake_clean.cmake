@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bandwidth_trace.dir/fig8_bandwidth_trace.cpp.o"
+  "CMakeFiles/fig8_bandwidth_trace.dir/fig8_bandwidth_trace.cpp.o.d"
+  "fig8_bandwidth_trace"
+  "fig8_bandwidth_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bandwidth_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_timeline.dir/gc_timeline.cpp.o"
+  "CMakeFiles/gc_timeline.dir/gc_timeline.cpp.o.d"
+  "gc_timeline"
+  "gc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

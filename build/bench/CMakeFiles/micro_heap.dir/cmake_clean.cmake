@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_heap.dir/micro_heap.cpp.o"
+  "CMakeFiles/micro_heap.dir/micro_heap.cpp.o.d"
+  "micro_heap"
+  "micro_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_alloc_policies.dir/table1_alloc_policies.cpp.o"
+  "CMakeFiles/table1_alloc_policies.dir/table1_alloc_policies.cpp.o.d"
+  "table1_alloc_policies"
+  "table1_alloc_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_alloc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

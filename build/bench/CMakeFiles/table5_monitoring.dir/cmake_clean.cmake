@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_monitoring.dir/table5_monitoring.cpp.o"
+  "CMakeFiles/table5_monitoring.dir/table5_monitoring.cpp.o.d"
+  "table5_monitoring"
+  "table5_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_driver.dir/analyze_driver.cpp.o"
+  "CMakeFiles/analyze_driver.dir/analyze_driver.cpp.o.d"
+  "analyze_driver"
+  "analyze_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hashjoin.dir/hashjoin.cpp.o"
+  "CMakeFiles/hashjoin.dir/hashjoin.cpp.o.d"
+  "hashjoin"
+  "hashjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hashjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

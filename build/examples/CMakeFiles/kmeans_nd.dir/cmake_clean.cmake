@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_nd.dir/kmeans_nd.cpp.o"
+  "CMakeFiles/kmeans_nd.dir/kmeans_nd.cpp.o.d"
+  "kmeans_nd"
+  "kmeans_nd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_nd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

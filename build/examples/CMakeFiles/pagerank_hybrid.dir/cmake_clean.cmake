@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_hybrid.dir/pagerank_hybrid.cpp.o"
+  "CMakeFiles/pagerank_hybrid.dir/pagerank_hybrid.cpp.o.d"
+  "pagerank_hybrid"
+  "pagerank_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_driver.dir/run_driver.cpp.o"
+  "CMakeFiles/run_driver.dir/run_driver.cpp.o.d"
+  "run_driver"
+  "run_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("memsim")
+subdirs("heap")
+subdirs("gc")
+subdirs("dsl")
+subdirs("analysis")
+subdirs("rdd")
+subdirs("graphx")
+subdirs("mllib")
+subdirs("workloads")
+subdirs("core")
+subdirs("mapreduce")

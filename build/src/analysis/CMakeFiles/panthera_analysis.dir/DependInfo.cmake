@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Instrumenter.cpp" "src/analysis/CMakeFiles/panthera_analysis.dir/Instrumenter.cpp.o" "gcc" "src/analysis/CMakeFiles/panthera_analysis.dir/Instrumenter.cpp.o.d"
+  "/root/repo/src/analysis/StagePlanner.cpp" "src/analysis/CMakeFiles/panthera_analysis.dir/StagePlanner.cpp.o" "gcc" "src/analysis/CMakeFiles/panthera_analysis.dir/StagePlanner.cpp.o.d"
+  "/root/repo/src/analysis/TagInference.cpp" "src/analysis/CMakeFiles/panthera_analysis.dir/TagInference.cpp.o" "gcc" "src/analysis/CMakeFiles/panthera_analysis.dir/TagInference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/panthera_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/panthera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_analysis.dir/Instrumenter.cpp.o"
+  "CMakeFiles/panthera_analysis.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/panthera_analysis.dir/StagePlanner.cpp.o"
+  "CMakeFiles/panthera_analysis.dir/StagePlanner.cpp.o.d"
+  "CMakeFiles/panthera_analysis.dir/TagInference.cpp.o"
+  "CMakeFiles/panthera_analysis.dir/TagInference.cpp.o.d"
+  "libpanthera_analysis.a"
+  "libpanthera_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_core.dir/DslDriver.cpp.o"
+  "CMakeFiles/panthera_core.dir/DslDriver.cpp.o.d"
+  "CMakeFiles/panthera_core.dir/Runtime.cpp.o"
+  "CMakeFiles/panthera_core.dir/Runtime.cpp.o.d"
+  "libpanthera_core.a"
+  "libpanthera_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/Lexer.cpp" "src/dsl/CMakeFiles/panthera_dsl.dir/Lexer.cpp.o" "gcc" "src/dsl/CMakeFiles/panthera_dsl.dir/Lexer.cpp.o.d"
+  "/root/repo/src/dsl/Parser.cpp" "src/dsl/CMakeFiles/panthera_dsl.dir/Parser.cpp.o" "gcc" "src/dsl/CMakeFiles/panthera_dsl.dir/Parser.cpp.o.d"
+  "/root/repo/src/dsl/Printer.cpp" "src/dsl/CMakeFiles/panthera_dsl.dir/Printer.cpp.o" "gcc" "src/dsl/CMakeFiles/panthera_dsl.dir/Printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/panthera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

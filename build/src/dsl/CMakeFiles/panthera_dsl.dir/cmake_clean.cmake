@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_dsl.dir/Lexer.cpp.o"
+  "CMakeFiles/panthera_dsl.dir/Lexer.cpp.o.d"
+  "CMakeFiles/panthera_dsl.dir/Parser.cpp.o"
+  "CMakeFiles/panthera_dsl.dir/Parser.cpp.o.d"
+  "CMakeFiles/panthera_dsl.dir/Printer.cpp.o"
+  "CMakeFiles/panthera_dsl.dir/Printer.cpp.o.d"
+  "libpanthera_dsl.a"
+  "libpanthera_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

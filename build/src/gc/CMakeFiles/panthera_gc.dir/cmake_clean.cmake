@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_gc.dir/Collector.cpp.o"
+  "CMakeFiles/panthera_gc.dir/Collector.cpp.o.d"
+  "CMakeFiles/panthera_gc.dir/HeapVerifier.cpp.o"
+  "CMakeFiles/panthera_gc.dir/HeapVerifier.cpp.o.d"
+  "libpanthera_gc.a"
+  "libpanthera_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_graphx.dir/Pregel.cpp.o"
+  "CMakeFiles/panthera_graphx.dir/Pregel.cpp.o.d"
+  "libpanthera_graphx.a"
+  "libpanthera_graphx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_graphx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

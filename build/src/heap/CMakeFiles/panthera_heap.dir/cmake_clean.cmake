@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_heap.dir/Heap.cpp.o"
+  "CMakeFiles/panthera_heap.dir/Heap.cpp.o.d"
+  "libpanthera_heap.a"
+  "libpanthera_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

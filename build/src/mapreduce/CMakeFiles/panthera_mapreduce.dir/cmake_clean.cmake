@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_mapreduce.dir/MapReduce.cpp.o"
+  "CMakeFiles/panthera_mapreduce.dir/MapReduce.cpp.o.d"
+  "libpanthera_mapreduce.a"
+  "libpanthera_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/AddressMap.cpp" "src/memsim/CMakeFiles/panthera_memsim.dir/AddressMap.cpp.o" "gcc" "src/memsim/CMakeFiles/panthera_memsim.dir/AddressMap.cpp.o.d"
+  "/root/repo/src/memsim/CacheModel.cpp" "src/memsim/CMakeFiles/panthera_memsim.dir/CacheModel.cpp.o" "gcc" "src/memsim/CMakeFiles/panthera_memsim.dir/CacheModel.cpp.o.d"
+  "/root/repo/src/memsim/HybridMemory.cpp" "src/memsim/CMakeFiles/panthera_memsim.dir/HybridMemory.cpp.o" "gcc" "src/memsim/CMakeFiles/panthera_memsim.dir/HybridMemory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/panthera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

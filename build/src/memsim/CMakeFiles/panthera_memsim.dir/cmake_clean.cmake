@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_memsim.dir/AddressMap.cpp.o"
+  "CMakeFiles/panthera_memsim.dir/AddressMap.cpp.o.d"
+  "CMakeFiles/panthera_memsim.dir/CacheModel.cpp.o"
+  "CMakeFiles/panthera_memsim.dir/CacheModel.cpp.o.d"
+  "CMakeFiles/panthera_memsim.dir/HybridMemory.cpp.o"
+  "CMakeFiles/panthera_memsim.dir/HybridMemory.cpp.o.d"
+  "libpanthera_memsim.a"
+  "libpanthera_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

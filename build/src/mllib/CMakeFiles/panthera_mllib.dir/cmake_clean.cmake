@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_mllib.dir/MLlib.cpp.o"
+  "CMakeFiles/panthera_mllib.dir/MLlib.cpp.o.d"
+  "libpanthera_mllib.a"
+  "libpanthera_mllib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_mllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

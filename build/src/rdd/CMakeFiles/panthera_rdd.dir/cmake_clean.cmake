@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_rdd.dir/PartitionBuilder.cpp.o"
+  "CMakeFiles/panthera_rdd.dir/PartitionBuilder.cpp.o.d"
+  "CMakeFiles/panthera_rdd.dir/SparkContext.cpp.o"
+  "CMakeFiles/panthera_rdd.dir/SparkContext.cpp.o.d"
+  "libpanthera_rdd.a"
+  "libpanthera_rdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_rdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

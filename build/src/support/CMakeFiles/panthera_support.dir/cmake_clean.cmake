@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_support.dir/Random.cpp.o"
+  "CMakeFiles/panthera_support.dir/Random.cpp.o.d"
+  "libpanthera_support.a"
+  "libpanthera_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_workloads.dir/DataGen.cpp.o"
+  "CMakeFiles/panthera_workloads.dir/DataGen.cpp.o.d"
+  "CMakeFiles/panthera_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/panthera_workloads.dir/Workloads.cpp.o.d"
+  "libpanthera_workloads.a"
+  "libpanthera_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

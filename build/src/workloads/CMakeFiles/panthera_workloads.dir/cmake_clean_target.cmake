@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpanthera_workloads.a"
+)

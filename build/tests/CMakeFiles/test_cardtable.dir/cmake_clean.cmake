@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cardtable.dir/test_cardtable.cpp.o"
+  "CMakeFiles/test_cardtable.dir/test_cardtable.cpp.o.d"
+  "test_cardtable"
+  "test_cardtable.pdb"
+  "test_cardtable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cardtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cardtable.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsl_driver.dir/test_dsl_driver.cpp.o"
+  "CMakeFiles/test_dsl_driver.dir/test_dsl_driver.cpp.o.d"
+  "test_dsl_driver"
+  "test_dsl_driver.pdb"
+  "test_dsl_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

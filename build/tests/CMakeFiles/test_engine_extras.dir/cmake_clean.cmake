@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_extras.dir/test_engine_extras.cpp.o"
+  "CMakeFiles/test_engine_extras.dir/test_engine_extras.cpp.o.d"
+  "test_engine_extras"
+  "test_engine_extras.pdb"
+  "test_engine_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

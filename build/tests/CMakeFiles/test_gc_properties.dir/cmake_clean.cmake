@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gc_properties.dir/test_gc_properties.cpp.o"
+  "CMakeFiles/test_gc_properties.dir/test_gc_properties.cpp.o.d"
+  "test_gc_properties"
+  "test_gc_properties.pdb"
+  "test_gc_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mllib.dir/test_mllib.cpp.o"
+  "CMakeFiles/test_mllib.dir/test_mllib.cpp.o.d"
+  "test_mllib"
+  "test_mllib.pdb"
+  "test_mllib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

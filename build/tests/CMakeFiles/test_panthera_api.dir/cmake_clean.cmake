@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_panthera_api.dir/test_panthera_api.cpp.o"
+  "CMakeFiles/test_panthera_api.dir/test_panthera_api.cpp.o.d"
+  "test_panthera_api"
+  "test_panthera_api.pdb"
+  "test_panthera_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_panthera_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialized_cache.dir/test_serialized_cache.cpp.o"
+  "CMakeFiles/test_serialized_cache.dir/test_serialized_cache.cpp.o.d"
+  "test_serialized_cache"
+  "test_serialized_cache.pdb"
+  "test_serialized_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialized_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/test_support.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/panthera_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdd/CMakeFiles/panthera_rdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/panthera_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/panthera_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/panthera_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/panthera_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/panthera_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/panthera_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

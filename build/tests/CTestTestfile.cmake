@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_memsim[1]_include.cmake")
+include("/root/repo/build/tests/test_heap[1]_include.cmake")
+include("/root/repo/build/tests/test_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_dsl[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_rdd[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_gc_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_graphx[1]_include.cmake")
+include("/root/repo/build/tests/test_mllib[1]_include.cmake")
+include("/root/repo/build/tests/test_datagen[1]_include.cmake")
+include("/root/repo/build/tests/test_panthera_api[1]_include.cmake")
+include("/root/repo/build/tests/test_serialized_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_cardtable[1]_include.cmake")
+include("/root/repo/build/tests/test_passes[1]_include.cmake")
+include("/root/repo/build/tests/test_dsl_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_mapreduce[1]_include.cmake")
+include("/root/repo/build/tests/test_invariance[1]_include.cmake")

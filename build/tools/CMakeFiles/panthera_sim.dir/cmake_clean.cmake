@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panthera_sim.dir/panthera_sim.cpp.o"
+  "CMakeFiles/panthera_sim.dir/panthera_sim.cpp.o.d"
+  "panthera_sim"
+  "panthera_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panthera_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
