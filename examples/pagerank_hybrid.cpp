@@ -83,6 +83,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-14s %10s %9s %9s %12s %10s %8s\n", "policy", "time(ms)",
               "gc(ms)", "energy(J)", "oldDRAM(KB)", "oldNVM(KB)", "sum");
 
+  double PantheraSum = 0.0;
   for (gc::PolicyKind Policy :
        {gc::PolicyKind::DramOnly, gc::PolicyKind::Unmanaged,
         gc::PolicyKind::KingsguardNursery, gc::PolicyKind::KingsguardWrites,
@@ -93,6 +94,8 @@ int main(int Argc, char **Argv) {
     Config.DramRatio = 1.0 / 3.0;
     core::Runtime RT(Config);
     double Sum = runPageRank(RT, V, E, Iters);
+    if (Policy == gc::PolicyKind::Panthera)
+      PantheraSum = Sum;
     core::RunReport R = RT.report();
     std::printf("%-14s %10.2f %9.2f %9.2f %12llu %10llu %8.1f\n",
                 gc::policyName(Policy), R.TotalNs / 1e6, R.GcNs / 1e6,
@@ -107,5 +110,28 @@ int main(int Argc, char **Argv) {
               "never changes results;\nPanthera keeps the hot links RDD "
               "in old-gen DRAM and the per-iteration contribs\ncaches in "
               "NVM (compare the oldDRAM/oldNVM columns).\n");
-  return 0;
+
+  // The same Panthera run, now with seeded task failures and cache losses
+  // injected: retries and lineage recomputation must reproduce the
+  // fault-free checksum exactly.
+  core::RuntimeConfig Faulty;
+  Faulty.Policy = gc::PolicyKind::Panthera;
+  Faulty.HeapPaperGB = 64;
+  Faulty.DramRatio = 1.0 / 3.0;
+  Faulty.Faults.site(FaultSite::TaskExecution).FireOnNth = 5;
+  Faulty.Faults.site(FaultSite::TaskExecution).MaxFires = 1;
+  Faulty.Faults.site(FaultSite::CacheRead).FireOnNth = 9;
+  Faulty.Faults.site(FaultSite::CacheRead).MaxFires = 1;
+  core::Runtime FaultyRT(Faulty);
+  double FaultySum = runPageRank(FaultyRT, V, E, Iters);
+  core::RunReport FR = FaultyRT.report();
+  std::printf("\nwith injected faults: sum %.1f (%s), %llu retries, "
+              "%llu lineage recomputations\n",
+              FaultySum,
+              FaultySum == PantheraSum ? "matches fault-free Panthera"
+                                       : "MISMATCH",
+              static_cast<unsigned long long>(FR.Engine.TaskRetries),
+              static_cast<unsigned long long>(
+                  FR.Engine.LineageRecomputations));
+  return FaultySum == PantheraSum ? 0 : 1;
 }

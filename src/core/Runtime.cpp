@@ -7,7 +7,11 @@
 #include "core/Runtime.h"
 
 #include "dsl/Parser.h"
+#include "gc/HeapVerifier.h"
+#include "support/Errors.h"
 #include "support/Units.h"
+
+#include <string>
 
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +44,27 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   rdd::EngineConfig EC = Config.Engine;
   EC.UseStaticTags = gc::usesStaticTags(Config.Policy);
   Context = std::make_unique<rdd::SparkContext>(*TheHeap, &Monitor, EC);
+
+  if (Config.Faults.enabled()) {
+    Injector = std::make_unique<FaultInjector>(Config.Faults);
+    TheHeap->setFaultInjector(Injector.get());
+    Context->setFaultInjector(Injector.get());
+  }
+  // Before declaring OOM the heap asks the engine to shed MEMORY_AND_DISK
+  // cached partitions; the loop in Heap::oomFallback stops once this
+  // returns false (nothing left to evict).
+  TheHeap->setPressureHandler(
+      [this](uint64_t) { return Context->evictOneUnderPressure(); });
+  if (Config.VerifyHeapAfterRecovery) {
+    auto Verify = [this](const char *What) {
+      gc::VerifyResult VR = gc::verifyHeap(*TheHeap);
+      if (!VR.Ok)
+        throw EngineError(std::string("heap verification failed after ") +
+                          What + ": " + VR.FirstProblem);
+    };
+    TheHeap->setRecoveryVerifier(Verify);
+    Context->setRecoveryVerifier(Verify);
+  }
 }
 
 const analysis::AnalysisResult &
@@ -82,5 +107,6 @@ RunReport Runtime::report() const {
   R.Gc = TheCollector->stats();
   R.Engine = Context->stats();
   R.MonitoredCalls = Monitor.totalCalls();
+  R.Tasks = Context->taskLedger();
   return R;
 }

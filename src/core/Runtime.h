@@ -32,6 +32,7 @@
 #include "gc/GcPolicy.h"
 #include "memsim/HybridMemory.h"
 #include "rdd/Rdd.h"
+#include "support/FaultInjector.h"
 
 #include <memory>
 #include <string_view>
@@ -61,6 +62,11 @@ struct RuntimeConfig {
   bool VerifyHeap = false;
   /// Off-heap native region, paper GB.
   unsigned NativePaperGB = 16;
+  /// Deterministic fault-injection plan (all sites disabled by default).
+  FaultPlan Faults;
+  /// Verify the heap after every recovery path: emergency GC, pressure
+  /// eviction, task retry. Tests default this on.
+  bool VerifyHeapAfterRecovery = false;
 };
 
 /// Summary of one finished run.
@@ -77,6 +83,8 @@ struct RunReport {
   gc::GcStats Gc;
   rdd::EngineStats Engine;
   uint64_t MonitoredCalls = 0;
+  /// Per-task attempt ledger (stage, partition, attempts, outcome).
+  TaskLedger Tasks;
 };
 
 /// Assembles and owns one full system instance.
@@ -90,6 +98,8 @@ public:
   gc::Collector &collector() { return *TheCollector; }
   gc::AccessMonitor &monitor() { return Monitor; }
   rdd::SparkContext &ctx() { return *Context; }
+  /// Nonnull only when Config.Faults enables at least one site.
+  FaultInjector *faults() { return Injector.get(); }
 
   /// Parses \p DslSource, runs the §3 inference (plus any enabled
   /// extensions), and installs the result on the engine (only Panthera
@@ -111,6 +121,7 @@ private:
   gc::AccessMonitor Monitor;
   std::unique_ptr<gc::Collector> TheCollector;
   std::unique_ptr<rdd::SparkContext> Context;
+  std::unique_ptr<FaultInjector> Injector;
   analysis::AnalysisResult Tags;
 };
 

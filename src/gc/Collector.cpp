@@ -7,6 +7,7 @@
 #include "gc/Collector.h"
 
 #include "gc/HeapVerifier.h"
+#include "support/Errors.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -253,8 +254,28 @@ void Collector::scanOldToYoungCards(GcEvent &Event) {
   }
 }
 
+bool Collector::scavengeHeadroomOk() const {
+  heap::Heap &MH = const_cast<heap::Heap &>(static_cast<const heap::Heap &>(H));
+  // Worst case: every young byte survives and must land in to-space or be
+  // tenured. An actual scavenge that exceeds this would die mid-evacuation
+  // with the heap half-forwarded, so it is never allowed to start.
+  uint64_t Worst = MH.eden().usedBytes() + MH.fromSpace().usedBytes();
+  uint64_t Room = MH.toSpace().sizeBytes() - MH.toSpace().usedBytes();
+  for (Space *S : MH.oldSpaces())
+    Room += S->sizeBytes() - S->usedBytes();
+  return Worst <= Room;
+}
+
 void Collector::collectMinor(const char *Reason) {
   assert(!H.inGc() && "re-entrant collection");
+  if (!scavengeHeadroomOk()) {
+    // A sliding full compaction needs no evacuation headroom and leaves
+    // the young generation empty, so there is nothing left to scavenge.
+    // If even the live set does not fit, collectMajor throws a typed
+    // OutOfMemoryError before moving a single object.
+    collectMajor("minor gc survivor headroom exhausted");
+    return;
+  }
   H.setInGc(true);
   GcEvent Event;
   Event.Major = false;
@@ -510,6 +531,9 @@ void Collector::compactHeap() {
                                                             : nullptr};
   };
 
+  // Raised while the compaction is still a pure plan (no bytes moved);
+  // the handler unwinds the plan's header scribbles and reports OOM.
+  struct CompactionOverflow {};
   auto Place = [&](uint64_t Addr, bool WasYoung) {
     ObjectHeader *Hdr = H.header(Addr);
     if (!Hdr->isMarked())
@@ -522,7 +546,7 @@ void Collector::compactHeap() {
                             : (Fallback && Fallback->fits(Size) ? Fallback
                                                                 : nullptr);
     if (!Target)
-      fatalGc("old generation exhausted during compaction");
+      throw CompactionOverflow();
     uint64_t NewAddr = Target->Cursor;
     Target->Cursor += Size;
     Target->Moves.push_back({Addr, NewAddr, Size});
@@ -546,12 +570,31 @@ void Collector::compactHeap() {
 
   // Place old-generation objects first (their spaces are the compaction
   // targets), then promote every live young object.
-  for (Space *S : H.oldSpaces())
-    H.walkObjects(S->base(), S->top(),
-                  [&](uint64_t A) { Place(A, /*WasYoung=*/false); });
-  for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace()})
-    H.walkObjects(S->base(), S->top(),
-                  [&](uint64_t A) { Place(A, /*WasYoung=*/true); });
+  try {
+    for (Space *S : H.oldSpaces())
+      H.walkObjects(S->base(), S->top(),
+                    [&](uint64_t A) { Place(A, /*WasYoung=*/false); });
+    for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace()})
+      H.walkObjects(S->base(), S->top(),
+                    [&](uint64_t A) { Place(A, /*WasYoung=*/true); });
+  } catch (const CompactionOverflow &) {
+    // The live set does not fit even perfectly compacted. Nothing has
+    // been copied yet; scrub the mark bits and forward pointers the plan
+    // left behind so the heap is exactly as it was, then let the
+    // allocation path surface a typed error.
+    auto Scrub = [&](uint64_t A) {
+      ObjectHeader *Hdr = H.header(A);
+      Hdr->setMarked(false);
+      Hdr->Forward = 0;
+    };
+    for (Space *S : H.oldSpaces())
+      H.walkObjects(S->base(), S->top(), Scrub);
+    for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace()})
+      H.walkObjects(S->base(), S->top(), Scrub);
+    throw OutOfMemoryError(
+        "heap exhausted: live data exceeds the old generation even after "
+        "full compaction");
+  }
 
   // Update every reference (roots + live objects) to the forward address.
   H.forEachRoot([this](ObjRef &R) {
@@ -663,7 +706,14 @@ void Collector::collectMajor(const char *Reason) {
     Event.MarkNs = H.memory().gcTimeNs() - PhaseStart;
     planMigrations();
     PhaseStart = H.memory().gcTimeNs();
-    compactHeap();
+    try {
+      compactHeap();
+    } catch (...) {
+      // Compaction overflow: the plan was unwound with the heap intact;
+      // drop the in-GC flag so the caller can still run cleanup code.
+      H.setInGc(false);
+      throw;
+    }
     Event.CompactNs = H.memory().gcTimeNs() - PhaseStart;
     if (Monitor)
       Monitor->resetWindow(); // §4.2.2: frequencies reset per major GC

@@ -105,6 +105,7 @@ public:
 
 private:
   //===--- minor GC -------------------------------------------------------===
+  bool scavengeHeadroomOk() const;
   bool inCollectedYoung(uint64_t Addr) const;
   heap::ObjRef evacuate(heap::ObjRef Ref, MemTag IncomingTag);
   void scanCopied(uint64_t Addr);

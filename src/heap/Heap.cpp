@@ -6,8 +6,10 @@
 
 #include "heap/Heap.h"
 
+#include "support/Errors.h"
+#include "support/FaultInjector.h"
+
 #include <cstdio>
-#include <cstdlib>
 
 using namespace panthera;
 using namespace panthera::heap;
@@ -15,10 +17,15 @@ using memsim::Device;
 
 GcHost::~GcHost() = default;
 
-[[noreturn]] static void fatalOom(const char *What) {
-  std::fprintf(stderr, "panthera: out of memory: %s\n", What);
-  std::abort();
-}
+namespace {
+/// Restores a bool flag on scope exit (exception-safe re-entrancy guard).
+struct FlagScope {
+  bool &Flag;
+  bool Saved;
+  explicit FlagScope(bool &Flag) : Flag(Flag), Saved(Flag) { Flag = true; }
+  ~FlagScope() { Flag = Saved; }
+};
+} // namespace
 
 Heap::Heap(const HeapConfig &Config, memsim::HybridMemory &Mem)
     : Config(Config), Mem(Mem), Cards(Mem.map().totalBytes()) {
@@ -53,7 +60,8 @@ Heap::Heap(const HeapConfig &Config, memsim::HybridMemory &Mem)
 
   uint64_t Total = Mem.map().totalBytes();
   if (Cursor > Total)
-    fatalOom("simulated memory smaller than configured heap");
+    throw EngineError("heap misconfiguration: simulated memory smaller "
+                      "than configured heap");
   Buffer.assign(Total, 0);
 
   // Back each range with its device. The nursery is always DRAM (§4.1).
@@ -111,24 +119,92 @@ void Heap::formatObject(uint64_t Addr, uint32_t SizeBytes, ObjectKind Kind,
 
 uint64_t Heap::allocateYoung(uint32_t Bytes) {
   assert(!InGcFlag && "collector must not allocate through the young path");
+  if (Faults && Faults->shouldFail(FaultSite::Allocation)) {
+    ++Stats.OomErrorsThrown;
+    throw OutOfMemoryError("injected allocation failure");
+  }
   uint64_t Addr = Eden.allocate(Bytes);
   if (Addr)
     return Addr;
   if (Host) {
-    Host->collectMinor("eden full");
-    Addr = Eden.allocate(Bytes);
-    if (Addr)
-      return Addr;
+    try {
+      Host->collectMinor("eden full");
+      Addr = Eden.allocate(Bytes);
+      if (Addr)
+        return Addr;
+    } catch (const OutOfMemoryError &) {
+      // The collection itself found no room (survivor headroom or
+      // compaction overflow). The heap is untouched; the staged fallback
+      // below can still shed caches before giving up.
+    }
   }
   // Object larger than eden: place it directly in the old generation.
   Addr = allocateInOld(Bytes, MemTag::None, /*IsRddArray=*/false);
   if (!Addr && Host) {
-    Host->collectMajor("old gen full on young overflow");
+    try {
+      Host->collectMajor("old gen full on young overflow");
+    } catch (const OutOfMemoryError &) {
+    }
     Addr = allocateInOld(Bytes, MemTag::None, /*IsRddArray=*/false);
   }
   if (!Addr)
-    fatalOom("allocation does not fit in eden or the old generation");
+    Addr = oomFallback(Bytes, MemTag::None, /*IsRddArray=*/false,
+                       "allocation does not fit in eden or the old "
+                       "generation");
   return Addr;
+}
+
+uint64_t Heap::oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
+                           const char *What) {
+  // After a full collection (or an eviction-driven one) both eden and the
+  // old generation may have room again; prefer eden for young-sized
+  // requests so survivor-space semantics stay normal.
+  auto Retry = [&]() -> uint64_t {
+    uint64_t A = Eden.allocate(Bytes);
+    if (!A)
+      A = allocateInOld(Bytes, Tag, IsRddArray);
+    return A;
+  };
+
+  // Stage 1: emergency full GC. (Stage 2 -- old-gen DRAM<->NVM overflow
+  // placement -- is inherent in allocateInOld's primary/fallback search.)
+  if (Host && !InGcFlag) {
+    ++Stats.EmergencyGcs;
+    try {
+      Host->collectMajor("emergency full gc: allocation failure");
+      if (RecoveryVerifier)
+        RecoveryVerifier("emergency full gc");
+      if (uint64_t Addr = Retry())
+        return Addr;
+    } catch (const OutOfMemoryError &) {
+      // Even a full compaction cannot fit the live set; eviction below
+      // is the only stage that can shrink it.
+    }
+  }
+
+  // Stage 3: ask the engine to shed MEMORY_AND_DISK caches to disk, one
+  // LRU victim at a time, collecting after each so the space is reusable.
+  // The handler itself streams (and allocates); the guard keeps a nested
+  // allocation failure from recursing back into eviction.
+  if (OnPressure && !InPressureHandler) {
+    FlagScope Guard(InPressureHandler);
+    while (OnPressure(Bytes)) {
+      ++Stats.PressureEvictions;
+      try {
+        if (Host && !InGcFlag)
+          Host->collectMajor("memory pressure eviction");
+      } catch (const OutOfMemoryError &) {
+        continue; // evict further before retrying the collection
+      }
+      if (RecoveryVerifier)
+        RecoveryVerifier("pressure eviction");
+      if (uint64_t Addr = Retry())
+        return Addr;
+    }
+  }
+
+  ++Stats.OomErrorsThrown;
+  throw OutOfMemoryError(What);
 }
 
 void Heap::insertFiller(uint64_t Addr, uint64_t Bytes) {
@@ -255,8 +331,12 @@ ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
 uint64_t Heap::allocNative(uint64_t Bytes) {
   uint64_t Aligned = (Bytes + 7) & ~7ull;
   uint64_t Addr = NativeSpace.allocate(Aligned);
-  if (!Addr)
-    fatalOom("native (off-heap) region exhausted");
+  if (!Addr) {
+    // The native region is never collected, so there is no staged fallback
+    // to run -- but the failure is still a typed, catchable error.
+    ++Stats.OomErrorsThrown;
+    throw OutOfMemoryError("native (off-heap) region exhausted");
+  }
   return Addr;
 }
 

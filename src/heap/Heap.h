@@ -34,6 +34,9 @@
 #include <vector>
 
 namespace panthera {
+
+class FaultInjector;
+
 namespace heap {
 
 /// Interface the collector implements so the heap can request collections
@@ -56,6 +59,10 @@ struct HeapStats {
                                        ///< in NVM because DRAM was full.
   uint64_t RefStores = 0;
   uint64_t CardPaddingWasteBytes = 0;
+  // Staged OOM-fallback counters.
+  uint64_t EmergencyGcs = 0;          ///< Emergency full GCs on alloc failure.
+  uint64_t PressureEvictions = 0;     ///< Caches shed via the pressure hook.
+  uint64_t OomErrorsThrown = 0;       ///< OutOfMemoryError raised (no abort).
 };
 
 class Heap;
@@ -89,6 +96,26 @@ public:
   HeapStats &stats() { return Stats; }
 
   void setGcHost(GcHost *Host) { this->Host = Host; }
+
+  /// Installs the (optional) fault injector; the mutator allocation path
+  /// consults its Allocation site.
+  void setFaultInjector(FaultInjector *F) { Faults = F; }
+
+  /// Called when every in-heap fallback failed: the engine should shed one
+  /// MEMORY_AND_DISK cache to disk and return true, or return false when
+  /// nothing is left to evict. \p BytesNeeded is the failing request.
+  using PressureHandler = std::function<bool(uint64_t BytesNeeded)>;
+  void setPressureHandler(PressureHandler Fn) {
+    OnPressure = std::move(Fn);
+  }
+
+  /// Called after each recovery step (emergency GC, pressure eviction) when
+  /// RuntimeConfig::VerifyHeapAfterRecovery is on. The hook lives above the
+  /// heap (it runs gc::verifyHeap, which this library cannot link).
+  using RecoveryHook = std::function<void(const char *What)>;
+  void setRecoveryVerifier(RecoveryHook Fn) {
+    RecoveryVerifier = std::move(Fn);
+  }
 
   //===--------------------------------------------------------------------===
   // Spaces
@@ -259,6 +286,12 @@ private:
   /// Allocates in eden, collecting when full. Returns the address.
   uint64_t allocateYoung(uint32_t Bytes);
 
+  /// Last-resort staged fallback after the normal GC-and-retry path fails:
+  /// emergency full GC -> DRAM<->NVM overflow retry -> pressure-callback
+  /// cache eviction -> OutOfMemoryError. Returns a young-or-old address.
+  uint64_t oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
+                       const char *What);
+
   /// Plugs [Addr, Addr+Bytes) with a filler object so spaces stay walkable.
   void insertFiller(uint64_t Addr, uint64_t Bytes);
 
@@ -269,6 +302,10 @@ private:
   CardTable Cards;
   HeapStats Stats;
   GcHost *Host = nullptr;
+  FaultInjector *Faults = nullptr;
+  PressureHandler OnPressure;
+  RecoveryHook RecoveryVerifier;
+  bool InPressureHandler = false; ///< Re-entrancy guard for stage 3.
 
   std::vector<uint8_t> Buffer;
   Space Eden, From, To;

@@ -35,6 +35,9 @@
 #include "heap/Heap.h"
 #include "rdd/StorageLevel.h"
 #include "rdd/Tuple.h"
+#include "support/Errors.h"
+#include "support/FaultInjector.h"
+#include "support/Statistics.h"
 
 #include <functional>
 #include <memory>
@@ -228,6 +231,14 @@ struct EngineConfig {
   double DiskRecordCpuNs = 60.0;
   /// Old-generation occupancy at which MEMORY_AND_DISK blocks evict.
   double EvictionOccupancy = 0.80;
+  /// Total attempts a per-partition task gets before its stage fails
+  /// (Spark's spark.task.maxFailures, default 4).
+  uint32_t MaxTaskAttempts = 4;
+  /// Retry backoff, charged as simulated CPU time: attempt k waits
+  /// min(RetryBackoffBaseNs * 2^(k-1), RetryBackoffMaxNs). Deterministic --
+  /// attempt-count based, no wall clock.
+  double RetryBackoffBaseNs = 1000.0;
+  double RetryBackoffMaxNs = 64000.0;
 };
 
 /// Engine statistics (Table 5 and general sanity checks).
@@ -238,6 +249,13 @@ struct EngineStats {
   uint64_t RddsMaterialized = 0;
   uint64_t RddsEvictedToDisk = 0;
   uint64_t RecordsStreamed = 0;
+  // Fault-tolerance counters.
+  uint64_t TasksLaunched = 0;
+  uint64_t TaskRetries = 0;          ///< Attempts beyond each task's first.
+  uint64_t InjectedTaskFailures = 0; ///< TaskExecution-site fires.
+  uint64_t CacheLossEvents = 0;      ///< Materialized caches dropped.
+  uint64_t LineageRecomputations = 0;///< Lost caches rebuilt from lineage.
+  uint64_t OomTaskFailures = 0;      ///< Task attempts that hit OOM.
 };
 
 /// The executor + scheduler. One per Runtime.
@@ -249,6 +267,20 @@ public:
   heap::Heap &heapRef() { return H; }
   const EngineConfig &config() const { return Config; }
   EngineStats &stats() { return Stats; }
+  const TaskLedger &taskLedger() const { return Ledger; }
+
+  /// Installs the (optional) deterministic fault injector.
+  void setFaultInjector(FaultInjector *F) { Faults = F; }
+  /// Installs the post-recovery heap verification hook (runs after every
+  /// successful task retry when RuntimeConfig::VerifyHeapAfterRecovery).
+  void setRecoveryVerifier(std::function<void(const char *)> Fn) {
+    RecoveryVerifier = std::move(Fn);
+  }
+
+  /// Heap pressure callback target: evicts the single least-recently-used
+  /// resident MEMORY_AND_DISK cache to disk. Returns false when nothing is
+  /// left to shed (the heap then raises OutOfMemoryError).
+  bool evictOneUnderPressure();
 
   /// Installs the static-analysis result; persistAs/named consult it.
   void setAnalysis(const analysis::AnalysisResult *Result) {
@@ -288,11 +320,44 @@ private:
   void streamPartition(const RddRef &R, uint32_t P, const TupleSink &Sink);
   void streamMaterialized(const RddRef &R, uint32_t P,
                           const TupleSink &Sink);
-  /// Materializes a narrow persisted RDD; \p Tee additionally receives
-  /// every streamed tuple (shuffle fusion).
-  void materializeNarrow(const RddRef &R, const TupleSink *Tee = nullptr);
+  /// Shuffle-fusion hooks threaded into materializeNarrow: \p Tee receives
+  /// every streamed tuple; Begin/End/Rollback bracket each per-partition
+  /// task so a failed map task can undo its partially-routed records.
+  struct ShuffleFusion {
+    const TupleSink *Tee = nullptr;
+    std::function<void()> BeginTask; ///< Snapshot the shuffle output state.
+    std::function<void()> EndTask;   ///< Flush route buffers to the output.
+    std::function<void()> Rollback;  ///< Restore the BeginTask snapshot.
+  };
+
+  /// Materializes a narrow persisted RDD, one retryable task per partition;
+  /// \p Fusion carries the consuming shuffle's sink and rollback hooks.
+  void materializeNarrow(const RddRef &R,
+                         const ShuffleFusion *Fusion = nullptr);
   void materializeWide(const RddRef &R);
   void finishAction();
+
+  //===--- task-level fault tolerance -------------------------------------===
+  /// Runs one per-partition task with retry. \p Body does the work;
+  /// \p Rollback undoes its partial effects after a failed attempt (may be
+  /// null when the body's effects are all-or-nothing). TaskFailure and
+  /// OutOfMemoryError are caught and retried with capped exponential
+  /// backoff up to EngineConfig::MaxTaskAttempts; lost caches recorded by
+  /// the failure are recomputed from lineage before the next attempt.
+  void runTask(const std::string &Stage, uint32_t RddId, uint32_t Partition,
+               const std::function<void()> &Body,
+               const std::function<void()> &Rollback = {});
+  /// Charges the deterministic attempt-count-based backoff delay.
+  void chargeBackoff(uint32_t Attempt);
+  /// Re-materializes every cache recorded in LostCaches (injection
+  /// suppressed while recovering).
+  void recoverLostCaches();
+  /// Drops \p R's materialized state (cache loss) so the next prepare or
+  /// recovery pass recomputes it from lineage.
+  void dropMaterialized(const RddRef &R);
+  /// True when a lost cache can be rebuilt (lineage intact or source data
+  /// still attached); checkpointed RDDs with truncated lineage cannot.
+  static bool canRecompute(const RddRef &R);
   /// True when the shuffle feeding a wide op can materialize \p Parent in
   /// the same pass instead of re-reading it afterwards.
   bool canFuseIntoShuffle(const RddRef &Parent) const;
@@ -321,6 +386,11 @@ private:
   gc::AccessMonitor *Monitor;
   EngineConfig Config;
   EngineStats Stats;
+  TaskLedger Ledger;
+  FaultInjector *Faults = nullptr;
+  std::function<void(const char *)> RecoveryVerifier;
+  /// Caches dropped by an injected (or real) loss, pending recomputation.
+  std::vector<RddRef> LostCaches;
   const analysis::AnalysisResult *Analysis = nullptr;
   uint32_t NextRddId = 1;
   uint64_t UseClock = 0;

@@ -7,9 +7,13 @@
 #include "rdd/Rdd.h"
 
 #include "rdd/PartitionBuilder.h"
+#include "support/Errors.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -181,9 +185,13 @@ void Rdd::checkpoint() const {
       Ctx->config().NumPartitions);
   Ctx->prepare(Node, MemTag::None);
   for (uint32_t P = 0; P != Ctx->config().NumPartitions; ++P)
-    Ctx->streamPartition(Node, P, [&](heap::ObjRef T) {
-      Parts[P].push_back({C.key(T), C.value(T)});
-    });
+    Ctx->runTask("checkpoint", Node->Id, P,
+                 [&] {
+                   Ctx->streamPartition(Node, P, [&](heap::ObjRef T) {
+                     Parts[P].push_back({C.key(T), C.value(T)});
+                   });
+                 },
+                 [&] { Parts[P].clear(); });
   Ctx->finishAction();
   // Drop any heap materialization; the disk copy is authoritative.
   if (Node->TopRootId != SIZE_MAX) {
@@ -213,8 +221,8 @@ SparkContext::SparkContext(heap::Heap &H, gc::AccessMonitor *Monitor,
     : H(H), Monitor(Monitor), Config(Config) {}
 
 Rdd SparkContext::source(const SourceData *Data, const std::string &Name) {
-  assert(Data && Data->size() == Config.NumPartitions &&
-         "source data must have one vector per partition");
+  PANTHERA_CHECK(Data && Data->size() == Config.NumPartitions,
+                 "source data must have one vector per partition");
   Rdd R = derive(OpKind::Source, {});
   R.node()->Source = Data;
   if (!Name.empty())
@@ -275,12 +283,17 @@ void SparkContext::unpersist(const RddRef &R) {
   recordCall(R);
   if (!R->Materialized)
     return;
+  dropMaterialized(R);
+}
+
+void SparkContext::dropMaterialized(const RddRef &R) {
   if (R->TopRootId != SIZE_MAX) {
     H.removePersistentRoot(R->TopRootId);
     R->TopRootId = SIZE_MAX;
   }
   R->NativeParts.clear();
   R->DiskParts.clear();
+  R->SerializedInMemory = false;
   R->Materialized = false;
 }
 
@@ -294,6 +307,132 @@ std::string SparkContext::varNameOf(uint32_t RddId) const {
 void SparkContext::recordCall(const RddRef &R) {
   if (Monitor && !R->VarName.empty())
     Monitor->recordCall(R->Id);
+}
+
+//===----------------------------------------------------------------------===
+// Task-level fault tolerance
+//===----------------------------------------------------------------------===
+
+bool SparkContext::canRecompute(const RddRef &R) {
+  // Checkpointed RDDs truncate their lineage; their disk copy is the only
+  // authority, so a loss there is unrecoverable and never injected.
+  return !R->Parents.empty() || (R->Op == OpKind::Source && R->Source);
+}
+
+void SparkContext::chargeBackoff(uint32_t Attempt) {
+  // Deterministic capped exponential backoff: no wall clock, just
+  // attempt-count-scaled simulated CPU time.
+  double Delay = Config.RetryBackoffBaseNs;
+  for (uint32_t I = 1; I < Attempt && Delay < Config.RetryBackoffMaxNs; ++I)
+    Delay *= 2.0;
+  if (Delay > Config.RetryBackoffMaxNs)
+    Delay = Config.RetryBackoffMaxNs;
+  H.memory().addCpuWorkNs(Delay);
+}
+
+void SparkContext::recoverLostCaches() {
+  while (!LostCaches.empty()) {
+    RddRef R = LostCaches.back();
+    LostCaches.pop_back();
+    if (R->Materialized)
+      continue; // already rebuilt by an earlier recovery
+    // Recovery must not itself be injected, or a pathological plan could
+    // make the retry loop nonterminating.
+    FaultSuppressionScope Scope(Faults);
+    // Rebuild through prepare(), not materialize*() directly: the lost
+    // RDD's wide ancestors may have been temp-materialized and released
+    // when their stage ended, and prepare() is what knows how to
+    // reconstruct (and afterwards re-release) that chain.
+    prepare(R, R->EffectiveTag);
+    ++Stats.LineageRecomputations;
+  }
+}
+
+void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
+                           uint32_t Partition,
+                           const std::function<void()> &Body,
+                           const std::function<void()> &Rollback) {
+  ++Stats.TasksLaunched;
+  TaskAttemptRecord Rec;
+  Rec.Stage = Stage;
+  Rec.RddId = RddId;
+  Rec.Partition = Partition;
+
+  // Undo a failed attempt's partial effects. The pending rdd_alloc tag is
+  // cleared unconditionally: an exception can unwind between arming it and
+  // the allocation that would consume it.
+  auto Cleanup = [&] {
+    H.setPendingArrayTag(MemTag::None, 0);
+    if (Rollback)
+      Rollback();
+  };
+
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    Rec.Attempts = Attempt;
+    // Debugging aid for fault plans: per-attempt task log on stderr.
+    if (std::getenv("PANTHERA_TRACE_TASKS"))
+      std::fprintf(stderr, "[task] %s p%u attempt %u\n", Stage.c_str(),
+                   Partition, Attempt);
+    try {
+      if (Faults && Faults->shouldFail(FaultSite::TaskExecution)) {
+        ++Stats.InjectedTaskFailures;
+        throw TaskFailure("injected task failure in stage '" + Stage +
+                          "', partition " + std::to_string(Partition));
+      }
+      Body();
+      Rec.Succeeded = true;
+      Ledger.Records.push_back(std::move(Rec));
+      return;
+    } catch (TaskFailure &F) {
+      Rec.LastError = F.what();
+    } catch (OutOfMemoryError &F) {
+      Rec.LastError = F.what();
+      ++Stats.OomTaskFailures;
+      if (Attempt >= Config.MaxTaskAttempts) {
+        // Retries exhausted on memory pressure: report the typed OOM to
+        // the caller instead of wrapping it (the process still survives).
+        Cleanup();
+        Rec.Succeeded = false;
+        Ledger.Records.push_back(std::move(Rec));
+        throw;
+      }
+    }
+    Cleanup();
+    if (Attempt >= Config.MaxTaskAttempts) {
+      Rec.Succeeded = false;
+      std::string Msg = "stage '" + Stage + "' failed: partition " +
+                        std::to_string(Partition) + " of RDD " +
+                        std::to_string(RddId) + " exhausted " +
+                        std::to_string(Config.MaxTaskAttempts) +
+                        " attempts; last error: " + Rec.LastError;
+      Ledger.Records.push_back(std::move(Rec));
+      throw EngineError(Msg);
+    }
+    ++Stats.TaskRetries;
+    chargeBackoff(Attempt);
+    // A failure that dropped a persisted cache recorded it in LostCaches;
+    // rebuild from lineage before re-attempting (the generalization of
+    // what examples/fault_tolerance.cpp demonstrates by hand).
+    recoverLostCaches();
+    if (RecoveryVerifier)
+      RecoveryVerifier("task retry");
+  }
+}
+
+bool SparkContext::evictOneUnderPressure() {
+  // Least-recently-used resident MEMORY_AND_DISK(_SER) block.
+  RddRef Victim;
+  for (const RddRef &R : EvictableStore)
+    if (R->Materialized && R->TopRootId != SIZE_MAX &&
+        (!Victim || R->LastUse < Victim->LastUse))
+      Victim = R;
+  if (!Victim)
+    return false;
+  // Eviction streams the victim through the heap; injecting faults into
+  // the recovery machinery itself would corrupt the eviction.
+  FaultSuppressionScope Scope(Faults);
+  evictToDisk(Victim);
+  return true;
 }
 
 //===----------------------------------------------------------------------===
@@ -432,13 +571,27 @@ void SparkContext::streamPartition(const RddRef &R, uint32_t P,
   case OpKind::Distinct:
   case OpKind::Repartition:
   case OpKind::SortByKey:
-    assert(false && "wide RDD streamed before materialization");
+    PANTHERA_CHECK(false, "wide RDD streamed before materialization");
     return;
   }
 }
 
 void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
                                       const TupleSink &Sink) {
+  // Cache-loss injection: the materialized copy vanishes (executor
+  // failure) before this read. The cache is dropped, queued for lineage
+  // recomputation, and the consuming task fails -- its retry finds the
+  // rebuilt cache.
+  if (Faults && canRecompute(R) &&
+      Faults->shouldFail(FaultSite::CacheRead)) {
+    ++Stats.CacheLossEvents;
+    dropMaterialized(R);
+    LostCaches.push_back(R);
+    throw TaskFailure("injected cache loss: RDD " + std::to_string(R->Id) +
+                      (R->VarName.empty() ? "" : " (" + R->VarName + ")") +
+                      " partition " + std::to_string(P) +
+                      " lost its materialized copy");
+  }
   RddContext Ctx(H);
   memsim::HybridMemory &Mem = H.memory();
   R->LastUse = ++UseClock;
@@ -465,7 +618,8 @@ void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
     }
     return;
   }
-  assert(R->TopRootId != SIZE_MAX && "materialized RDD lost its root");
+  PANTHERA_CHECK(R->TopRootId != SIZE_MAX,
+                 "materialized RDD lost its root");
   GcRoot Top(H, H.persistentRoot(R->TopRootId));
   GcRoot Dir(H, H.loadRef(Top.get(), 0));
   GcRoot Arr(H, H.loadRef(Dir.get(), P));
@@ -502,12 +656,18 @@ void SparkContext::installMaterialized(const RddRef &R, ObjRef Top) {
   if (R->PersistRequested &&
       (R->Level == StorageLevel::MemoryAndDisk ||
        R->Level == StorageLevel::MemoryAndDiskSer) &&
-      R->Op != OpKind::GroupByKey)
+      R->Op != OpKind::GroupByKey &&
+      std::find(EvictableStore.begin(), EvictableStore.end(), R) ==
+          EvictableStore.end())
     EvictableStore.push_back(R);
 }
 
 void SparkContext::evictToDisk(const RddRef &R) {
-  assert(R->Materialized && R->TopRootId != SIZE_MAX && "nothing to evict");
+  PANTHERA_CHECK(R->Materialized && R->TopRootId != SIZE_MAX,
+                 "nothing to evict");
+  // Eviction reads the cache it is about to drop; a cache-loss injection
+  // in the middle of that read would corrupt the transfer.
+  FaultSuppressionScope Suppress(Faults);
   memsim::HybridMemory &Mem = H.memory();
   RddContext Ctx(H);
   uint32_t P = Config.NumPartitions;
@@ -555,41 +715,65 @@ void SparkContext::maybeEvictStorage() {
   }
 }
 
-void SparkContext::materializeNarrow(const RddRef &R, const TupleSink *Tee) {
+void SparkContext::materializeNarrow(const RddRef &R,
+                                     const ShuffleFusion *Fusion) {
   uint32_t P = Config.NumPartitions;
   MemTag Tag = Config.UseStaticTags ? R->EffectiveTag : MemTag::None;
-  assert((!Tee || isHeapLevel(R->Level)) &&
-         "shuffle fusion applies to heap-materialized RDDs only");
+  const TupleSink *Tee = Fusion ? Fusion->Tee : nullptr;
+  PANTHERA_CHECK(!Tee || isHeapLevel(R->Level),
+                 "shuffle fusion applies to heap-materialized RDDs only");
   maybeEvictStorage();
+  std::string Stage =
+      std::string("materialize ") + opKindName(R->Op) +
+      (R->VarName.empty() ? std::string() : " '" + R->VarName + "'");
+  // Bracket each per-partition task with the consuming shuffle's
+  // snapshot/flush/rollback hooks so a failed fused map task can undo the
+  // records it already routed.
+  auto FusionBegin = [&] {
+    if (Fusion && Fusion->BeginTask)
+      Fusion->BeginTask();
+  };
+  auto FusionEnd = [&] {
+    if (Fusion && Fusion->EndTask)
+      Fusion->EndTask();
+  };
+  std::function<void()> FusionRollback;
+  if (Fusion && Fusion->Rollback)
+    FusionRollback = Fusion->Rollback;
 
   if (R->Level == StorageLevel::OffHeap && R->PersistRequested) {
     // Serialize into native NVM memory (the paper places all off-heap
     // native memory in NVM, §4.1).
-    R->NativeParts.resize(P);
-    for (uint32_t I = 0; I != P; ++I) {
-      std::vector<SourceRecord> Rows;
-      RddContext Ctx(H);
-      streamPartition(R, I, [&](ObjRef T) {
-        Rows.push_back({Ctx.key(T), Ctx.value(T)});
+    R->NativeParts.assign(P, {});
+    for (uint32_t I = 0; I != P; ++I)
+      runTask(Stage, R->Id, I, [&] {
+        std::vector<SourceRecord> Rows;
+        RddContext Ctx(H);
+        streamPartition(R, I, [&](ObjRef T) {
+          Rows.push_back({Ctx.key(T), Ctx.value(T)});
+        });
+        uint64_t Addr = H.allocNative(Rows.size() * sizeof(SourceRecord));
+        for (size_t J = 0; J != Rows.size(); ++J)
+          H.nativeWrite(Addr + J * sizeof(SourceRecord), &Rows[J],
+                        sizeof(SourceRecord));
+        R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
       });
-      uint64_t Addr = H.allocNative(Rows.size() * sizeof(SourceRecord));
-      for (size_t J = 0; J != Rows.size(); ++J)
-        H.nativeWrite(Addr + J * sizeof(SourceRecord), &Rows[J],
-                      sizeof(SourceRecord));
-      R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
-    }
     R->Materialized = true;
     ++Stats.RddsMaterialized;
     return;
   }
   if (R->Level == StorageLevel::DiskOnly && R->PersistRequested) {
-    R->DiskParts.resize(P);
-    for (uint32_t I = 0; I != P; ++I) {
-      RddContext Ctx(H);
-      streamPartition(R, I, [&](ObjRef T) {
-        R->DiskParts[I].push_back({Ctx.key(T), Ctx.value(T)});
-      });
-    }
+    R->DiskParts.assign(P, {});
+    for (uint32_t I = 0; I != P; ++I)
+      runTask(
+          Stage, R->Id, I,
+          [&] {
+            RddContext Ctx(H);
+            streamPartition(R, I, [&](ObjRef T) {
+              R->DiskParts[I].push_back({Ctx.key(T), Ctx.value(T)});
+            });
+          },
+          [&] { R->DiskParts[I].clear(); });
     R->Materialized = true;
     ++Stats.RddsMaterialized;
     return;
@@ -604,30 +788,37 @@ void SparkContext::materializeNarrow(const RddRef &R, const TupleSink *Tee) {
     GcRoot Dir(H, H.allocRefArray(P));
     RddContext Ctx(H);
     for (uint32_t I = 0; I != P; ++I) {
-      std::vector<SourceRecord> Rows;
-      streamPartition(R, I, [&](ObjRef T) {
-        if (Tee) {
-          GcRoot Saved(H, T);
-          (*Tee)(T);
-          T = Saved.get();
-        }
-        Rows.push_back({Ctx.key(T), Ctx.value(T)});
-        H.memory().addCpuWorkNs(Config.ShuffleRecordCpuNs); // serialize
-      });
-      if (Tag != MemTag::None)
-        H.setPendingArrayTag(Tag, R->Id);
-      ObjRef Buf =
-          H.allocPrimArray(static_cast<uint32_t>(Rows.size()) * 2, 8);
-      H.setPendingArrayTag(MemTag::None, 0);
-      H.header(Buf.addr())->RddId = R->Id;
-      {
-        GcRoot BufRoot(H, Buf);
-        for (uint32_t J = 0; J != Rows.size(); ++J) {
-          H.storeElemI64(BufRoot.get(), 2 * J, Rows[J].Key);
-          H.storeElemF64(BufRoot.get(), 2 * J + 1, Rows[J].Val);
-        }
-        H.storeRef(Dir.get(), I, BufRoot.get());
-      }
+      FusionBegin();
+      runTask(
+          Stage, R->Id, I,
+          [&] {
+            std::vector<SourceRecord> Rows;
+            streamPartition(R, I, [&](ObjRef T) {
+              if (Tee) {
+                GcRoot Saved(H, T);
+                (*Tee)(T);
+                T = Saved.get();
+              }
+              Rows.push_back({Ctx.key(T), Ctx.value(T)});
+              H.memory().addCpuWorkNs(Config.ShuffleRecordCpuNs);
+            });
+            if (Tag != MemTag::None)
+              H.setPendingArrayTag(Tag, R->Id);
+            ObjRef Buf =
+                H.allocPrimArray(static_cast<uint32_t>(Rows.size()) * 2, 8);
+            H.setPendingArrayTag(MemTag::None, 0);
+            H.header(Buf.addr())->RddId = R->Id;
+            {
+              GcRoot BufRoot(H, Buf);
+              for (uint32_t J = 0; J != Rows.size(); ++J) {
+                H.storeElemI64(BufRoot.get(), 2 * J, Rows[J].Key);
+                H.storeElemF64(BufRoot.get(), 2 * J + 1, Rows[J].Val);
+              }
+              H.storeRef(Dir.get(), I, BufRoot.get());
+            }
+            FusionEnd();
+          },
+          FusionRollback);
     }
     ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
     heap::ObjectHeader *TopHdr = H.header(Top.addr());
@@ -643,19 +834,27 @@ void SparkContext::materializeNarrow(const RddRef &R, const TupleSink *Tee) {
   // Heap materialization: directory -> per-partition arrays of tuples.
   GcRoot Dir(H, H.allocRefArray(P));
   for (uint32_t I = 0; I != P; ++I) {
-    PartitionBuilder Builder(H);
-    streamPartition(R, I, [&](ObjRef T) {
-      if (Tee) {
-        // Shuffle fusion: feed the consuming shuffle in the same pass.
-        // The tee may allocate (spill buffers), so re-root the tuple.
-        GcRoot Saved(H, T);
-        (*Tee)(T);
-        T = Saved.get();
-      }
-      Builder.append(T);
-    });
-    ObjRef Arr = Builder.finish(Tag, R->Id);
-    H.storeRef(Dir.get(), I, Arr);
+    FusionBegin();
+    runTask(
+        Stage, R->Id, I,
+        [&] {
+          PartitionBuilder Builder(H);
+          streamPartition(R, I, [&](ObjRef T) {
+            if (Tee) {
+              // Shuffle fusion: feed the consuming shuffle in the same
+              // pass. The tee may allocate (spill buffers), so re-root
+              // the tuple.
+              GcRoot Saved(H, T);
+              (*Tee)(T);
+              T = Saved.get();
+            }
+            Builder.append(T);
+          });
+          ObjRef Arr = Builder.finish(Tag, R->Id);
+          H.storeRef(Dir.get(), I, Arr);
+          FusionEnd();
+        },
+        FusionRollback);
   }
   // rdd_alloc also stamps the *top* object's MEMORY_BITS so the root task
   // promotes it to the right space (§4.2.1).
@@ -680,17 +879,25 @@ SparkContext::shuffle(const RddRef &Parent,
   // routed records accumulate in per-target-partition buffers that stay
   // live for the whole map pass -- this transient bulk is precisely the
   // "large amounts of intermediate data" whose collection dominates the
-  // paper's GC costs. Builders are destroyed in reverse construction
-  // order (GC root discipline is LIFO).
-  std::vector<std::unique_ptr<PartitionBuilder>> Buffers;
-  Buffers.reserve(P);
+  // paper's GC costs. Builders must be destroyed in reverse construction
+  // order (GC root discipline is LIFO) even when an exception unwinds this
+  // frame, so a plain vector (forward element destruction) won't do.
+  struct BuilderStack {
+    std::vector<std::unique_ptr<PartitionBuilder>> V;
+    ~BuilderStack() {
+      while (!V.empty())
+        V.pop_back();
+    }
+    PartitionBuilder &operator[](uint32_t I) { return *V[I]; }
+  } Buffers;
+  Buffers.V.reserve(P);
   for (uint32_t I = 0; I != P; ++I)
-    Buffers.emplace_back(std::make_unique<PartitionBuilder>(H));
+    Buffers.V.emplace_back(std::make_unique<PartitionBuilder>(H));
   Buckets Out(P);
   // Spills a buffer to "disk" (native memory, unaccounted like the
   // paper's disk I/O) and recycles it.
   auto Spill = [&](uint32_t Target) {
-    PartitionBuilder &B = *Buffers[Target];
+    PartitionBuilder &B = Buffers[Target];
     Out[Target].reserve(Out[Target].size() + B.size());
     B.forEach([&](ObjRef T) {
       Mem.addCpuWorkNs(Config.ShuffleRecordCpuNs);
@@ -703,25 +910,63 @@ SparkContext::shuffle(const RddRef &Parent,
     ++Stats.ShuffleRecords;
     int64_t K = Ctx.key(T);
     uint32_t Target = Partitioner ? Partitioner(K) : partitionOf(K, P);
-    Buffers[Target]->append(T);
-    if (Buffers[Target]->size() >= Config.ShuffleSpillRecords) {
+    Buffers[Target].append(T);
+    if (Buffers[Target].size() >= Config.ShuffleSpillRecords) {
       ++Stats.ShuffleSpills;
       Spill(Target);
     }
   };
+
+  // Task bracketing: every map task ends by flushing all route buffers
+  // into Out, so a failed attempt can restore Out to its task-start
+  // snapshot and clear the buffers without disturbing earlier tasks'
+  // records. Each record is still written exactly once.
+  std::vector<size_t> OutSnapshot(P, 0);
+  uint64_t RecordsSnapshot = 0, SpillsSnapshot = 0;
+  auto BeginTask = [&] {
+    for (uint32_t I = 0; I != P; ++I)
+      OutSnapshot[I] = Out[I].size();
+    RecordsSnapshot = Stats.ShuffleRecords;
+    SpillsSnapshot = Stats.ShuffleSpills;
+  };
+  auto EndTask = [&] {
+    for (uint32_t I = 0; I != P; ++I)
+      Spill(I);
+  };
+  auto Rollback = [&] {
+    for (uint32_t I = 0; I != P; ++I) {
+      Buffers[I].clear();
+      Out[I].resize(OutSnapshot[I]);
+    }
+    Stats.ShuffleRecords = RecordsSnapshot;
+    Stats.ShuffleSpills = SpillsSnapshot;
+  };
+
   if (canFuseIntoShuffle(Parent)) {
     // Materialize the persist-pending parent and write the shuffle in one
     // streaming pass: its cached partitions are written once, not re-read.
-    materializeNarrow(Parent, &Route);
+    ShuffleFusion Fusion;
+    Fusion.Tee = &Route;
+    Fusion.BeginTask = BeginTask;
+    Fusion.EndTask = EndTask;
+    Fusion.Rollback = Rollback;
+    materializeNarrow(Parent, &Fusion);
   } else {
-    for (uint32_t I = 0; I != P; ++I)
-      streamPartition(Parent, I, Route);
+    std::string Stage =
+        std::string("shuffle map ") + opKindName(Parent->Op) +
+        (Parent->VarName.empty() ? std::string()
+                                 : " '" + Parent->VarName + "'");
+    for (uint32_t I = 0; I != P; ++I) {
+      BeginTask();
+      runTask(
+          Stage, Parent->Id, I,
+          [&] {
+            streamPartition(Parent, I, Route);
+            EndTask();
+          },
+          Rollback);
+    }
   }
-  // Final shuffle write of whatever remains buffered.
-  for (uint32_t I = 0; I != P; ++I)
-    Spill(I);
-  while (!Buffers.empty())
-    Buffers.pop_back();
   return Out;
 }
 
@@ -737,11 +982,22 @@ void SparkContext::materializeWide(const RddRef &R) {
   if (R->Op == OpKind::SortByKey) {
     std::vector<int64_t> Sample;
     uint64_t Counter = 0;
-    for (uint32_t I = 0; I != P; ++I)
-      streamPartition(R->Parents[0], I, [&](ObjRef T) {
-        if ((Counter++ & 15) == 0)
-          Sample.push_back(Ctx.key(T));
-      });
+    for (uint32_t I = 0; I != P; ++I) {
+      size_t SampleSnapshot = Sample.size();
+      uint64_t CounterSnapshot = Counter;
+      runTask(
+          "sortByKey sampling", R->Id, I,
+          [&] {
+            streamPartition(R->Parents[0], I, [&](ObjRef T) {
+              if ((Counter++ & 15) == 0)
+                Sample.push_back(Ctx.key(T));
+            });
+          },
+          [&] {
+            Sample.resize(SampleSnapshot);
+            Counter = CounterSnapshot;
+          });
+    }
     std::sort(Sample.begin(), Sample.end());
     std::vector<int64_t> Splitters;
     for (uint32_t I = 1; I < P; ++I)
@@ -757,7 +1013,17 @@ void SparkContext::materializeWide(const RddRef &R) {
   Buckets In = shuffle(R->Parents[0], Partitioner);
 
   GcRoot Dir(H, H.allocRefArray(P));
+  std::string Stage =
+      std::string("reduce ") + opKindName(R->Op) +
+      (R->VarName.empty() ? std::string() : " '" + R->VarName + "'");
+  // One retryable reduce task per partition. The shuffle buckets in `In`
+  // stay intact across attempts, so a retry re-fetches the same input; all
+  // heap effects before the final directory store are discarded garbage.
   for (uint32_t I = 0; I != P; ++I) {
+    runTask(Stage, R->Id, I, [&] {
+    if (Faults && Faults->shouldFail(FaultSite::ShuffleFetch))
+      throw TaskFailure("injected shuffle fetch failure in stage '" + Stage +
+                        "', partition " + std::to_string(I));
     std::vector<SourceRecord> &Rows = In[I];
     switch (R->Op) {
     case OpKind::ReduceByKey: {
@@ -855,8 +1121,9 @@ void SparkContext::materializeWide(const RddRef &R) {
       break;
     }
     default:
-      assert(false && "not a materializing wide op");
+      PANTHERA_CHECK(false, "not a materializing wide op");
     }
+    });
   }
 
   ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
@@ -884,8 +1151,13 @@ int64_t SparkContext::runCount(const RddRef &R) {
   recordCall(R);
   prepare(R, MemTag::None);
   int64_t Total = 0;
-  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
-    streamPartition(R, P, [&](ObjRef) { ++Total; });
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P) {
+    int64_t Snapshot = Total;
+    runTask(
+        "count action", R->Id, P,
+        [&] { streamPartition(R, P, [&](ObjRef) { ++Total; }); },
+        [&] { Total = Snapshot; });
+  }
   finishAction();
   return Total;
 }
@@ -896,12 +1168,23 @@ double SparkContext::runReduce(const RddRef &R, const CombineFn &Fn) {
   RddContext Ctx(H);
   bool Seeded = false;
   double Acc = 0.0;
-  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
-    streamPartition(R, P, [&](ObjRef T) {
-      double V = Ctx.value(T);
-      Acc = Seeded ? Fn(Acc, V) : V;
-      Seeded = true;
-    });
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P) {
+    double AccSnapshot = Acc;
+    bool SeededSnapshot = Seeded;
+    runTask(
+        "reduce action", R->Id, P,
+        [&] {
+          streamPartition(R, P, [&](ObjRef T) {
+            double V = Ctx.value(T);
+            Acc = Seeded ? Fn(Acc, V) : V;
+            Seeded = true;
+          });
+        },
+        [&] {
+          Acc = AccSnapshot;
+          Seeded = SeededSnapshot;
+        });
+  }
   finishAction();
   return Acc;
 }
@@ -911,10 +1194,17 @@ std::vector<SourceRecord> SparkContext::runCollect(const RddRef &R) {
   prepare(R, MemTag::None);
   RddContext Ctx(H);
   std::vector<SourceRecord> Out;
-  for (uint32_t P = 0; P != Config.NumPartitions; ++P)
-    streamPartition(R, P, [&](ObjRef T) {
-      Out.push_back({Ctx.key(T), Ctx.value(T)});
-    });
+  for (uint32_t P = 0; P != Config.NumPartitions; ++P) {
+    size_t Snapshot = Out.size();
+    runTask(
+        "collect action", R->Id, P,
+        [&] {
+          streamPartition(R, P, [&](ObjRef T) {
+            Out.push_back({Ctx.key(T), Ctx.value(T)});
+          });
+        },
+        [&] { Out.resize(Snapshot); });
+  }
   finishAction();
   return Out;
 }

@@ -1,0 +1,66 @@
+//===- support/Errors.h - Typed runtime errors and checks -------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exception taxonomy for recoverable failures. A production big-data
+/// runtime must degrade, not crash: invariant violations on user-reachable
+/// paths throw EngineError, allocation failure after the staged fallback
+/// throws OutOfMemoryError, and a failed (or fault-injected) task throws
+/// TaskFailure so the scheduler can retry it from lineage.
+///
+/// PANTHERA_CHECK replaces assert() on user-reachable engine paths: it
+/// stays active under NDEBUG and throws instead of aborting. Internal GC
+/// invariants keep plain assert -- a broken collector cannot unwind safely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_ERRORS_H
+#define PANTHERA_SUPPORT_ERRORS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace panthera {
+
+/// An engine invariant was violated on a user-reachable path (bad driver
+/// input, misuse of the API, or retry exhaustion). Not retryable.
+class EngineError : public std::runtime_error {
+public:
+  explicit EngineError(const std::string &What) : std::runtime_error(What) {}
+};
+
+/// The heap could not satisfy an allocation even after the staged fallback
+/// (emergency full GC, DRAM<->NVM overflow, storage eviction). The task
+/// layer converts this into a failed -- retryable or cleanly-reported --
+/// task instead of a process crash.
+class OutOfMemoryError : public std::runtime_error {
+public:
+  explicit OutOfMemoryError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// One task (per-partition unit of stage work) failed and may be retried.
+/// Thrown by fault-injection sites and by cache-loss detection; the
+/// scheduler rolls back the task's partial effects, recomputes any lost
+/// lineage, and re-attempts with capped exponential backoff.
+class TaskFailure : public std::runtime_error {
+public:
+  explicit TaskFailure(const std::string &What) : std::runtime_error(What) {}
+};
+
+} // namespace panthera
+
+/// Invariant check for user-reachable paths: active in every build type,
+/// throws EngineError with the failing condition and location.
+#define PANTHERA_CHECK(Cond, Msg)                                             \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      throw ::panthera::EngineError(std::string("engine check failed: ") +    \
+                                    (Msg) + " [" #Cond "] (" __FILE__ ":" +   \
+                                    std::to_string(__LINE__) + ")");          \
+  } while (false)
+
+#endif // PANTHERA_SUPPORT_ERRORS_H

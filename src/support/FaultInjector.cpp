@@ -1,0 +1,77 @@
+//===- support/FaultInjector.cpp - Deterministic fault injection ----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+using namespace panthera;
+
+const char *panthera::faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::TaskExecution:
+    return "task";
+  case FaultSite::CacheRead:
+    return "cache";
+  case FaultSite::Allocation:
+    return "alloc";
+  case FaultSite::ShuffleFetch:
+    return "shuffle";
+  }
+  return "?";
+}
+
+bool panthera::parseFaultSite(const std::string &Name, FaultSite &Out) {
+  if (Name == "task") {
+    Out = FaultSite::TaskExecution;
+  } else if (Name == "cache") {
+    Out = FaultSite::CacheRead;
+  } else if (Name == "alloc" || Name == "allocation") {
+    Out = FaultSite::Allocation;
+  } else if (Name == "shuffle") {
+    Out = FaultSite::ShuffleFetch;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
+  // Decorrelate the per-site streams: run the plan seed through one
+  // SplitMix64 step per site so adjacent sites never share a sequence.
+  SplitMix64 Seeder(Plan.Seed);
+  for (SiteState &S : Counters)
+    S.RngState = Seeder.next();
+}
+
+bool FaultInjector::shouldFail(FaultSite Site) {
+  if (SuppressDepth > 0)
+    return false;
+  SiteState &S = Counters[static_cast<size_t>(Site)];
+  const FaultSiteConfig &C = Plan.site(Site);
+  if (!C.enabled())
+    return false;
+  ++S.Occurrences;
+  if (S.Fired >= C.MaxFires)
+    return false;
+  bool Fire = C.FireOnNth != 0 && S.Occurrences == C.FireOnNth;
+  if (!Fire && C.Probability > 0.0) {
+    // Advance this site's private stream even when the draw misses so the
+    // schedule depends only on this site's occurrence index.
+    SplitMix64 Rng(S.RngState);
+    double Draw = Rng.nextDouble();
+    S.RngState += 0x9e3779b97f4a7c15ull; // mirror SplitMix64's advance
+    Fire = Draw < C.Probability;
+  }
+  if (Fire)
+    ++S.Fired;
+  return Fire;
+}
+
+uint64_t FaultInjector::totalFired() const {
+  uint64_t Total = 0;
+  for (const SiteState &S : Counters)
+    Total += S.Fired;
+  return Total;
+}

@@ -1,0 +1,135 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, site-addressable fault injector. Each injection site (task
+/// execution, cache read, allocation, shuffle fetch) draws from its own
+/// SplitMix64 stream derived from the plan seed, so a given (seed, plan)
+/// reproduces the exact same failure schedule regardless of what the other
+/// sites observe. Sites fire either probabilistically (Bernoulli per
+/// occurrence) or deterministically on the Nth occurrence.
+///
+/// Recovery code wraps itself in a FaultSuppressionScope so that the
+/// machinery that repairs an injected failure is never itself injected
+/// (which would make recovery tests nonterminating).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_SUPPORT_FAULTINJECTOR_H
+#define PANTHERA_SUPPORT_FAULTINJECTOR_H
+
+#include "support/Random.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace panthera {
+
+/// Where a fault can be injected.
+enum class FaultSite : uint8_t {
+  TaskExecution, ///< At the start of a per-partition task body.
+  CacheRead,     ///< Reading a materialized (persisted) partition: the
+                 ///< cache is dropped and must be recomputed from lineage.
+  Allocation,    ///< In the heap's mutator allocation path (simulated
+                 ///< memory exhaustion -> OutOfMemoryError).
+  ShuffleFetch,  ///< Reduce side fetching its shuffle bucket.
+};
+
+constexpr size_t NumFaultSites = 4;
+
+const char *faultSiteName(FaultSite S);
+
+/// Parses a CLI site spelling ("task", "cache", "alloc", "shuffle").
+/// Returns false for unknown names.
+bool parseFaultSite(const std::string &Name, FaultSite &Out);
+
+/// Per-site trigger configuration. Probability and FireOnNth compose: the
+/// site fires on its FireOnNth-th occurrence and on every Bernoulli hit,
+/// up to MaxFires total.
+struct FaultSiteConfig {
+  double Probability = 0.0; ///< Bernoulli chance per occurrence.
+  uint64_t FireOnNth = 0;   ///< 1-based occurrence index; 0 disables.
+  uint64_t MaxFires = UINT64_MAX; ///< Cap on total fires at this site.
+
+  bool enabled() const { return Probability > 0.0 || FireOnNth != 0; }
+};
+
+/// A full injection plan: one seed, one config per site.
+struct FaultPlan {
+  uint64_t Seed = 0x70616e7468657261ull; // "panthera"
+  std::array<FaultSiteConfig, NumFaultSites> Sites;
+
+  FaultSiteConfig &site(FaultSite S) {
+    return Sites[static_cast<size_t>(S)];
+  }
+  const FaultSiteConfig &site(FaultSite S) const {
+    return Sites[static_cast<size_t>(S)];
+  }
+  bool enabled() const {
+    for (const FaultSiteConfig &C : Sites)
+      if (C.enabled())
+        return true;
+    return false;
+  }
+};
+
+/// Draws deterministic fire/no-fire decisions per site.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  /// Counts one occurrence of \p S and returns true when the site fires.
+  /// Returns false (and does not count) while suppressed.
+  bool shouldFail(FaultSite S);
+
+  uint64_t occurrences(FaultSite S) const {
+    return Counters[static_cast<size_t>(S)].Occurrences;
+  }
+  uint64_t fired(FaultSite S) const {
+    return Counters[static_cast<size_t>(S)].Fired;
+  }
+  uint64_t totalFired() const;
+
+  bool suppressed() const { return SuppressDepth > 0; }
+  void pushSuppression() { ++SuppressDepth; }
+  void popSuppression() { --SuppressDepth; }
+
+  const FaultPlan &plan() const { return Plan; }
+
+private:
+  struct SiteState {
+    uint64_t RngState = 0; ///< Per-site SplitMix64 state.
+    uint64_t Occurrences = 0;
+    uint64_t Fired = 0;
+  };
+
+  FaultPlan Plan;
+  std::array<SiteState, NumFaultSites> Counters;
+  int SuppressDepth = 0;
+};
+
+/// RAII suppression for recovery paths. Null injector is a no-op.
+class FaultSuppressionScope {
+public:
+  explicit FaultSuppressionScope(FaultInjector *I) : I(I) {
+    if (I)
+      I->pushSuppression();
+  }
+  ~FaultSuppressionScope() {
+    if (I)
+      I->popSuppression();
+  }
+  FaultSuppressionScope(const FaultSuppressionScope &) = delete;
+  FaultSuppressionScope &operator=(const FaultSuppressionScope &) = delete;
+
+private:
+  FaultInjector *I;
+};
+
+} // namespace panthera
+
+#endif // PANTHERA_SUPPORT_FAULTINJECTOR_H

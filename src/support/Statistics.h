@@ -16,6 +16,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace panthera {
@@ -66,6 +67,40 @@ private:
   double Minimum = 0.0;
   double Maximum = 0.0;
   uint64_t Count = 0;
+};
+
+/// One per-partition task's attempt history (every launch appends one
+/// record on completion, successful or not).
+struct TaskAttemptRecord {
+  std::string Stage;     ///< Human-readable stage label.
+  uint32_t RddId = 0;    ///< Lineage node the task computed.
+  uint32_t Partition = 0;
+  uint32_t Attempts = 1; ///< Total attempts made (1 = first try worked).
+  bool Succeeded = true;
+  std::string LastError; ///< Message of the last failed attempt ("" if none).
+};
+
+/// The per-stage/per-task attempt ledger the engine surfaces after a run.
+struct TaskLedger {
+  std::vector<TaskAttemptRecord> Records;
+
+  uint64_t totalTasks() const { return Records.size(); }
+  uint64_t totalAttempts() const {
+    uint64_t N = 0;
+    for (const TaskAttemptRecord &R : Records)
+      N += R.Attempts;
+    return N;
+  }
+  /// Attempts beyond each task's first (the cost of recovery).
+  uint64_t totalRetries() const { return totalAttempts() - totalTasks(); }
+  uint64_t failedTasks() const {
+    uint64_t N = 0;
+    for (const TaskAttemptRecord &R : Records)
+      if (!R.Succeeded)
+        ++N;
+    return N;
+  }
+  void clear() { Records.clear(); }
 };
 
 } // namespace panthera

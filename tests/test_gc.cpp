@@ -21,6 +21,11 @@ class GcTest : public ::testing::Test {
 protected:
   void build(PolicyKind Policy, unsigned HeapGB = 8,
              double Ratio = 1.0 / 3.0) {
+    // Tear down in reverse dependency order: ~Collector touches the Heap,
+    // and the Heap touches the memory simulator.
+    C.reset();
+    H.reset();
+    Mem.reset();
     HeapConfig HC = makeHeapConfig(Policy, HeapGB, Ratio);
     HC.NativeBytes = PaperGB;
     Mem = std::make_unique<memsim::HybridMemory>(
@@ -136,7 +141,11 @@ TEST_F(GcTest, UntaggedObjectsAgeBeforePromotionToNvm) {
 
 TEST_F(GcTest, EagerPromotionCanBeDisabled) {
   build(PolicyKind::Panthera);
-  // Rebuild with eager promotion off.
+  // Rebuild with eager promotion off (reverse dependency order, as in
+  // build(): the old Collector's destructor touches the old Heap).
+  C.reset();
+  H.reset();
+  Mem.reset();
   HeapConfig HC = makeHeapConfig(PolicyKind::Panthera, 8, 1.0 / 3.0);
   HC.Tuning.EagerPromotion = false;
   Mem = std::make_unique<memsim::HybridMemory>(

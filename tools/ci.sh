@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 CI: configure, build, and run the full test suite in the plain
+# configuration, then again under AddressSanitizer + UBSan
+# (-DPANTHERA_SANITIZE=address,undefined). Run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configure ${dir} ($*) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== build ${dir} ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== test ${dir} ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_config build
+run_config build-san -DPANTHERA_SANITIZE=address,undefined
+
+echo "ci: all configurations passed"

@@ -14,15 +14,22 @@
 ///                [--heap=64] [--ratio=0.333] [--scale=1.0]
 ///                [--nursery=0.1667] [--no-eager] [--no-padding]
 ///                [--gclog] [--verify] [--list]
+///                [--fault=SITE:p=0.01] [--fault=SITE:nth=5]
+///                [--fault-seed=N] [--task-retries=4] [--verify-recovery]
+///
+/// SITE is one of task, cache, alloc, shuffle. Fault runs exit 2 if the
+/// workload still fails after the staged fallback and retries.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "gc/Collector.h"
+#include "support/Errors.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace panthera;
@@ -37,6 +44,45 @@ static gc::PolicyKind parsePolicy(const std::string &Name) {
   if (Name == "kw")
     return gc::PolicyKind::KingsguardWrites;
   return gc::PolicyKind::Panthera;
+}
+
+/// Parses "SITE:p=0.01" or "SITE:nth=5" into \p Plan. Returns false (and
+/// prints a diagnostic) on malformed input.
+static bool parseFaultFlag(const char *Spec, FaultPlan &Plan) {
+  const char *Colon = std::strchr(Spec, ':');
+  FaultSite Site;
+  if (!Colon || !parseFaultSite(std::string(Spec, Colon - Spec), Site)) {
+    std::fprintf(stderr,
+                 "bad --fault site in '%s' (want task|cache|alloc|shuffle)\n",
+                 Spec);
+    return false;
+  }
+  FaultSiteConfig &C = Plan.site(Site);
+  if (std::strncmp(Colon + 1, "p=", 2) == 0) {
+    char *End = nullptr;
+    double P = std::strtod(Colon + 3, &End);
+    if (End == Colon + 3 || *End != '\0' || P < 0.0 || P > 1.0) {
+      std::fprintf(stderr, "bad --fault probability in '%s' (want 0..1)\n",
+                   Spec);
+      return false;
+    }
+    C.Probability = P;
+    return true;
+  }
+  if (std::strncmp(Colon + 1, "nth=", 4) == 0) {
+    char *End = nullptr;
+    long long N = std::strtoll(Colon + 5, &End, 10);
+    if (End == Colon + 5 || *End != '\0' || N <= 0) {
+      std::fprintf(stderr, "bad --fault count in '%s' (want nth=N, N >= 1)\n",
+                   Spec);
+      return false;
+    }
+    C.FireOnNth = static_cast<uint64_t>(N);
+    return true;
+  }
+  std::fprintf(stderr, "bad --fault trigger in '%s' (want p=X or nth=N)\n",
+               Spec);
+  return false;
 }
 
 int main(int Argc, char **Argv) {
@@ -72,6 +118,15 @@ int main(int Argc, char **Argv) {
       GcLog = true;
     else if (std::strcmp(A, "--verify") == 0)
       Config.VerifyHeap = true;
+    else if (const char *V = Val("--fault-seed=")) {
+      Config.Faults.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (const char *V = Val("--fault=")) {
+      if (!parseFaultFlag(V, Config.Faults))
+        return 1;
+    } else if (const char *V = Val("--task-retries="))
+      Config.Engine.MaxTaskAttempts = static_cast<uint32_t>(std::atoi(V));
+    else if (std::strcmp(A, "--verify-recovery") == 0)
+      Config.VerifyHeapAfterRecovery = true;
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
         std::printf("%-5s %-36s %s\n", Spec.ShortName.c_str(),
@@ -97,8 +152,22 @@ int main(int Argc, char **Argv) {
               Config.HeapPaperGB, Config.DramRatio, Config.NurseryFraction,
               Scale);
 
-  core::Runtime RT(Config);
-  double Checksum = Spec->Run(RT, Scale);
+  std::unique_ptr<core::Runtime> Owner;
+  double Checksum = 0.0;
+  try {
+    Owner = std::make_unique<core::Runtime>(Config);
+    Checksum = Spec->Run(*Owner, Scale);
+  } catch (const OutOfMemoryError &E) {
+    std::fprintf(stderr,
+                 "out of memory after staged fallback (emergency GC, "
+                 "NVM overflow, cache eviction): %s\n",
+                 E.what());
+    return 2;
+  } catch (const EngineError &E) {
+    std::fprintf(stderr, "engine failure: %s\n", E.what());
+    return 2;
+  }
+  core::Runtime &RT = *Owner;
   core::RunReport R = RT.report();
 
   std::printf("\nresult checksum: %g\n", Checksum);
@@ -144,6 +213,33 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.Engine.RddsMaterialized),
               static_cast<unsigned long long>(R.Engine.RddsEvictedToDisk),
               static_cast<unsigned long long>(R.MonitoredCalls));
+
+  if (Config.Faults.enabled()) {
+    const heap::HeapStats &HS = RT.heap().stats();
+    std::printf("\nfaults: seed %llu | %llu task / %llu cache-loss / "
+                "%llu alloc / %llu shuffle injections fired\n",
+                static_cast<unsigned long long>(Config.Faults.Seed),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::TaskExecution)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::CacheRead)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::Allocation)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::ShuffleFetch)));
+    std::printf("        %llu tasks, %llu attempts (%llu retries), "
+                "%llu lineage recomputations\n",
+                static_cast<unsigned long long>(R.Tasks.totalTasks()),
+                static_cast<unsigned long long>(R.Tasks.totalAttempts()),
+                static_cast<unsigned long long>(R.Engine.TaskRetries),
+                static_cast<unsigned long long>(
+                    R.Engine.LineageRecomputations));
+    std::printf("        %llu emergency GCs, %llu pressure evictions, "
+                "%llu OOM errors thrown\n",
+                static_cast<unsigned long long>(HS.EmergencyGcs),
+                static_cast<unsigned long long>(HS.PressureEvictions),
+                static_cast<unsigned long long>(HS.OomErrorsThrown));
+  }
 
   if (GcLog) {
     std::printf("\ngc log:\n%4s %-6s %9s %9s %8s %8s %8s %8s\n", "#",
