@@ -20,6 +20,10 @@ using namespace panthera;
 using namespace panthera::core;
 
 Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
+  unsigned Workers = Config.NumThreads != 0 ? Config.NumThreads
+                                            : support::resolveAutoThreads();
+  Pool = std::make_unique<support::WorkStealingPool>(Workers);
+
   heap::HeapConfig HC = gc::makeHeapConfig(Config.Policy, Config.HeapPaperGB,
                                            Config.DramRatio);
   HC.NurseryFraction = Config.NurseryFraction;
@@ -40,10 +44,12 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   TheHeap = std::make_unique<heap::Heap>(HC, *Mem);
   TheCollector =
       std::make_unique<gc::Collector>(*TheHeap, Config.Policy, &Monitor);
+  TheCollector->setThreadPool(Pool.get());
 
   rdd::EngineConfig EC = Config.Engine;
   EC.UseStaticTags = gc::usesStaticTags(Config.Policy);
   Context = std::make_unique<rdd::SparkContext>(*TheHeap, &Monitor, EC);
+  Context->setThreadPool(Pool.get());
 
   if (Config.Faults.enabled()) {
     Injector = std::make_unique<FaultInjector>(Config.Faults);

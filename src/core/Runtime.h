@@ -33,6 +33,7 @@
 #include "memsim/HybridMemory.h"
 #include "rdd/Rdd.h"
 #include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
 
 #include <memory>
 #include <string_view>
@@ -67,6 +68,12 @@ struct RuntimeConfig {
   /// Verify the heap after every recovery path: emergency GC, pressure
   /// eviction, task retry. Tests default this on.
   bool VerifyHeapAfterRecovery = false;
+  /// Worker threads shared by stage execution and GC (--threads). 0 means
+  /// auto: the PANTHERA_THREADS environment variable if set, otherwise
+  /// std::thread::hardware_concurrency(). Results and simulated
+  /// time/energy are identical at every thread count; only wall-clock
+  /// changes.
+  unsigned NumThreads = 0;
 };
 
 /// Summary of one finished run.
@@ -100,6 +107,7 @@ public:
   rdd::SparkContext &ctx() { return *Context; }
   /// Nonnull only when Config.Faults enables at least one site.
   FaultInjector *faults() { return Injector.get(); }
+  support::WorkStealingPool &pool() { return *Pool; }
 
   /// Parses \p DslSource, runs the §3 inference (plus any enabled
   /// extensions), and installs the result on the engine (only Panthera
@@ -116,6 +124,7 @@ public:
 
 private:
   RuntimeConfig Config;
+  std::unique_ptr<support::WorkStealingPool> Pool;
   std::unique_ptr<memsim::HybridMemory> Mem;
   std::unique_ptr<heap::Heap> TheHeap;
   gc::AccessMonitor Monitor;

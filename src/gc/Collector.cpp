@@ -8,11 +8,15 @@
 
 #include "gc/HeapVerifier.h"
 #include "support/Errors.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <thread>
 
 using namespace panthera;
 using namespace panthera::gc;
@@ -288,22 +292,29 @@ void Collector::collectMinor(const char *Reason) {
   {
     memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
     ++Stats.MinorGcs;
-    Worklist.clear();
+    if (Pool) {
+      // Work-stealing scavenge: claim / plan / copy / fixup phases (see
+      // below). Same reachability and promotion rules; deterministic at
+      // every worker count.
+      scavengeParallel(Event);
+    } else {
+      Worklist.clear();
 
-    // Root task: stack handles and persisted-RDD roots. Top RDD objects
-    // with MEMORY_BITS set are promoted here (§4.2.2 root-task change).
-    double PhaseStart = H.memory().gcTimeNs();
-    H.forEachRoot([this](ObjRef &R) {
-      if (inCollectedYoung(R.addr()))
-        R = evacuate(R, MemTag::None);
-    });
-    Event.RootTaskNs = H.memory().gcTimeNs() - PhaseStart;
+      // Root task: stack handles and persisted-RDD roots. Top RDD objects
+      // with MEMORY_BITS set are promoted here (§4.2.2 root-task change).
+      double PhaseStart = H.memory().gcTimeNs();
+      H.forEachRoot([this](ObjRef &R) {
+        if (inCollectedYoung(R.addr()))
+          R = evacuate(R, MemTag::None);
+      });
+      Event.RootTaskNs = H.memory().gcTimeNs() - PhaseStart;
 
-    scanOldToYoungCards(Event);
+      scanOldToYoungCards(Event);
 
-    PhaseStart = H.memory().gcTimeNs();
-    drainWorklist();
-    Event.DrainNs = H.memory().gcTimeNs() - PhaseStart;
+      PhaseStart = H.memory().gcTimeNs();
+      drainWorklist();
+      Event.DrainNs = H.memory().gcTimeNs() - PhaseStart;
+    }
 
     // Young spaces: eden and from are now garbage; survivors sit in 'to'.
     uint64_t YoungLo = std::min(
@@ -337,6 +348,625 @@ void Collector::collectMinor(const char *Reason) {
     }
   }
   maybeTriggerMajor();
+}
+
+//===----------------------------------------------------------------------===
+// Parallel scavenge (docs/parallelism.md)
+//
+// The single-threaded scavenge above interleaves discovery, placement, and
+// copying, so its result depends on trace order. The parallel scavenge
+// splits the same work into four phases so that every order-dependent
+// decision is made serially and every order-free phase runs on the
+// work-stealing pool:
+//
+//   1. discover (parallel): claim reachable young objects with a CAS on the
+//      header's forwarding word and compute the monotone MEMORY_BITS
+//      fixpoint; roots and dirty cards seed per-worker Chase-Lev deques.
+//   2. plan (serial): walk eden + from-space in address order and assign
+//      every claimed object its destination, replicating the serial
+//      promotion rules; old-generation placement goes through promotion
+//      buffers (PLABs) whose remainders are retired as dead fillers.
+//   3. copy (parallel): memcpy each object to its planned destination and
+//      rewrite its reference slots through the forwarding words.
+//   4. fixup (serial): rewrite roots and dirty-card slots, make the card
+//      clean/keep decisions, and charge the merged traffic tallies.
+//
+// Because the claim set, the tag fixpoint, and the address-ordered plan are
+// all independent of scheduling, the resulting heap image, statistics, and
+// simulated time are bit-identical at every worker count.
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Forward-word value marking "claimed, destination not yet planned".
+constexpr uint64_t ClaimedSentinel = 1;
+
+/// Per-worker integer traffic counts, merged before the single bulk charge
+/// so simulated GC time is independent of scheduling (floating-point
+/// accumulation order never varies).
+struct GcTally {
+  uint64_t DramReads = 0;
+  uint64_t DramWrites = 0;
+  uint64_t NvmReads = 0;
+  uint64_t NvmWrites = 0;
+
+  void add(const memsim::AddressMap &Map, uint64_t Addr, uint64_t Bytes,
+           bool IsWrite) {
+    uint64_t FirstLine = Addr / memsim::CacheLineBytes;
+    uint64_t LastLine = (Addr + Bytes - 1) / memsim::CacheLineBytes;
+    for (uint64_t L = FirstLine; L <= LastLine; ++L) {
+      bool Dram = Map.deviceOf(L * memsim::CacheLineBytes) ==
+                  memsim::Device::DRAM;
+      if (IsWrite)
+        ++(Dram ? DramWrites : NvmWrites);
+      else
+        ++(Dram ? DramReads : NvmReads);
+    }
+  }
+
+  void merge(const GcTally &O) {
+    DramReads += O.DramReads;
+    DramWrites += O.DramWrites;
+    NvmReads += O.NvmReads;
+    NvmWrites += O.NvmWrites;
+  }
+
+  /// Charges the counts and returns the simulated ns consumed.
+  double charge(memsim::HybridMemory &Mem) const {
+    double Before = Mem.gcTimeNs();
+    Mem.chargeBulkLines(DramReads, DramWrites, NvmReads, NvmWrites);
+    return Mem.gcTimeNs() - Before;
+  }
+};
+
+MemTag loadTagAtomic(ObjectHeader *Hdr) {
+  std::atomic_ref<uint8_t> F(Hdr->Flags);
+  return static_cast<MemTag>(F.load(std::memory_order_relaxed) &
+                             ObjectHeader::MemoryBitsMask);
+}
+
+/// Raises the object's MEMORY_BITS to merge(current, Incoming). Returns
+/// true when the stored tag changed. The merge is monotone (DRAM > NVM >
+/// none), so concurrent raisers converge and each object's tag can rise at
+/// most twice.
+bool raiseTagAtomic(ObjectHeader *Hdr, MemTag Incoming) {
+  if (Incoming == MemTag::None)
+    return false;
+  std::atomic_ref<uint8_t> F(Hdr->Flags);
+  uint8_t Old = F.load(std::memory_order_relaxed);
+  for (;;) {
+    MemTag Cur = static_cast<MemTag>(Old & ObjectHeader::MemoryBitsMask);
+    MemTag Merged = mergeTags(Cur, Incoming);
+    if (Merged == Cur)
+      return false;
+    uint8_t New = static_cast<uint8_t>((Old & ~ObjectHeader::MemoryBitsMask) |
+                                       static_cast<uint8_t>(Merged));
+    if (F.compare_exchange_weak(Old, New, std::memory_order_relaxed))
+      return true;
+  }
+}
+
+/// Claims the object for this scavenge: CAS the forwarding word from 0 to
+/// the sentinel. Exactly one thread wins per object.
+bool claimAtomic(ObjectHeader *Hdr) {
+  std::atomic_ref<uint64_t> Fwd(Hdr->Forward);
+  uint64_t Expected = 0;
+  return Fwd.compare_exchange_strong(Expected, ClaimedSentinel,
+                                     std::memory_order_relaxed);
+}
+
+/// One minor collection's parallel-scavenge state. Constructed per GC on
+/// the caller's stack; shares the heap, the collector's stats, and the
+/// pool.
+class ParallelScavenge {
+public:
+  ParallelScavenge(heap::Heap &H, GcStats &Stats,
+                   support::WorkStealingPool &Pool)
+      : H(H), Stats(Stats), Pool(Pool), Workers(Pool.numWorkers()),
+        Map(H.memory().map()) {}
+
+  void collect(GcEvent &Event) {
+    prepare();
+    discover();
+    plan();
+    copy();
+    fixup(Event);
+  }
+
+private:
+  //===--- shared helpers -------------------------------------------------===
+
+  /// One dirty old-generation card's work item.
+  struct CardWork {
+    Space *S;
+    size_t Idx;
+  };
+
+  bool inCollectedYoung(uint64_t Addr) const {
+    return H.eden().contains(Addr) || H.fromSpace().contains(Addr);
+  }
+
+  uint64_t topOf(heap::Space *S) const {
+    return S == &H.oldDram() ? TopDram : TopNvm;
+  }
+
+  /// Heap::firstObjectIntersectingCard against a snapshotted allocation
+  /// frontier, so the discover and fixup phases see the identical object
+  /// population even though planning extends the old spaces in between.
+  uint64_t firstObjectIntersecting(Space &S, size_t CardIdx, uint64_t Top) {
+    CardTable &Cards = H.cardTable();
+    uint64_t CardLo = Cards.cardStart(CardIdx);
+    uint64_t CardHi = CardLo + CardTable::CardBytes;
+    if (CardLo >= Top)
+      return 0;
+    uint64_t Anchor = S.base();
+    size_t BaseCard = Cards.cardIndex(S.base());
+    for (size_t C = CardIdx; C > BaseCard;) {
+      --C;
+      uint64_t A = Cards.firstObjectInCard(C);
+      if (A && A < Top) {
+        Anchor = A;
+        break;
+      }
+    }
+    uint64_t Addr = Anchor;
+    while (Addr < Top) {
+      uint32_t Size = H.header(Addr)->SizeBytes;
+      if (Addr + Size > CardLo)
+        return Addr < CardHi ? Addr : 0;
+      Addr += Size;
+    }
+    return 0;
+  }
+
+  /// Slot ranges a dirty card's scan covers, replicating scanCard's
+  /// clamping and the §4.2.3 shared-array full-rescan rule. Used by both
+  /// the parallel discover pass and the serial fixup pass.
+  struct CardRange {
+    uint64_t Addr;
+    uint32_t Begin, End;
+  };
+  struct CardScan {
+    bool HasObjects = false;
+    bool Shared = false;
+    std::vector<CardRange> Ranges;
+  };
+
+  CardScan collectCardRanges(Space &S, size_t CardIdx, uint64_t Top) {
+    CardScan R;
+    CardTable &Cards = H.cardTable();
+    uint64_t CardLo = Cards.cardStart(CardIdx);
+    uint64_t CardHi = CardLo + CardTable::CardBytes;
+    uint64_t First = firstObjectIntersecting(S, CardIdx, Top);
+    if (!First)
+      return R;
+    R.HasObjects = true;
+    std::vector<uint64_t> Objs;
+    unsigned LargeArrays = 0;
+    for (uint64_t A = First; A < Top && A < CardHi;
+         A += H.header(A)->SizeBytes) {
+      Objs.push_back(A);
+      ObjectHeader *Hdr = H.header(A);
+      if (Hdr->kind() == ObjectKind::RefArray &&
+          Hdr->SizeBytes >= CardTable::CardBytes)
+        ++LargeArrays;
+    }
+    if (LargeArrays >= 2) {
+      R.Shared = true;
+      for (uint64_t A : Objs)
+        R.Ranges.push_back({A, 0, H.header(A)->numRefSlots()});
+      return R;
+    }
+    for (uint64_t A : Objs) {
+      ObjectHeader *Hdr = H.header(A);
+      uint32_t N = Hdr->numRefSlots();
+      uint64_t SlotsBase = A + sizeof(ObjectHeader);
+      uint32_t Begin = 0;
+      if (CardLo > SlotsBase)
+        Begin = static_cast<uint32_t>(
+            (CardLo - SlotsBase + heap::RefSlotBytes - 1) /
+            heap::RefSlotBytes);
+      uint32_t End = N;
+      if (SlotsBase < CardHi) {
+        uint64_t Fit = (CardHi - SlotsBase + heap::RefSlotBytes - 1) /
+                       heap::RefSlotBytes;
+        End = static_cast<uint32_t>(std::min<uint64_t>(N, Fit));
+      } else {
+        End = 0;
+      }
+      if (Begin < End)
+        R.Ranges.push_back({A, Begin, End});
+    }
+    return R;
+  }
+
+  //===--- phase 0: prepare -----------------------------------------------===
+
+  void prepare() {
+    H.forEachRoot([this](ObjRef &R) { Roots.push_back(&R); });
+    TopDram = H.oldDram().top();
+    TopNvm = H.oldNvm().top();
+    CardTable &Cards = H.cardTable();
+    for (Space *S : H.oldSpaces()) {
+      if (S->usedBytes() == 0)
+        continue;
+      size_t FirstCard = Cards.cardIndex(S->base());
+      size_t LastCard = Cards.cardIndex(S->top() - 1);
+      for (size_t C = FirstCard; C <= LastCard; ++C)
+        if (Cards.isDirty(C))
+          DirtyCards.push_back({S, C});
+    }
+  }
+
+  //===--- phase 1: discover (parallel) -----------------------------------===
+
+  void enqueue(uint64_t Addr, unsigned W) {
+    Pending.fetch_add(1);
+    Deques[W]->push(Addr);
+  }
+
+  void visitYoung(uint64_t Addr, MemTag Incoming, unsigned W) {
+    ObjectHeader *Hdr = H.header(Addr);
+    bool Claimed = claimAtomic(Hdr);
+    bool Raised = raiseTagAtomic(Hdr, Incoming);
+    // A raise on an already-claimed object re-enqueues it so its children
+    // observe the stronger tag; the monotone merge bounds re-scans at two
+    // per object and makes the fixpoint schedule-independent.
+    if (Claimed || Raised)
+      enqueue(Addr, W);
+  }
+
+  void scanObject(uint64_t Addr, unsigned W) {
+    ObjectHeader *Hdr = H.header(Addr);
+    MemTag Tag = loadTagAtomic(Hdr);
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (Child && inCollectedYoung(Child.addr()))
+        visitYoung(Child.addr(), Tag, W);
+    }
+  }
+
+  void scanDirtyCard(const CardWork &C, unsigned W);
+
+  void discover() {
+    Deques.reserve(Workers);
+    for (unsigned W = 0; W != Workers; ++W)
+      Deques.push_back(std::make_unique<support::ChaseLevDeque<uint64_t>>());
+    size_t NumItems = Roots.size() + DirtyCards.size();
+    Pending.store(NumItems);
+    Pool.runOnWorkers([this, NumItems](unsigned W) {
+      // Striped initial work: roots first, then dirty cards.
+      for (size_t I = W; I < NumItems; I += Workers) {
+        if (I < Roots.size()) {
+          ObjRef R = *Roots[I];
+          if (R && inCollectedYoung(R.addr()))
+            visitYoung(R.addr(), MemTag::None, W);
+        } else {
+          scanDirtyCard(DirtyCards[I - Roots.size()], W);
+        }
+        Pending.fetch_sub(1);
+      }
+      // Work-stealing trace to the claim/tag fixpoint.
+      for (;;) {
+        uint64_t Addr;
+        if (Deques[W]->pop(Addr)) {
+          scanObject(Addr, W);
+          Pending.fetch_sub(1);
+          continue;
+        }
+        bool Stole = false;
+        for (unsigned I = 1; I != Workers && !Stole; ++I)
+          Stole = Deques[(W + I) % Workers]->steal(Addr);
+        if (Stole) {
+          scanObject(Addr, W);
+          Pending.fetch_sub(1);
+          continue;
+        }
+        if (Pending.load() == 0)
+          break;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  //===--- phase 2: plan (serial) -----------------------------------------===
+
+  /// Per-space promotion buffer: a bump extent carved from the owning
+  /// space. Retiring a partially used extent plugs the remainder with a
+  /// dead filler; the fit rule never leaves a remainder smaller than a
+  /// header, so every remainder is representable.
+  struct Plab {
+    Space *S = nullptr;
+    uint64_t Cursor = 0;
+    uint64_t Limit = 0;
+  };
+
+  static constexpr uint64_t PlabBytes = 16 * 1024;
+  static constexpr uint64_t MinFiller = sizeof(ObjectHeader);
+
+  void retirePlab(Plab &P) {
+    uint64_t R = P.Limit - P.Cursor;
+    if (R == 0)
+      return;
+    assert(R >= MinFiller && "unrepresentable PLAB remainder");
+    H.writeFillerObject(P.Cursor, R);
+    H.stats().GcPlabWasteBytes += R;
+    P.Cursor = P.Limit;
+  }
+
+  bool refillPlab(Plab &P) {
+    uint64_t A = P.S->allocate(PlabBytes);
+    if (!A)
+      return false;
+    ++H.stats().GcPlabRefills;
+    if (A == P.Limit && P.Limit != 0) {
+      P.Limit = A + PlabBytes; // contiguous: the remainder is absorbed
+    } else {
+      retirePlab(P);
+      P.Cursor = A;
+      P.Limit = A + PlabBytes;
+    }
+    return true;
+  }
+
+  uint64_t plabPlace(Plab &P, uint32_t Size) {
+    if (!P.S || P.S->sizeBytes() == 0)
+      return 0;
+    uint64_t Avail = P.Limit - P.Cursor;
+    bool Fits = Avail == Size || Avail >= Size + MinFiller;
+    if (!Fits) {
+      if (!refillPlab(P)) {
+        // The space cannot supply a whole extent; fall back to a direct
+        // tail allocation so the scavenge keeps the headroom guarantee the
+        // serial check established.
+        uint64_t A = P.S->allocate(Size);
+        if (A)
+          H.cardTable().noteObjectStart(A);
+        return A;
+      }
+      Avail = P.Limit - P.Cursor;
+      Fits = Avail == Size || Avail >= Size + MinFiller;
+      if (!Fits)
+        return 0;
+    }
+    uint64_t Addr = P.Cursor;
+    P.Cursor += Size;
+    H.cardTable().noteObjectStart(Addr);
+    return Addr;
+  }
+
+  /// Old-generation placement mirroring Heap::allocateInOld's primary /
+  /// fallback order, with small objects routed through the PLABs. Large or
+  /// card-padded (RDD array) objects bypass the PLAB and allocate
+  /// directly, which also re-establishes card padding.
+  uint64_t placeOld(uint32_t Size, MemTag Tag, bool IsRddArray) {
+    if (IsRddArray || Size + MinFiller > PlabBytes)
+      return H.allocateInOld(Size, Tag, IsRddArray);
+    Plab *Primary;
+    Plab *Fallback = nullptr;
+    if (!H.hasSplitOldGen()) {
+      Primary = &NvmPlab;
+    } else if (Tag == MemTag::Dram) {
+      Primary = &DramPlab;
+      Fallback = &NvmPlab;
+    } else {
+      Primary = &NvmPlab;
+      Fallback = &DramPlab;
+    }
+    for (Plab *P : {Primary, Fallback}) {
+      if (!P)
+        continue;
+      uint64_t Addr = plabPlace(*P, Size);
+      if (!Addr)
+        continue;
+      if (P == Fallback && Tag == MemTag::Dram)
+        ++H.stats().PretenureDramFallbacks;
+      return Addr;
+    }
+    return 0;
+  }
+
+  struct Move {
+    uint64_t Old;
+    uint64_t New;
+    uint32_t Size;
+    bool Promoted;
+  };
+
+  void plan() {
+    DramPlab.S = &H.oldDram();
+    NvmPlab.S = &H.oldNvm();
+    const heap::GcTuning &T = H.config().Tuning;
+    for (Space *S : {&H.eden(), &H.fromSpace()}) {
+      H.walkObjects(S->base(), S->top(), [&](uint64_t Addr) {
+        ObjectHeader *Hdr = H.header(Addr);
+        if (Hdr->Forward == 0)
+          return; // unreachable
+        MemTag Tag = Hdr->memTag(); // the discover fixpoint's merged tag
+        uint32_t Size = Hdr->SizeBytes;
+        bool IsRddArray = Hdr->kind() == ObjectKind::RefArray &&
+                          Size >= CardTable::CardBytes;
+        bool TagPromote =
+            Tag != MemTag::None && T.EagerPromotion && H.hasSplitOldGen();
+        bool AgePromote = static_cast<uint8_t>(Hdr->Age + 1) >= T.TenureAge;
+        uint64_t NewAddr = 0;
+        bool Promoted = false;
+        if (TagPromote || AgePromote) {
+          MemTag PromoTag = Tag;
+          if (T.KwWriteMonitoring)
+            PromoTag =
+                Hdr->WriteCount >= T.KwHotWrites ? MemTag::Dram : MemTag::Nvm;
+          NewAddr = placeOld(Size, PromoTag, IsRddArray);
+          Promoted = NewAddr != 0;
+          if (TagPromote && Promoted)
+            ++Stats.EagerPromotions;
+        }
+        if (!NewAddr)
+          NewAddr = H.toSpace().allocate(Size);
+        if (!NewAddr) {
+          // Survivor overflow: tenure regardless of age.
+          NewAddr = placeOld(Size, Tag, IsRddArray);
+          Promoted = NewAddr != 0;
+        }
+        if (!NewAddr)
+          fatalGc("no space left for a surviving object during scavenge");
+        Hdr->Forward = NewAddr;
+        if (Promoted)
+          Stats.BytesPromoted += Size;
+        else
+          Stats.BytesCopiedToSurvivor += Size;
+        Moves.push_back({Addr, NewAddr, Size, Promoted});
+      });
+    }
+    retirePlab(DramPlab);
+    retirePlab(NvmPlab);
+  }
+
+  //===--- phase 3: copy (parallel) ---------------------------------------===
+
+  void copy() {
+    Tallies.assign(Workers, GcTally());
+    DirtySlots.assign(Workers, {});
+    Pool.run(Moves.size(), [this](size_t I, unsigned W) {
+      const Move &M = Moves[I];
+      GcTally &T = Tallies[W];
+      T.add(Map, M.Old, M.Size, /*IsWrite=*/false);
+      T.add(Map, M.New, M.Size, /*IsWrite=*/true);
+      std::memcpy(H.rawBytes(M.New), H.rawBytes(M.Old), M.Size);
+      ObjectHeader *NewHdr = H.header(M.New);
+      NewHdr->Forward = 0;
+      if (!M.Promoted)
+        NewHdr->Age = static_cast<uint8_t>(NewHdr->Age + 1);
+      bool ParentOld = H.isOld(M.New);
+      uint32_t N = NewHdr->numRefSlots();
+      for (uint32_t S = 0; S != N; ++S) {
+        uint64_t SlotAddr = H.refSlotAddr(M.New, S);
+        T.add(Map, SlotAddr, heap::RefSlotBytes, /*IsWrite=*/false);
+        ObjRef Child = H.rawLoadRef(M.New, S);
+        if (!Child)
+          continue;
+        if (inCollectedYoung(Child.addr())) {
+          ObjRef Moved(H.header(Child.addr())->Forward);
+          H.rawStoreRef(M.New, S, Moved);
+          T.add(Map, SlotAddr, heap::RefSlotBytes, /*IsWrite=*/true);
+          Child = Moved;
+        }
+        // Promoted objects still pointing into the young generation must
+        // be visible to the next minor GC's card scan; the dirtying is
+        // deferred so it lands after the fixup phase's clean decisions,
+        // matching the serial scavenge's phase order.
+        if (ParentOld && H.isYoung(Child.addr()))
+          DirtySlots[W].push_back(SlotAddr);
+      }
+    });
+  }
+
+  //===--- phase 4: fixup (serial) ----------------------------------------===
+
+  void fixup(GcEvent &Event) {
+    H.forEachRoot([this](ObjRef &R) {
+      if (R && inCollectedYoung(R.addr()))
+        R = ObjRef(H.header(R.addr())->Forward);
+    });
+
+    GcTally DramCards, NvmCards;
+    CardTable &Cards = H.cardTable();
+    for (const CardWork &C : DirtyCards) {
+      GcTally &T =
+          H.hasSplitOldGen() && C.S == &H.oldDram() ? DramCards : NvmCards;
+      ++Stats.CardsScanned;
+      CardScan CS = collectCardRanges(*C.S, C.Idx, topOf(C.S));
+      if (!CS.HasObjects) {
+        Cards.clean(C.Idx);
+        continue;
+      }
+      if (CS.Shared)
+        ++Stats.SharedArrayCardScans;
+      bool YoungRemains = false;
+      for (const CardRange &R : CS.Ranges) {
+        for (uint32_t S = R.Begin; S != R.End; ++S) {
+          uint64_t SlotAddr = H.refSlotAddr(R.Addr, S);
+          T.add(Map, SlotAddr, heap::RefSlotBytes, /*IsWrite=*/false);
+          ObjRef Child = H.rawLoadRef(R.Addr, S);
+          if (!Child)
+            continue;
+          if (inCollectedYoung(Child.addr())) {
+            ObjRef Moved(H.header(Child.addr())->Forward);
+            H.rawStoreRef(R.Addr, S, Moved);
+            T.add(Map, SlotAddr, heap::RefSlotBytes, /*IsWrite=*/true);
+            Child = Moved;
+          }
+          if (H.isYoung(Child.addr()))
+            YoungRemains = true;
+        }
+      }
+      if (!CS.Shared && !YoungRemains) {
+        Cards.clean(C.Idx);
+        ++Stats.CardsCleaned;
+      }
+    }
+
+    // Re-dirty the cards of promoted objects that still reference young
+    // survivors -- strictly after the clean decisions above, as in the
+    // serial scavenge where all dirtying happens during the drain.
+    for (const std::vector<uint64_t> &V : DirtySlots)
+      for (uint64_t SlotAddr : V)
+        Cards.dirtyCardFor(SlotAddr);
+
+    // Single bulk charge per task family; the integer counts were merged
+    // above, so time is identical at every worker count. Root handles live
+    // outside simulated memory, so the root task itself is free -- the
+    // copies it caused are part of the drain tally.
+    memsim::HybridMemory &Mem = H.memory();
+    Event.RootTaskNs = 0.0;
+    Event.DramToYoungTaskNs = DramCards.charge(Mem);
+    Event.NvmToYoungTaskNs = NvmCards.charge(Mem);
+    GcTally Drain;
+    for (const GcTally &T : Tallies)
+      Drain.merge(T);
+    Event.DrainNs = Drain.charge(Mem);
+  }
+
+  //===--- state ----------------------------------------------------------===
+
+  heap::Heap &H;
+  GcStats &Stats;
+  support::WorkStealingPool &Pool;
+  unsigned Workers;
+  const memsim::AddressMap &Map;
+
+  std::vector<ObjRef *> Roots;
+  std::vector<CardWork> DirtyCards;
+  uint64_t TopDram = 0, TopNvm = 0;
+
+  std::vector<std::unique_ptr<support::ChaseLevDeque<uint64_t>>> Deques;
+  std::atomic<size_t> Pending{0};
+
+  Plab DramPlab, NvmPlab;
+  std::vector<Move> Moves;
+
+  std::vector<GcTally> Tallies;
+  std::vector<std::vector<uint64_t>> DirtySlots;
+};
+
+void ParallelScavenge::scanDirtyCard(const CardWork &C, unsigned W) {
+  CardScan CS = collectCardRanges(*C.S, C.Idx, topOf(C.S));
+  for (const CardRange &R : CS.Ranges) {
+    MemTag Tag = H.header(R.Addr)->memTag(); // old gen: stable during GC
+    for (uint32_t S = R.Begin; S != R.End; ++S) {
+      ObjRef Child = H.rawLoadRef(R.Addr, S);
+      if (Child && inCollectedYoung(Child.addr()))
+        visitYoung(Child.addr(), Tag, W);
+    }
+  }
+}
+
+} // namespace
+
+void Collector::scavengeParallel(GcEvent &Event) {
+  ParallelScavenge PS(H, Stats, *Pool);
+  PS.collect(Event);
 }
 
 void Collector::maybeTriggerMajor() {
@@ -400,6 +1030,77 @@ void Collector::markFromRoots() {
         markObject(Child.addr(), Stack);
     }
   }
+}
+
+void Collector::markParallelFromRoots() {
+  // Work-stealing mark. Exactly one worker claims each object (an atomic
+  // fetch_or of the mark bit), and the claimer scans it, so every header
+  // and slot is tallied exactly once regardless of scheduling -- the
+  // merged traffic counts, and hence MarkNs, are worker-count invariant.
+  unsigned Workers = Pool->numWorkers();
+  std::vector<std::unique_ptr<support::ChaseLevDeque<uint64_t>>> Deques;
+  Deques.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Deques.push_back(std::make_unique<support::ChaseLevDeque<uint64_t>>());
+  std::vector<uint64_t> Roots;
+  H.forEachRoot([&Roots](ObjRef &R) { Roots.push_back(R.addr()); });
+  std::atomic<size_t> Pending{Roots.size()};
+  std::vector<GcTally> Tallies(Workers);
+  const memsim::AddressMap &Map = H.memory().map();
+
+  auto Claim = [this](uint64_t Addr) {
+    std::atomic_ref<uint8_t> F(H.header(Addr)->Flags);
+    uint8_t Old =
+        F.fetch_or(ObjectHeader::MarkBit, std::memory_order_relaxed);
+    return (Old & ObjectHeader::MarkBit) == 0;
+  };
+  auto Scan = [&](uint64_t Addr, unsigned W) {
+    ObjectHeader *Hdr = H.header(Addr);
+    GcTally &T = Tallies[W];
+    T.add(Map, Addr, sizeof(ObjectHeader), /*IsWrite=*/false);
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      T.add(Map, H.refSlotAddr(Addr, I), heap::RefSlotBytes,
+            /*IsWrite=*/false);
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (Child && Claim(Child.addr())) {
+        Pending.fetch_add(1);
+        Deques[W]->push(Child.addr());
+      }
+    }
+  };
+
+  Pool->runOnWorkers([&](unsigned W) {
+    for (size_t I = W; I < Roots.size(); I += Workers) {
+      if (Claim(Roots[I]))
+        Scan(Roots[I], W);
+      Pending.fetch_sub(1);
+    }
+    for (;;) {
+      uint64_t Addr;
+      if (Deques[W]->pop(Addr)) {
+        Scan(Addr, W);
+        Pending.fetch_sub(1);
+        continue;
+      }
+      bool Stole = false;
+      for (unsigned I = 1; I != Workers && !Stole; ++I)
+        Stole = Deques[(W + I) % Workers]->steal(Addr);
+      if (Stole) {
+        Scan(Addr, W);
+        Pending.fetch_sub(1);
+        continue;
+      }
+      if (Pending.load() == 0)
+        break;
+      std::this_thread::yield();
+    }
+  });
+
+  GcTally Total;
+  for (const GcTally &T : Tallies)
+    Total.merge(T);
+  Total.charge(H.memory());
 }
 
 void Collector::propagateMigrationTag(uint64_t ArrayAddr, MemTag Target) {
@@ -702,7 +1403,10 @@ void Collector::collectMajor(const char *Reason) {
     memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
     ++Stats.MajorGcs;
     double PhaseStart = H.memory().gcTimeNs();
-    markFromRoots();
+    if (Pool)
+      markParallelFromRoots();
+    else
+      markFromRoots();
     Event.MarkNs = H.memory().gcTimeNs() - PhaseStart;
     planMigrations();
     PhaseStart = H.memory().gcTimeNs();

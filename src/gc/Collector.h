@@ -40,6 +40,9 @@
 #include <vector>
 
 namespace panthera {
+namespace support {
+class WorkStealingPool;
+}
 namespace gc {
 
 /// One collection's record, in the spirit of a JVM GC log line, with the
@@ -94,6 +97,13 @@ public:
   const GcStats &stats() const { return Stats; }
   PolicyKind policy() const { return Policy; }
 
+  /// Installs the shared work-stealing pool. With a pool the minor GC runs
+  /// the deterministic parallel scavenge (docs/parallelism.md) and the
+  /// major GC marks in parallel; without one (unit tests constructing the
+  /// collector directly) the single-threaded paths are kept verbatim.
+  /// Results and simulated time are invariant in the pool's worker count.
+  void setThreadPool(support::WorkStealingPool *P) { Pool = P; }
+
   /// Instance ids of RDDs dynamic migration has moved; Table 5 reports
   /// these mapped back to driver variables.
   const std::unordered_set<uint32_t> &migratedRddIds() const {
@@ -114,8 +124,16 @@ private:
   void scanCard(heap::Space &S, size_t CardIdx);
   void maybeTriggerMajor();
 
+  /// The work-stealing scavenge (claim / plan / copy / fixup phases); runs
+  /// in place of the root-scan + card-scan + drain sequence when a pool is
+  /// installed. Fills the Event phase fields.
+  void scavengeParallel(GcEvent &Event);
+
   //===--- major GC -------------------------------------------------------===
   void markFromRoots();
+  /// Work-stealing mark (claim via an atomic mark-bit fetch_or); replaces
+  /// markFromRoots when a pool is installed.
+  void markParallelFromRoots();
   void markObject(uint64_t Addr, std::vector<uint64_t> &Stack);
   void planMigrations();
   void propagateMigrationTag(uint64_t ArrayAddr, MemTag Target);
@@ -125,6 +143,7 @@ private:
   heap::Heap &H;
   PolicyKind Policy;
   AccessMonitor *Monitor;
+  support::WorkStealingPool *Pool = nullptr;
   GcStats Stats;
   std::vector<uint64_t> Worklist;
   std::unordered_set<uint32_t> MigratedRddIds;

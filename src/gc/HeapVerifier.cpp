@@ -8,6 +8,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -41,6 +42,8 @@ public:
           checkAndPush(Child.addr(), Addr, I);
       }
     }
+    if (Result.Ok)
+      checkSpaceTiling();
     return Result;
   }
 
@@ -81,6 +84,59 @@ private:
     if (Hdr->isForwarded())
       return fail(Addr, From, Slot, "stale forwarding pointer");
     Stack.push_back(Addr);
+  }
+
+  /// Walks every space object-by-object and checks that the headers tile
+  /// the space exactly -- no gap, no overlap, walk ending exactly at the
+  /// allocation frontier. This is what catches a parallel scavenge that
+  /// retires a PLAB remainder without writing a well-formed filler over
+  /// it. For the old generation it additionally cross-checks the card
+  /// table's first-object map: every entry must name the lowest object
+  /// start in its card (an entry a promotion path forgot to note, or one
+  /// pointing into the middle of an object, breaks dirty-card scanning).
+  void checkSpaceTiling() {
+    for (Space *S : {&H.eden(), &H.fromSpace(), &H.toSpace(), &H.oldDram(),
+                     &H.oldNvm()}) {
+      if (S->sizeBytes() == 0)
+        continue;
+      bool Old = H.isOld(S->base());
+      std::unordered_map<size_t, uint64_t> FirstStart;
+      uint64_t Addr = S->base();
+      while (Addr < S->top()) {
+        ObjectHeader *Hdr = H.header(Addr);
+        uint64_t Size = Hdr->SizeBytes;
+        if (Size < sizeof(ObjectHeader) || Size % 8 != 0 ||
+            Addr + Size > S->top())
+          return fail(Addr, 0, ~0u, "space not walkable: bad object size");
+        if (Hdr->kind() == heap::ObjectKind::PrimArray &&
+            sizeof(ObjectHeader) +
+                    static_cast<uint64_t>(Hdr->Length) * Hdr->Aux >
+                Size)
+          return fail(Addr, 0, ~0u,
+                      "primitive array (or filler) payload exceeds size");
+        if (Old) {
+          size_t Card = H.cardTable().cardIndex(Addr);
+          FirstStart.emplace(Card, Addr); // first visit = lowest start
+        }
+        Addr += Size;
+      }
+      if (Addr != S->top())
+        return fail(Addr, 0, ~0u, "space walk overshot its frontier");
+      if (!Old)
+        continue;
+      size_t FirstCard = H.cardTable().cardIndex(S->base());
+      size_t LastCard = S->usedBytes() == 0
+                            ? FirstCard
+                            : H.cardTable().cardIndex(S->top() - 1);
+      for (size_t C = FirstCard; S->usedBytes() != 0 && C <= LastCard;
+           ++C) {
+        auto It = FirstStart.find(C);
+        uint64_t Expect = It == FirstStart.end() ? 0 : It->second;
+        if (H.cardTable().firstObjectInCard(C) != Expect)
+          return fail(H.cardTable().cardStart(C), 0, ~0u,
+                      "card first-object map disagrees with the walk");
+      }
+    }
   }
 
   Heap &H;

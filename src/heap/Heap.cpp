@@ -207,7 +207,7 @@ uint64_t Heap::oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
   throw OutOfMemoryError(What);
 }
 
-void Heap::insertFiller(uint64_t Addr, uint64_t Bytes) {
+void Heap::writeFillerObject(uint64_t Addr, uint64_t Bytes) {
   assert(Bytes >= sizeof(ObjectHeader) && (Bytes & 7) == 0 &&
          "filler must hold a header");
   std::memset(&Buffer[Addr], 0, sizeof(ObjectHeader));
@@ -217,6 +217,10 @@ void Heap::insertFiller(uint64_t Addr, uint64_t Bytes) {
   H->Aux = 1;
   H->Length = static_cast<uint32_t>(Bytes - sizeof(ObjectHeader));
   Cards.noteObjectStart(Addr);
+}
+
+void Heap::insertFiller(uint64_t Addr, uint64_t Bytes) {
+  writeFillerObject(Addr, Bytes);
   Stats.CardPaddingWasteBytes += Bytes;
 }
 
@@ -428,6 +432,16 @@ double Heap::loadElemF64(ObjRef Array, uint32_t Index) {
   int64_t Bits = loadElemI64(Array, Index);
   double V;
   std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+double Heap::peekElemF64(ObjRef Array, uint32_t Index) const {
+  assert(header(Array.addr())->kind() == ObjectKind::PrimArray &&
+         header(Array.addr())->Aux == 8 && "not an 8-byte prim array");
+  assert(Index < header(Array.addr())->Length && "index out of range");
+  uint64_t Addr = Array.addr() + sizeof(ObjectHeader) + Index * 8ull;
+  double V;
+  std::memcpy(&V, &Buffer[Addr], sizeof(V));
   return V;
 }
 

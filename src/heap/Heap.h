@@ -59,6 +59,9 @@ struct HeapStats {
                                        ///< in NVM because DRAM was full.
   uint64_t RefStores = 0;
   uint64_t CardPaddingWasteBytes = 0;
+  // Parallel-scavenge promotion buffers (PLABs).
+  uint64_t GcPlabRefills = 0;    ///< Promotion-buffer extents carved.
+  uint64_t GcPlabWasteBytes = 0; ///< Filler bytes retiring PLAB remainders.
   // Staged OOM-fallback counters.
   uint64_t EmergencyGcs = 0;          ///< Emergency full GCs on alloc failure.
   uint64_t PressureEvictions = 0;     ///< Caches shed via the pressure hook.
@@ -193,6 +196,11 @@ public:
   double loadElemF64(ObjRef Array, uint32_t Index);
   void storeElemF64(ObjRef Array, uint32_t Index, double Value);
 
+  /// Unaccounted element read: the value only, touching neither the cache
+  /// model nor the clock. For capture-phase workers reading stable data
+  /// (broadcast blocks); the accounted read is re-issued at replay.
+  double peekElemF64(ObjRef Array, uint32_t Index) const;
+
   /// Native-region access (accounted, no barrier).
   void nativeWrite(uint64_t Addr, const void *Src, uint64_t Bytes);
   void nativeRead(uint64_t Addr, void *Dst, uint64_t Bytes);
@@ -255,6 +263,12 @@ public:
   /// Panthera card-padding rule when \p IsRddArray. Returns 0 when full.
   /// Never triggers a collection (GC promotion path uses this).
   uint64_t allocateInOld(uint64_t Bytes, MemTag Tag, bool IsRddArray);
+
+  /// Writes a dead filler object over [Addr, Addr+Bytes) and records its
+  /// start so the space stays walkable. The parallel scavenge uses this to
+  /// retire promotion-buffer (PLAB) remainders; no waste stat is charged
+  /// here -- callers account the waste to the right counter.
+  void writeFillerObject(uint64_t Addr, uint64_t Bytes);
 
   /// Walks all objects in [Start, End) in address order.
   void walkObjects(uint64_t Start, uint64_t End,

@@ -101,6 +101,43 @@ void HybridMemory::onAccess(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
   }
 }
 
+void HybridMemory::chargeBulkLines(uint64_t DramReads, uint64_t DramWrites,
+                                   uint64_t NvmReads, uint64_t NvmWrites) {
+  struct Batch {
+    Device D;
+    bool IsWrite;
+    uint64_t Count;
+  };
+  const Batch Batches[4] = {
+      {Device::DRAM, false, DramReads},
+      {Device::DRAM, true, DramWrites},
+      {Device::NVM, false, NvmReads},
+      {Device::NVM, true, NvmWrites},
+  };
+  for (const Batch &B : Batches) {
+    if (B.Count == 0)
+      continue;
+    chargeNs(static_cast<double>(B.Count) *
+             Tech.missCostNs(B.D, Current, B.IsWrite));
+    TrafficCounters &C = Traffic[static_cast<unsigned>(B.D)];
+    if (B.IsWrite)
+      C.LineWrites += B.Count;
+    else
+      C.LineReads += B.Count;
+  }
+  // Bucket the whole batch into the trace at the post-charge time (one
+  // epoch sample; bulk charges are point events on the simulated clock).
+  size_t Epoch = static_cast<size_t>(totalTimeNs() / EpochNs);
+  if (Trace.size() <= Epoch)
+    Trace.resize(Epoch + 1);
+  EpochSample &S = Trace[Epoch];
+  double LineBytes = CacheLineBytes;
+  S.DramReadBytes += LineBytes * static_cast<double>(DramReads);
+  S.DramWriteBytes += LineBytes * static_cast<double>(DramWrites);
+  S.NvmReadBytes += LineBytes * static_cast<double>(NvmReads);
+  S.NvmWriteBytes += LineBytes * static_cast<double>(NvmWrites);
+}
+
 void HybridMemory::addCpuWorkNs(double Ns) {
   chargeNs(Ns);
   double &Slack = CpuSlackNs[static_cast<unsigned>(Current)];

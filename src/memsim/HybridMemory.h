@@ -61,6 +61,17 @@ public:
   /// actor's clock. The Spark engine uses this for per-record compute.
   void addCpuWorkNs(double Ns);
 
+  /// Bulk accounting used by the parallel collector: charges whole
+  /// cache-line counts per device and direction at the current actor's
+  /// miss cost, bumping the traffic counters and the bandwidth trace.
+  /// The counts are integers merged across GC workers before the single
+  /// cost multiplication, so the simulated time is bit-identical at every
+  /// thread count (no cache-model state is involved: a scavenge streams
+  /// far more data than the LLC holds, so it is modeled as all misses at
+  /// the GC's bandwidth-bound MLP).
+  void chargeBulkLines(uint64_t DramReads, uint64_t DramWrites,
+                       uint64_t NvmReads, uint64_t NvmWrites);
+
   void setActor(Actor A) { Current = A; }
   Actor actor() const { return Current; }
 

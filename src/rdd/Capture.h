@@ -1,0 +1,145 @@
+//===- rdd/Capture.h - Deterministic parallel stage capture -----*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine's parallel execution strategy is *capture + replay* (see
+/// docs/parallelism.md). For an action over a narrow, source-rooted
+/// transformation chain, each partition's function chain is first executed
+/// in parallel against a per-partition arena instead of the managed heap:
+/// makeTuple() appends a record to the arena and hands the user function a
+/// fake reference; key()/value() read the arena and count the accesses;
+/// broadcast-block reads peek the (stage-stable) bytes and are recorded
+/// for replay. No worker ever mutates the heap, the memory simulator, or
+/// any other shared state, so this phase needs no synchronization at all
+/// and is trivially deterministic.
+///
+/// The recorded sessions are then *replayed* serially in partition-index
+/// order: every allocation, heap access, and CPU charge is re-issued
+/// against the real heap in the exact order the arena recorded, and the
+/// action's fold is applied in the recorded sink order. Results, GC
+/// scheduling, and simulated time/energy are therefore bit-identical at
+/// every thread count -- the thread pool only changes how fast the capture
+/// phase runs in wall-clock terms.
+///
+/// A transformation that touches state the arena cannot model (payload
+/// references, boxed buffers, the raw heap) throws CaptureAbort; the stage
+/// then reruns on the ordinary serial path. Nothing observable happened
+/// during the aborted capture, so the fallback is exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_RDD_CAPTURE_H
+#define PANTHERA_RDD_CAPTURE_H
+
+#include "heap/Heap.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+namespace rdd {
+
+/// Thrown by RddContext when a user function performs an operation the
+/// capture arena cannot model. Carries no state: capture has no side
+/// effects, so the stage simply reruns serially.
+struct CaptureAbort {};
+
+/// One partition's recorded execution.
+class CaptureSession {
+public:
+  /// Fake references carry this bit; low bits index Allocs. Real heap
+  /// addresses are far below this (the simulated address space is tiny).
+  static constexpr uint64_t FakeBase = 1ull << 62;
+
+  /// One tuple allocation, with the heap accesses made against it.
+  struct Alloc {
+    int64_t Key = 0;
+    double Val = 0.0;
+    uint32_t KeyReads = 0;
+    uint32_t ValReads = 0;
+  };
+
+  /// A recorded (key, value) sink emission (collect actions).
+  struct KV {
+    int64_t Key;
+    double Val;
+  };
+
+  /// A broadcast-block element read made by a user function. Recorded by
+  /// index through the persistent-root table (not by address: replay can
+  /// trigger GCs that move the block) and re-issued as an accounted read
+  /// at replay.
+  struct RootRead {
+    size_t RootId;
+    uint32_t Index;
+  };
+
+  bool Aborted = false;
+  /// Per-record operator CPU to charge at replay, in simulated ns.
+  double CpuNs = 0.0;
+  /// Source records streamed (EngineStats::RecordsStreamed).
+  uint64_t Records = 0;
+  /// Tuple allocations in program order.
+  std::vector<Alloc> Allocs;
+  /// Broadcast element reads in stream order.
+  std::vector<RootRead> RootReads;
+
+  // Sink captures, by action kind (only the relevant one is filled).
+  uint64_t SinkCount = 0;
+  std::vector<double> SinkVals; ///< reduce: values in stream order.
+  std::vector<KV> SinkRecs;     ///< collect: records in stream order.
+
+  heap::ObjRef makeTuple(int64_t Key, double Val) {
+    Allocs.push_back(Alloc{Key, Val, 0, 0});
+    return heap::ObjRef(FakeBase | (Allocs.size() - 1));
+  }
+
+  static bool isFake(heap::ObjRef R) { return (R.addr() & FakeBase) != 0; }
+
+  int64_t key(heap::ObjRef T) {
+    Alloc &A = arena(T);
+    ++A.KeyReads;
+    return A.Key;
+  }
+
+  double value(heap::ObjRef T) {
+    Alloc &A = arena(T);
+    ++A.ValReads;
+    return A.Val;
+  }
+
+private:
+  Alloc &arena(heap::ObjRef T) {
+    if (!isFake(T))
+      throw CaptureAbort{};
+    return Allocs[T.addr() & (FakeBase - 1)];
+  }
+};
+
+/// The session the current thread is recording into, or null. Installed by
+/// CaptureScope around each per-partition capture task; RddContext checks
+/// it on every operation.
+extern thread_local CaptureSession *ActiveCapture;
+
+/// RAII install/restore of the thread's active capture session.
+class CaptureScope {
+public:
+  explicit CaptureScope(CaptureSession *S) : Prev(ActiveCapture) {
+    ActiveCapture = S;
+  }
+  ~CaptureScope() { ActiveCapture = Prev; }
+
+  CaptureScope(const CaptureScope &) = delete;
+  CaptureScope &operator=(const CaptureScope &) = delete;
+
+private:
+  CaptureSession *Prev;
+};
+
+} // namespace rdd
+} // namespace panthera
+
+#endif // PANTHERA_RDD_CAPTURE_H

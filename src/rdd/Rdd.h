@@ -45,6 +45,11 @@
 #include <vector>
 
 namespace panthera {
+
+namespace support {
+class WorkStealingPool;
+}
+
 namespace rdd {
 
 /// Operator of a lineage node.
@@ -271,6 +276,8 @@ public:
 
   /// Installs the (optional) deterministic fault injector.
   void setFaultInjector(FaultInjector *F) { Faults = F; }
+  /// Installs the shared worker pool; without one, stages run serially.
+  void setThreadPool(support::WorkStealingPool *P) { Pool = P; }
   /// Installs the post-recovery heap verification hook (runs after every
   /// successful task retry when RuntimeConfig::VerifyHeapAfterRecovery).
   void setRecoveryVerifier(std::function<void(const char *)> Fn) {
@@ -337,6 +344,25 @@ private:
   void materializeWide(const RddRef &R);
   void finishAction();
 
+  //===--- deterministic parallel capture (rdd/Capture.h) -----------------===
+  /// The action an eligible stage feeds; decides which sink is recorded.
+  enum class ActionKind { Count, Reduce, Collect };
+  /// True when \p R's chain is narrow, un-materialized, and source-rooted
+  /// -- the shape capture can model. Thread-count independent.
+  bool captureEligible(const RddRef &R) const;
+  /// Runs the capture phase for every partition in parallel. Returns false
+  /// (all sessions discarded) if any partition aborted capture.
+  bool captureStage(const RddRef &R, ActionKind Kind,
+                    std::vector<CaptureSession> &Sessions);
+  /// Re-executes \p R's function chain for partition \p P against \p S's
+  /// arena. Runs on a pool worker; touches no shared state.
+  void captureStream(const RddRef &R, uint32_t P, CaptureSession &S,
+                     const TupleSink &Sink);
+  /// Serially re-issues one captured partition against the real heap:
+  /// CPU charges, streamed-record counts, tuple allocations, and the
+  /// recorded per-tuple reads, in recorded order.
+  void replayPartition(const CaptureSession &S);
+
   //===--- task-level fault tolerance -------------------------------------===
   /// Runs one per-partition task with retry. \p Body does the work;
   /// \p Rollback undoes its partial effects after a failed attempt (may be
@@ -388,6 +414,7 @@ private:
   EngineStats Stats;
   TaskLedger Ledger;
   FaultInjector *Faults = nullptr;
+  support::WorkStealingPool *Pool = nullptr;
   std::function<void(const char *)> RecoveryVerifier;
   /// Caches dropped by an injected (or real) loss, pending recomputation.
   std::vector<RddRef> LostCaches;

@@ -42,36 +42,41 @@ FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
   // SplitMix64 step per site so adjacent sites never share a sequence.
   SplitMix64 Seeder(Plan.Seed);
   for (SiteState &S : Counters)
-    S.RngState = Seeder.next();
+    S.BaseState = Seeder.next();
 }
 
 bool FaultInjector::shouldFail(FaultSite Site) {
-  if (SuppressDepth > 0)
+  if (suppressed())
     return false;
   SiteState &S = Counters[static_cast<size_t>(Site)];
   const FaultSiteConfig &C = Plan.site(Site);
   if (!C.enabled())
     return false;
-  ++S.Occurrences;
-  if (S.Fired >= C.MaxFires)
-    return false;
-  bool Fire = C.FireOnNth != 0 && S.Occurrences == C.FireOnNth;
+  uint64_t Occ = S.Occurrences.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool Fire = C.FireOnNth != 0 && Occ == C.FireOnNth;
   if (!Fire && C.Probability > 0.0) {
-    // Advance this site's private stream even when the draw misses so the
-    // schedule depends only on this site's occurrence index.
-    SplitMix64 Rng(S.RngState);
-    double Draw = Rng.nextDouble();
-    S.RngState += 0x9e3779b97f4a7c15ull; // mirror SplitMix64's advance
-    Fire = Draw < C.Probability;
+    // The draw is a pure function of the site's stream base and this
+    // occurrence's index, so the schedule depends only on this site's
+    // occurrence count -- never on thread interleaving or on what the
+    // other sites observed.
+    SplitMix64 Rng(S.BaseState + (Occ - 1) * 0x9e3779b97f4a7c15ull);
+    Fire = Rng.nextDouble() < C.Probability;
   }
-  if (Fire)
-    ++S.Fired;
-  return Fire;
+  if (!Fire)
+    return false;
+  // Enforce the fire cap with a CAS so concurrent hits never exceed it.
+  uint64_t F = S.Fired.load(std::memory_order_relaxed);
+  do {
+    if (F >= C.MaxFires)
+      return false;
+  } while (!S.Fired.compare_exchange_weak(F, F + 1,
+                                          std::memory_order_relaxed));
+  return true;
 }
 
 uint64_t FaultInjector::totalFired() const {
   uint64_t Total = 0;
   for (const SiteState &S : Counters)
-    Total += S.Fired;
+    Total += S.Fired.load(std::memory_order_relaxed);
   return Total;
 }

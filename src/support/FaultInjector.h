@@ -24,6 +24,7 @@
 #include "support/Random.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -77,7 +78,10 @@ struct FaultPlan {
   }
 };
 
-/// Draws deterministic fire/no-fire decisions per site.
+/// Draws deterministic fire/no-fire decisions per site. Safe to call from
+/// multiple worker threads: the occurrence counters are atomic, and each
+/// draw is a pure function of (site stream, occurrence index), so the set
+/// of firing occurrence indices is identical at every thread count.
 class FaultInjector {
 public:
   explicit FaultInjector(const FaultPlan &Plan);
@@ -87,29 +91,49 @@ public:
   bool shouldFail(FaultSite S);
 
   uint64_t occurrences(FaultSite S) const {
-    return Counters[static_cast<size_t>(S)].Occurrences;
+    return Counters[static_cast<size_t>(S)].Occurrences.load(
+        std::memory_order_relaxed);
   }
   uint64_t fired(FaultSite S) const {
-    return Counters[static_cast<size_t>(S)].Fired;
+    return Counters[static_cast<size_t>(S)].Fired.load(
+        std::memory_order_relaxed);
   }
   uint64_t totalFired() const;
 
-  bool suppressed() const { return SuppressDepth > 0; }
-  void pushSuppression() { ++SuppressDepth; }
-  void popSuppression() { --SuppressDepth; }
+  /// Seed for a worker-local randomness stream decorrelated from the plan
+  /// seed and from every other worker's stream. Code running on pool
+  /// worker \p StreamId that needs private randomness (beyond the shared
+  /// per-site schedules above) must draw from SplitMix64(childSeed(Id))
+  /// rather than sharing a sequential stream, so its draws do not depend
+  /// on how work was interleaved across workers.
+  uint64_t childSeed(uint64_t StreamId) const {
+    SplitMix64 Mix(Plan.Seed ^
+                   (0x9e3779b97f4a7c15ull * (StreamId + 1)));
+    return Mix.next();
+  }
+
+  bool suppressed() const {
+    return SuppressDepth.load(std::memory_order_relaxed) > 0;
+  }
+  void pushSuppression() {
+    SuppressDepth.fetch_add(1, std::memory_order_relaxed);
+  }
+  void popSuppression() {
+    SuppressDepth.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   const FaultPlan &plan() const { return Plan; }
 
 private:
   struct SiteState {
-    uint64_t RngState = 0; ///< Per-site SplitMix64 state.
-    uint64_t Occurrences = 0;
-    uint64_t Fired = 0;
+    uint64_t BaseState = 0; ///< Per-site stream base (fixed after init).
+    std::atomic<uint64_t> Occurrences{0};
+    std::atomic<uint64_t> Fired{0};
   };
 
   FaultPlan Plan;
   std::array<SiteState, NumFaultSites> Counters;
-  int SuppressDepth = 0;
+  std::atomic<int> SuppressDepth{0};
 };
 
 /// RAII suppression for recovery paths. Null injector is a no-op.

@@ -1,0 +1,130 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool -----------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cstdlib>
+
+namespace panthera {
+namespace support {
+
+namespace {
+/// True while the current thread is executing a worker body. Used to run
+/// nested regions inline (serially) instead of deadlocking on the pool.
+thread_local bool InsideWorkerRegion = false;
+} // namespace
+
+unsigned resolveAutoThreads() {
+  if (const char *Env = std::getenv("PANTHERA_THREADS")) {
+    long N = std::atol(Env);
+    if (N >= 1)
+      return static_cast<unsigned>(N);
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+WorkStealingPool::WorkStealingPool(unsigned NumWorkers)
+    : Workers(NumWorkers == 0 ? 1 : NumWorkers) {}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    ShuttingDown = true;
+  }
+  JobCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkStealingPool::startThreads() {
+  if (ThreadsStarted)
+    return;
+  ThreadsStarted = true;
+  Threads.reserve(Workers - 1);
+  for (unsigned Id = 1; Id < Workers; ++Id)
+    Threads.emplace_back([this, Id] { workerLoop(Id); });
+}
+
+void WorkStealingPool::workerLoop(unsigned Id) {
+  // Worker threads only ever execute inside a region.
+  InsideWorkerRegion = true;
+  uint64_t SeenGen = 0;
+  std::unique_lock<std::mutex> L(M);
+  for (;;) {
+    JobCv.wait(L, [&] { return ShuttingDown || JobGen != SeenGen; });
+    if (ShuttingDown)
+      return;
+    SeenGen = JobGen;
+    const std::function<void(unsigned)> *Fn = Job;
+    L.unlock();
+    (*Fn)(Id);
+    L.lock();
+    if (--Outstanding == 0)
+      DoneCv.notify_one();
+  }
+}
+
+void WorkStealingPool::runOnWorkers(const std::function<void(unsigned)> &Fn) {
+  if (Workers == 1 || InsideWorkerRegion) {
+    for (unsigned W = 0; W < Workers; ++W)
+      Fn(W);
+    return;
+  }
+  startThreads();
+  {
+    std::lock_guard<std::mutex> L(M);
+    Job = &Fn;
+    Outstanding = Workers - 1;
+    ++JobGen;
+  }
+  JobCv.notify_all();
+  InsideWorkerRegion = true;
+  Fn(0);
+  InsideWorkerRegion = false;
+  std::unique_lock<std::mutex> L(M);
+  DoneCv.wait(L, [&] { return Outstanding == 0; });
+  Job = nullptr;
+}
+
+void WorkStealingPool::run(size_t NumTasks,
+                           const std::function<void(size_t, unsigned)> &Fn) {
+  if (NumTasks == 0)
+    return;
+  if (Workers == 1 || NumTasks == 1 || InsideWorkerRegion) {
+    for (size_t T = 0; T < NumTasks; ++T)
+      Fn(T, 0);
+    return;
+  }
+  std::vector<std::unique_ptr<ChaseLevDeque<size_t>>> Deques;
+  Deques.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Deques.emplace_back(std::make_unique<ChaseLevDeque<size_t>>());
+  // Pre-distribute the index space round-robin before any worker starts;
+  // the dispatch handshake publishes these pushes to every worker.
+  for (size_t T = 0; T < NumTasks; ++T)
+    Deques[T % Workers]->push(T);
+  std::atomic<size_t> Remaining{NumTasks};
+  runOnWorkers([&](unsigned W) {
+    size_t Task = 0;
+    for (;;) {
+      bool Got = Deques[W]->pop(Task);
+      for (unsigned I = 1; I < Workers && !Got; ++I)
+        Got = Deques[(W + I) % Workers]->steal(Task);
+      if (Got) {
+        Fn(Task, W);
+        Remaining.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        if (Remaining.load(std::memory_order_acquire) == 0)
+          return;
+        std::this_thread::yield();
+      }
+    }
+  });
+}
+
+} // namespace support
+} // namespace panthera

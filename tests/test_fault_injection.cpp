@@ -16,7 +16,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <set>
+#include <thread>
+#include <vector>
 
 using namespace panthera;
 using namespace panthera::rdd;
@@ -234,6 +238,82 @@ TEST_F(FaultInjectionTest, FireOnNthCountsOccurrences) {
   EXPECT_FALSE(Inj.shouldFail(FaultSite::CacheRead));
   EXPECT_TRUE(Inj.shouldFail(FaultSite::CacheRead));
   EXPECT_FALSE(Inj.shouldFail(FaultSite::CacheRead)) << "MaxFires caps it";
+}
+
+//===----------------------------------------------------------------------===
+// Thread-safety regressions: the injector may be hit from pool workers, so
+// its counters are atomic and its draws are a pure function of the
+// occurrence index (docs/parallelism.md).
+//===----------------------------------------------------------------------===
+
+TEST_F(FaultInjectionTest, ConcurrentOccurrencesFireTheSameTotal) {
+  FaultPlan Plan;
+  Plan.site(FaultSite::TaskExecution).Probability = 0.2;
+  constexpr uint64_t N = 20000;
+
+  FaultInjector Serial(Plan);
+  uint64_t SerialFired = 0;
+  for (uint64_t I = 0; I != N; ++I)
+    if (Serial.shouldFail(FaultSite::TaskExecution))
+      ++SerialFired;
+  EXPECT_GT(SerialFired, 0u);
+  EXPECT_LT(SerialFired, N);
+
+  // Concurrently: each call claims a unique occurrence index, and the draw
+  // depends only on that index, so the multiset of draws -- and hence the
+  // total fired -- is exactly the serial schedule's.
+  FaultInjector Shared(Plan);
+  constexpr unsigned NumThreads = 8;
+  std::atomic<uint64_t> ConcurrentFired{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&] {
+      uint64_t Local = 0;
+      for (uint64_t I = 0; I != N / NumThreads; ++I)
+        if (Shared.shouldFail(FaultSite::TaskExecution))
+          ++Local;
+      ConcurrentFired.fetch_add(Local);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Shared.occurrences(FaultSite::TaskExecution), N);
+  EXPECT_EQ(ConcurrentFired.load(), SerialFired);
+  EXPECT_EQ(Shared.fired(FaultSite::TaskExecution), SerialFired);
+}
+
+TEST_F(FaultInjectionTest, MaxFiresHoldsUnderConcurrency) {
+  FaultPlan Plan;
+  Plan.site(FaultSite::ShuffleFetch).Probability = 1.0;
+  Plan.site(FaultSite::ShuffleFetch).MaxFires = 5;
+  FaultInjector Inj(Plan);
+  std::atomic<uint64_t> Fired{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 8; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I != 200; ++I)
+        if (Inj.shouldFail(FaultSite::ShuffleFetch))
+          Fired.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Fired.load(), 5u);
+  EXPECT_EQ(Inj.fired(FaultSite::ShuffleFetch), 5u);
+  EXPECT_EQ(Inj.occurrences(FaultSite::ShuffleFetch), 1600u);
+}
+
+TEST_F(FaultInjectionTest, ChildSeedsAreDecorrelated) {
+  FaultPlan Plan;
+  FaultInjector Inj(Plan);
+  std::set<uint64_t> Seeds;
+  for (uint64_t W = 0; W != 16; ++W)
+    Seeds.insert(Inj.childSeed(W));
+  EXPECT_EQ(Seeds.size(), 16u) << "per-worker streams must not collide";
+  EXPECT_EQ(Seeds.count(Plan.Seed), 0u)
+      << "child streams must not replay the plan stream";
+  // Stable across injector instances (it is a pure function of the plan).
+  FaultInjector Again(Plan);
+  EXPECT_EQ(Inj.childSeed(3), Again.childSeed(3));
 }
 
 } // namespace

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 CI: configure, build, and run the full test suite in the plain
-# configuration, then again under AddressSanitizer + UBSan
-# (-DPANTHERA_SANITIZE=address,undefined). Run from the repository root.
+# configuration, again under AddressSanitizer + UBSan
+# (-DPANTHERA_SANITIZE=address,undefined), and again under ThreadSanitizer
+# (-DPANTHERA_SANITIZE=thread) with PANTHERA_THREADS=8 so the shared
+# work-stealing pool, the parallel scavenge, and the parallel mark run
+# with real worker threads under the race detector. Run from the
+# repository root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,5 +24,10 @@ run_config() {
 
 run_config build
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
+
+# TSan config: force 8 pool workers so every parallel path actually runs
+# multi-threaded (the auto default would collapse to the core count on
+# small CI machines, hiding races).
+PANTHERA_THREADS=8 run_config build-tsan -DPANTHERA_SANITIZE=thread
 
 echo "ci: all configurations passed"
