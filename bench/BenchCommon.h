@@ -17,6 +17,8 @@
 #ifndef PANTHERA_BENCH_BENCHCOMMON_H
 #define PANTHERA_BENCH_BENCHCOMMON_H
 
+#include "support/CliParse.h"
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -27,10 +29,13 @@
 namespace panthera {
 namespace bench {
 
-/// One experiment's outputs.
+/// One experiment's outputs. Metrics is the run's published registry
+/// snapshot (docs/observability.md); harnesses read figures from it
+/// instead of private Runtime plumbing.
 struct Experiment {
   double Checksum = 0.0;
   core::RunReport Report;
+  support::MetricsRegistry Metrics;
 };
 
 /// Extra knobs an experiment may override.
@@ -58,18 +63,31 @@ inline Experiment runExperiment(const workloads::WorkloadSpec &Spec,
   Experiment E;
   E.Checksum = Spec.Run(RT, Scale);
   E.Report = RT.report();
+  RT.publishMetrics();
+  E.Metrics = RT.metrics();
   return E;
 }
 
 /// Parses --scale=<x> (or env PANTHERA_BENCH_SCALE); default 1.0.
+/// Malformed or non-positive values abort with a diagnostic instead of
+/// silently running at scale 0.
 inline double parseScale(int Argc, char **Argv) {
+  auto Parse = [](const char *S, const char *From) {
+    double V = 0.0;
+    if (!support::parseF64(S, 1e-9, 1e9, V)) {
+      std::fprintf(stderr, "bad scale '%s' from %s (want a positive number)\n",
+                   S, From);
+      std::exit(1);
+    }
+    return V;
+  };
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--scale=", 8) == 0)
-      return std::atof(Arg + 8);
+      return Parse(Arg + 8, "--scale");
   }
   if (const char *Env = std::getenv("PANTHERA_BENCH_SCALE"))
-    return std::atof(Env);
+    return Parse(Env, "PANTHERA_BENCH_SCALE");
   return 1.0;
 }
 

@@ -36,17 +36,23 @@ int main(int Argc, char **Argv) {
                                  1.0 / 3.0, Scale);
     Experiment U = runExperiment(Spec, gc::PolicyKind::Unmanaged, 64,
                                  1.0 / 3.0, Scale);
+    // Read the split clocks from the metrics registry: the same numbers
+    // panthera_sim --metrics-json exports (see docs/observability.md).
+    auto Mut = [](const Experiment &E) {
+      return E.Metrics.gaugeValue("time.mutator_ns");
+    };
+    auto Gc = [](const Experiment &E) {
+      return E.Metrics.gaugeValue("time.gc_ns");
+    };
     auto Ms = [](double Ns) { return Ns / 1e6; };
     std::printf("%-5s |        %7.2f %7.2f   |        %7.2f %7.2f   |  "
                 "      %7.2f %7.2f\n",
-                Spec.ShortName.c_str(), Ms(Base.Report.MutatorNs),
-                Ms(Base.Report.GcNs), Ms(P.Report.MutatorNs),
-                Ms(P.Report.GcNs), Ms(U.Report.MutatorNs),
-                Ms(U.Report.GcNs));
-    GcOverheadP.push_back(P.Report.GcNs / Base.Report.GcNs);
-    GcOverheadU.push_back(U.Report.GcNs / Base.Report.GcNs);
-    MutOverheadP.push_back(P.Report.MutatorNs / Base.Report.MutatorNs);
-    MutOverheadU.push_back(U.Report.MutatorNs / Base.Report.MutatorNs);
+                Spec.ShortName.c_str(), Ms(Mut(Base)), Ms(Gc(Base)),
+                Ms(Mut(P)), Ms(Gc(P)), Ms(Mut(U)), Ms(Gc(U)));
+    GcOverheadP.push_back(Gc(P) / Gc(Base));
+    GcOverheadU.push_back(Gc(U) / Gc(Base));
+    MutOverheadP.push_back(Mut(P) / Mut(Base));
+    MutOverheadU.push_back(Mut(U) / Mut(Base));
   }
 
   std::printf("\noverheads vs DRAM-only (geomean):\n");

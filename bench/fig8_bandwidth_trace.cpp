@@ -16,6 +16,8 @@
 
 #include "BenchCommon.h"
 
+#include <algorithm>
+
 using namespace panthera;
 using namespace panthera::bench;
 using memsim::EpochSample;
@@ -41,7 +43,33 @@ TraceResult traceOf(gc::PolicyKind Policy, double Scale) {
   Config.EpochNs = R.EpochNs;
   core::Runtime RT(Config);
   CC->Run(RT, Scale);
-  R.Trace = RT.memory().bandwidthTrace();
+  // Rebuild the per-epoch trace from the registry's bandwidth series --
+  // the same data panthera_sim --metrics-json exports. The four series
+  // can have different lengths (a device may be idle at the tail), so
+  // pad to the longest; TimeSeries::at() reads past-the-end as 0.
+  RT.publishMetrics();
+  const support::MetricsRegistry &M = RT.metrics();
+  const support::TimeSeries *DramRd =
+      M.findSeries("memsim.bandwidth.dram_read_bytes");
+  const support::TimeSeries *DramWr =
+      M.findSeries("memsim.bandwidth.dram_write_bytes");
+  const support::TimeSeries *NvmRd =
+      M.findSeries("memsim.bandwidth.nvm_read_bytes");
+  const support::TimeSeries *NvmWr =
+      M.findSeries("memsim.bandwidth.nvm_write_bytes");
+  auto Len = [](const support::TimeSeries *S) { return S ? S->size() : 0; };
+  size_t Epochs = std::max(std::max(Len(DramRd), Len(DramWr)),
+                           std::max(Len(NvmRd), Len(NvmWr)));
+  auto At = [](const support::TimeSeries *S, size_t I) {
+    return S ? S->at(I) : 0.0;
+  };
+  R.Trace.resize(Epochs);
+  for (size_t I = 0; I != Epochs; ++I) {
+    R.Trace[I].DramReadBytes = At(DramRd, I);
+    R.Trace[I].DramWriteBytes = At(DramWr, I);
+    R.Trace[I].NvmReadBytes = At(NvmRd, I);
+    R.Trace[I].NvmWriteBytes = At(NvmWr, I);
+  }
   for (const EpochSample &S : R.Trace) {
     R.DramBytes += S.DramReadBytes + S.DramWriteBytes;
     double Nvm = S.NvmReadBytes + S.NvmWriteBytes;

@@ -40,16 +40,20 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   uint64_t TotalBytes =
       heap::HeapConfig::alignPage(4096 + HC.HeapBytes + HC.NativeBytes);
   Mem = std::make_unique<memsim::HybridMemory>(TotalBytes, Config.Technology,
-                                               Config.Cache, Config.EpochNs);
+                                               Config.Cache, Config.EpochNs,
+                                               &Metrics);
   TheHeap = std::make_unique<heap::Heap>(HC, *Mem);
+  TheHeap->setTelemetry(&Metrics, &Trace);
   TheCollector =
       std::make_unique<gc::Collector>(*TheHeap, Config.Policy, &Monitor);
   TheCollector->setThreadPool(Pool.get());
+  TheCollector->setTelemetry(&Metrics, &Trace);
 
   rdd::EngineConfig EC = Config.Engine;
   EC.UseStaticTags = gc::usesStaticTags(Config.Policy);
   Context = std::make_unique<rdd::SparkContext>(*TheHeap, &Monitor, EC);
   Context->setThreadPool(Pool.get());
+  Context->setTelemetry(&Metrics, &Trace);
 
   if (Config.Faults.enabled()) {
     Injector = std::make_unique<FaultInjector>(Config.Faults);
@@ -87,6 +91,91 @@ Runtime::analyzeAndInstall(std::string_view DslSource,
   Tags = analysis::inferMemoryTags(P, Options);
   Context->setAnalysis(&Tags);
   return Tags;
+}
+
+void Runtime::publishMetrics() {
+  RunReport R = report();
+  auto G = [&](const char *Name, double V) { Metrics.gauge(Name).set(V); };
+  auto C = [&](const char *Name, uint64_t V) { Metrics.counter(Name).set(V); };
+
+  // Simulated clocks and the energy model (Fig 5 / Fig 9 inputs).
+  G("time.total_ns", R.TotalNs);
+  G("time.mutator_ns", R.MutatorNs);
+  G("time.gc_ns", R.GcNs);
+  G("energy.total_joules", R.TotalJoules);
+  G("energy.dram_static_joules", R.Energy.DramStaticJoules);
+  G("energy.nvm_static_joules", R.Energy.NvmStaticJoules);
+  G("energy.dram_dynamic_joules", R.Energy.DramDynamicJoules);
+  G("energy.nvm_dynamic_joules", R.Energy.NvmDynamicJoules);
+  G("energy.dram_provisioned_gb", R.DramGB);
+  G("energy.nvm_provisioned_gb", R.NvmGB);
+
+  // Device traffic and cache behavior (the VTune-uncore analogue).
+  C("memsim.dram.line_reads", R.DramTraffic.LineReads);
+  C("memsim.dram.line_writes", R.DramTraffic.LineWrites);
+  C("memsim.nvm.line_reads", R.NvmTraffic.LineReads);
+  C("memsim.nvm.line_writes", R.NvmTraffic.LineWrites);
+  C("memsim.cache_hits", Mem->cacheHits());
+  C("memsim.cache_misses", Mem->cacheMisses());
+  C("memsim.prefetched_misses", Mem->prefetchedMisses());
+
+  // Collector totals (Fig 5 phase data lives in the gc.* histograms).
+  C("gc.minor_gcs", R.Gc.MinorGcs);
+  C("gc.major_gcs", R.Gc.MajorGcs);
+  C("gc.bytes_promoted", R.Gc.BytesPromoted);
+  C("gc.bytes_copied_to_survivor", R.Gc.BytesCopiedToSurvivor);
+  C("gc.eager_promotions", R.Gc.EagerPromotions);
+  C("gc.cards_scanned", R.Gc.CardsScanned);
+  C("gc.cards_cleaned", R.Gc.CardsCleaned);
+  C("gc.shared_array_card_scans", R.Gc.SharedArrayCardScans);
+  C("gc.migrated_rdd_arrays_to_dram", R.Gc.MigratedRddArraysToDram);
+  C("gc.migrated_rdd_arrays_to_nvm", R.Gc.MigratedRddArraysToNvm);
+  C("gc.rdds_migrated", R.Gc.RddsMigrated);
+
+  // RDD engine totals, including the TaskLedger rollup.
+  C("engine.stages_run", R.Engine.StagesRun);
+  C("engine.shuffle_records", R.Engine.ShuffleRecords);
+  C("engine.shuffle_bytes",
+    R.Engine.ShuffleRecords * sizeof(rdd::SourceRecord));
+  C("engine.shuffle_spills", R.Engine.ShuffleSpills);
+  C("engine.rdds_materialized", R.Engine.RddsMaterialized);
+  C("engine.rdds_evicted_to_disk", R.Engine.RddsEvictedToDisk);
+  C("engine.records_streamed", R.Engine.RecordsStreamed);
+  C("engine.tasks_launched", R.Engine.TasksLaunched);
+  C("engine.task_retries", R.Engine.TaskRetries);
+  C("engine.injected_task_failures", R.Engine.InjectedTaskFailures);
+  C("engine.cache_loss_events", R.Engine.CacheLossEvents);
+  C("engine.lineage_recomputations", R.Engine.LineageRecomputations);
+  C("engine.oom_task_failures", R.Engine.OomTaskFailures);
+  C("engine.tasks", R.Tasks.totalTasks());
+  C("engine.task_attempts", R.Tasks.totalAttempts());
+  C("engine.failed_tasks", R.Tasks.failedTasks());
+
+  // Heap allocation / barrier / OOM-degradation totals.
+  const heap::HeapStats &HS = TheHeap->stats();
+  C("heap.objects_allocated", HS.ObjectsAllocated);
+  C("heap.bytes_allocated", HS.BytesAllocated);
+  C("heap.arrays_pretenured", HS.ArraysPretenured);
+  C("heap.pretenure_dram_fallbacks", HS.PretenureDramFallbacks);
+  C("heap.ref_stores", HS.RefStores);
+  C("heap.card_padding_waste_bytes", HS.CardPaddingWasteBytes);
+  C("heap.gc_plab_refills", HS.GcPlabRefills);
+  C("heap.gc_plab_waste_bytes", HS.GcPlabWasteBytes);
+  C("heap.emergency_gcs", HS.EmergencyGcs);
+  C("heap.pressure_evictions", HS.PressureEvictions);
+  C("heap.oom_errors_thrown", HS.OomErrorsThrown);
+
+  C("analysis.monitored_calls", R.MonitoredCalls);
+}
+
+std::string Runtime::metricsJson() {
+  publishMetrics();
+  return Metrics.toJson();
+}
+
+void Runtime::writeMetricsJson(std::FILE *F) {
+  publishMetrics();
+  Metrics.writeJson(F);
 }
 
 RunReport Runtime::report() const {

@@ -33,9 +33,13 @@
 #include "memsim/HybridMemory.h"
 #include "rdd/Rdd.h"
 #include "support/FaultInjector.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/TraceLog.h"
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <string_view>
 
 namespace panthera {
@@ -122,9 +126,41 @@ public:
   /// Snapshot of simulated time / traffic / energy / GC counters.
   RunReport report() const;
 
+  //===--------------------------------------------------------------------===
+  // Observability (docs/observability.md)
+  //===--------------------------------------------------------------------===
+
+  /// The process-wide metrics registry. Live instrumentation (GC pause
+  /// histograms, occupancy gauges, bandwidth series) lands here as the run
+  /// progresses; scalar totals are synced by publishMetrics().
+  support::MetricsRegistry &metrics() { return Metrics; }
+  const support::MetricsRegistry &metrics() const { return Metrics; }
+
+  /// The simulated-clock span/event trace (chrome://tracing exportable).
+  support::TraceLog &trace() { return Trace; }
+  const support::TraceLog &trace() const { return Trace; }
+
+  /// Syncs every scalar counter/gauge (time.*, energy.*, gc.*, engine.*,
+  /// heap.*, memsim.* totals) from the authoritative stats structs into
+  /// the registry. Idempotent -- call any time, typically once after the
+  /// workload finishes and before exporting.
+  void publishMetrics();
+
+  /// publishMetrics() + flat-JSON serialization of the registry.
+  std::string metricsJson();
+  void writeMetricsJson(std::FILE *F);
+
+  /// chrome://tracing JSON serialization of the trace log.
+  std::string traceJson() const { return Trace.toJson(); }
+  void writeTraceJson(std::FILE *F) const { Trace.writeJson(F); }
+
 private:
   RuntimeConfig Config;
   std::unique_ptr<support::WorkStealingPool> Pool;
+  /// Declared before Mem/TheHeap/...: the subsystems hold pointers into
+  /// these for live instrumentation, so they must outlive them.
+  support::MetricsRegistry Metrics;
+  support::TraceLog Trace;
   std::unique_ptr<memsim::HybridMemory> Mem;
   std::unique_ptr<heap::Heap> TheHeap;
   gc::AccessMonitor Monitor;

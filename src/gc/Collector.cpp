@@ -8,7 +8,9 @@
 
 #include "gc/HeapVerifier.h"
 #include "support/Errors.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/TraceLog.h"
 
 #include <algorithm>
 #include <atomic>
@@ -37,6 +39,73 @@ Collector::Collector(heap::Heap &H, PolicyKind Policy, AccessMonitor *Monitor)
 }
 
 Collector::~Collector() { H.setGcHost(nullptr); }
+
+void Collector::emitTelemetry(const GcEvent &Event) {
+  if (Metrics) {
+    const char *Kind = Event.Major ? "major" : "minor";
+    Metrics->histogram(std::string("gc.") + Kind + ".pause_ns")
+        .observe(Event.DurationNs);
+    if (Event.Major) {
+      Metrics->histogram("gc.major.mark_ns").observe(Event.MarkNs);
+      Metrics->histogram("gc.major.compact_ns").observe(Event.CompactNs);
+    } else {
+      Metrics->histogram("gc.minor.root_task_ns").observe(Event.RootTaskNs);
+      Metrics->histogram("gc.minor.dram_to_young_ns")
+          .observe(Event.DramToYoungTaskNs);
+      Metrics->histogram("gc.minor.nvm_to_young_ns")
+          .observe(Event.NvmToYoungTaskNs);
+      Metrics->histogram("gc.minor.drain_ns").observe(Event.DrainNs);
+    }
+    // Per-space occupancy, sampled right after the collection: the gauge
+    // keeps the latest value, the histogram the whole run's distribution.
+    auto Sample = [&](Space &S, const char *Name) {
+      double Used = static_cast<double>(S.usedBytes());
+      Metrics->gauge(std::string("heap.occupancy.") + Name + "_bytes")
+          .set(Used);
+      double Ratio =
+          S.sizeBytes() ? Used / static_cast<double>(S.sizeBytes()) : 0.0;
+      Metrics->histogram(std::string("heap.occupancy.") + Name + "_ratio")
+          .observe(Ratio);
+    };
+    Sample(H.eden(), "eden");
+    Sample(H.fromSpace(), "from");
+    Sample(H.toSpace(), "to");
+    Sample(H.oldDram(), "old_dram");
+    Sample(H.oldNvm(), "old_nvm");
+  }
+
+  if (TraceSink) {
+    using support::TraceTrack;
+    TraceSink
+        ->span(TraceTrack::Gc, Event.Major ? "major gc" : "minor gc", "gc",
+               Event.StartNs, Event.DurationNs)
+        .arg("reason", std::string(Event.Reason))
+        .arg("bytes_promoted", Event.BytesPromoted)
+        .arg("bytes_copied_to_survivor", Event.BytesCopiedToSurvivor)
+        .arg("cards_scanned", Event.CardsScanned)
+        .arg("rdd_arrays_migrated", Event.RddArraysMigrated);
+    // Phase sub-spans, laid out back-to-back from the pause start. The
+    // phases do not necessarily cover the whole pause (setup/cleanup time
+    // between them stays unattributed), which chrome://tracing renders as
+    // gaps inside the parent span.
+    double T = Event.StartNs;
+    auto Phase = [&](const char *Name, double DurNs) {
+      if (DurNs <= 0.0)
+        return;
+      TraceSink->span(TraceTrack::Gc, Name, "gc.phase", T, DurNs);
+      T += DurNs;
+    };
+    if (Event.Major) {
+      Phase("mark", Event.MarkNs);
+      Phase("compact", Event.CompactNs);
+    } else {
+      Phase("root task", Event.RootTaskNs);
+      Phase("dram-to-young cards", Event.DramToYoungTaskNs);
+      Phase("nvm-to-young cards", Event.NvmToYoungTaskNs);
+      Phase("drain", Event.DrainNs);
+    }
+  }
+}
 
 //===----------------------------------------------------------------------===
 // Minor GC
@@ -326,10 +395,9 @@ void Collector::collectMinor(const char *Reason) {
     H.swapSurvivors();
     // Young cards are never scanned; drop any stale dirty bits, but keep
     // the old-generation cards (including uncleanable shared ones).
-    for (size_t C = H.cardTable().cardIndex(YoungLo),
-                E = H.cardTable().cardIndex(YoungHi - 1);
-         C <= E; ++C)
-      H.cardTable().clean(C);
+    // clearRange leaves a card partially shared with a neighboring space
+    // conservatively dirty and preserves its out-of-range FirstObj entry.
+    H.cardTable().clearRange(YoungLo, YoungHi);
   }
   H.setInGc(false);
   Event.DurationNs = H.memory().gcTimeNs() - GcNsBefore;
@@ -338,6 +406,7 @@ void Collector::collectMinor(const char *Reason) {
       Stats.BytesCopiedToSurvivor - CopiedBefore;
   Event.CardsScanned = Stats.CardsScanned - CardsBefore;
   Events.push_back(Event);
+  emitTelemetry(Event);
   if (H.config().Tuning.VerifyHeap) {
     VerifyResult V = verifyHeap(H);
     if (!V.Ok) {
@@ -1428,6 +1497,7 @@ void Collector::collectMajor(const char *Reason) {
   Event.RddArraysMigrated = Stats.MigratedRddArraysToDram +
                             Stats.MigratedRddArraysToNvm - MigratedBefore;
   Events.push_back(Event);
+  emitTelemetry(Event);
   if (H.config().Tuning.VerifyHeap) {
     VerifyResult V = verifyHeap(H);
     if (!V.Ok) {

@@ -42,7 +42,9 @@
 namespace panthera {
 namespace support {
 class WorkStealingPool;
-}
+class MetricsRegistry;
+class TraceLog;
+} // namespace support
 namespace gc {
 
 /// One collection's record, in the spirit of a JVM GC log line, with the
@@ -104,6 +106,18 @@ public:
   /// Results and simulated time are invariant in the pool's worker count.
   void setThreadPool(support::WorkStealingPool *P) { Pool = P; }
 
+  /// Installs the observability sinks (docs/observability.md). After every
+  /// collection the collector publishes pause/phase histograms and
+  /// per-space occupancy gauges into \p M and a minor/major span with
+  /// per-phase sub-spans into \p T, stamped with the simulated clock.
+  /// Either may be null. Scalar totals (gc.* counters) are synced from
+  /// GcStats by Runtime::publishMetrics instead, so nothing here double
+  /// counts.
+  void setTelemetry(support::MetricsRegistry *M, support::TraceLog *T) {
+    Metrics = M;
+    TraceSink = T;
+  }
+
   /// Instance ids of RDDs dynamic migration has moved; Table 5 reports
   /// these mapped back to driver variables.
   const std::unordered_set<uint32_t> &migratedRddIds() const {
@@ -135,6 +149,9 @@ private:
   /// markFromRoots when a pool is installed.
   void markParallelFromRoots();
   void markObject(uint64_t Addr, std::vector<uint64_t> &Stack);
+  /// Publishes one finished collection's telemetry (histograms, occupancy
+  /// gauges, trace spans). Runs at the serial Events.push_back point.
+  void emitTelemetry(const GcEvent &Event);
   void planMigrations();
   void propagateMigrationTag(uint64_t ArrayAddr, MemTag Target);
   MemTag majorTargetTag(uint64_t Addr, bool WasYoung);
@@ -144,6 +161,8 @@ private:
   PolicyKind Policy;
   AccessMonitor *Monitor;
   support::WorkStealingPool *Pool = nullptr;
+  support::MetricsRegistry *Metrics = nullptr;
+  support::TraceLog *TraceSink = nullptr;
   GcStats Stats;
   std::vector<uint64_t> Worklist;
   std::unordered_set<uint32_t> MigratedRddIds;

@@ -64,12 +64,29 @@ public:
 
   /// Drops object-start and dirty state for [Start, End) -- used when a
   /// space is evacuated or recompacted.
+  ///
+  /// Boundary cards only partially covered by the range (an unaligned
+  /// Start or End shares the card with a neighboring space) are handled
+  /// conservatively: the FirstObj entry is dropped only if the recorded
+  /// object start actually lies inside [Start, End), and the dirty bit is
+  /// kept -- a spurious rescan of the neighbor is safe, losing its
+  /// object-start or dirty state is not. In practice every space boundary
+  /// is page-aligned (HeapConfig::alignPage), so the partial-card path
+  /// never fires during normal operation.
   void clearRange(uint64_t Start, uint64_t End) {
-    for (size_t Idx = cardIndex(Start),
-                E = (End + CardBytes - 1) / CardBytes;
-         Idx != E; ++Idx) {
-      Dirty[Idx] = 0;
-      FirstObj[Idx] = 0;
+    if (Start >= End)
+      return;
+    size_t FirstIdx = cardIndex(Start);
+    size_t LastIdx = cardIndex(End - 1);
+    for (size_t Idx = FirstIdx; Idx <= LastIdx; ++Idx) {
+      uint64_t CardLo = cardStart(Idx);
+      uint64_t CardHi = CardLo + CardBytes;
+      if (Start <= CardLo && CardHi <= End) {
+        Dirty[Idx] = 0;
+        FirstObj[Idx] = 0;
+      } else if (FirstObj[Idx] >= Start && FirstObj[Idx] < End) {
+        FirstObj[Idx] = 0;
+      }
     }
   }
 

@@ -8,6 +8,7 @@
 
 #include "support/Errors.h"
 #include "support/FaultInjector.h"
+#include "support/TraceLog.h"
 
 #include <cstdio>
 
@@ -170,6 +171,12 @@ uint64_t Heap::oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
   // placement -- is inherent in allocateInOld's primary/fallback search.)
   if (Host && !InGcFlag) {
     ++Stats.EmergencyGcs;
+    if (TraceSink)
+      TraceSink
+          ->instant(support::TraceTrack::Heap, "emergency gc", "heap",
+                    Mem.totalTimeNs())
+          .arg("bytes", Bytes)
+          .arg("what", std::string(What));
     try {
       Host->collectMajor("emergency full gc: allocation failure");
       if (RecoveryVerifier)
@@ -190,6 +197,11 @@ uint64_t Heap::oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
     FlagScope Guard(InPressureHandler);
     while (OnPressure(Bytes)) {
       ++Stats.PressureEvictions;
+      if (TraceSink)
+        TraceSink
+            ->instant(support::TraceTrack::Heap, "pressure eviction", "heap",
+                      Mem.totalTimeNs())
+            .arg("bytes", Bytes);
       try {
         if (Host && !InGcFlag)
           Host->collectMajor("memory pressure eviction");
@@ -204,6 +216,12 @@ uint64_t Heap::oomFallback(uint64_t Bytes, MemTag Tag, bool IsRddArray,
   }
 
   ++Stats.OomErrorsThrown;
+  if (TraceSink)
+    TraceSink
+        ->instant(support::TraceTrack::Heap, "oom error", "heap",
+                  Mem.totalTimeNs())
+        .arg("bytes", Bytes)
+        .arg("what", std::string(What));
   throw OutOfMemoryError(What);
 }
 
@@ -244,8 +262,17 @@ uint64_t Heap::allocateInOld(uint64_t Bytes, MemTag Tag, bool IsRddArray) {
     uint64_t Addr = S->allocate(Bytes);
     if (!Addr)
       continue;
-    if (S == Fallback && Tag == MemTag::Dram)
+    if (S == Fallback && Tag == MemTag::Dram) {
       ++Stats.PretenureDramFallbacks;
+      // §4.1 overflow placement: DRAM-tagged data lands in NVM because
+      // the DRAM component is full. Always on a serial path (mutator
+      // allocation or the scavenge's serial plan phase).
+      if (TraceSink)
+        TraceSink
+            ->instant(support::TraceTrack::Heap, "nvm overflow", "heap",
+                      Mem.totalTimeNs())
+            .arg("bytes", Bytes);
+    }
     Cards.noteObjectStart(Addr);
     if (Pad) {
       // §4.2.3 card padding: align the end of the array region to a card

@@ -37,6 +37,11 @@ namespace panthera {
 
 class FaultInjector;
 
+namespace support {
+class MetricsRegistry;
+class TraceLog;
+} // namespace support
+
 namespace heap {
 
 /// Interface the collector implements so the heap can request collections
@@ -118,6 +123,16 @@ public:
   using RecoveryHook = std::function<void(const char *What)>;
   void setRecoveryVerifier(RecoveryHook Fn) {
     RecoveryVerifier = std::move(Fn);
+  }
+
+  /// Installs the observability sinks (docs/observability.md): the staged
+  /// OOM-fallback path emits instant events on the heap track (emergency
+  /// GC, NVM-overflow retry, pressure eviction, OOM error), stamped with
+  /// the simulated clock. Either may be null. Scalar heap.* counters are
+  /// synced from HeapStats by Runtime::publishMetrics.
+  void setTelemetry(support::MetricsRegistry *M, support::TraceLog *T) {
+    Metrics = M;
+    TraceSink = T;
   }
 
   //===--------------------------------------------------------------------===
@@ -319,6 +334,8 @@ private:
   FaultInjector *Faults = nullptr;
   PressureHandler OnPressure;
   RecoveryHook RecoveryVerifier;
+  support::MetricsRegistry *Metrics = nullptr;
+  support::TraceLog *TraceSink = nullptr;
   bool InPressureHandler = false; ///< Re-entrancy guard for stage 3.
 
   std::vector<uint8_t> Buffer;

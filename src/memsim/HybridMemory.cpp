@@ -11,11 +11,43 @@
 using namespace panthera::memsim;
 
 HybridMemory::HybridMemory(uint64_t TotalBytes, const MemoryTechnology &Tech,
-                           const CacheConfig &CacheCfg, double EpochNs)
+                           const CacheConfig &CacheCfg, double EpochNs,
+                           support::MetricsRegistry *Reg)
     : Map(TotalBytes), Tech(Tech), Cache(CacheCfg), EpochNs(EpochNs),
-      Streams(Tech.PrefetchStreams) {}
+      Streams(Tech.PrefetchStreams) {
+  if (Reg) {
+    Registry = Reg;
+  } else {
+    OwnedRegistry = std::make_unique<support::MetricsRegistry>();
+    Registry = OwnedRegistry.get();
+  }
+  Bw[0] = &Registry->series("memsim.bandwidth.dram_read_bytes");
+  Bw[1] = &Registry->series("memsim.bandwidth.dram_write_bytes");
+  Bw[2] = &Registry->series("memsim.bandwidth.nvm_read_bytes");
+  Bw[3] = &Registry->series("memsim.bandwidth.nvm_write_bytes");
+}
+
+std::vector<EpochSample> HybridMemory::bandwidthTrace() const {
+  size_t N = 0;
+  for (const support::TimeSeries *S : Bw)
+    if (S->size() > N)
+      N = S->size();
+  std::vector<EpochSample> Trace(N);
+  for (size_t I = 0; I != N; ++I) {
+    Trace[I].DramReadBytes = Bw[0]->at(I);
+    Trace[I].DramWriteBytes = Bw[1]->at(I);
+    Trace[I].NvmReadBytes = Bw[2]->at(I);
+    Trace[I].NvmWriteBytes = Bw[3]->at(I);
+  }
+  return Trace;
+}
 
 bool HybridMemory::checkPrefetch(uint64_t LineAddr) {
+  // A prefetcher configured with zero stream slots tracks nothing; without
+  // this guard the LRU insertion below would write Streams[0] of an empty
+  // vector.
+  if (Streams.empty())
+    return false;
   ++StreamClock;
   size_t Lru = 0;
   for (size_t I = 0; I != Streams.size(); ++I) {
@@ -41,17 +73,10 @@ void HybridMemory::recordTraffic(uint64_t LineAddr, bool IsWrite) {
   else
     ++C.LineReads;
 
-  // Bucket into the bandwidth trace by current simulated time.
+  // Bucket into the bandwidth series by current simulated time.
   size_t Epoch = static_cast<size_t>(totalTimeNs() / EpochNs);
-  if (Trace.size() <= Epoch)
-    Trace.resize(Epoch + 1);
-  EpochSample &S = Trace[Epoch];
-  double Bytes = CacheLineBytes;
-  if (D == Device::DRAM) {
-    (IsWrite ? S.DramWriteBytes : S.DramReadBytes) += Bytes;
-  } else {
-    (IsWrite ? S.NvmWriteBytes : S.NvmReadBytes) += Bytes;
-  }
+  size_t Idx = (D == Device::DRAM ? 0 : 2) + (IsWrite ? 1 : 0);
+  Bw[Idx]->addAt(Epoch, static_cast<double>(CacheLineBytes));
 }
 
 void HybridMemory::onAccess(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
@@ -128,14 +153,11 @@ void HybridMemory::chargeBulkLines(uint64_t DramReads, uint64_t DramWrites,
   // Bucket the whole batch into the trace at the post-charge time (one
   // epoch sample; bulk charges are point events on the simulated clock).
   size_t Epoch = static_cast<size_t>(totalTimeNs() / EpochNs);
-  if (Trace.size() <= Epoch)
-    Trace.resize(Epoch + 1);
-  EpochSample &S = Trace[Epoch];
   double LineBytes = CacheLineBytes;
-  S.DramReadBytes += LineBytes * static_cast<double>(DramReads);
-  S.DramWriteBytes += LineBytes * static_cast<double>(DramWrites);
-  S.NvmReadBytes += LineBytes * static_cast<double>(NvmReads);
-  S.NvmWriteBytes += LineBytes * static_cast<double>(NvmWrites);
+  Bw[0]->addAt(Epoch, LineBytes * static_cast<double>(DramReads));
+  Bw[1]->addAt(Epoch, LineBytes * static_cast<double>(DramWrites));
+  Bw[2]->addAt(Epoch, LineBytes * static_cast<double>(NvmReads));
+  Bw[3]->addAt(Epoch, LineBytes * static_cast<double>(NvmWrites));
 }
 
 void HybridMemory::addCpuWorkNs(double Ns) {

@@ -24,8 +24,10 @@
 #include "memsim/CacheModel.h"
 #include "memsim/EnergyModel.h"
 #include "memsim/MemoryTechnology.h"
+#include "support/Metrics.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace panthera {
@@ -45,8 +47,13 @@ struct EpochSample {
 /// load/store here.
 class HybridMemory {
 public:
+  /// \p Registry receives the four epoch-bucketed bandwidth series
+  /// (memsim.bandwidth.{dram,nvm}_{read,write}_bytes). When null (unit
+  /// tests constructing the simulator standalone) a private registry is
+  /// owned internally; bandwidthTrace() works either way.
   HybridMemory(uint64_t TotalBytes, const MemoryTechnology &Tech,
-               const CacheConfig &Cache, double EpochNs = 1.0e6);
+               const CacheConfig &Cache, double EpochNs = 1.0e6,
+               support::MetricsRegistry *Registry = nullptr);
 
   AddressMap &map() { return Map; }
   const AddressMap &map() const { return Map; }
@@ -85,8 +92,14 @@ public:
   uint64_t cacheHits() const { return Cache.hits(); }
   uint64_t cacheMisses() const { return Cache.misses(); }
 
-  const std::vector<EpochSample> &bandwidthTrace() const { return Trace; }
+  /// The Fig 8 bandwidth-over-time trace, rebuilt from the registry's
+  /// four bandwidth series (one row per epoch, padded to the longest).
+  std::vector<EpochSample> bandwidthTrace() const;
   double epochNs() const { return EpochNs; }
+
+  /// The registry the bandwidth series live in (the Runtime's, or the
+  /// internally owned fallback).
+  support::MetricsRegistry &metricsRegistry() { return *Registry; }
 
   uint64_t prefetchedMisses() const { return PrefetchedMisses; }
 
@@ -112,7 +125,14 @@ private:
   double ActorNs[NumActors] = {0.0, 0.0};
   TrafficCounters Traffic[NumDevices];
   double EpochNs;
-  std::vector<EpochSample> Trace;
+  /// Registry holding the bandwidth series; OwnedRegistry backs it when
+  /// the constructor was not handed one.
+  std::unique_ptr<support::MetricsRegistry> OwnedRegistry;
+  support::MetricsRegistry *Registry = nullptr;
+  /// Cached series handles, indexed [device][direction] as
+  /// [DRAM read, DRAM write, NVM read, NVM write]. Map nodes are stable,
+  /// so the pointers stay valid for the registry's lifetime.
+  support::TimeSeries *Bw[4] = {nullptr, nullptr, nullptr, nullptr};
 
   /// Prefetcher stream table: the next line address each stream expects.
   struct Stream {

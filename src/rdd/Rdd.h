@@ -48,7 +48,9 @@ namespace panthera {
 
 namespace support {
 class WorkStealingPool;
-}
+class MetricsRegistry;
+class TraceLog;
+} // namespace support
 
 namespace rdd {
 
@@ -278,6 +280,14 @@ public:
   void setFaultInjector(FaultInjector *F) { Faults = F; }
   /// Installs the shared worker pool; without one, stages run serially.
   void setThreadPool(support::WorkStealingPool *P) { Pool = P; }
+  /// Installs the observability sinks (docs/observability.md): stage and
+  /// per-partition task spans on the engine track, stamped with the
+  /// simulated clock. Either may be null. Scalar engine.* counters are
+  /// synced from EngineStats by Runtime::publishMetrics.
+  void setTelemetry(support::MetricsRegistry *M, support::TraceLog *T) {
+    Metrics = M;
+    TraceSink = T;
+  }
   /// Installs the post-recovery heap verification hook (runs after every
   /// successful task retry when RuntimeConfig::VerifyHeapAfterRecovery).
   void setRecoveryVerifier(std::function<void(const char *)> Fn) {
@@ -388,6 +398,22 @@ private:
   /// the same pass instead of re-reading it afterwards.
   bool canFuseIntoShuffle(const RddRef &Parent) const;
 
+  /// RAII stage span: records the simulated clock at construction and
+  /// emits a trace span on scope exit (also when an exception unwinds the
+  /// stage). No-op without an installed TraceLog.
+  class StageScope {
+  public:
+    StageScope(SparkContext &Ctx, std::string Name);
+    ~StageScope();
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    SparkContext &Ctx;
+    std::string Name;
+    double StartNs;
+  };
+
   /// Under old-generation pressure, drops the in-heap copy of the
   /// least-recently-used MEMORY_AND_DISK(_SER) RDDs to "disk" (Spark's
   /// BlockManager eviction) until occupancy falls below the threshold.
@@ -415,6 +441,8 @@ private:
   TaskLedger Ledger;
   FaultInjector *Faults = nullptr;
   support::WorkStealingPool *Pool = nullptr;
+  support::MetricsRegistry *Metrics = nullptr;
+  support::TraceLog *TraceSink = nullptr;
   std::function<void(const char *)> RecoveryVerifier;
   /// Caches dropped by an injected (or real) loss, pending recomputation.
   std::vector<RddRef> LostCaches;

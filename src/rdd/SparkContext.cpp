@@ -9,7 +9,9 @@
 #include "rdd/PartitionBuilder.h"
 #include "support/Errors.h"
 #include "support/FaultInjector.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
+#include "support/TraceLog.h"
 
 #include <algorithm>
 #include <cassert>
@@ -351,11 +353,37 @@ void SparkContext::recoverLostCaches() {
   }
 }
 
+SparkContext::StageScope::StageScope(SparkContext &Ctx, std::string Name)
+    : Ctx(Ctx), Name(std::move(Name)),
+      StartNs(Ctx.H.memory().totalTimeNs()) {}
+
+SparkContext::StageScope::~StageScope() {
+  if (!Ctx.TraceSink)
+    return;
+  double Now = Ctx.H.memory().totalTimeNs();
+  Ctx.TraceSink->span(support::TraceTrack::Engine, Name, "stage", StartNs,
+                      Now - StartNs);
+}
+
 void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
                            uint32_t Partition,
                            const std::function<void()> &Body,
                            const std::function<void()> &Rollback) {
   ++Stats.TasksLaunched;
+  double TaskStartNs = H.memory().totalTimeNs();
+  // Emits the task's trace span; runs at every task exit (success or
+  // terminal failure), always on the serial scheduling path.
+  auto EmitTaskSpan = [&](uint32_t Attempts, bool Ok) {
+    if (!TraceSink)
+      return;
+    TraceSink
+        ->span(support::TraceTrack::Engine, Stage, "task", TaskStartNs,
+               H.memory().totalTimeNs() - TaskStartNs)
+        .arg("rdd", static_cast<uint64_t>(RddId))
+        .arg("partition", static_cast<uint64_t>(Partition))
+        .arg("attempts", static_cast<uint64_t>(Attempts))
+        .arg("ok", std::string(Ok ? "true" : "false"));
+  };
   TaskAttemptRecord Rec;
   Rec.Stage = Stage;
   Rec.RddId = RddId;
@@ -384,6 +412,7 @@ void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
       }
       Body();
       Rec.Succeeded = true;
+      EmitTaskSpan(Rec.Attempts, /*Ok=*/true);
       Ledger.Records.push_back(std::move(Rec));
       return;
     } catch (TaskFailure &F) {
@@ -396,6 +425,7 @@ void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
         // the caller instead of wrapping it (the process still survives).
         Cleanup();
         Rec.Succeeded = false;
+        EmitTaskSpan(Rec.Attempts, /*Ok=*/false);
         Ledger.Records.push_back(std::move(Rec));
         throw;
       }
@@ -408,6 +438,7 @@ void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
                         std::to_string(RddId) + " exhausted " +
                         std::to_string(Config.MaxTaskAttempts) +
                         " attempts; last error: " + Rec.LastError;
+      EmitTaskSpan(Rec.Attempts, /*Ok=*/false);
       Ledger.Records.push_back(std::move(Rec));
       throw EngineError(Msg);
     }
@@ -729,6 +760,7 @@ void SparkContext::materializeNarrow(const RddRef &R,
   std::string Stage =
       std::string("materialize ") + opKindName(R->Op) +
       (R->VarName.empty() ? std::string() : " '" + R->VarName + "'");
+  StageScope Span(*this, Stage);
   // Bracket each per-partition task with the consuming shuffle's
   // snapshot/flush/rollback hooks so a failed fused map task can undo the
   // records it already routed.
@@ -877,6 +909,11 @@ SparkContext::shuffle(const RddRef &Parent,
   RddContext Ctx(H);
   memsim::HybridMemory &Mem = H.memory();
   ++Stats.StagesRun;
+  StageScope Span(*this,
+                  std::string("shuffle ") + opKindName(Parent->Op) +
+                      (Parent->VarName.empty()
+                           ? std::string()
+                           : " '" + Parent->VarName + "'"));
 
   // Map side. As in Spark, the shuffle's write buffers are heap data: the
   // routed records accumulate in per-target-partition buffers that stay
@@ -978,6 +1015,10 @@ void SparkContext::materializeWide(const RddRef &R) {
   MemTag Tag = Config.UseStaticTags ? R->EffectiveTag : MemTag::None;
   maybeEvictStorage();
   RddContext Ctx(H);
+  StageScope Span(*this, std::string("reduce ") + opKindName(R->Op) +
+                             (R->VarName.empty()
+                                  ? std::string()
+                                  : " '" + R->VarName + "'"));
 
   // sortByKey first runs a sampling pass over its parent to choose range
   // splitters (Spark's RangePartitioner does the same extra job).
@@ -1287,6 +1328,7 @@ void SparkContext::finishAction() {
 int64_t SparkContext::runCount(const RddRef &R) {
   recordCall(R);
   prepare(R, MemTag::None);
+  StageScope Span(*this, "count action");
   int64_t Total = 0;
   // Fault-free narrow source-rooted stages run the parallel capture phase,
   // then replay serially in partition order; everything else streams
@@ -1316,6 +1358,7 @@ int64_t SparkContext::runCount(const RddRef &R) {
 double SparkContext::runReduce(const RddRef &R, const CombineFn &Fn) {
   recordCall(R);
   prepare(R, MemTag::None);
+  StageScope Span(*this, "reduce action");
   RddContext Ctx(H);
   bool Seeded = false;
   double Acc = 0.0;
@@ -1357,6 +1400,7 @@ double SparkContext::runReduce(const RddRef &R, const CombineFn &Fn) {
 std::vector<SourceRecord> SparkContext::runCollect(const RddRef &R) {
   recordCall(R);
   prepare(R, MemTag::None);
+  StageScope Span(*this, "collect action");
   RddContext Ctx(H);
   std::vector<SourceRecord> Out;
   std::vector<CaptureSession> Sessions;

@@ -16,6 +16,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -44,7 +45,10 @@ inline double geomean(const std::vector<double> &Values) {
   return std::exp(LogSum / static_cast<double>(Values.size()));
 }
 
-/// Running min/max/sum accumulator.
+/// Running min/max/sum accumulator. An empty accumulator has no minimum
+/// or maximum: min()/max() return NaN until the first add() so consumers
+/// (notably the metrics JSON exporter, which renders NaN as null) cannot
+/// mistake "no samples" for a real 0-valued extremum.
 class Accumulator {
 public:
   void add(double V) {
@@ -58,8 +62,12 @@ public:
 
   double sum() const { return Sum; }
   double average() const { return Count ? Sum / Count : 0.0; }
-  double min() const { return Minimum; }
-  double max() const { return Maximum; }
+  double min() const {
+    return Count ? Minimum : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return Count ? Maximum : std::numeric_limits<double>::quiet_NaN();
+  }
   uint64_t count() const { return Count; }
 
 private:

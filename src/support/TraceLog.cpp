@@ -1,0 +1,118 @@
+//===- support/TraceLog.cpp - Simulated-clock span/event trace -----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TraceLog.h"
+
+#include "support/Metrics.h"
+
+#include <cinttypes>
+
+using namespace panthera::support;
+
+TraceLog::EventRef &TraceLog::EventRef::arg(const std::string &Key,
+                                            uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  E.Args.push_back({Key, Buf, /*Quoted=*/false});
+  return *this;
+}
+
+TraceLog::EventRef &TraceLog::EventRef::arg(const std::string &Key,
+                                            double V) {
+  E.Args.push_back({Key, jsonDouble(V), /*Quoted=*/false});
+  return *this;
+}
+
+TraceLog::EventRef &TraceLog::EventRef::arg(const std::string &Key,
+                                            const std::string &V) {
+  E.Args.push_back({Key, V, /*Quoted=*/true});
+  return *this;
+}
+
+TraceLog::EventRef TraceLog::span(TraceTrack Track, const std::string &Name,
+                                  const std::string &Cat, double StartNs,
+                                  double DurationNs) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Track = Track;
+  E.StartNs = StartNs;
+  E.DurationNs = DurationNs < 0.0 ? 0.0 : DurationNs;
+  Events.push_back(std::move(E));
+  return EventRef(Events.back());
+}
+
+TraceLog::EventRef TraceLog::instant(TraceTrack Track,
+                                     const std::string &Name,
+                                     const std::string &Cat, double AtNs) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Track = Track;
+  E.StartNs = AtNs;
+  E.DurationNs = -1.0;
+  Events.push_back(std::move(E));
+  return EventRef(Events.back());
+}
+
+std::string TraceLog::toJson() const {
+  std::string Out = "{\"traceEvents\": [\n";
+  // Metadata prologue: name the process and the three fixed tracks so
+  // chrome://tracing labels them instead of showing bare tids.
+  Out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"tid\": 0, \"args\": {\"name\": \"panthera (simulated clock)\"}}";
+  struct TrackName {
+    TraceTrack Track;
+    const char *Name;
+  };
+  const TrackName Tracks[3] = {{TraceTrack::Engine, "engine"},
+                               {TraceTrack::Gc, "gc"},
+                               {TraceTrack::Heap, "heap"}};
+  for (const TrackName &T : Tracks) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+                  "\"pid\": 1, \"tid\": %u, \"args\": {\"name\": \"%s\"}}",
+                  static_cast<unsigned>(T.Track), T.Name);
+    Out += Buf;
+  }
+
+  for (const TraceEvent &E : Events) {
+    Out += ",\n  {\"name\": \"" + jsonEscape(E.Name) + "\", \"cat\": \"" +
+           jsonEscape(E.Cat) + "\", ";
+    char Buf[96];
+    if (E.DurationNs < 0.0) {
+      // Instant event, thread scope.
+      Out += "\"ph\": \"i\", \"s\": \"t\", ";
+    } else {
+      Out += "\"ph\": \"X\", \"dur\": " + jsonDouble(E.DurationNs / 1000.0) +
+             ", ";
+    }
+    std::snprintf(Buf, sizeof(Buf), "\"pid\": 1, \"tid\": %u, \"ts\": ",
+                  static_cast<unsigned>(E.Track));
+    Out += Buf;
+    Out += jsonDouble(E.StartNs / 1000.0);
+    Out += ", \"args\": {";
+    for (size_t I = 0; I != E.Args.size(); ++I) {
+      const TraceEvent::Arg &A = E.Args[I];
+      if (I)
+        Out += ", ";
+      Out += "\"" + jsonEscape(A.Key) + "\": ";
+      if (A.Quoted)
+        Out += "\"" + jsonEscape(A.Value) + "\"";
+      else
+        Out += A.Value;
+    }
+    Out += "}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+void TraceLog::writeJson(std::FILE *F) const {
+  std::string S = toJson();
+  std::fwrite(S.data(), 1, S.size(), F);
+}

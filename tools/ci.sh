@@ -23,6 +23,23 @@ run_config() {
 }
 
 run_config build
+
+# Observability smoke: the JSON exports must be valid JSON and
+# byte-identical across thread counts (docs/observability.md).
+echo "=== observability smoke ==="
+obs="$(mktemp -d)"
+trap 'rm -rf "${obs}"' EXIT
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --metrics-json="${obs}/m1.json" --trace-json="${obs}/t1.json" >/dev/null
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=8 \
+  --metrics-json="${obs}/m8.json" --trace-json="${obs}/t8.json" >/dev/null
+for f in m1 t1 m8 t8; do
+  python3 -m json.tool "${obs}/${f}.json" >/dev/null
+done
+cmp "${obs}/m1.json" "${obs}/m8.json"
+cmp "${obs}/t1.json" "${obs}/t8.json"
+echo "ci: observability exports valid and thread-invariant"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
 
 # TSan config: force 8 pool workers so every parallel path actually runs

@@ -14,6 +14,7 @@
 ///                [--heap=64] [--ratio=0.333] [--scale=1.0]
 ///                [--nursery=0.1667] [--no-eager] [--no-padding]
 ///                [--threads=N] [--gclog] [--verify] [--list] [--help]
+///                [--metrics-json=FILE] [--trace-json=FILE]
 ///                [--fault=SITE:p=0.01] [--fault=SITE:nth=5]
 ///                [--fault-seed=N] [--task-retries=4] [--verify-recovery]
 ///
@@ -29,6 +30,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "gc/Collector.h"
+#include "support/CliParse.h"
 #include "support/Errors.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
@@ -36,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -98,6 +101,8 @@ int main(int Argc, char **Argv) {
   core::RuntimeConfig Config;
   double Scale = 1.0;
   bool GcLog = false;
+  std::string MetricsPath;
+  std::string TracePath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -105,36 +110,62 @@ int main(int Argc, char **Argv) {
       size_t N = std::strlen(Prefix);
       return std::strncmp(A, Prefix, N) == 0 ? A + N : nullptr;
     };
+    // Strict numeric parsing: silent atoi/atof zeros ("--heap=x" becoming
+    // a 0-GB heap) are rejected with a diagnostic naming the range.
+    auto BadFlag = [&](const char *Flag, const char *Want) {
+      std::fprintf(stderr, "bad value in '%s' (want %s)\n", Flag, Want);
+      return 1;
+    };
+    uint64_t U = 0;
+    double F = 0.0;
     if (const char *V = Val("--workload="))
       Workload = V;
     else if (const char *V = Val("--policy="))
       Policy = V;
-    else if (const char *V = Val("--heap="))
-      Config.HeapPaperGB = static_cast<unsigned>(std::atoi(V));
-    else if (const char *V = Val("--ratio="))
-      Config.DramRatio = std::atof(V);
-    else if (const char *V = Val("--nursery="))
-      Config.NurseryFraction = std::atof(V);
-    else if (const char *V = Val("--scale="))
-      Scale = std::atof(V);
-    else if (std::strcmp(A, "--no-eager") == 0)
+    else if (const char *V = Val("--heap=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 20, U))
+        return BadFlag(A, "an integer GB count >= 1");
+      Config.HeapPaperGB = static_cast<unsigned>(U);
+    } else if (const char *V = Val("--ratio=")) {
+      if (!support::parseF64(V, 0.0, 1.0, F))
+        return BadFlag(A, "a number in [0, 1]");
+      Config.DramRatio = F;
+    } else if (const char *V = Val("--nursery=")) {
+      if (!support::parseF64(V, 1e-6, 0.9, F))
+        return BadFlag(A, "a fraction in (0, 0.9]");
+      Config.NurseryFraction = F;
+    } else if (const char *V = Val("--scale=")) {
+      if (!support::parseF64(V, 1e-9, 1e9, F) || F <= 0.0)
+        return BadFlag(A, "a positive number");
+      Scale = F;
+    } else if (std::strcmp(A, "--no-eager") == 0)
       Config.EagerPromotion = false;
     else if (std::strcmp(A, "--no-padding") == 0)
       Config.CardPadding = false;
-    else if (const char *V = Val("--threads="))
-      Config.NumThreads = static_cast<unsigned>(std::atoi(V));
-    else if (std::strcmp(A, "--gclog") == 0)
+    else if (const char *V = Val("--threads=")) {
+      if (!support::parseUnsigned(V, 0, 4096, U))
+        return BadFlag(A, "an integer in [0, 4096]");
+      Config.NumThreads = static_cast<unsigned>(U);
+    } else if (std::strcmp(A, "--gclog") == 0)
       GcLog = true;
     else if (std::strcmp(A, "--verify") == 0)
       Config.VerifyHeap = true;
+    else if (const char *V = Val("--metrics-json="))
+      MetricsPath = V;
+    else if (const char *V = Val("--trace-json="))
+      TracePath = V;
     else if (const char *V = Val("--fault-seed=")) {
-      Config.Faults.Seed = static_cast<uint64_t>(std::atoll(V));
+      if (!support::parseUnsigned(V, 0, ~0ull, U))
+        return BadFlag(A, "an unsigned integer");
+      Config.Faults.Seed = U;
     } else if (const char *V = Val("--fault=")) {
       if (!parseFaultFlag(V, Config.Faults))
         return 1;
-    } else if (const char *V = Val("--task-retries="))
-      Config.Engine.MaxTaskAttempts = static_cast<uint32_t>(std::atoi(V));
-    else if (std::strcmp(A, "--verify-recovery") == 0)
+    } else if (const char *V = Val("--task-retries=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 20, U))
+        return BadFlag(A, "an integer attempt budget >= 1");
+      Config.Engine.MaxTaskAttempts = static_cast<uint32_t>(U);
+    } else if (std::strcmp(A, "--verify-recovery") == 0)
       Config.VerifyHeapAfterRecovery = true;
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
@@ -159,6 +190,10 @@ int main(int Argc, char **Argv) {
           "  --no-padding       disable card padding (ablation)\n"
           "  --gclog            print the per-collection GC log\n"
           "  --verify           verify the heap after every collection\n"
+          "  --metrics-json=F   write the flat metrics registry to F\n"
+          "  --trace-json=F     write the chrome://tracing span/event\n"
+          "                     trace (simulated clock) to F; load it at\n"
+          "                     chrome://tracing or ui.perfetto.dev\n"
           "  --fault=SITE:p=X   Bernoulli fault at task|cache|alloc|shuffle\n"
           "  --fault=SITE:nth=N fire on the Nth occurrence instead\n"
           "  --fault-seed=N     fault-plan seed\n"
@@ -191,6 +226,32 @@ int main(int Argc, char **Argv) {
 
   std::unique_ptr<core::Runtime> Owner;
   double Checksum = 0.0;
+  // Telemetry is written on failure paths too -- a run that dies on OOM
+  // is precisely the one whose trace is worth inspecting.
+  auto DumpTelemetry = [&]() -> bool {
+    if (!Owner)
+      return true;
+    bool Ok = true;
+    auto WriteFile = [&](const std::string &Path, const char *What,
+                         const std::function<void(std::FILE *)> &Write) {
+      if (Path.empty())
+        return;
+      std::FILE *F = std::fopen(Path.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "cannot open %s file '%s'\n", What,
+                     Path.c_str());
+        Ok = false;
+        return;
+      }
+      Write(F);
+      std::fclose(F);
+    };
+    WriteFile(MetricsPath, "--metrics-json",
+              [&](std::FILE *F) { Owner->writeMetricsJson(F); });
+    WriteFile(TracePath, "--trace-json",
+              [&](std::FILE *F) { Owner->writeTraceJson(F); });
+    return Ok;
+  };
   try {
     Owner = std::make_unique<core::Runtime>(Config);
     Checksum = Spec->Run(*Owner, Scale);
@@ -199,9 +260,11 @@ int main(int Argc, char **Argv) {
                  "out of memory after staged fallback (emergency GC, "
                  "NVM overflow, cache eviction): %s\n",
                  E.what());
+    DumpTelemetry();
     return 2;
   } catch (const EngineError &E) {
     std::fprintf(stderr, "engine failure: %s\n", E.what());
+    DumpTelemetry();
     return 2;
   }
   core::Runtime &RT = *Owner;
@@ -290,5 +353,5 @@ int main(int Argc, char **Argv) {
                   E.DramToYoungTaskNs / 1e3, E.NvmToYoungTaskNs / 1e3,
                   E.DrainNs / 1e3, E.Reason);
   }
-  return 0;
+  return DumpTelemetry() ? 0 : 1;
 }
