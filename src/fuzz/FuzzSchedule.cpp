@@ -1,0 +1,231 @@
+//===- fuzz/FuzzSchedule.cpp - Seeded heap-torture schedules --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzSchedule.h"
+
+#include "heap/ObjectModel.h"
+#include "support/Random.h"
+#include "support/Units.h"
+
+using namespace panthera;
+using namespace panthera::fuzz;
+
+const char *panthera::fuzz::fuzzOpName(FuzzOp Op) {
+  switch (Op) {
+  case FuzzOp::AllocPlain:
+    return "alloc-plain";
+  case FuzzOp::AllocRefArray:
+    return "alloc-ref-array";
+  case FuzzOp::AllocPrimArray:
+    return "alloc-prim-array";
+  case FuzzOp::AllocHuge:
+    return "alloc-huge";
+  case FuzzOp::AllocNative:
+    return "alloc-native";
+  case FuzzOp::StoreRef:
+    return "store-ref";
+  case FuzzOp::WritePayload:
+    return "write-payload";
+  case FuzzOp::AddRoot:
+    return "add-root";
+  case FuzzOp::DropRoot:
+    return "drop-root";
+  case FuzzOp::SetPendingTag:
+    return "set-pending-tag";
+  case FuzzOp::MinorGc:
+    return "minor-gc";
+  case FuzzOp::MajorGc:
+    return "major-gc";
+  case FuzzOp::MinorGcBurst:
+    return "minor-gc-burst";
+  }
+  return "?";
+}
+
+const char *panthera::fuzz::fuzzConfigName(FuzzConfigKind K) {
+  switch (K) {
+  case FuzzConfigKind::Dram:
+    return "dram";
+  case FuzzConfigKind::Split:
+    return "split";
+  case FuzzConfigKind::Pressure:
+    return "pressure";
+  }
+  return "?";
+}
+
+bool panthera::fuzz::parseFuzzConfig(const std::string &Name,
+                                     FuzzConfigKind &Out) {
+  if (Name == "dram") {
+    Out = FuzzConfigKind::Dram;
+    return true;
+  }
+  if (Name == "split") {
+    Out = FuzzConfigKind::Split;
+    return true;
+  }
+  if (Name == "pressure") {
+    Out = FuzzConfigKind::Pressure;
+    return true;
+  }
+  return false;
+}
+
+FuzzSetup panthera::fuzz::makeFuzzSetup(FuzzConfigKind K) {
+  FuzzSetup S;
+  switch (K) {
+  case FuzzConfigKind::Dram:
+    S.Policy = gc::PolicyKind::DramOnly;
+    S.Config = gc::makeHeapConfig(S.Policy, /*HeapPaperGB=*/4, 1.0);
+    S.Config.NativeBytes = PaperGB;
+    break;
+  case FuzzConfigKind::Split:
+    S.Policy = gc::PolicyKind::Panthera;
+    S.Config = gc::makeHeapConfig(S.Policy, /*HeapPaperGB=*/8, 1.0 / 3.0);
+    S.Config.NativeBytes = PaperGB;
+    S.Profile.WSetPendingTag = 8;
+    S.Profile.LargeArrayChance = 0.35;
+    break;
+  case FuzzConfigKind::Pressure:
+    S.Policy = gc::PolicyKind::Panthera;
+    S.Config = gc::makeHeapConfig(S.Policy, /*HeapPaperGB=*/2, 1.0 / 3.0);
+    S.Config.NativeBytes = PaperGB / 4;
+    // A large nursery squeezes the old generation down to ~1/4 of the
+    // heap, so pretenured arrays and eager promotions genuinely fill it.
+    S.Config.NurseryFraction = 0.75;
+    // Saturation torture: untagged objects effectively never tenure by
+    // age, so survivor ages climb toward 255 across long GC bursts, and
+    // the occupancy trigger is disabled so no automatic major GC resets
+    // the ladder (explicit MajorGc actions still run).
+    S.Config.Tuning.TenureAge = 255;
+    S.Config.Tuning.MajorGcOccupancy = 2.0;
+    S.Profile.WSetPendingTag = 10;
+    S.Profile.WAllocRefArray = 14;
+    S.Profile.WMinorGcBurst = 10;
+    S.Profile.WMajorGc = 1;
+    S.Profile.WDropRoot = 6;
+    S.Profile.LargeArrayChance = 0.5;
+    S.Profile.LargeArrayMax = 2048;
+    S.Profile.MaxBurst = 384;
+    S.FaultProbability = 0.01;
+    break;
+  }
+  return S;
+}
+
+std::vector<FuzzAction>
+panthera::fuzz::generateSchedule(uint64_t Seed, size_t NumOps,
+                                 const FuzzProfile &P) {
+  SplitMix64 Rng(Seed);
+  const unsigned Weights[] = {
+      P.WAllocPlain,   P.WAllocRefArray, P.WAllocPrimArray, P.WAllocHuge,
+      P.WAllocNative,  P.WStoreRef,      P.WWritePayload,   P.WAddRoot,
+      P.WDropRoot,     P.WSetPendingTag, P.WMinorGc,        P.WMajorGc,
+      P.WMinorGcBurst,
+  };
+  unsigned Total = 0;
+  for (unsigned W : Weights)
+    Total += W;
+
+  std::vector<FuzzAction> Schedule;
+  Schedule.reserve(NumOps);
+  for (size_t I = 0; I != NumOps; ++I) {
+    unsigned Pick = static_cast<unsigned>(Rng.nextBelow(Total));
+    unsigned OpIdx = 0;
+    while (Pick >= Weights[OpIdx]) {
+      Pick -= Weights[OpIdx];
+      ++OpIdx;
+    }
+    FuzzAction A;
+    A.Op = static_cast<FuzzOp>(OpIdx);
+    switch (A.Op) {
+    case FuzzOp::AllocPlain:
+      A.A = Rng.nextBelow(P.MaxPlainRefs + 1);
+      A.B = Rng.nextBelow(P.MaxSmallPayload + 1);
+      break;
+    case FuzzOp::AllocRefArray:
+      A.A = Rng.nextDouble() < P.LargeArrayChance
+                ? P.LargeArrayMin +
+                      Rng.nextBelow(P.LargeArrayMax - P.LargeArrayMin + 1)
+                : Rng.nextBelow(P.MaxArrayLen + 1);
+      break;
+    case FuzzOp::AllocPrimArray: {
+      static const uint32_t Elem[] = {1, 2, 4, 8};
+      A.A = Rng.nextDouble() < P.LargeArrayChance
+                ? P.LargeArrayMin +
+                      Rng.nextBelow(P.LargeArrayMax - P.LargeArrayMin + 1)
+                : Rng.nextBelow(P.MaxArrayLen + 1);
+      A.B = Elem[Rng.nextBelow(4)];
+      break;
+    }
+    case FuzzOp::AllocHuge:
+      // Lengths chosen so the 64-bit object size always exceeds the
+      // uint32 header field (heap::MaxObjectBytes): a correct heap must
+      // reject these with a typed allocation error before touching any
+      // space, and a wrapped 32-bit size computation visibly does not.
+      A.A = Rng.nextBelow(3);
+      switch (A.A) {
+      case 0: // Plain: payload alone overflows once the header is added.
+        A.B = UINT32_MAX - Rng.nextBelow(16);
+        break;
+      case 1: // RefArray: length * 8 overflows.
+        A.B = (heap::MaxObjectBytes / heap::RefSlotBytes) + 1 +
+              Rng.nextBelow(1u << 20);
+        break;
+      default: // PrimArray of 8-byte elements: length * 8 overflows.
+        A.B = (heap::MaxObjectBytes / 8) + 1 + Rng.nextBelow(1u << 20);
+        break;
+      }
+      break;
+    case FuzzOp::AllocNative:
+      switch (Rng.nextBelow(8)) {
+      case 0: // Huge: exercises the bump-pointer wraparound guard.
+        A.A = (UINT64_MAX / 2) + Rng.nextBelow(UINT64_MAX / 4);
+        break;
+      case 1: // Alignment wrap: rounding to 8 overflows uint64.
+        A.A = UINT64_MAX - Rng.nextBelow(7);
+        break;
+      case 2: // Already 8-aligned near-max: survives the alignment guard,
+              // so Top + Bytes wraps inside Space::allocate unless the
+              // space bounds-checks by subtraction.
+        A.A = (UINT64_MAX - 7) - 8 * Rng.nextBelow(1u << 19);
+        break;
+      default:
+        A.A = Rng.nextBelow(P.MaxNativeBytes + 1);
+        break;
+      }
+      break;
+    case FuzzOp::StoreRef:
+      A.A = Rng.next();
+      A.B = Rng.next();
+      A.C = Rng.next();
+      if (Rng.nextBelow(8) == 0)
+        A.C = UINT64_MAX; // clear the slot instead
+      break;
+    case FuzzOp::WritePayload:
+      A.A = Rng.next();
+      A.B = Rng.next();
+      A.C = Rng.next();
+      break;
+    case FuzzOp::AddRoot:
+    case FuzzOp::DropRoot:
+      A.A = Rng.next();
+      break;
+    case FuzzOp::SetPendingTag:
+      A.A = Rng.next();
+      A.B = Rng.nextBelow(1u << 16); // adversarial RDD ids, 0 included
+      break;
+    case FuzzOp::MinorGc:
+    case FuzzOp::MajorGc:
+      break;
+    case FuzzOp::MinorGcBurst:
+      A.A = 1 + Rng.nextBelow(P.MaxBurst);
+      break;
+    }
+    Schedule.push_back(A);
+  }
+  return Schedule;
+}

@@ -1,0 +1,119 @@
+//===- fuzz/FuzzSchedule.h - Seeded heap-torture schedules ------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gc_fuzz action DSL (docs/fuzzing.md) and its SplitMix64-seeded
+/// generator. A schedule is a flat vector of actions whose operands are
+/// either concrete values fixed at generation time (sizes, tags, GC burst
+/// lengths) or raw 64-bit selectors that the differential runner resolves
+/// against the *current* live-object set at replay time -- so truncating a
+/// schedule for shrinking never changes the meaning of the surviving
+/// prefix, and the same (seed, ops) pair always replays bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_FUZZ_FUZZSCHEDULE_H
+#define PANTHERA_FUZZ_FUZZSCHEDULE_H
+
+#include "gc/GcPolicy.h"
+#include "heap/HeapConfig.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace panthera {
+namespace fuzz {
+
+/// One heap action. Operand meaning depends on the opcode; "selector"
+/// operands are raw 64-bit values resolved modulo the live-object (or
+/// root) count at replay time.
+enum class FuzzOp : uint8_t {
+  AllocPlain,    ///< A = ref slots, B = payload bytes.
+  AllocRefArray, ///< A = length (may be pretenure-sized).
+  AllocPrimArray,///< A = length, B = element bytes (1/2/4/8).
+  AllocHuge,     ///< A = kind (0/1/2), B = a length whose computed object
+                 ///< size exceeds the uint32 header field: must throw.
+  AllocNative,   ///< A = bytes (sometimes adversarially huge).
+  StoreRef,      ///< A = source selector, B = slot selector, C = target
+                 ///< selector (UINT64_MAX stores null).
+  WritePayload,  ///< A = object selector, B = offset selector, C = value.
+  AddRoot,       ///< A = object selector (adds a second root).
+  DropRoot,      ///< A = root selector (unpersists; may create garbage).
+  SetPendingTag, ///< A = tag selector (DRAM/NVM), B = RDD id selector.
+  MinorGc,       ///< Forced minor collection.
+  MajorGc,       ///< Forced major collection.
+  MinorGcBurst,  ///< A = count: consecutive minor GCs, synced per GC.
+};
+
+const char *fuzzOpName(FuzzOp Op);
+
+struct FuzzAction {
+  FuzzOp Op;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint64_t C = 0;
+};
+
+/// Relative action weights plus the size knobs the generator draws from.
+/// Each named config ships a profile tuned to its heap shape.
+struct FuzzProfile {
+  unsigned WAllocPlain = 20;
+  unsigned WAllocRefArray = 10;
+  unsigned WAllocPrimArray = 8;
+  unsigned WAllocHuge = 2;
+  unsigned WAllocNative = 3;
+  unsigned WStoreRef = 20;
+  unsigned WWritePayload = 10;
+  unsigned WAddRoot = 3;
+  unsigned WDropRoot = 8;
+  unsigned WSetPendingTag = 5;
+  unsigned WMinorGc = 6;
+  unsigned WMajorGc = 2;
+  unsigned WMinorGcBurst = 3;
+
+  uint32_t MaxPlainRefs = 8;       ///< Plain objects: 0..MaxPlainRefs slots.
+  uint32_t MaxSmallPayload = 256;  ///< Plain payload cap (bytes).
+  uint32_t MaxArrayLen = 64;       ///< Non-pretenure array length cap.
+  double LargeArrayChance = 0.25;  ///< Chance an array is pretenure-sized.
+  uint32_t LargeArrayMin = 1024;   ///< Pretenure length range (>= the
+  uint32_t LargeArrayMax = 3072;   ///< scaled LargeArrayElems threshold).
+  uint32_t MaxBurst = 16;          ///< MinorGcBurst count range [1, MaxBurst].
+  uint32_t MaxNativeBytes = 65536; ///< Regular native allocation cap.
+};
+
+/// The three heap shapes the harness tortures (ROADMAP robustness item).
+enum class FuzzConfigKind : uint8_t {
+  Dram,     ///< DRAM-only baseline: unified old gen, no tags.
+  Split,    ///< Panthera split old gen: tags, eager promotion, padding.
+  Pressure, ///< Tiny Panthera heap, TenureAge = 255, giant GC bursts,
+            ///< allocation fault injection: survivor-age and OOM torture.
+};
+
+const char *fuzzConfigName(FuzzConfigKind K);
+bool parseFuzzConfig(const std::string &Name, FuzzConfigKind &Out);
+
+/// Everything needed to instantiate one differential run.
+struct FuzzSetup {
+  heap::HeapConfig Config;
+  gc::PolicyKind Policy = gc::PolicyKind::Panthera;
+  FuzzProfile Profile;
+  /// Bernoulli probability of an injected mutator-allocation failure
+  /// (FaultSite::Allocation); 0 disables the injector entirely.
+  double FaultProbability = 0.0;
+};
+
+FuzzSetup makeFuzzSetup(FuzzConfigKind K);
+
+/// Generates the first \p NumOps actions of seed \p Seed's schedule. A
+/// prefix of a longer schedule from the same seed is always identical.
+std::vector<FuzzAction> generateSchedule(uint64_t Seed, size_t NumOps,
+                                         const FuzzProfile &Profile);
+
+} // namespace fuzz
+} // namespace panthera
+
+#endif // PANTHERA_FUZZ_FUZZSCHEDULE_H

@@ -1,0 +1,123 @@
+//===- fuzz/ShadowHeap.h - Reference oracle object graph --------*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential fuzzer's reference oracle: a shadow object graph kept
+/// entirely outside the simulated heap, mutated in lockstep with every
+/// fuzz action. Liveness is decided by a naive stop-the-world mark from
+/// the shadow roots -- no generations, no cards, no moving -- so any
+/// disagreement with the real collector's surviving graph is the real
+/// collector's bug (or the model's, which the shrinker makes cheap to
+/// tell apart).
+///
+/// Besides structure, every node tracks the header facts the oracle can
+/// predict exactly (kind, length, element width, RDD id, full payload
+/// bytes) and the per-sync-window observations (last MEMORY_BITS tag,
+/// survivor age, young/old residency, real address) that the runner's
+/// invariant checks consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_FUZZ_SHADOWHEAP_H
+#define PANTHERA_FUZZ_SHADOWHEAP_H
+
+#include "heap/ObjectModel.h"
+#include "support/MemTag.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace panthera {
+namespace fuzz {
+
+constexpr uint32_t NoNode = UINT32_MAX;
+
+/// One shadow object. Reference slots hold shadow node ids (NoNode for
+/// null), never real heap addresses -- identity between the two heaps is
+/// established structurally by the runner's pairing traversal.
+struct ShadowNode {
+  heap::ObjectKind Kind = heap::ObjectKind::Plain;
+  uint32_t NumRefs = 0;     ///< Plain: leading reference slots.
+  uint32_t Length = 0;      ///< Arrays: element count.
+  uint32_t ElemBytes = 0;   ///< PrimArray element width.
+  uint32_t PayloadBytes = 0;///< Plain raw payload bytes.
+  uint32_t RddId = 0;
+  uint32_t ExpectedSize = 0;///< The header SizeBytes the real heap must carry.
+  std::vector<uint32_t> Refs;  ///< Node ids, NoNode = null slot.
+  std::vector<uint8_t> Payload;///< Exact expected payload bytes.
+
+  // Last-sync observations for the relational invariants.
+  MemTag LastTag = MemTag::None;
+  uint8_t LastAge = 0;
+  bool LastWasYoung = true;
+  uint64_t RealAddr = 0;    ///< Refreshed by every pairing traversal.
+  uint64_t BirthEpoch = 0;  ///< GC count when allocated (age-rule guard).
+
+  uint32_t refSlots() const {
+    return Kind == heap::ObjectKind::RefArray ? Length
+           : Kind == heap::ObjectKind::Plain  ? NumRefs
+                                              : 0;
+  }
+};
+
+/// The shadow graph plus its ~naive mark. Node ids are never reused, so a
+/// stale id can never silently alias a newer object.
+class ShadowHeap {
+public:
+  uint32_t create(ShadowNode N) {
+    uint32_t Id = NextId++;
+    Nodes.emplace(Id, std::move(N));
+    return Id;
+  }
+
+  ShadowNode &node(uint32_t Id) { return Nodes.at(Id); }
+  const ShadowNode &node(uint32_t Id) const { return Nodes.at(Id); }
+  bool alive(uint32_t Id) const { return Nodes.count(Id) != 0; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Stop-the-world mark from \p RootIds in order: returns every reachable
+  /// node exactly once, in deterministic depth-first preorder. This is the
+  /// oracle's entire collection algorithm.
+  std::vector<uint32_t> mark(const std::vector<uint32_t> &RootIds) const {
+    std::vector<uint32_t> Order;
+    std::unordered_map<uint32_t, bool> Seen;
+    std::vector<uint32_t> Stack;
+    for (auto It = RootIds.rbegin(); It != RootIds.rend(); ++It)
+      Stack.push_back(*It);
+    while (!Stack.empty()) {
+      uint32_t Id = Stack.back();
+      Stack.pop_back();
+      if (Seen[Id])
+        continue;
+      Seen[Id] = true;
+      Order.push_back(Id);
+      const ShadowNode &N = Nodes.at(Id);
+      for (auto It = N.Refs.rbegin(); It != N.Refs.rend(); ++It)
+        if (*It != NoNode && !Seen[*It])
+          Stack.push_back(*It);
+    }
+    return Order;
+  }
+
+  /// Discards every node not in \p LiveIds (the oracle's "sweep").
+  void retainOnly(const std::vector<uint32_t> &LiveIds) {
+    std::unordered_map<uint32_t, ShadowNode> Kept;
+    Kept.reserve(LiveIds.size());
+    for (uint32_t Id : LiveIds)
+      Kept.emplace(Id, std::move(Nodes.at(Id)));
+    Nodes = std::move(Kept);
+  }
+
+private:
+  std::unordered_map<uint32_t, ShadowNode> Nodes;
+  uint32_t NextId = 0;
+};
+
+} // namespace fuzz
+} // namespace panthera
+
+#endif // PANTHERA_FUZZ_SHADOWHEAP_H

@@ -141,7 +141,9 @@ ObjRef Collector::evacuate(ObjRef Ref, MemTag IncomingTag) {
   bool Promoted = false;
   bool TagPromote =
       Tag != MemTag::None && T.EagerPromotion && H.hasSplitOldGen();
-  bool AgePromote = static_cast<uint8_t>(Hdr->Age + 1) >= T.TenureAge;
+  // Widen before the +1: at Age == 255 a uint8 increment wraps to 0 and
+  // resets the tenuring clock, so a saturated age must stay tenure-eligible.
+  bool AgePromote = static_cast<uint32_t>(Hdr->Age) + 1 >= T.TenureAge;
   if (TagPromote || AgePromote) {
     MemTag PromoTag = Tag;
     if (T.KwWriteMonitoring)
@@ -168,7 +170,9 @@ ObjRef Collector::evacuate(ObjRef Ref, MemTag IncomingTag) {
   ObjectHeader *NewHdr = H.header(NewAddr);
   NewHdr->setMemTag(Tag);
   NewHdr->Forward = 0;
-  NewHdr->Age = Promoted ? Hdr->Age : static_cast<uint8_t>(Hdr->Age + 1);
+  NewHdr->Age = Promoted ? Hdr->Age
+                         : static_cast<uint8_t>(
+                               Hdr->Age == 255 ? 255 : Hdr->Age + 1);
   Hdr->Forward = NewAddr;
   if (Promoted)
     Stats.BytesPromoted += Size;
@@ -858,7 +862,9 @@ private:
                           Size >= CardTable::CardBytes;
         bool TagPromote =
             Tag != MemTag::None && T.EagerPromotion && H.hasSplitOldGen();
-        bool AgePromote = static_cast<uint8_t>(Hdr->Age + 1) >= T.TenureAge;
+        // Same widening as the serial path: a saturated age (255) must not
+        // wrap to 0 and lose its tenure eligibility.
+        bool AgePromote = static_cast<uint32_t>(Hdr->Age) + 1 >= T.TenureAge;
         uint64_t NewAddr = 0;
         bool Promoted = false;
         if (TagPromote || AgePromote) {
@@ -906,7 +912,8 @@ private:
       ObjectHeader *NewHdr = H.header(M.New);
       NewHdr->Forward = 0;
       if (!M.Promoted)
-        NewHdr->Age = static_cast<uint8_t>(NewHdr->Age + 1);
+        NewHdr->Age = static_cast<uint8_t>(
+            NewHdr->Age == 255 ? 255 : NewHdr->Age + 1);
       bool ParentOld = H.isOld(M.New);
       uint32_t N = NewHdr->numRefSlots();
       for (uint32_t S = 0; S != N; ++S) {

@@ -23,7 +23,7 @@ namespace {
 
 class Verifier {
 public:
-  explicit Verifier(Heap &H) : H(H) {}
+  Verifier(Heap &H, const VerifyOptions &Opts) : H(H), Opts(Opts) {}
 
   VerifyResult run() {
     H.forEachRoot([this](ObjRef &R) {
@@ -117,7 +117,11 @@ private:
         if (Old) {
           size_t Card = H.cardTable().cardIndex(Addr);
           FirstStart.emplace(Card, Addr); // first visit = lowest start
+          if (Opts.CheckCardMarking)
+            checkOldToYoungSlots(Addr, Hdr);
         }
+        if (!Result.Ok)
+          return;
         Addr += Size;
       }
       if (Addr != S->top())
@@ -139,7 +143,25 @@ private:
     }
   }
 
+  /// Every old->young edge must live on a dirty card, or the next minor
+  /// GC's card scan will never discover it. Checked for every old object
+  /// the tiling walk visits, reachable or not.
+  void checkOldToYoungSlots(uint64_t Addr, ObjectHeader *Hdr) {
+    uint32_t N = Hdr->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      ObjRef Child = H.rawLoadRef(Addr, I);
+      if (!Child || !H.isYoung(Child.addr()))
+        continue;
+      uint64_t SlotAddr = H.refSlotAddr(Addr, I);
+      if (!H.cardTable().isDirty(H.cardTable().cardIndex(SlotAddr)))
+        return fail(Addr, 0, I,
+                    "old->young reference on a clean card (write barrier "
+                    "or card scan lost the edge)");
+    }
+  }
+
   Heap &H;
+  VerifyOptions Opts;
   VerifyResult Result;
   std::unordered_set<uint64_t> Visited;
   std::vector<uint64_t> Stack;
@@ -148,5 +170,9 @@ private:
 } // namespace
 
 VerifyResult panthera::gc::verifyHeap(Heap &H) {
-  return Verifier(H).run();
+  return Verifier(H, VerifyOptions{}).run();
+}
+
+VerifyResult panthera::gc::verifyHeap(Heap &H, const VerifyOptions &Opts) {
+  return Verifier(H, Opts).run();
 }

@@ -33,10 +33,21 @@ struct VerifyResult {
   explicit operator bool() const { return Ok; }
 };
 
+/// Optional extra checks layered on top of the structural pass.
+struct VerifyOptions {
+  /// Require every old-generation reference slot holding a young-generation
+  /// pointer to lie on a dirty card. The invariant holds heap-wide -- even
+  /// inside unreachable old objects, because dirty-card scanning visits all
+  /// objects in a card -- so a clean card hiding an old->young edge means a
+  /// minor GC would miss that edge entirely.
+  bool CheckCardMarking = false;
+};
+
 /// Verifies the reachable graph of \p H. References into evacuated space
 /// are caught by the allocation-frontier check (reset spaces have an empty
 /// live region).
 VerifyResult verifyHeap(heap::Heap &H);
+VerifyResult verifyHeap(heap::Heap &H, const VerifyOptions &Opts);
 
 } // namespace gc
 } // namespace panthera

@@ -292,9 +292,23 @@ uint64_t Heap::allocateInOld(uint64_t Bytes, MemTag Tag, bool IsRddArray) {
   return 0;
 }
 
+/// Narrows a 64-bit object size into the uint32 header field, rejecting
+/// anything too large to represent: a silently wrapped size would corrupt
+/// every linear space walk that steps by SizeBytes.
+uint32_t Heap::checkedObjectSize(uint64_t Size64, const char *What) {
+  if (Size64 > MaxObjectBytes) {
+    ++Stats.OomErrorsThrown;
+    throw OutOfMemoryError(std::string(What) +
+                           ": object size overflows the 32-bit header size "
+                           "field");
+  }
+  return static_cast<uint32_t>(Size64);
+}
+
 ObjRef Heap::allocPlain(uint32_t NumRefs, uint32_t PayloadBytes) {
   assert(NumRefs <= 255 && "Plain objects carry at most 255 ref slots");
-  uint32_t Size = plainObjectSize(NumRefs, PayloadBytes);
+  uint32_t Size =
+      checkedObjectSize(plainObjectSize(NumRefs, PayloadBytes), "allocPlain");
   uint64_t Addr = allocateYoung(Size);
   formatObject(Addr, Size, ObjectKind::Plain, NumRefs,
                NumRefs * RefSlotBytes + PayloadBytes, /*RddId=*/0,
@@ -303,7 +317,7 @@ ObjRef Heap::allocPlain(uint32_t NumRefs, uint32_t PayloadBytes) {
 }
 
 ObjRef Heap::allocRefArray(uint32_t Length) {
-  uint32_t Size = refArraySize(Length);
+  uint32_t Size = checkedObjectSize(refArraySize(Length), "allocRefArray");
   MemTag Tag = MemTag::None;
   uint32_t RddId = 0;
   // §4.2.1: a pending rdd_alloc tag claims the next large array.
@@ -332,7 +346,8 @@ ObjRef Heap::allocRefArray(uint32_t Length) {
 
 ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
   assert(ElemBytes > 0 && ElemBytes <= 255 && "element size fits Aux");
-  uint32_t Size = primArraySize(Length, ElemBytes);
+  uint32_t Size =
+      checkedObjectSize(primArraySize(Length, ElemBytes), "allocPrimArray");
   // Serialized RDD caches are large primitive arrays; the rdd_alloc wait
   // state pretenures them exactly like reference arrays. No card padding
   // is needed: primitive arrays hold no references and are never scanned.
@@ -361,6 +376,12 @@ ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
 
 uint64_t Heap::allocNative(uint64_t Bytes) {
   uint64_t Aligned = (Bytes + 7) & ~7ull;
+  if (Aligned < Bytes) {
+    // Rounding a near-UINT64_MAX request wrapped to a tiny size; the
+    // request itself can obviously never be satisfied.
+    ++Stats.OomErrorsThrown;
+    throw OutOfMemoryError("native allocation size overflows");
+  }
   uint64_t Addr = NativeSpace.allocate(Aligned);
   if (!Addr) {
     // The native region is never collected, so there is no staged fallback

@@ -312,6 +312,10 @@ private:
                     uint32_t Aux, uint32_t Length, uint32_t RddId,
                     MemTag Tag);
 
+  /// Narrows a 64-bit computed object size into the uint32 header field;
+  /// throws a typed OutOfMemoryError when it does not fit.
+  uint32_t checkedObjectSize(uint64_t Size64, const char *What);
+
   /// Allocates in eden, collecting when full. Returns the address.
   uint64_t allocateYoung(uint32_t Bytes);
 

@@ -108,20 +108,30 @@ static_assert(sizeof(ObjectHeader) == 32, "header layout must stay compact");
 
 constexpr uint32_t RefSlotBytes = 8;
 
+/// Largest object size the uint32 SizeBytes header field can represent,
+/// kept 8-aligned. Allocation paths must reject anything larger before the
+/// value is narrowed into a header (a wrapped small size would corrupt
+/// linear space walks).
+constexpr uint64_t MaxObjectBytes = UINT32_MAX & ~static_cast<uint64_t>(7);
+
 /// Size in bytes of a Plain object with \p NumRefs refs and \p PayloadBytes
-/// raw bytes, rounded to 8.
-inline uint32_t plainObjectSize(uint32_t NumRefs, uint32_t PayloadBytes) {
-  uint32_t Raw = sizeof(ObjectHeader) + NumRefs * RefSlotBytes + PayloadBytes;
-  return (Raw + 7) & ~7u;
+/// raw bytes, rounded to 8. Computed in 64 bits: the result can exceed the
+/// uint32 header field for adversarial inputs and must be range-checked by
+/// the caller (Heap::alloc* throws a typed allocation error).
+inline uint64_t plainObjectSize(uint32_t NumRefs, uint32_t PayloadBytes) {
+  uint64_t Raw = sizeof(ObjectHeader) +
+                 static_cast<uint64_t>(NumRefs) * RefSlotBytes + PayloadBytes;
+  return (Raw + 7) & ~static_cast<uint64_t>(7);
 }
 
-inline uint32_t refArraySize(uint32_t Length) {
-  return sizeof(ObjectHeader) + Length * RefSlotBytes;
+inline uint64_t refArraySize(uint32_t Length) {
+  return sizeof(ObjectHeader) + static_cast<uint64_t>(Length) * RefSlotBytes;
 }
 
-inline uint32_t primArraySize(uint32_t Length, uint32_t ElemBytes) {
-  uint32_t Raw = sizeof(ObjectHeader) + Length * ElemBytes;
-  return (Raw + 7) & ~7u;
+inline uint64_t primArraySize(uint32_t Length, uint32_t ElemBytes) {
+  uint64_t Raw =
+      sizeof(ObjectHeader) + static_cast<uint64_t>(Length) * ElemBytes;
+  return (Raw + 7) & ~static_cast<uint64_t>(7);
 }
 
 } // namespace heap

@@ -18,6 +18,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace panthera {
@@ -41,10 +43,12 @@ public:
   bool contains(uint64_t Addr) const { return Addr >= Base && Addr < End; }
 
   /// Bump-allocates \p Bytes (caller guarantees 8-alignment); returns 0 when
-  /// the space cannot fit the request.
+  /// the space cannot fit the request. The comparison is phrased against the
+  /// remaining room (never `Top + Bytes`, which wraps for huge \p Bytes and
+  /// would falsely succeed, handing out addresses beyond the space).
   uint64_t allocate(uint64_t Bytes) {
     assert((Bytes & 7) == 0 && "allocation size must be 8-aligned");
-    if (Top + Bytes > End)
+    if (Bytes > End - Top)
       return 0;
     uint64_t Addr = Top;
     Top += Bytes;
@@ -55,8 +59,18 @@ public:
   void reset() { Top = Base; }
 
   /// Sets the bump pointer directly (compaction installs the new top).
+  /// Checked in every build type: a top outside [base, end] means the
+  /// compaction plan is corrupt, and the heap cannot be unwound safely.
   void setTop(uint64_t NewTop) {
-    assert(NewTop >= Base && NewTop <= End && "top outside space");
+    if (NewTop < Base || NewTop > End) {
+      std::fprintf(stderr,
+                   "panthera: space '%s': new top 0x%llx outside "
+                   "[0x%llx, 0x%llx]\n",
+                   Name.c_str(), static_cast<unsigned long long>(NewTop),
+                   static_cast<unsigned long long>(Base),
+                   static_cast<unsigned long long>(End));
+      std::abort();
+    }
     Top = NewTop;
   }
 

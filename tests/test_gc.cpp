@@ -5,11 +5,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "gc/Collector.h"
+#include "support/ThreadPool.h"
 #include "support/Units.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 using namespace panthera;
 using namespace panthera::heap;
@@ -388,6 +390,67 @@ TEST_F(GcTest, EventLogCountsPromotedBytes) {
   EXPECT_GT(E.BytesPromoted, 256u * 32)
       << "eagerly promoted tuples must be attributed to this event";
   EXPECT_GT(E.CardsScanned, 0u);
+}
+
+/// Regression driver for the survivor-age wraparound: with TenureAge at
+/// the uint8 ceiling and the old generation packed full, untagged
+/// survivors can neither tenure by age nor be promoted, so their age must
+/// pin at 255 across further minor GCs instead of wrapping to 0 (which
+/// restarts the tenuring clock and strands hot objects in the nursery).
+void runAgeSaturationTest(bool Parallel) {
+  HeapConfig HC = makeHeapConfig(PolicyKind::Panthera, 2, 1.0 / 3.0);
+  HC.NativeBytes = PaperGB / 4;
+  HC.Tuning.TenureAge = 255;
+  HC.Tuning.MajorGcOccupancy = 2.0; // no automatic major resets the clock
+  auto Mem = std::make_unique<memsim::HybridMemory>(
+      HeapConfig::alignPage(4096 + HC.HeapBytes + HC.NativeBytes),
+      memsim::MemoryTechnology{}, memsim::CacheConfig{});
+  auto H = std::make_unique<Heap>(HC, *Mem);
+  auto C = std::make_unique<Collector>(*H, PolicyKind::Panthera, nullptr);
+  std::unique_ptr<support::WorkStealingPool> Pool;
+  if (Parallel) {
+    Pool = std::make_unique<support::WorkStealingPool>(4);
+    C->setThreadPool(Pool.get());
+  }
+
+  // Pack both old-generation components with pretenured arrays until one
+  // falls back to a young allocation (DRAM-tagged arrays overflow into
+  // NVM first): promotions must now fail for anything array-sized.
+  for (int I = 0; I != 1000; ++I) {
+    H->setPendingArrayTag(MemTag::Dram, 1);
+    ObjRef A = H->allocRefArray(1024);
+    if (H->isYoung(A.addr()))
+      break;
+  }
+  H->setPendingArrayTag(MemTag::None, 0);
+
+  // Rooted young objects one step from the age ceiling.
+  std::vector<size_t> Ids;
+  for (int I = 0; I != 600; ++I)
+    Ids.push_back(H->addPersistentRoot(H->allocPlain(0, 8)));
+  for (size_t Id : Ids)
+    H->header(H->persistentRoot(Id).addr())->Age = 254;
+
+  C->collectMinor("age-saturation");
+  C->collectMinor("age-saturation"); // the wrap step: 255 must stay 255
+  size_t YoungAtCeiling = 0;
+  for (size_t Id : Ids) {
+    uint64_t Addr = H->persistentRoot(Id).addr();
+    if (!H->isYoung(Addr))
+      continue; // squeezed into a leftover old-gen gap; age preserved
+    EXPECT_EQ(H->header(Addr)->Age, 255u) << "survivor age must saturate";
+    ++YoungAtCeiling;
+  }
+  EXPECT_GE(YoungAtCeiling, 50u)
+      << "test setup must strand objects at the age ceiling";
+}
+
+TEST(GcAgeSaturation, SerialScavengeSaturatesAt255) {
+  runAgeSaturationTest(/*Parallel=*/false);
+}
+
+TEST(GcAgeSaturation, ParallelScavengeSaturatesAt255) {
+  runAgeSaturationTest(/*Parallel=*/true);
 }
 
 } // namespace

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "heap/Heap.h"
+#include "support/Errors.h"
 #include "support/Units.h"
 
 #include <gtest/gtest.h>
@@ -201,6 +202,51 @@ TEST_F(HeapTest, NativeAllocationInNvm) {
   int64_t Back = 0;
   H->nativeRead(Addr, &Back, sizeof(Back));
   EXPECT_EQ(Back, V);
+}
+
+TEST_F(HeapTest, OverflowingPlainSizeThrowsTypedError) {
+  // 64-bit object size exceeds the uint32 header field: a silently
+  // wrapped size would corrupt every linear space walk.
+  EXPECT_THROW(H->allocPlain(0, UINT32_MAX - 8), OutOfMemoryError);
+  EXPECT_THROW(H->allocPlain(255, UINT32_MAX - 64), OutOfMemoryError);
+  EXPECT_EQ(H->stats().OomErrorsThrown, 2u);
+  // The heap stays fully usable after the typed rejection.
+  ObjRef Ok = H->allocPlain(1, 16);
+  EXPECT_TRUE(H->isYoung(Ok.addr()));
+}
+
+TEST_F(HeapTest, OverflowingArraySizesThrowTypedError) {
+  uint32_t Len = static_cast<uint32_t>(MaxObjectBytes / RefSlotBytes);
+  EXPECT_THROW(H->allocRefArray(Len), OutOfMemoryError);
+  EXPECT_THROW(H->allocPrimArray(UINT32_MAX, 8), OutOfMemoryError);
+  EXPECT_THROW(H->allocPrimArray(UINT32_MAX, 1), OutOfMemoryError);
+  EXPECT_EQ(H->stats().OomErrorsThrown, 3u);
+}
+
+TEST_F(HeapTest, SizeOverflowLeavesPendingTagArmed) {
+  // The range check precedes pending-tag consumption, so a rejected
+  // pretenure-sized array leaves the rdd_alloc wait state armed.
+  H->setPendingArrayTag(MemTag::Nvm, 9);
+  EXPECT_THROW(
+      H->allocRefArray(static_cast<uint32_t>(MaxObjectBytes / RefSlotBytes)),
+      OutOfMemoryError);
+  EXPECT_EQ(H->pendingArrayTag(), MemTag::Nvm);
+  H->setPendingArrayTag(MemTag::None, 0);
+}
+
+TEST_F(HeapTest, NativeAllocationRejectsAdversarialSizes) {
+  uint64_t UsedBefore = H->native().usedBytes();
+  // Rounding to 8 wraps uint64.
+  EXPECT_THROW(H->allocNative(UINT64_MAX), OutOfMemoryError);
+  // Already 8-aligned: wraps the bump-pointer sum if the space checks
+  // `Top + Bytes > End` instead of comparing against the remaining room.
+  EXPECT_THROW(H->allocNative(UINT64_MAX - 7), OutOfMemoryError);
+  // Huge but nowhere near wrapping: plain exhaustion.
+  EXPECT_THROW(H->allocNative(UINT64_MAX / 2), OutOfMemoryError);
+  EXPECT_EQ(H->native().usedBytes(), UsedBefore)
+      << "rejected requests must not move the bump pointer";
+  uint64_t Addr = H->allocNative(64);
+  EXPECT_TRUE(H->native().contains(Addr));
 }
 
 TEST_F(HeapTest, UnifiedInterleavedLayoutMixesDevices) {

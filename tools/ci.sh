@@ -42,6 +42,24 @@ echo "ci: observability exports valid and thread-invariant"
 
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
 
+# Bounded differential GC fuzzing (docs/fuzzing.md) on the sanitizer
+# build: the frozen regression corpus plus a fresh batch of seeds derived
+# from the commit being tested, so every CI run explores a little new
+# schedule space while staying reproducible from its log line.
+echo "=== gc fuzz (asan/ubsan) ==="
+fuzz=./build-san/tools/gc_fuzz
+"${fuzz}" --seed=1 --ops=27 --config=split
+"${fuzz}" --seed=1 --ops=93 --config=dram
+"${fuzz}" --seed=1 --ops=397 --config=pressure --threads=8
+"${fuzz}" --seed=3 --ops=465 --config=pressure --threads=0
+sha_seed="$((16#$(git rev-parse HEAD | cut -c1-8)))"
+echo "ci: fuzzing 32 fresh seeds from ${sha_seed} per config"
+for config in dram split pressure; do
+  "${fuzz}" --seed="${sha_seed}" --iterations=32 --ops=256 \
+    --config="${config}"
+done
+echo "ci: gc fuzz clean"
+
 # TSan config: force 8 pool workers so every parallel path actually runs
 # multi-threaded (the auto default would collapse to the core count on
 # small CI machines, hiding races).
