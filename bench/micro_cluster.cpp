@@ -1,0 +1,196 @@
+//===- bench/micro_cluster.cpp - Multi-executor weak scaling --------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Weak-scaling sweep of the cluster simulation (docs/cluster.md) at
+/// --executors = 1/2/4/8 for two shuffle-heavy programs:
+///
+///   * terasort -- random 48-bit keys through sortByKey, the purest
+///     shuffle: every record crosses the partitioner;
+///   * pagerank -- the paper's flagship workload, a join+reduce pipeline
+///     with a persisted edge list that the locality scheduler can chase.
+///
+/// Two phases per program. The contract phase runs a fixed-size dataset at
+/// every executor count and FATALs unless all checksums match the 1-executor
+/// run: the cluster only adds accounting and placement, never results. The
+/// weak-scaling phase then grows the dataset proportionally to the executor
+/// count and records simulated time, PROCESS_LOCAL fraction, remote fetch
+/// volume, and fabric time into BENCH_cluster.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace panthera;
+using namespace panthera::bench;
+
+namespace {
+
+constexpr unsigned ExecutorCounts[] = {1, 2, 4, 8};
+
+struct ClusterPoint {
+  unsigned Executors = 0;
+  double Checksum = 0.0;
+  double SimMs = 0.0;
+  double LocalFraction = 0.0; ///< PROCESS_LOCAL / placed tasks.
+  uint64_t RemoteBlocks = 0;
+  uint64_t RemoteKB = 0;
+  double NetMs = 0.0; ///< Fabric time on the driver clock.
+};
+
+/// Fills the point's cluster columns from the runtime (zeros at N == 1,
+/// where no cluster exists and nothing is remote).
+void readClusterStats(core::Runtime &RT, ClusterPoint &P) {
+  P.SimMs = RT.report().TotalNs / 1e6;
+  if (const cluster::Cluster *CL = RT.clusterSim()) {
+    const cluster::ClusterStats &CS = CL->stats();
+    uint64_t Placed = CS.ProcessLocalTasks + CS.AnyTasks;
+    P.LocalFraction =
+        Placed ? static_cast<double>(CS.ProcessLocalTasks) / Placed : 0.0;
+    P.RemoteBlocks = CS.RemoteBlocksFetched;
+    P.RemoteKB = CS.RemoteBytesFetched / 1024;
+    P.NetMs = CS.NetworkNs / 1e6;
+  } else {
+    P.LocalFraction = 1.0;
+  }
+}
+
+/// Terasort: 48-bit random keys, fully shuffled by sortByKey. The checksum
+/// is order-weighted so a mis-sorted or dropped record cannot cancel out.
+ClusterPoint runTerasort(unsigned Executors, double Scale) {
+  const auto N = static_cast<int64_t>(40000 * Scale);
+  rdd::SourceData Data(16);
+  SplitMix64 Rng(77);
+  for (int64_t I = 0; I != N; ++I)
+    Data[static_cast<size_t>(I) % Data.size()].push_back(
+        {static_cast<int64_t>(Rng.next() >> 16),
+         static_cast<double>(I % 1009)});
+
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.Engine.NumPartitions = 16;
+  Config.Cluster.NumExecutors = Executors;
+  core::Runtime RT(Config);
+
+  ClusterPoint P;
+  P.Executors = Executors;
+  rdd::Rdd Sorted = RT.ctx().source(&Data).sortByKey();
+  int64_t Pos = 0;
+  for (const rdd::SourceRecord &R : Sorted.collect())
+    P.Checksum +=
+        static_cast<double>(R.Key % 100003) * static_cast<double>(Pos++ % 97) +
+        R.Val;
+  readClusterStats(RT, P);
+  return P;
+}
+
+/// PageRank through the stock workload harness.
+ClusterPoint runPageRank(unsigned Executors, double Scale) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("PR");
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.Cluster.NumExecutors = Executors;
+  core::Runtime RT(Config);
+
+  ClusterPoint P;
+  P.Executors = Executors;
+  P.Checksum = Spec->Run(RT, Scale);
+  readClusterStats(RT, P);
+  return P;
+}
+
+using RunFn = ClusterPoint (*)(unsigned, double);
+
+struct ProgramSweep {
+  const char *Name;
+  RunFn Run;
+  ClusterPoint Fixed[4]; ///< Contract phase: same dataset at every N.
+  ClusterPoint Weak[4];  ///< Weak phase: dataset scaled by N.
+};
+
+void printTable(const ProgramSweep &S) {
+  std::printf("\n%s, weak scaling (dataset x executors):\n", S.Name);
+  std::printf("%6s %12s %10s %14s %12s\n", "execs", "sim(ms)", "local%",
+              "remote blocks", "net(ms)");
+  for (const ClusterPoint &P : S.Weak)
+    std::printf("%6u %12.3f %9.1f%% %14llu %12.3f\n", P.Executors, P.SimMs,
+                100.0 * P.LocalFraction,
+                static_cast<unsigned long long>(P.RemoteBlocks), P.NetMs);
+}
+
+void writePoints(std::FILE *Out, const char *Key, const ClusterPoint *Pts) {
+  std::fprintf(Out, "    \"%s\": [\n", Key);
+  for (int I = 0; I != 4; ++I)
+    std::fprintf(Out,
+                 "      {\"executors\": %u, \"sim_ms\": %.3f, "
+                 "\"checksum\": %.6f, \"local_fraction\": %.4f, "
+                 "\"remote_blocks\": %llu, \"remote_kb\": %llu, "
+                 "\"net_ms\": %.3f}%s\n",
+                 Pts[I].Executors, Pts[I].SimMs, Pts[I].Checksum,
+                 Pts[I].LocalFraction,
+                 static_cast<unsigned long long>(Pts[I].RemoteBlocks),
+                 static_cast<unsigned long long>(Pts[I].RemoteKB),
+                 Pts[I].NetMs, I == 3 ? "" : ",");
+  std::fprintf(Out, "    ]");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = parseScale(Argc, Argv);
+  banner("micro_cluster",
+         "Multi-executor cluster simulation: result invariance across "
+         "executor counts, then weak scaling at 1/2/4/8 executors",
+         Scale);
+
+  ProgramSweep Sweeps[2] = {{"terasort", &runTerasort, {}, {}},
+                            {"pagerank", &runPageRank, {}, {}}};
+
+  for (ProgramSweep &S : Sweeps) {
+    for (int I = 0; I != 4; ++I) {
+      S.Fixed[I] = S.Run(ExecutorCounts[I], Scale);
+      // The contract: sharding the heap and placing tasks must not change
+      // a single record. A weak-scaled dataset can't check this, so the
+      // fixed-size phase does.
+      if (S.Fixed[I].Checksum != S.Fixed[0].Checksum) {
+        std::fprintf(stderr,
+                     "FATAL: %s checksum diverged at %u executors "
+                     "(%.6f vs %.6f)\n",
+                     S.Name, S.Fixed[I].Executors, S.Fixed[I].Checksum,
+                     S.Fixed[0].Checksum);
+        return 1;
+      }
+      S.Weak[I] = ExecutorCounts[I] == 1
+                      ? S.Fixed[I]
+                      : S.Run(ExecutorCounts[I], Scale * ExecutorCounts[I]);
+    }
+    std::printf("%s: checksums identical at 1/2/4/8 executors (%.6f)\n",
+                S.Name, S.Fixed[0].Checksum);
+    printTable(S);
+  }
+
+  std::FILE *Out = std::fopen("BENCH_cluster.json", "w");
+  if (!Out) {
+    std::perror("BENCH_cluster.json");
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"scale\": %.3f,\n", Scale);
+  std::fprintf(Out, "  \"checksums_identical_across_executors\": true,\n");
+  for (int S = 0; S != 2; ++S) {
+    std::fprintf(Out, "  \"%s\": {\n", Sweeps[S].Name);
+    writePoints(Out, "fixed", Sweeps[S].Fixed);
+    std::fprintf(Out, ",\n");
+    writePoints(Out, "weak", Sweeps[S].Weak);
+    std::fprintf(Out, "\n  }%s\n", S == 1 ? "" : ",");
+  }
+  std::fprintf(Out, "}\n");
+  std::fclose(Out);
+  std::printf("\nwrote BENCH_cluster.json\n");
+  return 0;
+}

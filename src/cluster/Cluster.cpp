@@ -1,0 +1,326 @@
+//===- cluster/Cluster.cpp - Multi-executor cluster simulation ------------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Cluster.h"
+
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace panthera {
+namespace cluster {
+
+//===----------------------------------------------------------------------===
+// Executor
+//===----------------------------------------------------------------------===
+
+Executor::Executor(unsigned Id, const ClusterConfig &Config) : Id(Id) {
+  const heap::HeapConfig &HC = Config.ExecutorHeap;
+  uint64_t Total =
+      heap::HeapConfig::alignPage(4096 + HC.HeapBytes + HC.NativeBytes);
+  // Null registry: each executor owns a private bandwidth-trace registry so
+  // the driver's memsim.* series stay untouched.
+  Mem = std::make_unique<memsim::HybridMemory>(Total, Config.Technology,
+                                               Config.Cache, Config.EpochNs,
+                                               /*Registry=*/nullptr);
+  H = std::make_unique<heap::Heap>(HC, *Mem);
+  // Claim the shuffle arena up front: the native region is never collected,
+  // so per-shuffle reuse needs our own bump pointer over one big claim.
+  uint64_t Want = HC.NativeBytes;
+  while (Want >= (1ull << 20)) {
+    try {
+      ArenaBase = H->allocNative(Want);
+      ArenaSize = Want;
+      break;
+    } catch (const OutOfMemoryError &) {
+      Want >>= 1;
+    }
+  }
+}
+
+uint64_t Executor::arenaAlloc(uint64_t Bytes) {
+  uint64_t Aligned = (Bytes + 7) & ~7ull;
+  if (Aligned < Bytes || ArenaUsed + Aligned > ArenaSize)
+    return UINT64_MAX;
+  uint64_t Addr = ArenaBase + ArenaUsed;
+  ArenaUsed += Aligned;
+  return Addr;
+}
+
+//===----------------------------------------------------------------------===
+// Cluster
+//===----------------------------------------------------------------------===
+
+Cluster::Cluster(const ClusterConfig &Config,
+                 memsim::HybridMemory &DriverMem, support::TraceLog *Trace)
+    : Config(Config), DriverMem(DriverMem), Trace(Trace) {
+  PANTHERA_CHECK(Config.Options.NumExecutors >= 1,
+                 "cluster needs at least one executor");
+  for (unsigned I = 0; I != Config.Options.NumExecutors; ++I)
+    Executors.push_back(std::make_unique<Executor>(I, Config));
+  StageLoad.assign(Executors.size(), 0);
+}
+
+unsigned Cluster::numAlive() const {
+  unsigned N = 0;
+  for (const auto &E : Executors)
+    N += E->alive() ? 1 : 0;
+  return N;
+}
+
+void Cluster::beginStage() {
+  std::fill(StageLoad.begin(), StageLoad.end(), 0);
+}
+
+unsigned Cluster::placeTask(int Preferred) {
+  // Least-loaded live executor, lowest id on ties: the ANY fallback.
+  unsigned Fallback = 0;
+  uint64_t MinLoad = UINT64_MAX;
+  for (unsigned I = 0; I != Executors.size(); ++I) {
+    if (!Executors[I]->alive())
+      continue;
+    if (StageLoad[I] < MinLoad) {
+      MinLoad = StageLoad[I];
+      Fallback = I;
+    }
+  }
+  PANTHERA_CHECK(MinLoad != UINT64_MAX, "no live executor to place a task");
+  if (Preferred >= 0 &&
+      static_cast<unsigned>(Preferred) < Executors.size() &&
+      Executors[Preferred]->alive()) {
+    if (StageLoad[Preferred] <= MinLoad + Config.Options.DelaySchedulingSlack) {
+      ++Stats.ProcessLocalTasks;
+      ++StageLoad[Preferred];
+      return static_cast<unsigned>(Preferred);
+    }
+    // The preferred executor exists but is too far behind the pack; delay
+    // scheduling gives up and takes the least-loaded one.
+    ++Stats.DelayedFallbacks;
+  }
+  ++Stats.AnyTasks;
+  ++StageLoad[Fallback];
+  return Fallback;
+}
+
+static uint64_t locationKey(uint32_t RddId, uint32_t Part) {
+  return (static_cast<uint64_t>(RddId) << 32) | Part;
+}
+
+void Cluster::recordPartitionLocation(uint32_t RddId, uint32_t Part,
+                                      unsigned Exec) {
+  uint64_t Key = locationKey(RddId, Part);
+  auto It = std::lower_bound(
+      Locations.begin(), Locations.end(), Key,
+      [](const std::pair<uint64_t, unsigned> &L, uint64_t K) {
+        return L.first < K;
+      });
+  if (It != Locations.end() && It->first == Key)
+    It->second = Exec;
+  else
+    Locations.insert(It, {Key, Exec});
+}
+
+int Cluster::partitionLocation(uint32_t RddId, uint32_t Part) const {
+  uint64_t Key = locationKey(RddId, Part);
+  auto It = std::lower_bound(
+      Locations.begin(), Locations.end(), Key,
+      [](const std::pair<uint64_t, unsigned> &L, uint64_t K) {
+        return L.first < K;
+      });
+  if (It == Locations.end() || It->first != Key)
+    return -1;
+  return Executors[It->second]->alive() ? static_cast<int>(It->second) : -1;
+}
+
+int Cluster::splitOwner(uint32_t Part) const {
+  unsigned E = Part % static_cast<unsigned>(Executors.size());
+  return Executors[E]->alive() ? static_cast<int>(E) : -1;
+}
+
+void Cluster::beginShuffle(uint32_t NewMapCount, uint32_t NewReduceCount) {
+  endShuffle();
+  MapCount = NewMapCount;
+  ReduceCount = NewReduceCount;
+  Blocks.assign(static_cast<size_t>(MapCount) * ReduceCount, BlockInfo());
+}
+
+void Cluster::registerMapOutput(uint32_t Map, uint32_t Reduce, unsigned Exec,
+                                const void *Data, uint64_t Bytes,
+                                uint64_t Records, uint64_t BucketOffset) {
+  BlockInfo &B = block(Map, Reduce);
+  B.Exec = Exec;
+  B.Bytes = Bytes;
+  B.Records = Records;
+  B.BucketOffset = BucketOffset;
+  B.Lost = false;
+  B.DiskCopy.clear();
+  B.Addr = UINT64_MAX;
+  ++Stats.BlocksStored;
+  Stats.BytesStored += Bytes;
+  if (Records == 0)
+    return;
+  Executor &E = *Executors[Exec];
+  // Serializing the block is executor-side work: CPU plus the native-region
+  // write traffic land on the executor's private clock, never the driver's.
+  E.memory().addCpuWorkNs(Config.Options.NetSerNsPerRecord *
+                          static_cast<double>(Records));
+  B.Addr = E.arenaAlloc(Bytes);
+  if (B.Addr != UINT64_MAX) {
+    E.heap().nativeWrite(B.Addr, Data, Bytes);
+    return;
+  }
+  // Arena full: the block overflows to the executor's local disk (held as
+  // a host-side copy; fetching it later pays the disk deserialization).
+  ++Stats.ExecutorDiskBlocks;
+  const uint8_t *Src = static_cast<const uint8_t *>(Data);
+  B.DiskCopy.assign(Src, Src + Bytes);
+}
+
+const BlockInfo &Cluster::mapOutput(uint32_t Map, uint32_t Reduce) const {
+  PANTHERA_CHECK(Map < MapCount && Reduce < ReduceCount,
+                 "map-output lookup outside the active shuffle");
+  return block(Map, Reduce);
+}
+
+int Cluster::preferredReducer(uint32_t Reduce) const {
+  // The executor holding the most map-output bytes for this partition
+  // fetches the least remotely; ties go to the lowest id.
+  std::vector<uint64_t> BytesAt(Executors.size(), 0);
+  for (uint32_t M = 0; M != MapCount; ++M) {
+    const BlockInfo &B = block(M, Reduce);
+    if (!B.Lost)
+      BytesAt[B.Exec] += B.Bytes;
+  }
+  int Best = -1;
+  uint64_t BestBytes = 0;
+  for (unsigned E = 0; E != Executors.size(); ++E)
+    if (Executors[E]->alive() && BytesAt[E] > BestBytes) {
+      BestBytes = BytesAt[E];
+      Best = static_cast<int>(E);
+    }
+  return Best;
+}
+
+void Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
+                         const void *Expect) {
+  BlockInfo &B = block(Map, Reduce);
+  PANTHERA_CHECK(!B.Lost, "fetch of a lost map output");
+  if (B.Records == 0)
+    return;
+  // Read the executor-held replica back and verify it against the data
+  // plane (the driver-side bucket slice the reduce task consumes).
+  Scratch.resize(B.Bytes);
+  if (B.Addr != UINT64_MAX) {
+    Executor &Owner = *Executors[B.Exec];
+    Owner.heap().nativeRead(B.Addr, Scratch.data(), B.Bytes);
+  } else {
+    std::memcpy(Scratch.data(), B.DiskCopy.data(), B.Bytes);
+    // Executor-disk blocks pay deserialization on the fetching side.
+    DriverMem.addCpuWorkNs(Config.DiskNsPerRecord *
+                           static_cast<double>(B.Records));
+  }
+  PANTHERA_CHECK(std::memcmp(Scratch.data(), Expect, B.Bytes) == 0,
+                 "shuffle block replica diverged from the data plane");
+  if (DstExec == B.Exec) {
+    ++Stats.LocalBlocksFetched;
+    Stats.LocalBytesFetched += B.Bytes;
+    return;
+  }
+  // Remote: serialization CPU plus latency plus bytes over the pipe, all
+  // on the driver's simulated clock (1 GB/s == 1 byte/ns).
+  const ClusterOptions &O = Config.Options;
+  double Ns = O.NetSerNsPerRecord * static_cast<double>(B.Records) +
+              O.NetLatencyUs * 1000.0 +
+              static_cast<double>(B.Bytes) / O.NetBandwidthGBps;
+  double Start = DriverMem.totalTimeNs();
+  DriverMem.addCpuWorkNs(Ns);
+  Stats.NetworkNs += Ns;
+  ++Stats.RemoteBlocksFetched;
+  Stats.RemoteBytesFetched += B.Bytes;
+  if (Trace)
+    Trace->span(support::TraceTrack::Network, "remote fetch", "net", Start,
+                Ns)
+        .arg("from", static_cast<uint64_t>(B.Exec))
+        .arg("to", static_cast<uint64_t>(DstExec))
+        .arg("map", static_cast<uint64_t>(Map))
+        .arg("reduce", static_cast<uint64_t>(Reduce))
+        .arg("bytes", B.Bytes)
+        .arg("records", B.Records);
+}
+
+void Cluster::endShuffle() {
+  MapCount = ReduceCount = 0;
+  Blocks.clear();
+  for (auto &E : Executors)
+    E->arenaReset();
+}
+
+std::vector<uint32_t> Cluster::killExecutor(unsigned Id) {
+  Executor &E = *Executors[Id];
+  PANTHERA_CHECK(E.alive(), "executor killed twice");
+  PANTHERA_CHECK(numAlive() > 1, "cannot kill the last live executor");
+  E.kill();
+  ++Stats.ExecutorsLost;
+  // Its cached partitions are gone.
+  Locations.erase(std::remove_if(Locations.begin(), Locations.end(),
+                                 [Id](const std::pair<uint64_t, unsigned> &L) {
+                                   return L.second == Id;
+                                 }),
+                  Locations.end());
+  // Its active-shuffle blocks are lost; report which map tasks must re-run.
+  std::vector<uint32_t> LostMaps;
+  for (uint32_t M = 0; M != MapCount; ++M) {
+    bool Any = false;
+    for (uint32_t R = 0; R != ReduceCount; ++R) {
+      BlockInfo &B = block(M, R);
+      if (B.Exec == Id && !B.Lost) {
+        B.Lost = true;
+        B.DiskCopy.clear();
+        ++Stats.MapOutputsLost;
+        Any = true;
+      }
+    }
+    if (Any)
+      LostMaps.push_back(M);
+  }
+  return LostMaps;
+}
+
+void Cluster::publishMetrics(support::MetricsRegistry &M) const {
+  M.gauge("cluster.executors").set(static_cast<double>(Executors.size()));
+  M.gauge("cluster.executors_alive").set(static_cast<double>(numAlive()));
+  M.counter("cluster.tasks.process_local").set(Stats.ProcessLocalTasks);
+  M.counter("cluster.tasks.any").set(Stats.AnyTasks);
+  M.counter("cluster.tasks.delayed_fallbacks").set(Stats.DelayedFallbacks);
+  M.counter("cluster.shuffle.blocks_stored").set(Stats.BlocksStored);
+  M.counter("cluster.shuffle.bytes_stored").set(Stats.BytesStored);
+  M.counter("cluster.shuffle.exec_disk_blocks").set(Stats.ExecutorDiskBlocks);
+  M.counter("cluster.fetch.local_blocks").set(Stats.LocalBlocksFetched);
+  M.counter("cluster.fetch.local_bytes").set(Stats.LocalBytesFetched);
+  M.counter("cluster.fetch.remote_blocks").set(Stats.RemoteBlocksFetched);
+  M.counter("cluster.fetch.remote_bytes").set(Stats.RemoteBytesFetched);
+  M.gauge("cluster.net.time_ns").set(Stats.NetworkNs);
+  M.counter("cluster.executors_lost").set(Stats.ExecutorsLost);
+  M.counter("cluster.map_outputs_lost").set(Stats.MapOutputsLost);
+  M.counter("cluster.map_outputs_recomputed").set(Stats.MapOutputsRecomputed);
+  for (unsigned I = 0; I != Executors.size(); ++I) {
+    const Executor &E = *Executors[I];
+    std::string Prefix = "cluster.exec" + std::to_string(I) + ".";
+    M.gauge(Prefix + "alive").set(E.alive() ? 1.0 : 0.0);
+    const memsim::HybridMemory &Mem = E.memory();
+    M.gauge(Prefix + "time_ns").set(Mem.totalTimeNs());
+    const memsim::TrafficCounters &Dram = Mem.traffic(memsim::Device::DRAM);
+    const memsim::TrafficCounters &Nvm = Mem.traffic(memsim::Device::NVM);
+    M.counter(Prefix + "dram_line_reads").set(Dram.LineReads);
+    M.counter(Prefix + "dram_line_writes").set(Dram.LineWrites);
+    M.counter(Prefix + "nvm_line_reads").set(Nvm.LineReads);
+    M.counter(Prefix + "nvm_line_writes").set(Nvm.LineWrites);
+  }
+}
+
+} // namespace cluster
+} // namespace panthera

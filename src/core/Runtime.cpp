@@ -11,6 +11,7 @@
 #include "support/Errors.h"
 #include "support/Units.h"
 
+#include <algorithm>
 #include <string>
 
 #include <cstdio>
@@ -54,6 +55,31 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   Context = std::make_unique<rdd::SparkContext>(*TheHeap, &Monitor, EC);
   Context->setThreadPool(Pool.get());
   Context->setTelemetry(&Metrics, &Trace);
+
+  if (Config.Cluster.NumExecutors > 1) {
+    // Carve the paper heap and native region evenly across the executors;
+    // each gets its own HybridMemory + Heap on a private clock. At
+    // NumExecutors == 1 no cluster exists at all, so the seed single-heap
+    // path (and its exports) stays byte-identical.
+    cluster::ClusterConfig CC;
+    CC.Options = Config.Cluster;
+    unsigned N = Config.Cluster.NumExecutors;
+    unsigned PerExecGB = Config.HeapPaperGB / N;
+    if (PerExecGB == 0)
+      PerExecGB = 1;
+    CC.ExecutorHeap =
+        gc::makeHeapConfig(Config.Policy, PerExecGB, Config.DramRatio);
+    CC.ExecutorHeap.NurseryFraction = Config.NurseryFraction;
+    uint64_t PerExecNative = heap::HeapConfig::alignPage(
+        static_cast<uint64_t>(Config.NativePaperGB) * PaperGB / N);
+    CC.ExecutorHeap.NativeBytes = std::max<uint64_t>(PerExecNative, PaperGB);
+    CC.Technology = Config.Technology;
+    CC.Cache = Config.Cache;
+    CC.EpochNs = Config.EpochNs;
+    CC.DiskNsPerRecord = Config.Engine.DiskRecordCpuNs;
+    TheCluster = std::make_unique<cluster::Cluster>(CC, *Mem, &Trace);
+    Context->setCluster(TheCluster.get());
+  }
 
   if (Config.Faults.enabled()) {
     Injector = std::make_unique<FaultInjector>(Config.Faults);
@@ -166,6 +192,11 @@ void Runtime::publishMetrics() {
   C("heap.oom_errors_thrown", HS.OomErrorsThrown);
 
   C("analysis.monitored_calls", R.MonitoredCalls);
+
+  // Cluster totals (only in cluster runs: --executors=1 must export the
+  // exact seed key set).
+  if (TheCluster)
+    TheCluster->publishMetrics(Metrics);
 }
 
 std::string Runtime::metricsJson() {

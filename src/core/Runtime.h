@@ -28,6 +28,7 @@
 #define PANTHERA_CORE_RUNTIME_H
 
 #include "analysis/TagInference.h"
+#include "cluster/Cluster.h"
 #include "gc/Collector.h"
 #include "gc/GcPolicy.h"
 #include "memsim/HybridMemory.h"
@@ -78,6 +79,12 @@ struct RuntimeConfig {
   /// time/energy are identical at every thread count; only wall-clock
   /// changes.
   unsigned NumThreads = 0;
+  /// Cluster simulation knobs (docs/cluster.md). NumExecutors == 1 (the
+  /// default) constructs no cluster at all: the engine runs the seed
+  /// single-heap path byte-identically. With N > 1, each executor carves
+  /// HeapPaperGB/N of heap and NativePaperGB/N of native region, tasks
+  /// place by locality, and remote shuffle fetches ride the fabric.
+  cluster::ClusterOptions Cluster;
 };
 
 /// Summary of one finished run.
@@ -112,6 +119,8 @@ public:
   /// Nonnull only when Config.Faults enables at least one site.
   FaultInjector *faults() { return Injector.get(); }
   support::WorkStealingPool &pool() { return *Pool; }
+  /// Nonnull only when Config.Cluster.NumExecutors > 1.
+  cluster::Cluster *clusterSim() { return TheCluster.get(); }
 
   /// Parses \p DslSource, runs the §3 inference (plus any enabled
   /// extensions), and installs the result on the engine (only Panthera
@@ -166,6 +175,7 @@ private:
   gc::AccessMonitor Monitor;
   std::unique_ptr<gc::Collector> TheCollector;
   std::unique_ptr<rdd::SparkContext> Context;
+  std::unique_ptr<cluster::Cluster> TheCluster;
   std::unique_ptr<FaultInjector> Injector;
   analysis::AnalysisResult Tags;
 };

@@ -691,7 +691,25 @@ private:
 
 FuzzResult panthera::fuzz::runSchedule(const FuzzOptions &Opts,
                                        const std::vector<FuzzAction> &S) {
-  return Runner(Opts, S).run();
+  FuzzResult First = Runner(Opts, S).run();
+  // Cluster mode: replay the schedule on each additional executor heap and
+  // require a bit-identical heap image. Divergence here means per-executor
+  // heaps do not evolve deterministically from their inputs, which would
+  // sink the cluster's thread/executor-count invariance guarantees.
+  for (unsigned E = 1; E < Opts.Executors && First.Ok; ++E) {
+    FuzzResult R = Runner(Opts, S).run();
+    if (!R.Ok)
+      return R;
+    if (R.Digest != First.Digest) {
+      First.Ok = false;
+      First.Problem = "executor " + std::to_string(E) +
+                      " heap digest diverged from executor 0 under an "
+                      "identical schedule";
+      First.FailingAction = S.empty() ? 0 : S.size() - 1;
+      return First;
+    }
+  }
+  return First;
 }
 
 FuzzResult panthera::fuzz::runDifferential(const FuzzOptions &Opts) {

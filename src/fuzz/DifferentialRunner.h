@@ -33,6 +33,12 @@ struct FuzzOptions {
   /// scavenge/mark paths, bit-identical at every count); 0 runs the
   /// serial collector paths instead.
   unsigned Threads = 1;
+  /// Executor heaps driven from the one schedule (docs/cluster.md). With
+  /// N > 1 the schedule replays against N independent heap + oracle
+  /// instances -- the cluster's per-executor heaps -- and the run also
+  /// fails if any replica's synced-heap digest diverges from the first's
+  /// (identical schedules must produce bit-identical heaps).
+  unsigned Executors = 1;
 };
 
 struct FuzzResult {

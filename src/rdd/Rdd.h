@@ -52,6 +52,10 @@ class MetricsRegistry;
 class TraceLog;
 } // namespace support
 
+namespace cluster {
+class Cluster;
+} // namespace cluster
+
 namespace rdd {
 
 /// Operator of a lineage node.
@@ -280,6 +284,12 @@ public:
   void setFaultInjector(FaultInjector *F) { Faults = F; }
   /// Installs the shared worker pool; without one, stages run serially.
   void setThreadPool(support::WorkStealingPool *P) { Pool = P; }
+  /// Installs the multi-executor cluster simulation (docs/cluster.md).
+  /// Null (the default) runs the seed single-heap engine; with a cluster,
+  /// tasks are placed by locality, map outputs register per executor, and
+  /// reducers fetch remote blocks through the simulated fabric. The data
+  /// plane (bucket contents and order) is identical either way.
+  void setCluster(cluster::Cluster *C) { Clstr = C; }
   /// Installs the observability sinks (docs/observability.md): stage and
   /// per-partition task spans on the engine track, stamped with the
   /// simulated clock. Either may be null. Scalar engine.* counters are
@@ -345,6 +355,10 @@ private:
     std::function<void()> BeginTask; ///< Snapshot the shuffle output state.
     std::function<void()> EndTask;   ///< Flush route buffers to the output.
     std::function<void()> Rollback;  ///< Restore the BeginTask snapshot.
+    /// Cluster mode: place the map task / register its outputs. Invoked
+    /// around each fused per-partition task (outside the retry body).
+    std::function<void(uint32_t)> BeforeTask;
+    std::function<void(uint32_t)> AfterTask;
   };
 
   /// Materializes a narrow persisted RDD, one retryable task per partition;
@@ -432,6 +446,30 @@ private:
 
   void installMaterialized(const RddRef &R, heap::ObjRef Top);
 
+  //===--- cluster mode (docs/cluster.md) ---------------------------------===
+  /// Control-plane state of the shuffle currently tracked by the cluster:
+  /// what a lost map output needs for a lineage re-run. The data plane
+  /// (the driver-side buckets) is untouched by executor loss.
+  struct ActiveClusterShuffle {
+    bool Active = false;
+    RddRef Parent;
+    std::function<uint32_t(int64_t)> Partitioner;
+    std::vector<unsigned> MapExec; ///< Executor that ran each map task.
+    /// Map tasks whose registered outputs died with an executor; the next
+    /// reduce attempt re-runs them before fetching.
+    std::vector<uint32_t> PendingRecompute;
+  };
+  /// Accounts the block fetches feeding reduce task \p Reduce running on
+  /// executor \p Exec: drains pending lineage recomputations, draws the
+  /// executor-loss fault site per block, throws TaskFailure on a lost
+  /// block (the task retry finds the recomputed output), and charges the
+  /// fabric for remote blocks.
+  void fetchShuffleInputs(Buckets &In, uint32_t Reduce, unsigned Exec);
+  /// Re-runs the map tasks in PendingRecompute under fault suppression,
+  /// verifying the recomputed records against the intact buckets and
+  /// re-registering their blocks on live executors.
+  void recomputeLostMapOutputs(Buckets &In);
+
   friend class Rdd; // checkpoint() drives prepare/stream directly
 
   heap::Heap &H;
@@ -441,6 +479,8 @@ private:
   TaskLedger Ledger;
   FaultInjector *Faults = nullptr;
   support::WorkStealingPool *Pool = nullptr;
+  cluster::Cluster *Clstr = nullptr;
+  ActiveClusterShuffle ClusterShuffle;
   support::MetricsRegistry *Metrics = nullptr;
   support::TraceLog *TraceSink = nullptr;
   std::function<void(const char *)> RecoveryVerifier;

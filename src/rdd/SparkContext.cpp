@@ -6,6 +6,7 @@
 
 #include "rdd/Rdd.h"
 
+#include "cluster/Cluster.h"
 #include "rdd/PartitionBuilder.h"
 #include "support/Errors.h"
 #include "support/FaultInjector.h"
@@ -761,12 +762,40 @@ void SparkContext::materializeNarrow(const RddRef &R,
       std::string("materialize ") + opKindName(R->Op) +
       (R->VarName.empty() ? std::string() : " '" + R->VarName + "'");
   StageScope Span(*this, Stage);
+  // Cluster mode, standalone materialization: place each per-partition
+  // task by its parent's locality and record where the result lives. A
+  // fused materialization is placed by the consuming shuffle's hooks.
+  std::vector<unsigned> TaskExec;
+  if (Clstr && !Fusion) {
+    Clstr->beginStage();
+    TaskExec.assign(P, 0);
+  }
+  auto Place = [&](uint32_t I) {
+    if (!Clstr || Fusion)
+      return;
+    int Pref = R->Parents.empty()
+                   ? -1
+                   : Clstr->partitionLocation(R->Parents[0]->Id, I);
+    if (Pref < 0)
+      Pref = Clstr->splitOwner(I);
+    TaskExec[I] = Clstr->placeTask(Pref);
+  };
+  auto Placed = [&](uint32_t I) {
+    if (Clstr && !Fusion)
+      Clstr->recordPartitionLocation(R->Id, I, TaskExec[I]);
+  };
   // Bracket each per-partition task with the consuming shuffle's
   // snapshot/flush/rollback hooks so a failed fused map task can undo the
   // records it already routed.
-  auto FusionBegin = [&] {
+  auto FusionBegin = [&](uint32_t I) {
+    if (Fusion && Fusion->BeforeTask)
+      Fusion->BeforeTask(I);
     if (Fusion && Fusion->BeginTask)
       Fusion->BeginTask();
+  };
+  auto FusionAfter = [&](uint32_t I) {
+    if (Fusion && Fusion->AfterTask)
+      Fusion->AfterTask(I);
   };
   auto FusionEnd = [&] {
     if (Fusion && Fusion->EndTask)
@@ -780,7 +809,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
     // Serialize into native NVM memory (the paper places all off-heap
     // native memory in NVM, §4.1).
     R->NativeParts.assign(P, {});
-    for (uint32_t I = 0; I != P; ++I)
+    for (uint32_t I = 0; I != P; ++I) {
+      Place(I);
       runTask(Stage, R->Id, I, [&] {
         std::vector<SourceRecord> Rows;
         RddContext Ctx(H);
@@ -793,13 +823,16 @@ void SparkContext::materializeNarrow(const RddRef &R,
                         sizeof(SourceRecord));
         R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
       });
+      Placed(I);
+    }
     R->Materialized = true;
     ++Stats.RddsMaterialized;
     return;
   }
   if (R->Level == StorageLevel::DiskOnly && R->PersistRequested) {
     R->DiskParts.assign(P, {});
-    for (uint32_t I = 0; I != P; ++I)
+    for (uint32_t I = 0; I != P; ++I) {
+      Place(I);
       runTask(
           Stage, R->Id, I,
           [&] {
@@ -809,6 +842,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
             });
           },
           [&] { R->DiskParts[I].clear(); });
+      Placed(I);
+    }
     R->Materialized = true;
     ++Stats.RddsMaterialized;
     return;
@@ -823,7 +858,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
     GcRoot Dir(H, H.allocRefArray(P));
     RddContext Ctx(H);
     for (uint32_t I = 0; I != P; ++I) {
-      FusionBegin();
+      Place(I);
+      FusionBegin(I);
       runTask(
           Stage, R->Id, I,
           [&] {
@@ -854,6 +890,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
             FusionEnd();
           },
           FusionRollback);
+      FusionAfter(I);
+      Placed(I);
     }
     ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
     heap::ObjectHeader *TopHdr = H.header(Top.addr());
@@ -869,7 +907,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
   // Heap materialization: directory -> per-partition arrays of tuples.
   GcRoot Dir(H, H.allocRefArray(P));
   for (uint32_t I = 0; I != P; ++I) {
-    FusionBegin();
+    Place(I);
+    FusionBegin(I);
     runTask(
         Stage, R->Id, I,
         [&] {
@@ -890,6 +929,8 @@ void SparkContext::materializeNarrow(const RddRef &R,
           FusionEnd();
         },
         FusionRollback);
+    FusionAfter(I);
+    Placed(I);
   }
   // rdd_alloc also stamps the *top* object's MEMORY_BITS so the root task
   // promotes it to the right space (§4.2.1).
@@ -982,6 +1023,40 @@ SparkContext::shuffle(const RddRef &Parent,
     Stats.ShuffleSpills = SpillsSnapshot;
   };
 
+  // Cluster mode (docs/cluster.md): this stage is the map side of a
+  // distributed shuffle. Each map task is placed by its parent
+  // partition's locality; after it succeeds, the records it routed to
+  // each target partition register as per-executor blocks with the map
+  // output tracker. The buckets in Out remain the data plane either way.
+  std::function<void(uint32_t)> PlaceMap, RegisterMapOutputs;
+  if (Clstr) {
+    ClusterShuffle.Active = true;
+    ClusterShuffle.Parent = Parent;
+    ClusterShuffle.Partitioner = Partitioner;
+    ClusterShuffle.MapExec.assign(P, 0);
+    ClusterShuffle.PendingRecompute.clear();
+    Clstr->beginShuffle(P, P);
+    Clstr->beginStage();
+    PlaceMap = [&](uint32_t M) {
+      int Pref = Clstr->partitionLocation(Parent->Id, M);
+      if (Pref < 0)
+        Pref = Clstr->splitOwner(M);
+      ClusterShuffle.MapExec[M] = Clstr->placeTask(Pref);
+    };
+    RegisterMapOutputs = [&](uint32_t M) {
+      unsigned E = ClusterShuffle.MapExec[M];
+      for (uint32_t T = 0; T != P; ++T) {
+        uint64_t Count = Out[T].size() - OutSnapshot[T];
+        Clstr->registerMapOutput(M, T, E, Out[T].data() + OutSnapshot[T],
+                                 Count * sizeof(SourceRecord), Count,
+                                 OutSnapshot[T]);
+      }
+      // The computed parent partition now lives on E; later stages over
+      // the same parent prefer it.
+      Clstr->recordPartitionLocation(Parent->Id, M, E);
+    };
+  }
+
   if (canFuseIntoShuffle(Parent)) {
     // Materialize the persist-pending parent and write the shuffle in one
     // streaming pass: its cached partitions are written once, not re-read.
@@ -990,6 +1065,8 @@ SparkContext::shuffle(const RddRef &Parent,
     Fusion.BeginTask = BeginTask;
     Fusion.EndTask = EndTask;
     Fusion.Rollback = Rollback;
+    Fusion.BeforeTask = PlaceMap;
+    Fusion.AfterTask = RegisterMapOutputs;
     materializeNarrow(Parent, &Fusion);
   } else {
     std::string Stage =
@@ -997,6 +1074,8 @@ SparkContext::shuffle(const RddRef &Parent,
         (Parent->VarName.empty() ? std::string()
                                  : " '" + Parent->VarName + "'");
     for (uint32_t I = 0; I != P; ++I) {
+      if (PlaceMap)
+        PlaceMap(I);
       BeginTask();
       runTask(
           Stage, Parent->Id, I,
@@ -1005,6 +1084,8 @@ SparkContext::shuffle(const RddRef &Parent,
             EndTask();
           },
           Rollback);
+      if (RegisterMapOutputs)
+        RegisterMapOutputs(I);
     }
   }
   return Out;
@@ -1056,6 +1137,19 @@ void SparkContext::materializeWide(const RddRef &R) {
 
   Buckets In = shuffle(R->Parents[0], Partitioner);
 
+  // Cluster mode: place each reduce task where most of its shuffle bytes
+  // already sit, then account its block fetches (local free, remote over
+  // the fabric) inside the retryable task body -- an injected executor
+  // loss surfaces there as a lost-block fetch failure, and the retry
+  // re-runs the lost map tasks from lineage first.
+  std::vector<unsigned> ReduceExec;
+  if (Clstr) {
+    Clstr->beginStage();
+    ReduceExec.assign(P, 0);
+    for (uint32_t I = 0; I != P; ++I)
+      ReduceExec[I] = Clstr->placeTask(Clstr->preferredReducer(I));
+  }
+
   GcRoot Dir(H, H.allocRefArray(P));
   std::string Stage =
       std::string("reduce ") + opKindName(R->Op) +
@@ -1068,6 +1162,8 @@ void SparkContext::materializeWide(const RddRef &R) {
     if (Faults && Faults->shouldFail(FaultSite::ShuffleFetch))
       throw TaskFailure("injected shuffle fetch failure in stage '" + Stage +
                         "', partition " + std::to_string(I));
+    if (Clstr)
+      fetchShuffleInputs(In, I, ReduceExec[I]);
     std::vector<SourceRecord> &Rows = In[I];
     switch (R->Op) {
     case OpKind::ReduceByKey: {
@@ -1168,6 +1264,12 @@ void SparkContext::materializeWide(const RddRef &R) {
       PANTHERA_CHECK(false, "not a materializing wide op");
     }
     });
+    if (Clstr)
+      Clstr->recordPartitionLocation(R->Id, I, ReduceExec[I]);
+  }
+  if (Clstr) {
+    Clstr->endShuffle();
+    ClusterShuffle = ActiveClusterShuffle();
   }
 
   ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
@@ -1177,6 +1279,100 @@ void SparkContext::materializeWide(const RddRef &R) {
     TopHdr->setMemTag(Tag);
   H.storeRef(Top, 0, Dir.get());
   installMaterialized(R, Top);
+}
+
+//===----------------------------------------------------------------------===
+// Cluster mode: distributed shuffle fetch + lineage recovery
+//===----------------------------------------------------------------------===
+
+void SparkContext::fetchShuffleInputs(Buckets &In, uint32_t Reduce,
+                                      unsigned Exec) {
+  // A previous attempt (of this or an earlier reduce task) saw blocks die
+  // with their executor: re-run those map tasks from lineage before
+  // fetching, so this attempt finds every block live again.
+  if (!ClusterShuffle.PendingRecompute.empty())
+    recomputeLostMapOutputs(In);
+  uint32_t P = Config.NumPartitions;
+  for (uint32_t M = 0; M != P; ++M) {
+    // Executor-loss injection rides the per-block fetch: a firing draw
+    // kills the executor owning the block about to be fetched (never the
+    // last live one).
+    if (Faults && Clstr->numAlive() > 1 &&
+        Faults->shouldFail(FaultSite::ExecutorLoss)) {
+      unsigned Victim = Clstr->mapOutput(M, Reduce).Exec;
+      if (Clstr->executorAlive(Victim)) {
+        if (TraceSink)
+          TraceSink->instant(support::TraceTrack::Engine, "executor lost",
+                             "cluster", H.memory().totalTimeNs())
+              .arg("executor", static_cast<uint64_t>(Victim));
+        std::vector<uint32_t> LostMaps = Clstr->killExecutor(Victim);
+        ClusterShuffle.PendingRecompute.insert(
+            ClusterShuffle.PendingRecompute.end(), LostMaps.begin(),
+            LostMaps.end());
+      }
+    }
+    const cluster::BlockInfo &B = Clstr->mapOutput(M, Reduce);
+    if (B.Lost) {
+      // Queue the map task (again -- recomputeLostMapOutputs dedups) so
+      // the retry repairs it even if an earlier recovery pass was itself
+      // interrupted, then fail the task like Spark's FetchFailed.
+      ClusterShuffle.PendingRecompute.push_back(M);
+      throw TaskFailure("shuffle fetch failed: map output " +
+                        std::to_string(M) + "/" + std::to_string(Reduce) +
+                        " was lost with executor " + std::to_string(B.Exec));
+    }
+    Clstr->fetchBlock(M, Reduce, Exec, In[Reduce].data() + B.BucketOffset);
+  }
+}
+
+void SparkContext::recomputeLostMapOutputs(Buckets &In) {
+  // Lineage recovery is repair machinery: further injections are
+  // suppressed while it runs, like recoverLostCaches.
+  FaultSuppressionScope Suppress(Faults);
+  std::vector<uint32_t> Maps = std::move(ClusterShuffle.PendingRecompute);
+  ClusterShuffle.PendingRecompute.clear();
+  std::sort(Maps.begin(), Maps.end());
+  Maps.erase(std::unique(Maps.begin(), Maps.end()), Maps.end());
+  uint32_t P = Config.NumPartitions;
+  RddContext Ctx(H);
+  memsim::HybridMemory &Mem = H.memory();
+  for (uint32_t M : Maps) {
+    double Start = Mem.totalTimeNs();
+    // Deterministic re-execution of the lost map task: stream the parent
+    // partition through the same per-record route + spill cost structure
+    // and the same partitioner the original run used.
+    std::vector<std::vector<SourceRecord>> Staged(P);
+    streamPartition(ClusterShuffle.Parent, M, [&](ObjRef T) {
+      Mem.addCpuWorkNs(2 * Config.ShuffleRecordCpuNs);
+      int64_t K = Ctx.key(T);
+      uint32_t Target = ClusterShuffle.Partitioner
+                            ? ClusterShuffle.Partitioner(K)
+                            : partitionOf(K, P);
+      Staged[Target].push_back({K, Ctx.value(T)});
+    });
+    // Re-register on a live executor, checking the recomputation against
+    // the intact data plane: lineage must reproduce the records exactly.
+    unsigned E = Clstr->placeTask(Clstr->splitOwner(M));
+    ClusterShuffle.MapExec[M] = E;
+    for (uint32_t T = 0; T != P; ++T) {
+      const cluster::BlockInfo &B = Clstr->mapOutput(M, T);
+      PANTHERA_CHECK(B.Records == Staged[T].size(),
+                     "lineage recomputation changed a block's size");
+      PANTHERA_CHECK(B.Records == 0 ||
+                         std::memcmp(In[T].data() + B.BucketOffset,
+                                     Staged[T].data(), B.Bytes) == 0,
+                     "lineage recomputation diverged from the data plane");
+      Clstr->registerMapOutput(M, T, E, Staged[T].data(), B.Bytes, B.Records,
+                               B.BucketOffset);
+    }
+    ++Clstr->stats().MapOutputsRecomputed;
+    ++Stats.LineageRecomputations;
+    if (TraceSink)
+      TraceSink->span(support::TraceTrack::Engine, "recompute map output",
+                      "cluster", Start, Mem.totalTimeNs() - Start)
+          .arg("map", static_cast<uint64_t>(M))
+          .arg("executor", static_cast<uint64_t>(E));
+  }
 }
 
 //===----------------------------------------------------------------------===

@@ -13,7 +13,10 @@
 #ifndef PANTHERA_RDD_STORAGELEVEL_H
 #define PANTHERA_RDD_STORAGELEVEL_H
 
+#include "support/Errors.h"
+
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace panthera {
@@ -55,8 +58,13 @@ inline bool isHeapLevel(StorageLevel L) {
          L == StorageLevel::MemoryAndDiskSer;
 }
 
-/// Parses the DSL spelling; defaults to MEMORY_ONLY for unknown names.
+/// Parses the DSL spelling. The empty string is the argless persist() form
+/// and means MEMORY_ONLY; any other unknown spelling is a driver-program
+/// bug (a typo'd level used to silently cache deserialized on-heap) and
+/// throws EngineError.
 inline StorageLevel parseStorageLevel(std::string_view Name) {
+  if (Name.empty() || Name == "MEMORY_ONLY")
+    return StorageLevel::MemoryOnly;
   if (Name == "MEMORY_ONLY_SER")
     return StorageLevel::MemoryOnlySer;
   if (Name == "MEMORY_AND_DISK")
@@ -67,7 +75,7 @@ inline StorageLevel parseStorageLevel(std::string_view Name) {
     return StorageLevel::DiskOnly;
   if (Name == "OFF_HEAP")
     return StorageLevel::OffHeap;
-  return StorageLevel::MemoryOnly;
+  throw EngineError("unknown storage level '" + std::string(Name) + "'");
 }
 
 } // namespace rdd

@@ -18,6 +18,8 @@ const char *panthera::faultSiteName(FaultSite S) {
     return "alloc";
   case FaultSite::ShuffleFetch:
     return "shuffle";
+  case FaultSite::ExecutorLoss:
+    return "executor";
   }
   return "?";
 }
@@ -31,6 +33,8 @@ bool panthera::parseFaultSite(const std::string &Name, FaultSite &Out) {
     Out = FaultSite::Allocation;
   } else if (Name == "shuffle") {
     Out = FaultSite::ShuffleFetch;
+  } else if (Name == "executor" || Name == "exec") {
+    Out = FaultSite::ExecutorLoss;
   } else {
     return false;
   }

@@ -38,13 +38,17 @@ enum class FaultSite : uint8_t {
   Allocation,    ///< In the heap's mutator allocation path (simulated
                  ///< memory exhaustion -> OutOfMemoryError).
   ShuffleFetch,  ///< Reduce side fetching its shuffle bucket.
+  ExecutorLoss,  ///< Cluster mode: a reduce-side block fetch kills the
+                 ///< owning executor; its map outputs are recomputed from
+                 ///< lineage (no-op without a cluster).
 };
 
-constexpr size_t NumFaultSites = 4;
+constexpr size_t NumFaultSites = 5;
 
 const char *faultSiteName(FaultSite S);
 
-/// Parses a CLI site spelling ("task", "cache", "alloc", "shuffle").
+/// Parses a CLI site spelling ("task", "cache", "alloc", "shuffle",
+/// "executor").
 /// Returns false for unknown names.
 bool parseFaultSite(const std::string &Name, FaultSite &Out);
 

@@ -68,10 +68,18 @@ std::string TraceLog::toJson() const {
     TraceTrack Track;
     const char *Name;
   };
-  const TrackName Tracks[3] = {{TraceTrack::Engine, "engine"},
+  const TrackName Tracks[4] = {{TraceTrack::Engine, "engine"},
                                {TraceTrack::Gc, "gc"},
-                               {TraceTrack::Heap, "heap"}};
+                               {TraceTrack::Heap, "heap"},
+                               {TraceTrack::Network, "network"}};
+  bool AnyNetwork = false;
+  for (const TraceEvent &E : Events)
+    AnyNetwork |= E.Track == TraceTrack::Network;
   for (const TrackName &T : Tracks) {
+    // The network track only exists in cluster runs; naming it
+    // unconditionally would change every non-cluster trace export.
+    if (T.Track == TraceTrack::Network && !AnyNetwork)
+      continue;
     char Buf[160];
     std::snprintf(Buf, sizeof(Buf),
                   ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "

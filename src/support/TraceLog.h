@@ -37,9 +37,12 @@ namespace support {
 
 /// Fixed trace tracks, rendered as chrome "threads" of one process.
 enum class TraceTrack : uint32_t {
-  Engine = 1, ///< Stages, per-partition tasks.
-  Gc = 2,     ///< Minor/major collections and their phases.
-  Heap = 3,   ///< Allocation-pressure events (OOM degradation path).
+  Engine = 1,  ///< Stages, per-partition tasks.
+  Gc = 2,      ///< Minor/major collections and their phases.
+  Heap = 3,    ///< Allocation-pressure events (OOM degradation path).
+  Network = 4, ///< Cluster fabric transfers (remote shuffle fetches). Its
+               ///< thread_name metadata is emitted only when an event uses
+               ///< it, so non-cluster traces keep the 3-track prologue.
 };
 
 /// One recorded span or instant event.

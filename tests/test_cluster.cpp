@@ -1,0 +1,186 @@
+//===- tests/test_cluster.cpp - Multi-executor cluster simulation ---------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The cluster layer's contract (docs/cluster.md): sharding the heap
+/// across executors and running the distributed shuffle changes accounting
+/// and placement, never results; one executor means the seed single-heap
+/// engine verbatim; a lost executor's map outputs come back from lineage
+/// with identical final contents.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Cluster.h"
+#include "core/Runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace panthera;
+
+namespace {
+
+struct RunOut {
+  double Checksum = 0.0;
+  double TotalNs = 0.0;
+  std::string Metrics;
+  std::string Trace;
+  cluster::ClusterStats Cluster; ///< Zero-valued when no cluster exists.
+  uint64_t LineageRecomputations = 0;
+  bool HadCluster = false;
+};
+
+/// A two-shuffle pipeline (reduceByKey then sortByKey) over a 12-partition
+/// source: map placement, reduce placement, and both fetch passes all run.
+RunOut runPipeline(core::RuntimeConfig Config) {
+  rdd::SourceData Data(12);
+  for (int64_t I = 0; I != 24000; ++I)
+    Data[static_cast<size_t>(I) % Data.size()].push_back(
+        {I % 257, static_cast<double>(I % 31) * 0.5});
+  Config.Engine.NumPartitions = 12;
+  core::Runtime RT(Config);
+  RunOut O;
+  rdd::Rdd Sorted = RT.ctx()
+                        .source(&Data)
+                        .mapValues([](double V) { return V * 1.5 + 1.0; })
+                        .reduceByKey([](double A, double B) { return A + B; })
+                        .sortByKey();
+  int64_t Pos = 0;
+  for (const rdd::SourceRecord &R : Sorted.collect())
+    O.Checksum += static_cast<double>(R.Key) * static_cast<double>(Pos++) +
+                  R.Val;
+  O.TotalNs = RT.report().TotalNs;
+  O.Metrics = RT.metricsJson();
+  O.Trace = RT.traceJson();
+  O.LineageRecomputations = RT.report().Engine.LineageRecomputations;
+  if (cluster::Cluster *CL = RT.clusterSim()) {
+    O.Cluster = CL->stats();
+    O.HadCluster = true;
+  }
+  return O;
+}
+
+core::RuntimeConfig clusterConfig(unsigned Executors) {
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.HeapPaperGB = 64;
+  Config.Cluster.NumExecutors = Executors;
+  return Config;
+}
+
+TEST(ClusterSim, SingleExecutorIsTheSeedPath) {
+  // --executors=1 must not construct a cluster at all: same engine, same
+  // simulated clock, same exported key set as a config that never
+  // mentioned the cluster.
+  RunOut Default = runPipeline(core::RuntimeConfig{});
+  RunOut One = runPipeline(clusterConfig(1));
+  EXPECT_FALSE(Default.HadCluster);
+  EXPECT_FALSE(One.HadCluster);
+  EXPECT_DOUBLE_EQ(One.Checksum, Default.Checksum);
+  EXPECT_DOUBLE_EQ(One.TotalNs, Default.TotalNs);
+  EXPECT_EQ(One.Metrics, Default.Metrics);
+  EXPECT_EQ(One.Trace, Default.Trace);
+  EXPECT_EQ(Default.Metrics.find("cluster."), std::string::npos);
+  EXPECT_EQ(Default.Trace.find("network"), std::string::npos);
+}
+
+TEST(ClusterSim, ChecksumInvariantAcrossExecutorCounts) {
+  RunOut One = runPipeline(clusterConfig(1));
+  RunOut Two = runPipeline(clusterConfig(2));
+  RunOut Four = runPipeline(clusterConfig(4));
+  EXPECT_DOUBLE_EQ(Two.Checksum, One.Checksum);
+  EXPECT_DOUBLE_EQ(Four.Checksum, One.Checksum);
+  EXPECT_TRUE(Two.HadCluster);
+  EXPECT_TRUE(Four.HadCluster);
+}
+
+TEST(ClusterSim, LocalityPlacementAndFetchAccounting) {
+  RunOut R = runPipeline(clusterConfig(4));
+  ASSERT_TRUE(R.HadCluster);
+  const cluster::ClusterStats &CS = R.Cluster;
+  // Split owners and cached-partition locations give most tasks a live
+  // preference the slack admits.
+  EXPECT_GT(CS.ProcessLocalTasks, 0u);
+  EXPECT_GT(CS.BlocksStored, 0u);
+  EXPECT_GT(CS.BytesStored, 0u);
+  // Both shuffles fetched every non-empty block exactly once; with four
+  // executors some blocks are co-located and some are not.
+  EXPECT_GT(CS.LocalBlocksFetched, 0u);
+  EXPECT_GT(CS.RemoteBlocksFetched, 0u);
+  EXPECT_LE(CS.LocalBlocksFetched + CS.RemoteBlocksFetched, CS.BlocksStored);
+  // Network time tracks remote volume and lands in metrics and the trace.
+  EXPECT_GT(CS.NetworkNs, 0.0);
+  EXPECT_GT(CS.RemoteBytesFetched, 0u);
+  EXPECT_NE(R.Metrics.find("\"cluster.fetch.remote_blocks\""),
+            std::string::npos);
+  EXPECT_NE(R.Metrics.find("\"cluster.executors\""), std::string::npos);
+  EXPECT_NE(R.Trace.find("remote fetch"), std::string::npos);
+  EXPECT_EQ(CS.ExecutorsLost, 0u);
+}
+
+TEST(ClusterSim, FixedExecutorCountIsThreadInvariant) {
+  core::RuntimeConfig T1 = clusterConfig(3);
+  T1.NumThreads = 1;
+  core::RuntimeConfig T8 = clusterConfig(3);
+  T8.NumThreads = 8;
+  RunOut A = runPipeline(T1);
+  RunOut B = runPipeline(T8);
+  EXPECT_DOUBLE_EQ(B.Checksum, A.Checksum);
+  EXPECT_DOUBLE_EQ(B.TotalNs, A.TotalNs);
+  EXPECT_EQ(B.Metrics, A.Metrics);
+  EXPECT_EQ(B.Trace, A.Trace);
+}
+
+TEST(ClusterSim, ExecutorLossRecoversIdenticalResults) {
+  RunOut Clean = runPipeline(clusterConfig(3));
+  core::RuntimeConfig Faulty = clusterConfig(3);
+  Faulty.Faults.site(FaultSite::ExecutorLoss).FireOnNth = 2;
+  RunOut Lost = runPipeline(Faulty);
+
+  // The paper's fault model: an executor dies mid-shuffle, its map outputs
+  // are recomputed from lineage, and the job's answer does not change.
+  EXPECT_DOUBLE_EQ(Lost.Checksum, Clean.Checksum);
+  EXPECT_EQ(Lost.Cluster.ExecutorsLost, 1u);
+  EXPECT_GT(Lost.Cluster.MapOutputsLost, 0u);
+  EXPECT_GT(Lost.Cluster.MapOutputsRecomputed, 0u);
+  EXPECT_GT(Lost.LineageRecomputations, 0u);
+  // Recovery is visible as trace spans, not silent.
+  EXPECT_NE(Lost.Trace.find("executor lost"), std::string::npos);
+  EXPECT_NE(Lost.Trace.find("recompute map output"), std::string::npos);
+  EXPECT_EQ(Clean.Trace.find("executor lost"), std::string::npos);
+}
+
+TEST(ClusterSim, KillExecutorDropsLocationsAndBlocks) {
+  // Unit-level: drive a Cluster directly, no engine.
+  cluster::ClusterConfig CC;
+  CC.Options.NumExecutors = 2;
+  CC.ExecutorHeap = gc::makeHeapConfig(gc::PolicyKind::Panthera, 8, 1.0 / 3.0);
+  CC.ExecutorHeap.NativeBytes = 4ull << 20;
+  memsim::HybridMemory DriverMem(64ull << 20, memsim::MemoryTechnology{},
+                                 memsim::CacheConfig{});
+  cluster::Cluster CL(CC, DriverMem, nullptr);
+
+  CL.beginShuffle(2, 2);
+  uint64_t Payload[4] = {1, 2, 3, 4};
+  CL.registerMapOutput(0, 0, 0, Payload, sizeof(Payload), 4, 0);
+  CL.registerMapOutput(1, 0, 1, Payload, sizeof(Payload), 4, 4);
+  CL.recordPartitionLocation(7, 0, 1);
+  EXPECT_EQ(CL.partitionLocation(7, 0), 1);
+
+  std::vector<uint32_t> LostMaps = CL.killExecutor(1);
+  ASSERT_EQ(LostMaps.size(), 1u);
+  EXPECT_EQ(LostMaps[0], 1u);
+  EXPECT_TRUE(CL.mapOutput(1, 0).Lost);
+  EXPECT_FALSE(CL.mapOutput(0, 0).Lost);
+  EXPECT_EQ(CL.partitionLocation(7, 0), -1);
+  EXPECT_EQ(CL.numAlive(), 1u);
+  // The surviving executor must take every placement, and the last one
+  // can never be killed.
+  EXPECT_EQ(CL.placeTask(1), 0u);
+  EXPECT_THROW(CL.killExecutor(0), EngineError);
+}
+
+} // namespace

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "dsl/Parser.h"
+#include "rdd/StorageLevel.h"
 
 #include <gtest/gtest.h>
 
@@ -70,6 +71,35 @@ TEST(Parser, ParsesAssignmentChain) {
   EXPECT_EQ(S.Value.Calls[3].Name, "persist");
   ASSERT_EQ(S.Value.Calls[3].Args.size(), 1u);
   EXPECT_EQ(S.Value.Calls[3].Args[0].Text, "MEMORY_ONLY");
+}
+
+// The spelling in a persist() argument flows lexer -> parser -> the call
+// argument's Text -> rdd::parseStorageLevel when the driver executes the
+// program. Cover that whole path: canonical spellings survive it, the
+// argless form maps to MEMORY_ONLY, and a typo throws instead of silently
+// caching deserialized on-heap.
+TEST(Parser, PersistSpellingsReachTheStorageLevelParser) {
+  using panthera::rdd::parseStorageLevel;
+  using panthera::rdd::StorageLevel;
+  auto LevelOf = [](std::string_view Src) {
+    std::vector<Diagnostic> Diags;
+    Program P = parseDriverProgram(Src, Diags);
+    EXPECT_TRUE(Diags.empty());
+    const MethodCall &C = P.Body.at(0)->Value.Calls.back();
+    EXPECT_EQ(C.Name, "persist");
+    return parseStorageLevel(C.Args.empty() ? std::string_view()
+                                            : C.Args[0].Text);
+  };
+  EXPECT_EQ(LevelOf("program t { a = textFile(\"in\").persist(); }"),
+            StorageLevel::MemoryOnly);
+  EXPECT_EQ(
+      LevelOf("program t { a = textFile(\"in\").persist(MEMORY_AND_DISK); }"),
+      StorageLevel::MemoryAndDisk);
+  EXPECT_EQ(LevelOf("program t { a = textFile(\"in\").persist(OFF_HEAP); }"),
+            StorageLevel::OffHeap);
+  EXPECT_THROW(
+      LevelOf("program t { a = textFile(\"in\").persist(MEMORYONLY); }"),
+      panthera::EngineError);
 }
 
 TEST(Parser, ParsesLoopWithSymbolicBound) {

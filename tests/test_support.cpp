@@ -77,8 +77,11 @@ TEST(StorageLevel, ParseRoundTrips) {
         StorageLevel::MemoryAndDisk, StorageLevel::MemoryAndDiskSer,
         StorageLevel::DiskOnly, StorageLevel::OffHeap})
     EXPECT_EQ(parseStorageLevel(storageLevelName(L)), L);
-  EXPECT_EQ(parseStorageLevel("SOMETHING_ELSE"),
-            StorageLevel::MemoryOnly);
+  // The argless persist() form reaches the parser as "".
+  EXPECT_EQ(parseStorageLevel(""), StorageLevel::MemoryOnly);
+  // A typo'd level used to silently become MEMORY_ONLY; it must throw.
+  EXPECT_THROW(parseStorageLevel("SOMETHING_ELSE"), EngineError);
+  EXPECT_THROW(parseStorageLevel("memory_only"), EngineError);
 }
 
 TEST(StorageLevel, HeapLevelClassification) {

@@ -40,6 +40,27 @@ cmp "${obs}/m1.json" "${obs}/m8.json"
 cmp "${obs}/t1.json" "${obs}/t8.json"
 echo "ci: observability exports valid and thread-invariant"
 
+# Cluster smoke (docs/cluster.md): a 4-executor run must itself be
+# thread-invariant, and --executors=1 must be byte-identical to the seed
+# single-heap engine (the m1.json written above is exactly that run).
+echo "=== cluster smoke ==="
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --executors=4 --metrics-json="${obs}/c1.json" \
+  --trace-json="${obs}/ct1.json" >/dev/null
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=8 \
+  --executors=4 --metrics-json="${obs}/c8.json" \
+  --trace-json="${obs}/ct8.json" >/dev/null
+for f in c1 ct1 c8 ct8; do
+  python3 -m json.tool "${obs}/${f}.json" >/dev/null
+done
+cmp "${obs}/c1.json" "${obs}/c8.json"
+cmp "${obs}/ct1.json" "${obs}/ct8.json"
+grep -q '"cluster.fetch.remote_blocks"' "${obs}/c1.json"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --executors=1 --metrics-json="${obs}/e1.json" >/dev/null
+cmp "${obs}/m1.json" "${obs}/e1.json"
+echo "ci: cluster runs thread-invariant, --executors=1 matches the seed"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
 
 # Bounded differential GC fuzzing (docs/fuzzing.md) on the sanitizer
@@ -52,6 +73,7 @@ fuzz=./build-san/tools/gc_fuzz
 "${fuzz}" --seed=1 --ops=93 --config=dram
 "${fuzz}" --seed=1 --ops=397 --config=pressure --threads=8
 "${fuzz}" --seed=3 --ops=465 --config=pressure --threads=0
+"${fuzz}" --seed=1 --ops=93 --config=split --executors=2
 sha_seed="$((16#$(git rev-parse HEAD | cut -c1-8)))"
 echo "ci: fuzzing 32 fresh seeds from ${sha_seed} per config"
 for config in dram split pressure; do

@@ -38,6 +38,9 @@ void usage(const char *Argv0) {
       "(default 1)\n"
       "  --config=NAME    dram | split | pressure (default split)\n"
       "  --threads=N      GC workers; 0 = serial collector (default 1)\n"
+      "  --executors=N    replay each schedule on N independent executor\n"
+      "                   heaps and require bit-identical heap digests\n"
+      "                   (default 1; 1..4)\n"
       "  --print-schedule dump the generated actions before running\n"
       "  --print-digest   print the heap-image digest per iteration\n"
       "  --no-shrink      skip shrinking on divergence\n",
@@ -89,6 +92,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
         return false;
       }
       O.Fuzz.Threads = static_cast<unsigned>(V);
+    } else if (const char *S = Val("--executors=")) {
+      if (!support::parseUnsigned(S, 1, 4, V)) {
+        std::fprintf(stderr, "gc_fuzz: bad --executors '%s' (1..4)\n", S);
+        return false;
+      }
+      O.Fuzz.Executors = static_cast<unsigned>(V);
     } else if (std::strcmp(Arg, "--print-schedule") == 0) {
       O.PrintSchedule = true;
     } else if (std::strcmp(Arg, "--print-digest") == 0) {
@@ -157,9 +166,12 @@ int main(int Argc, char **Argv) {
                            : Small.Problem.c_str());
     }
     std::printf("  replay: gc_fuzz --seed=%" PRIu64 " --ops=%zu "
-                "--config=%s --threads=%u\n",
+                "--config=%s --threads=%u",
                 Opts.Seed, Opts.NumOps, fuzzConfigName(Opts.Config),
                 Opts.Threads);
+    if (Opts.Executors > 1)
+      std::printf(" --executors=%u", Opts.Executors);
+    std::printf("\n");
   }
 
   if (O.Iterations > 1)

@@ -17,9 +17,10 @@
 ///                [--metrics-json=FILE] [--trace-json=FILE]
 ///                [--fault=SITE:p=0.01] [--fault=SITE:nth=5]
 ///                [--fault-seed=N] [--task-retries=4] [--verify-recovery]
+///                [--executors=N] [--net-bw=GBps] [--net-lat-us=US]
 ///
-/// SITE is one of task, cache, alloc, shuffle. Fault runs exit 2 if the
-/// workload still fails after the staged fallback and retries.
+/// SITE is one of task, cache, alloc, shuffle, executor. Fault runs exit 2
+/// if the workload still fails after the staged fallback and retries.
 ///
 /// --threads=N sets the worker-thread count shared by stage execution and
 /// the parallel collector (docs/parallelism.md). 0 (the default) means
@@ -62,9 +63,10 @@ static bool parseFaultFlag(const char *Spec, FaultPlan &Plan) {
   const char *Colon = std::strchr(Spec, ':');
   FaultSite Site;
   if (!Colon || !parseFaultSite(std::string(Spec, Colon - Spec), Site)) {
-    std::fprintf(stderr,
-                 "bad --fault site in '%s' (want task|cache|alloc|shuffle)\n",
-                 Spec);
+    std::fprintf(
+        stderr,
+        "bad --fault site in '%s' (want task|cache|alloc|shuffle|executor)\n",
+        Spec);
     return false;
   }
   FaultSiteConfig &C = Plan.site(Site);
@@ -167,6 +169,19 @@ int main(int Argc, char **Argv) {
       Config.Engine.MaxTaskAttempts = static_cast<uint32_t>(U);
     } else if (std::strcmp(A, "--verify-recovery") == 0)
       Config.VerifyHeapAfterRecovery = true;
+    else if (const char *V = Val("--executors=")) {
+      if (!support::parseUnsigned(V, 1, 256, U))
+        return BadFlag(A, "an executor count in [1, 256]");
+      Config.Cluster.NumExecutors = static_cast<unsigned>(U);
+    } else if (const char *V = Val("--net-bw=")) {
+      if (!support::parseF64(V, 1e-6, 1e6, F))
+        return BadFlag(A, "a bandwidth in GB/s > 0");
+      Config.Cluster.NetBandwidthGBps = F;
+    } else if (const char *V = Val("--net-lat-us=")) {
+      if (!support::parseF64(V, 0.0, 1e9, F))
+        return BadFlag(A, "a latency in microseconds >= 0");
+      Config.Cluster.NetLatencyUs = F;
+    }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
         std::printf("%-5s %-36s %s\n", Spec.ShortName.c_str(),
@@ -194,11 +209,19 @@ int main(int Argc, char **Argv) {
           "  --trace-json=F     write the chrome://tracing span/event\n"
           "                     trace (simulated clock) to F; load it at\n"
           "                     chrome://tracing or ui.perfetto.dev\n"
-          "  --fault=SITE:p=X   Bernoulli fault at task|cache|alloc|shuffle\n"
+          "  --fault=SITE:p=X   Bernoulli fault at one of the sites\n"
+          "                     task|cache|alloc|shuffle|executor\n"
           "  --fault=SITE:nth=N fire on the Nth occurrence instead\n"
           "  --fault-seed=N     fault-plan seed\n"
           "  --task-retries=N   per-task attempt budget\n"
           "  --verify-recovery  verify the heap after every recovery path\n"
+          "  --executors=N      simulated executors (docs/cluster.md);\n"
+          "                     1 (default) runs the single-heap engine\n"
+          "                     byte-identically, N > 1 shards the heap\n"
+          "                     and runs the distributed shuffle\n"
+          "  --net-bw=GBps      fabric bandwidth for remote shuffle\n"
+          "                     fetches (default 10)\n"
+          "  --net-lat-us=US    fabric per-transfer latency (default 200)\n"
           "  --list             list workloads and exit\n");
       return 0;
     } else {
@@ -314,10 +337,38 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.Engine.RddsEvictedToDisk),
               static_cast<unsigned long long>(R.MonitoredCalls));
 
+  if (const cluster::Cluster *CL = RT.clusterSim()) {
+    const cluster::ClusterStats &CS = CL->stats();
+    std::printf("\ncluster: %u executors (%u alive), net %.1f GB/s + %.0f us"
+                " latency\n",
+                CL->numExecutors(), CL->numAlive(),
+                CL->config().Options.NetBandwidthGBps,
+                CL->config().Options.NetLatencyUs);
+    std::printf("         %llu PROCESS_LOCAL / %llu ANY tasks "
+                "(%llu delayed fallbacks)\n",
+                static_cast<unsigned long long>(CS.ProcessLocalTasks),
+                static_cast<unsigned long long>(CS.AnyTasks),
+                static_cast<unsigned long long>(CS.DelayedFallbacks));
+    std::printf("         fetches: %llu local (%llu KB), %llu remote "
+                "(%llu KB), %.3f ms on the wire\n",
+                static_cast<unsigned long long>(CS.LocalBlocksFetched),
+                static_cast<unsigned long long>(CS.LocalBytesFetched / 1024),
+                static_cast<unsigned long long>(CS.RemoteBlocksFetched),
+                static_cast<unsigned long long>(CS.RemoteBytesFetched / 1024),
+                CS.NetworkNs / 1e6);
+    if (CS.ExecutorsLost != 0)
+      std::printf("         %llu executors lost, %llu map outputs lost, "
+                  "%llu recomputed via lineage\n",
+                  static_cast<unsigned long long>(CS.ExecutorsLost),
+                  static_cast<unsigned long long>(CS.MapOutputsLost),
+                  static_cast<unsigned long long>(CS.MapOutputsRecomputed));
+  }
+
   if (Config.Faults.enabled()) {
     const heap::HeapStats &HS = RT.heap().stats();
     std::printf("\nfaults: seed %llu | %llu task / %llu cache-loss / "
-                "%llu alloc / %llu shuffle injections fired\n",
+                "%llu alloc / %llu shuffle / %llu executor injections "
+                "fired\n",
                 static_cast<unsigned long long>(Config.Faults.Seed),
                 static_cast<unsigned long long>(
                     RT.faults()->fired(FaultSite::TaskExecution)),
@@ -326,7 +377,9 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(
                     RT.faults()->fired(FaultSite::Allocation)),
                 static_cast<unsigned long long>(
-                    RT.faults()->fired(FaultSite::ShuffleFetch)));
+                    RT.faults()->fired(FaultSite::ShuffleFetch)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::ExecutorLoss)));
     std::printf("        %llu tasks, %llu attempts (%llu retries), "
                 "%llu lineage recomputations\n",
                 static_cast<unsigned long long>(R.Tasks.totalTasks()),
