@@ -105,6 +105,65 @@ ClusterPoint runPageRank(unsigned Executors, double Scale) {
   return P;
 }
 
+//===----------------------------------------------------------------------===
+// Straggler sweep: one degraded executor, speculation on/off
+//===----------------------------------------------------------------------===
+
+struct StragglerPoint {
+  double Factor = 1.0;
+  bool Speculation = true;
+  double Checksum = 0.0;
+  double MakespanMs = 0.0; ///< Parallel stage time: sum of per-stage maxima.
+  double Ratio = 1.0;      ///< Makespan vs this mode's fault-free run.
+  uint64_t Launches = 0;
+  uint64_t Wins = 0;
+  uint64_t Flagged = 0;
+  uint64_t Steered = 0;
+};
+
+/// Terasort at 4 executors with executor 0 degraded by \p Factor from the
+/// first cluster stage on (slow-executor site, nth=1). The makespan --
+/// the per-stage maximum of per-executor occupancy, summed over stages --
+/// is the simulated parallel completion time a real cluster would see,
+/// which is where a straggler hurts and where speculation pays.
+StragglerPoint runTerasortStraggler(double Factor, bool Speculation,
+                                    double Scale) {
+  const auto N = static_cast<int64_t>(40000 * Scale);
+  rdd::SourceData Data(16);
+  SplitMix64 Rng(77);
+  for (int64_t I = 0; I != N; ++I)
+    Data[static_cast<size_t>(I) % Data.size()].push_back(
+        {static_cast<int64_t>(Rng.next() >> 16),
+         static_cast<double>(I % 1009)});
+
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.Engine.NumPartitions = 16;
+  Config.Cluster.NumExecutors = 4;
+  Config.Cluster.SpeculationEnabled = Speculation;
+  Config.Cluster.SlowExecutorFactor = Factor;
+  if (Factor > 1.0)
+    Config.Faults.site(FaultSite::SlowExecutor).FireOnNth = 1;
+  core::Runtime RT(Config);
+
+  StragglerPoint P;
+  P.Factor = Factor;
+  P.Speculation = Speculation;
+  rdd::Rdd Sorted = RT.ctx().source(&Data).sortByKey();
+  int64_t Pos = 0;
+  for (const rdd::SourceRecord &R : Sorted.collect())
+    P.Checksum +=
+        static_cast<double>(R.Key % 100003) * static_cast<double>(Pos++ % 97) +
+        R.Val;
+  const cluster::Cluster *CL = RT.clusterSim();
+  P.MakespanMs = CL->makespanNs() / 1e6;
+  P.Launches = CL->stats().SpeculativeLaunches;
+  P.Wins = CL->stats().SpeculativeWins;
+  P.Flagged = CL->stats().StragglersFlagged;
+  P.Steered = CL->stats().StragglerAvoidedPlacements;
+  return P;
+}
+
 using RunFn = ClusterPoint (*)(unsigned, double);
 
 struct ProgramSweep {
@@ -174,6 +233,95 @@ int main(int Argc, char **Argv) {
                 S.Name, S.Fixed[0].Checksum);
     printTable(S);
   }
+
+  // Straggler sweep (docs/robustness.md "degraded executors"): terasort at
+  // 4 executors, executor 0 slowed 1x/4x/16x, speculation on and off. The
+  // contract: checksums never move, a speculating driver keeps the 16x
+  // straggler's makespan under 2x the fault-free run, and a
+  // non-speculating one pays at least 10x.
+  constexpr double Factors[] = {1.0, 4.0, 16.0};
+  StragglerPoint Straggler[2][3];
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    bool Spec = Mode == 0;
+    for (int F = 0; F != 3; ++F) {
+      StragglerPoint &P = Straggler[Mode][F];
+      P = runTerasortStraggler(Factors[F], Spec, Scale);
+      if (P.Checksum != Sweeps[0].Fixed[0].Checksum) {
+        std::fprintf(stderr,
+                     "FATAL: terasort checksum diverged under a %.0fx "
+                     "straggler (speculation %s): %.6f vs %.6f\n",
+                     P.Factor, Spec ? "on" : "off", P.Checksum,
+                     Sweeps[0].Fixed[0].Checksum);
+        return 1;
+      }
+      P.Ratio = P.MakespanMs / Straggler[Mode][0].MakespanMs;
+    }
+  }
+  std::printf("\nterasort straggler sweep (4 executors, executor 0 "
+              "degraded):\n");
+  std::printf("%8s %12s %13s %8s %18s\n", "slowdown", "speculation",
+              "makespan(ms)", "ratio", "copies (won)");
+  for (int Mode = 0; Mode != 2; ++Mode)
+    for (int F = 0; F != 3; ++F) {
+      const StragglerPoint &P = Straggler[Mode][F];
+      std::printf("%7.0fx %12s %13.3f %7.2fx %10llu (%llu)\n", P.Factor,
+                  P.Speculation ? "on" : "off", P.MakespanMs, P.Ratio,
+                  static_cast<unsigned long long>(P.Launches),
+                  static_cast<unsigned long long>(P.Wins));
+    }
+  const StragglerPoint &SpecOn16 = Straggler[0][2];
+  const StragglerPoint &SpecOff16 = Straggler[1][2];
+  // The ratio bounds are scale-dependent: below half scale the dataset is
+  // small enough that fixed stage costs dilute the straggler's share of
+  // the makespan and the speculation-off ratio dips under 10x. Checksum
+  // identity was already enforced above at every scale.
+  if (Scale >= 0.5) {
+    if (SpecOn16.Ratio >= 2.0 || SpecOff16.Ratio < 10.0) {
+      std::fprintf(stderr,
+                   "FATAL: straggler contract broken: 16x with speculation "
+                   "%.2fx (want < 2x), without %.2fx (want >= 10x)\n",
+                   SpecOn16.Ratio, SpecOff16.Ratio);
+      return 1;
+    }
+    std::printf("contract holds: 16x straggler costs %.2fx with speculation, "
+                "%.2fx without\n",
+                SpecOn16.Ratio, SpecOff16.Ratio);
+  } else {
+    std::printf("straggler ratio contract skipped at scale %.3f (< 0.5)\n",
+                Scale);
+  }
+
+  std::FILE *StragglerOut = std::fopen("BENCH_straggler.json", "w");
+  if (!StragglerOut) {
+    std::perror("BENCH_straggler.json");
+    return 1;
+  }
+  std::fprintf(StragglerOut, "{\n  \"scale\": %.3f,\n", Scale);
+  std::fprintf(StragglerOut, "  \"checksums_identical\": true,\n");
+  std::fprintf(StragglerOut,
+               "  \"spec_on_16x_ratio\": %.4f,\n"
+               "  \"spec_off_16x_ratio\": %.4f,\n"
+               "  \"points\": [\n",
+               SpecOn16.Ratio, SpecOff16.Ratio);
+  for (int Mode = 0; Mode != 2; ++Mode)
+    for (int F = 0; F != 3; ++F) {
+      const StragglerPoint &P = Straggler[Mode][F];
+      std::fprintf(StragglerOut,
+                   "    {\"slowdown\": %.0f, \"speculation\": %s, "
+                   "\"makespan_ms\": %.3f, \"ratio\": %.4f, "
+                   "\"checksum\": %.6f, \"copies\": %llu, \"wins\": %llu, "
+                   "\"flagged\": %llu, \"steered\": %llu}%s\n",
+                   P.Factor, P.Speculation ? "true" : "false", P.MakespanMs,
+                   P.Ratio, P.Checksum,
+                   static_cast<unsigned long long>(P.Launches),
+                   static_cast<unsigned long long>(P.Wins),
+                   static_cast<unsigned long long>(P.Flagged),
+                   static_cast<unsigned long long>(P.Steered),
+                   Mode == 1 && F == 2 ? "" : ",");
+    }
+  std::fprintf(StragglerOut, "  ]\n}\n");
+  std::fclose(StragglerOut);
+  std::printf("wrote BENCH_straggler.json\n");
 
   std::FILE *Out = std::fopen("BENCH_cluster.json", "w");
   if (!Out) {

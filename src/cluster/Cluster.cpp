@@ -63,6 +63,9 @@ Cluster::Cluster(const ClusterConfig &Config,
   for (unsigned I = 0; I != Config.Options.NumExecutors; ++I)
     Executors.push_back(std::make_unique<Executor>(I, Config));
   StageLoad.assign(Executors.size(), 0);
+  StageCost.assign(Executors.size(), 0.0);
+  Slowdown.assign(Executors.size(), 1.0);
+  Flagged.assign(Executors.size(), 0);
 }
 
 unsigned Cluster::numAlive() const {
@@ -73,15 +76,26 @@ unsigned Cluster::numAlive() const {
 }
 
 void Cluster::beginStage() {
+  FoldedMakespanNs += currentStageMaxNs();
   std::fill(StageLoad.begin(), StageLoad.end(), 0);
+  std::fill(StageCost.begin(), StageCost.end(), 0.0);
+  StageBaseCosts.clear();
+  ++StageCounter;
+  applyElasticEvents();
 }
 
 unsigned Cluster::placeTask(int Preferred) {
   // Least-loaded live executor, lowest id on ties: the ANY fallback.
+  // Straggler-flagged executors are candidates only when every live
+  // executor is flagged (otherwise the scheduler steers around them).
+  bool AllFlagged = true;
+  for (unsigned I = 0; I != Executors.size(); ++I)
+    if (Executors[I]->alive() && !Flagged[I])
+      AllFlagged = false;
   unsigned Fallback = 0;
   uint64_t MinLoad = UINT64_MAX;
   for (unsigned I = 0; I != Executors.size(); ++I) {
-    if (!Executors[I]->alive())
+    if (!Executors[I]->alive() || (Flagged[I] && !AllFlagged))
       continue;
     if (StageLoad[I] < MinLoad) {
       MinLoad = StageLoad[I];
@@ -92,18 +106,111 @@ unsigned Cluster::placeTask(int Preferred) {
   if (Preferred >= 0 &&
       static_cast<unsigned>(Preferred) < Executors.size() &&
       Executors[Preferred]->alive()) {
-    if (StageLoad[Preferred] <= MinLoad + Config.Options.DelaySchedulingSlack) {
+    if (Flagged[Preferred] && !AllFlagged) {
+      // The data lives on a flagged straggler: give up the PROCESS_LOCAL
+      // hint rather than queue behind a degraded machine.
+      ++Stats.StragglerAvoidedPlacements;
+    } else if (StageLoad[Preferred] <=
+               MinLoad + Config.Options.DelaySchedulingSlack) {
       ++Stats.ProcessLocalTasks;
       ++StageLoad[Preferred];
       return static_cast<unsigned>(Preferred);
+    } else {
+      // The preferred executor exists but is too far behind the pack;
+      // delay scheduling gives up and takes the least-loaded one.
+      ++Stats.DelayedFallbacks;
     }
-    // The preferred executor exists but is too far behind the pack; delay
-    // scheduling gives up and takes the least-loaded one.
-    ++Stats.DelayedFallbacks;
   }
   ++Stats.AnyTasks;
   ++StageLoad[Fallback];
   return Fallback;
+}
+
+void Cluster::degradeExecutor(unsigned Id) {
+  Slowdown[Id] = Config.Options.SlowExecutorFactor;
+  if (Trace)
+    Trace->instant(support::TraceTrack::Engine, "executor slowed", "cluster",
+                   DriverMem.totalTimeNs())
+        .arg("executor", static_cast<uint64_t>(Id))
+        .arg("factor", Config.Options.SlowExecutorFactor);
+}
+
+double Cluster::currentStageMaxNs() const {
+  double Max = 0.0;
+  for (double C : StageCost)
+    Max = std::max(Max, C);
+  return Max;
+}
+
+double Cluster::makespanNs() const {
+  return FoldedMakespanNs + currentStageMaxNs();
+}
+
+Cluster::SpeculationOutcome Cluster::accountTask(unsigned Exec,
+                                                 double BaseNs) {
+  SpeculationOutcome O;
+  const ClusterOptions &Opt = Config.Options;
+  double Scaled = BaseNs * Slowdown[Exec];
+  // Running median of the driver-measured *base* costs this stage,
+  // including the task at hand -- the driver's picture of what a healthy
+  // run of this stage's tasks costs. Scaled vs base keeps the detector
+  // meaningful from the very first task of a stage: a straggler's copy
+  // stands out against its own base cost even before peers complete.
+  StageBaseCosts.push_back(BaseNs);
+  std::vector<double> Sorted = StageBaseCosts;
+  std::sort(Sorted.begin(), Sorted.end());
+  double Median = Sorted[Sorted.size() / 2];
+  bool Straggling = Opt.SpeculationEnabled && Median > 0.0 &&
+                    Scaled > Opt.SpeculationMultiplier * Median &&
+                    numAlive() > 1;
+  if (!Straggling) {
+    StageCost[Exec] += Scaled;
+    return O;
+  }
+  // Least-loaded (by stage cost) live executor other than the straggler;
+  // unflagged executors win over flagged ones, lowest id on ties.
+  int Alt = -1;
+  for (unsigned I = 0; I != Executors.size(); ++I) {
+    if (I == Exec || !Executors[I]->alive())
+      continue;
+    if (Alt < 0 ||
+        std::make_pair(Flagged[I] != 0, StageCost[I]) <
+            std::make_pair(Flagged[Alt] != 0, StageCost[Alt]))
+      Alt = static_cast<int>(I);
+  }
+  if (Alt < 0) {
+    StageCost[Exec] += Scaled;
+    return O;
+  }
+  // Cost model on the simulated clock: the driver notices the task is
+  // past the threshold at Detect, launches the copy then, and the first
+  // finisher wins; the loser runs until the winner completes and is
+  // killed, its occupancy wasted.
+  double Detect = std::min(Scaled, Opt.SpeculationMultiplier * Median);
+  double CopyDone = Detect + BaseNs * Slowdown[Alt];
+  double Eff = std::min(Scaled, CopyDone);
+  StageCost[Exec] += Eff;
+  StageCost[Alt] += Eff - Detect;
+  ++Stats.SpeculativeLaunches;
+  if (!Flagged[Exec]) {
+    Flagged[Exec] = 1;
+    ++Stats.StragglersFlagged;
+  }
+  O.Launched = true;
+  O.CopyExec = static_cast<unsigned>(Alt);
+  O.CopyWon = CopyDone < Scaled;
+  if (O.CopyWon)
+    ++Stats.SpeculativeWins;
+  Stats.SpeculativeWastedNs += O.CopyWon ? Eff : Eff - Detect;
+  if (Trace)
+    Trace->instant(support::TraceTrack::Engine, "speculative", "cluster",
+                   DriverMem.totalTimeNs())
+        .arg("straggler", static_cast<uint64_t>(Exec))
+        .arg("copy", static_cast<uint64_t>(Alt))
+        .arg("won", std::string(O.CopyWon ? "copy" : "original"))
+        .arg("base_ns", BaseNs)
+        .arg("scaled_ns", Scaled);
+  return O;
 }
 
 static uint64_t locationKey(uint32_t RddId, uint32_t Part) {
@@ -163,21 +270,29 @@ void Cluster::registerMapOutput(uint32_t Map, uint32_t Reduce, unsigned Exec,
   Stats.BytesStored += Bytes;
   if (Records == 0)
     return;
+  storeBlock(B, Exec, Data);
+}
+
+void Cluster::storeBlock(BlockInfo &B, unsigned Exec, const void *Data) {
+  B.Exec = Exec;
+  B.Lost = false;
+  B.DiskCopy.clear();
   Executor &E = *Executors[Exec];
   // Serializing the block is executor-side work: CPU plus the native-region
   // write traffic land on the executor's private clock, never the driver's.
+  // A degraded executor serializes at its slowed rate.
   E.memory().addCpuWorkNs(Config.Options.NetSerNsPerRecord *
-                          static_cast<double>(Records));
-  B.Addr = E.arenaAlloc(Bytes);
+                          static_cast<double>(B.Records) * Slowdown[Exec]);
+  B.Addr = E.arenaAlloc(B.Bytes);
   if (B.Addr != UINT64_MAX) {
-    E.heap().nativeWrite(B.Addr, Data, Bytes);
+    E.heap().nativeWrite(B.Addr, Data, B.Bytes);
     return;
   }
   // Arena full: the block overflows to the executor's local disk (held as
   // a host-side copy; fetching it later pays the disk deserialization).
   ++Stats.ExecutorDiskBlocks;
   const uint8_t *Src = static_cast<const uint8_t *>(Data);
-  B.DiskCopy.assign(Src, Src + Bytes);
+  B.DiskCopy.assign(Src, Src + B.Bytes);
 }
 
 const BlockInfo &Cluster::mapOutput(uint32_t Map, uint32_t Reduce) const {
@@ -205,12 +320,12 @@ int Cluster::preferredReducer(uint32_t Reduce) const {
   return Best;
 }
 
-void Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
-                         const void *Expect) {
+bool Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
+                         const void *Expect, bool InjectCorrupt) {
   BlockInfo &B = block(Map, Reduce);
   PANTHERA_CHECK(!B.Lost, "fetch of a lost map output");
   if (B.Records == 0)
-    return;
+    return true;
   // Read the executor-held replica back and verify it against the data
   // plane (the driver-side bucket slice the reduce task consumes).
   Scratch.resize(B.Bytes);
@@ -223,19 +338,33 @@ void Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
     DriverMem.addCpuWorkNs(Config.DiskNsPerRecord *
                            static_cast<double>(B.Records));
   }
-  PANTHERA_CHECK(std::memcmp(Scratch.data(), Expect, B.Bytes) == 0,
-                 "shuffle block replica diverged from the data plane");
+  if (InjectCorrupt) {
+    // Transient corruption in flight: flip one payload bit so the
+    // delivered bytes fail the same verification a real divergence would.
+    Scratch[0] ^= 0x01;
+  }
+  if (std::memcmp(Scratch.data(), Expect, B.Bytes) != 0) {
+    PANTHERA_CHECK(InjectCorrupt,
+                   "shuffle block replica diverged from the data plane");
+    ++Stats.FetchCorruptions;
+    // The corrupt bytes still crossed the wire (or the local bus); the
+    // fabric charge below is paid before the receiver can notice.
+  }
+  bool Delivered = !InjectCorrupt;
   if (DstExec == B.Exec) {
     ++Stats.LocalBlocksFetched;
     Stats.LocalBytesFetched += B.Bytes;
-    return;
+    return Delivered;
   }
   // Remote: serialization CPU plus latency plus bytes over the pipe, all
-  // on the driver's simulated clock (1 GB/s == 1 byte/ns).
+  // on the driver's simulated clock (1 GB/s == 1 byte/ns). A degraded
+  // owner serves its serialization at the slowed rate.
   const ClusterOptions &O = Config.Options;
-  double Ns = O.NetSerNsPerRecord * static_cast<double>(B.Records) +
-              O.NetLatencyUs * 1000.0 +
-              static_cast<double>(B.Bytes) / O.NetBandwidthGBps;
+  double Ns =
+      O.NetSerNsPerRecord * static_cast<double>(B.Records) *
+          Slowdown[B.Exec] +
+      O.NetLatencyUs * 1000.0 +
+      static_cast<double>(B.Bytes) / O.NetBandwidthGBps;
   double Start = DriverMem.totalTimeNs();
   DriverMem.addCpuWorkNs(Ns);
   Stats.NetworkNs += Ns;
@@ -250,6 +379,26 @@ void Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
         .arg("reduce", static_cast<uint64_t>(Reduce))
         .arg("bytes", B.Bytes)
         .arg("records", B.Records);
+  return Delivered;
+}
+
+void Cluster::chargeDroppedFetch(uint32_t Map, uint32_t Reduce,
+                                 unsigned DstExec) {
+  const BlockInfo &B = block(Map, Reduce);
+  ++Stats.FetchDrops;
+  // The request round-trips the fabric and vanishes: one latency on the
+  // driver clock, no payload.
+  double Ns = Config.Options.NetLatencyUs * 1000.0;
+  double Start = DriverMem.totalTimeNs();
+  DriverMem.addCpuWorkNs(Ns);
+  Stats.NetworkNs += Ns;
+  if (Trace)
+    Trace->span(support::TraceTrack::Network, "dropped fetch", "net", Start,
+                Ns)
+        .arg("from", static_cast<uint64_t>(B.Exec))
+        .arg("to", static_cast<uint64_t>(DstExec))
+        .arg("map", static_cast<uint64_t>(Map))
+        .arg("reduce", static_cast<uint64_t>(Reduce));
 }
 
 void Cluster::endShuffle() {
@@ -290,6 +439,115 @@ std::vector<uint32_t> Cluster::killExecutor(unsigned Id) {
   return LostMaps;
 }
 
+void Cluster::markMapOutputLost(uint32_t Map) {
+  PANTHERA_CHECK(Map < MapCount, "escalation outside the active shuffle");
+  ++Stats.FetchEscalations;
+  for (uint32_t R = 0; R != ReduceCount; ++R) {
+    BlockInfo &B = block(Map, R);
+    if (!B.Lost) {
+      B.Lost = true;
+      B.DiskCopy.clear();
+      ++Stats.MapOutputsLost;
+    }
+  }
+}
+
+void Cluster::decommissionExecutor(unsigned Id) {
+  PANTHERA_CHECK(Id < Executors.size(), "decommission of an unknown executor");
+  Executor &E = *Executors[Id];
+  PANTHERA_CHECK(E.alive(), "decommission of a dead executor");
+  PANTHERA_CHECK(numAlive() > 1, "cannot decommission the last live executor");
+  // Graceful exit: every active-shuffle block the executor holds is
+  // re-registered on a surviving executor before the machine leaves, so
+  // (unlike killExecutor) nothing needs lineage recomputation. Targets
+  // are chosen greedily by migrated bytes so the blocks spread out.
+  double Start = DriverMem.totalTimeNs();
+  double FabricNs = 0.0;
+  uint64_t MovedBlocks = 0, MovedBytes = 0;
+  std::vector<uint64_t> TargetBytes(Executors.size(), 0);
+  const ClusterOptions &O = Config.Options;
+  for (uint32_t M = 0; M != MapCount; ++M) {
+    for (uint32_t R = 0; R != ReduceCount; ++R) {
+      BlockInfo &B = block(M, R);
+      if (B.Exec != Id || B.Lost || B.Records == 0)
+        continue;
+      // Read the replica out of the leaving executor...
+      Scratch.resize(B.Bytes);
+      if (B.Addr != UINT64_MAX)
+        E.heap().nativeRead(B.Addr, Scratch.data(), B.Bytes);
+      else
+        std::memcpy(Scratch.data(), B.DiskCopy.data(), B.Bytes);
+      // ...pick the surviving executor with the fewest migrated bytes
+      // (lowest id on ties)...
+      int Target = -1;
+      for (unsigned T = 0; T != Executors.size(); ++T) {
+        if (T == Id || !Executors[T]->alive())
+          continue;
+        if (Target < 0 || TargetBytes[T] < TargetBytes[Target])
+          Target = static_cast<int>(T);
+      }
+      PANTHERA_CHECK(Target >= 0, "no live executor to migrate blocks to");
+      TargetBytes[Target] += B.Bytes;
+      // ...and push it over the fabric (driver clock, like any remote
+      // transfer; the receiving side re-serializes into its arena).
+      FabricNs += O.NetSerNsPerRecord * static_cast<double>(B.Records) *
+                      Slowdown[Id] +
+                  O.NetLatencyUs * 1000.0 +
+                  static_cast<double>(B.Bytes) / O.NetBandwidthGBps;
+      storeBlock(B, static_cast<unsigned>(Target), Scratch.data());
+      ++MovedBlocks;
+      MovedBytes += B.Bytes;
+    }
+  }
+  if (FabricNs > 0.0) {
+    DriverMem.addCpuWorkNs(FabricNs);
+    Stats.NetworkNs += FabricNs;
+  }
+  Stats.BlocksMigrated += MovedBlocks;
+  Stats.BytesMigrated += MovedBytes;
+  ++Stats.ExecutorsDecommissioned;
+  // Its cached partitions leave with it; stale PROCESS_LOCAL hints on
+  // this executor now resolve to -1 and fall back to ANY placement.
+  Locations.erase(std::remove_if(Locations.begin(), Locations.end(),
+                                 [Id](const std::pair<uint64_t, unsigned> &L) {
+                                   return L.second == Id;
+                                 }),
+                  Locations.end());
+  E.kill();
+  if (Trace)
+    Trace->span(support::TraceTrack::Network, "decommission", "cluster",
+                Start, DriverMem.totalTimeNs() - Start)
+        .arg("executor", static_cast<uint64_t>(Id))
+        .arg("blocks_migrated", MovedBlocks)
+        .arg("bytes_migrated", MovedBytes);
+}
+
+unsigned Cluster::addExecutor() {
+  unsigned Id = static_cast<unsigned>(Executors.size());
+  Executors.push_back(std::make_unique<Executor>(Id, Config));
+  StageLoad.push_back(0);
+  StageCost.push_back(0.0);
+  Slowdown.push_back(1.0);
+  Flagged.push_back(0);
+  ++Stats.ExecutorsJoined;
+  if (Trace)
+    Trace->instant(support::TraceTrack::Engine, "executor joined", "cluster",
+                   DriverMem.totalTimeNs())
+        .arg("executor", static_cast<uint64_t>(Id));
+  return Id;
+}
+
+void Cluster::applyElasticEvents() {
+  for (const ElasticEvent &Ev : Config.Options.Elastic) {
+    if (Ev.AtStage != StageCounter)
+      continue;
+    if (Ev.Join)
+      addExecutor();
+    else
+      decommissionExecutor(Ev.Exec);
+  }
+}
+
 void Cluster::publishMetrics(support::MetricsRegistry &M) const {
   M.gauge("cluster.executors").set(static_cast<double>(Executors.size()));
   M.gauge("cluster.executors_alive").set(static_cast<double>(numAlive()));
@@ -307,6 +565,23 @@ void Cluster::publishMetrics(support::MetricsRegistry &M) const {
   M.counter("cluster.executors_lost").set(Stats.ExecutorsLost);
   M.counter("cluster.map_outputs_lost").set(Stats.MapOutputsLost);
   M.counter("cluster.map_outputs_recomputed").set(Stats.MapOutputsRecomputed);
+  M.gauge("cluster.stage.makespan_ns").set(makespanNs());
+  M.counter("cluster.speculation.launched").set(Stats.SpeculativeLaunches);
+  M.counter("cluster.speculation.wins").set(Stats.SpeculativeWins);
+  M.gauge("cluster.speculation.wasted_ns").set(Stats.SpeculativeWastedNs);
+  M.counter("cluster.speculation.flagged").set(Stats.StragglersFlagged);
+  M.counter("cluster.speculation.avoided_placements")
+      .set(Stats.StragglerAvoidedPlacements);
+  M.counter("cluster.fetch_retry.attempts").set(Stats.FetchRetries);
+  M.counter("cluster.fetch_retry.drops").set(Stats.FetchDrops);
+  M.counter("cluster.fetch_retry.corrupt").set(Stats.FetchCorruptions);
+  M.gauge("cluster.fetch_retry.backoff_ns").set(Stats.FetchBackoffNs);
+  M.counter("cluster.fetch_retry.escalations").set(Stats.FetchEscalations);
+  M.counter("cluster.elastic.decommissioned")
+      .set(Stats.ExecutorsDecommissioned);
+  M.counter("cluster.elastic.joined").set(Stats.ExecutorsJoined);
+  M.counter("cluster.elastic.blocks_migrated").set(Stats.BlocksMigrated);
+  M.counter("cluster.elastic.bytes_migrated").set(Stats.BytesMigrated);
   for (unsigned I = 0; I != Executors.size(); ++I) {
     const Executor &E = *Executors[I];
     std::string Prefix = "cluster.exec" + std::to_string(I) + ".";

@@ -52,6 +52,15 @@
 namespace panthera {
 namespace cluster {
 
+/// One scheduled elastic-cluster event (panthera_sim: --decommission=E@K,
+/// --join-at=K). AtStage counts cluster stages 1-based: the event fires
+/// when the driver opens that stage (beginStage), before any placement.
+struct ElasticEvent {
+  bool Join = false;    ///< true: add an executor; false: decommission.
+  unsigned Exec = 0;    ///< Decommission target (ignored for joins).
+  uint64_t AtStage = 0; ///< 1-based cluster stage index.
+};
+
 /// User-facing cluster knobs (panthera_sim: --executors, --net-bw,
 /// --net-lat-us). NumExecutors == 1 means "no cluster": the Runtime skips
 /// construction entirely and the engine runs its seed single-heap path.
@@ -68,6 +77,23 @@ struct ClusterOptions {
   /// executor only when the preferred one is more than this many tasks
   /// ahead of the least-loaded one in the current stage.
   uint32_t DelaySchedulingSlack = 1;
+  /// Speculative execution (docs/cluster.md "degraded executors"): the
+  /// driver compares each completed task's executor-scaled cost against
+  /// the stage's running median of base task costs and launches a
+  /// speculative copy past the multiplier. Off = stragglers run to
+  /// completion (checksums are identical either way).
+  bool SpeculationEnabled = true;
+  /// A task is a straggler when its scaled cost exceeds this multiple of
+  /// the stage's running median task cost (spark.speculation.multiplier).
+  double SpeculationMultiplier = 1.5;
+  /// Simulated cost multiplier applied to an executor degraded by the
+  /// slow-executor fault site.
+  double SlowExecutorFactor = 4.0;
+  /// Transient-fetch attempts per block before the driver gives up and
+  /// escalates to executor-loss recovery (lineage recompute).
+  uint32_t FetchRetryLimit = 3;
+  /// Scheduled mid-job decommission/join events, applied at stage opens.
+  std::vector<ElasticEvent> Elastic;
 };
 
 /// Full construction-time configuration; the Runtime fills the per-executor
@@ -102,6 +128,21 @@ struct ClusterStats {
   uint64_t ExecutorsLost = 0;
   uint64_t MapOutputsLost = 0;       ///< Blocks on lost executors.
   uint64_t MapOutputsRecomputed = 0; ///< Lineage re-runs of map tasks.
+  // Degraded-executor robustness (docs/cluster.md "degraded executors").
+  uint64_t SpeculativeLaunches = 0; ///< Copies launched for stragglers.
+  uint64_t SpeculativeWins = 0;     ///< Copies that finished first.
+  double SpeculativeWastedNs = 0.0; ///< Loser-attempt executor time.
+  uint64_t StragglersFlagged = 0;   ///< Executors flagged by detection.
+  uint64_t StragglerAvoidedPlacements = 0; ///< Placements steered away.
+  uint64_t FetchRetries = 0;     ///< Failed transient fetches retried.
+  uint64_t FetchDrops = 0;       ///< Fetches dropped in flight.
+  uint64_t FetchCorruptions = 0; ///< Fetches failing byte-verification.
+  double FetchBackoffNs = 0.0;   ///< Backoff charged between attempts.
+  uint64_t FetchEscalations = 0; ///< Retry budgets exhausted -> lineage.
+  uint64_t ExecutorsDecommissioned = 0;
+  uint64_t ExecutorsJoined = 0;
+  uint64_t BlocksMigrated = 0; ///< Blocks re-registered at decommission.
+  uint64_t BytesMigrated = 0;
 };
 
 /// One simulated executor: a private hybrid memory + heap. Shuffle blocks
@@ -172,12 +213,18 @@ public:
   bool executorAlive(unsigned Id) const { return Executors[Id]->alive(); }
 
   //===--- scheduler ------------------------------------------------------===
-  /// Resets the per-executor load counters for a new stage.
+  /// Opens a new stage: folds the finished stage's makespan, applies any
+  /// elastic events scheduled for the new stage index, and resets the
+  /// per-executor load/cost counters. Stages count 1-based; the count is
+  /// what --decommission=E@K / --join-at=K schedules against.
   void beginStage();
+  uint64_t stageIndex() const { return StageCounter; }
   /// Places one task. \p Preferred < 0 means no locality preference. The
-  /// preferred executor wins (PROCESS_LOCAL) while it is alive and within
-  /// DelaySchedulingSlack tasks of the least-loaded executor; otherwise
-  /// the least-loaded live executor (lowest id on ties) runs it as ANY.
+  /// preferred executor wins (PROCESS_LOCAL) while it is alive, not
+  /// flagged as a straggler, and within DelaySchedulingSlack tasks of the
+  /// least-loaded executor; otherwise the least-loaded live unflagged
+  /// executor (lowest id on ties) runs it as ANY. Flagged executors are
+  /// used only when every live executor is flagged.
   unsigned placeTask(int Preferred);
   /// Records / looks up which executor caches a materialized partition.
   /// Locations die with their executor.
@@ -207,18 +254,70 @@ public:
   /// local blocks cost nothing on the driver clock (the bucket read is
   /// already charged by the engine); remote blocks ride the fabric
   /// (serialization + latency + bytes/bandwidth on the driver clock, plus
-  /// a network trace span). The executor-held bytes are byte-compared
-  /// against \p Expect -- the replica must match the data plane.
-  void fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
-                  const void *Expect);
+  /// a network trace span); a slow owner serves its serialization at its
+  /// degraded rate. The executor-held bytes are byte-compared against
+  /// \p Expect -- the replica must match the data plane. Returns false
+  /// (instead of failing the check) when \p InjectCorrupt asked for a
+  /// transient corruption: the delivered bytes were flipped before the
+  /// verification, so the fetch failed and must be retried.
+  bool fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
+                  const void *Expect, bool InjectCorrupt = false);
+  /// Accounts a remote fetch request dropped in flight (the fetch
+  /// transient-fault site): one fabric latency on the driver clock, no
+  /// payload delivered.
+  void chargeDroppedFetch(uint32_t Map, uint32_t Reduce, unsigned DstExec);
   /// Releases the active shuffle's blocks and recycles executor arenas.
   void endShuffle();
 
-  //===--- failure --------------------------------------------------------===
+  //===--- failure + degraded executors -----------------------------------===
   /// Kills \p Id: marks its active-shuffle blocks lost, drops its cached
   /// partition locations, bumps loss counters. Returns the map-task ids
   /// whose outputs were lost (the lineage the caller must re-run).
   std::vector<uint32_t> killExecutor(unsigned Id);
+  /// Marks every block of map task \p Map lost (fetch-retry escalation:
+  /// the owner executor survives, but its copy of this output is treated
+  /// as unusable and must be recomputed from lineage).
+  void markMapOutputLost(uint32_t Map);
+  /// Degrades \p Id (slow-executor fault site): its simulated task and
+  /// fetch costs are multiplied by SlowExecutorFactor from now on.
+  void degradeExecutor(unsigned Id);
+  double slowdown(unsigned Id) const { return Slowdown[Id]; }
+  bool flaggedStraggler(unsigned Id) const { return Flagged[Id] != 0; }
+
+  /// What accountTask decided for one completed task.
+  struct SpeculationOutcome {
+    bool Launched = false; ///< A speculative copy was launched.
+    bool CopyWon = false;  ///< The copy finished first; the caller must
+                           ///< roll the original attempt back and re-run.
+    unsigned CopyExec = 0; ///< Executor the copy ran on.
+  };
+  /// Accounts one completed task with driver-measured base cost \p BaseNs
+  /// placed on \p Exec. The executor-scaled cost joins the stage cost
+  /// model (the per-stage makespan below); when it exceeds
+  /// SpeculationMultiplier x the stage's running median of base costs,
+  /// the driver launches a speculative copy on the least-loaded other
+  /// executor and the first finisher (on the simulated cost model) wins.
+  /// The loser's occupancy is charged to its executor as wasted time, and
+  /// the straggler is flagged so later placements steer around it.
+  SpeculationOutcome accountTask(unsigned Exec, double BaseNs);
+
+  /// Cumulative simulated parallel stage time: for every stage, the
+  /// maximum over executors of the task cost assigned to it. This is the
+  /// "wall time" of the simulated cluster (the serial driver clock is the
+  /// total work); a straggler stretches it, speculation recovers it.
+  double makespanNs() const;
+
+  //===--- elastic membership ---------------------------------------------===
+  /// Gracefully removes \p Id mid-job: its active-shuffle blocks are
+  /// re-registered on the surviving executors over the fabric, its cached
+  /// partition locations drop (stale PROCESS_LOCAL hints fall back to
+  /// ANY), and it stops receiving tasks. Refuses to remove the last live
+  /// executor.
+  void decommissionExecutor(unsigned Id);
+  /// Adds a fresh executor (a new heap carved on a private clock, same
+  /// per-executor config); delay scheduling starts placing on it
+  /// immediately. Returns the new executor id.
+  unsigned addExecutor();
 
   /// Mirrors ClusterStats and per-executor clocks into \p M under
   /// cluster.* keys. Only called when a cluster exists, so --executors=1
@@ -232,6 +331,12 @@ private:
   const BlockInfo &block(uint32_t Map, uint32_t Reduce) const {
     return Blocks[static_cast<size_t>(Map) * ReduceCount + Reduce];
   }
+  /// Serializes \p Data into \p Exec's arena (disk fallback); shared by
+  /// registerMapOutput and decommission migration.
+  void storeBlock(BlockInfo &B, unsigned Exec, const void *Data);
+  /// Applies the elastic events scheduled for the just-opened stage.
+  void applyElasticEvents();
+  double currentStageMaxNs() const;
 
   ClusterConfig Config;
   memsim::HybridMemory &DriverMem;
@@ -239,6 +344,12 @@ private:
   ClusterStats Stats;
   std::vector<std::unique_ptr<Executor>> Executors;
   std::vector<uint64_t> StageLoad; ///< Tasks placed per executor.
+  std::vector<double> StageCost;   ///< Scaled task cost per executor.
+  std::vector<double> Slowdown;    ///< Cost multiplier (1.0 = healthy).
+  std::vector<uint8_t> Flagged;    ///< Straggler-flagged executors.
+  std::vector<double> StageBaseCosts; ///< Completed base costs, this stage.
+  double FoldedMakespanNs = 0.0; ///< Makespan of all finished stages.
+  uint64_t StageCounter = 0;     ///< 1-based; see beginStage().
   /// (RddId, Part) -> executor, kept sorted for deterministic iteration.
   std::vector<std::pair<uint64_t, unsigned>> Locations;
   /// Active shuffle: MapCount x ReduceCount row-major block matrix.

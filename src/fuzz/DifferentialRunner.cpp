@@ -64,10 +64,26 @@ public:
       Pool = std::make_unique<support::WorkStealingPool>(Opts.Threads);
       C->setThreadPool(Pool.get());
     }
+    FaultPlan Plan;
+    Plan.Seed = Opts.Seed;
+    bool WantFaults = false;
     if (Setup.FaultProbability > 0.0) {
-      FaultPlan Plan;
-      Plan.Seed = Opts.Seed;
       Plan.site(FaultSite::Allocation).Probability = Setup.FaultProbability;
+      WantFaults = true;
+    }
+    if (Opts.Executors > 1) {
+      // Executors mode also interleaves the degraded-cluster sites
+      // (docs/robustness.md): every action draws slow-executor and
+      // transient-fetch. A slow-executor fire models the replica falling
+      // behind and collecting more often (forced minor GC -- a real heap
+      // effect the digests must agree on); a fetch fire is absorbed by
+      // the retry layer and only counted. Both schedules are pure
+      // functions of the seed, so all replicas see identical fires.
+      Plan.site(FaultSite::SlowExecutor).Probability = 1.0 / 64.0;
+      Plan.site(FaultSite::FetchTransient).Probability = 1.0 / 32.0;
+      WantFaults = true;
+    }
+    if (WantFaults) {
       Faults = std::make_unique<FaultInjector>(Plan);
       H->setFaultInjector(Faults.get());
     }
@@ -80,6 +96,13 @@ public:
       ++R.ActionsRun;
       if (!R.Ok)
         break;
+      if (Faults && Opts.Executors > 1) {
+        Faults->shouldFail(FaultSite::FetchTransient); // counted only
+        if (Faults->shouldFail(FaultSite::SlowExecutor))
+          collect(/*Major=*/false);
+      }
+      if (!R.Ok)
+        break;
       if (epoch() != SyncedEpoch)
         sync();
       if (R.Ok && H->pendingArrayTag() != ShadowPendingTag)
@@ -90,6 +113,13 @@ public:
     if (R.Ok) {
       Current = Schedule.size() ? Schedule.size() - 1 : 0;
       sync(); // final diff even for schedules that never collected
+    }
+    // Fold the interleaved fault-fire counts into the digest: a replica
+    // whose fire schedule diverged fails the cross-executor comparison
+    // even if its heap image happens to match.
+    if (Faults) {
+      Digest = (Digest ^ Faults->fired(FaultSite::SlowExecutor)) * FnvPrime;
+      Digest = (Digest ^ Faults->fired(FaultSite::FetchTransient)) * FnvPrime;
     }
     R.Digest = Digest;
     R.MinorGcs = C->stats().MinorGcs;

@@ -359,6 +359,10 @@ private:
     /// around each fused per-partition task (outside the retry body).
     std::function<void(uint32_t)> BeforeTask;
     std::function<void(uint32_t)> AfterTask;
+    /// Cluster mode: where BeforeTask recorded partition I's executor --
+    /// runTask reads it for straggler accounting and rewrites it when a
+    /// speculative copy wins, before AfterTask registers the outputs.
+    std::function<unsigned *(uint32_t)> ExecSlot;
   };
 
   /// Materializes a narrow persisted RDD, one retryable task per partition;
@@ -394,11 +398,23 @@ private:
   /// OutOfMemoryError are caught and retried with capped exponential
   /// backoff up to EngineConfig::MaxTaskAttempts; lost caches recorded by
   /// the failure are recomputed from lineage before the next attempt.
+  /// \p PlacedExec (cluster mode only) points at the executor the task was
+  /// placed on: a successful attempt feeds straggler detection, and when a
+  /// speculative copy wins, the original attempt is rolled back, the body
+  /// re-runs as the copy, and *PlacedExec is rewritten to the winner.
   void runTask(const std::string &Stage, uint32_t RddId, uint32_t Partition,
                const std::function<void()> &Body,
-               const std::function<void()> &Rollback = {});
+               const std::function<void()> &Rollback = {},
+               unsigned *PlacedExec = nullptr);
   /// Charges the deterministic attempt-count-based backoff delay.
   void chargeBackoff(uint32_t Attempt);
+  /// Same capped exponential schedule for a failed transient block fetch,
+  /// with a `backoff` trace span and cluster.fetch_retry.* accounting.
+  void chargeFetchBackoff(uint32_t Attempt, uint32_t Map, uint32_t Reduce);
+  /// Cluster mode: opens a scheduler stage (elastic events apply, loads
+  /// reset) and draws the slow-executor fault site once per live healthy
+  /// executor -- a fire degrades that executor for the rest of the run.
+  void clusterBeginStage();
   /// Re-materializes every cache recorded in LostCaches (injection
   /// suppressed while recovering).
   void recoverLostCaches();

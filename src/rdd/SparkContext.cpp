@@ -336,6 +336,44 @@ void SparkContext::chargeBackoff(uint32_t Attempt) {
   H.memory().addCpuWorkNs(Delay);
 }
 
+void SparkContext::chargeFetchBackoff(uint32_t Attempt, uint32_t Map,
+                                      uint32_t Reduce) {
+  // Same capped exponential schedule as task retries, but charged against
+  // the fetch path and surfaced as its own trace span so degraded-network
+  // runs show where the simulated time went.
+  double Delay = Config.RetryBackoffBaseNs;
+  for (uint32_t I = 1; I < Attempt && Delay < Config.RetryBackoffMaxNs; ++I)
+    Delay *= 2.0;
+  if (Delay > Config.RetryBackoffMaxNs)
+    Delay = Config.RetryBackoffMaxNs;
+  double StartNs = H.memory().totalTimeNs();
+  H.memory().addCpuWorkNs(Delay);
+  if (Clstr)
+    Clstr->stats().FetchBackoffNs += Delay;
+  if (TraceSink)
+    TraceSink
+        ->span(support::TraceTrack::Network, "backoff", "fetch", StartNs,
+               Delay)
+        .arg("map", static_cast<uint64_t>(Map))
+        .arg("reduce", static_cast<uint64_t>(Reduce))
+        .arg("attempt", static_cast<uint64_t>(Attempt));
+}
+
+void SparkContext::clusterBeginStage() {
+  // Stage boundary on the cluster sim: fold the previous stage into the
+  // makespan, apply any scheduled elastic events, then give the slow-
+  // executor fault site one draw per live, still-healthy executor. The
+  // draw order is the executor index order, so the schedule is a pure
+  // function of the fault seed and the stage sequence.
+  Clstr->beginStage();
+  if (!Faults)
+    return;
+  for (unsigned E = 0; E != Clstr->numExecutors(); ++E)
+    if (Clstr->executorAlive(E) && Clstr->slowdown(E) == 1.0 &&
+        Faults->shouldFail(FaultSite::SlowExecutor))
+      Clstr->degradeExecutor(E);
+}
+
 void SparkContext::recoverLostCaches() {
   while (!LostCaches.empty()) {
     RddRef R = LostCaches.back();
@@ -369,7 +407,8 @@ SparkContext::StageScope::~StageScope() {
 void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
                            uint32_t Partition,
                            const std::function<void()> &Body,
-                           const std::function<void()> &Rollback) {
+                           const std::function<void()> &Rollback,
+                           unsigned *PlacedExec) {
   ++Stats.TasksLaunched;
   double TaskStartNs = H.memory().totalTimeNs();
   // Emits the task's trace span; runs at every task exit (success or
@@ -411,7 +450,27 @@ void SparkContext::runTask(const std::string &Stage, uint32_t RddId,
         throw TaskFailure("injected task failure in stage '" + Stage +
                           "', partition " + std::to_string(Partition));
       }
+      double BodyStartNs = H.memory().totalTimeNs();
       Body();
+      if (PlacedExec && Clstr) {
+        // Feed the driver-measured base cost into straggler detection. If
+        // a speculative copy on another executor finishes first, the
+        // original attempt is rolled back and the body re-runs as the
+        // winning copy -- same inputs, same bytes, so checksums are
+        // invariant under speculation on/off.
+        double BaseNs = H.memory().totalTimeNs() - BodyStartNs;
+        cluster::Cluster::SpeculationOutcome O =
+            Clstr->accountTask(*PlacedExec, BaseNs);
+        if (O.CopyWon) {
+          if (std::getenv("PANTHERA_TRACE_TASKS"))
+            std::fprintf(stderr, "[spec] %s p%u copy won on exec %u\n",
+                         Stage.c_str(), Partition, O.CopyExec);
+          *PlacedExec = O.CopyExec;
+          Cleanup();
+          FaultSuppressionScope Scope(Faults);
+          Body();
+        }
+      }
       Rec.Succeeded = true;
       EmitTaskSpan(Rec.Attempts, /*Ok=*/true);
       Ledger.Records.push_back(std::move(Rec));
@@ -767,9 +826,19 @@ void SparkContext::materializeNarrow(const RddRef &R,
   // fused materialization is placed by the consuming shuffle's hooks.
   std::vector<unsigned> TaskExec;
   if (Clstr && !Fusion) {
-    Clstr->beginStage();
+    clusterBeginStage();
     TaskExec.assign(P, 0);
   }
+  // Pointer handed to runTask for straggler detection: the standalone
+  // cluster path owns TaskExec; a fused map task's slot belongs to the
+  // consuming shuffle.
+  auto ExecPtr = [&](uint32_t I) -> unsigned * {
+    if (Clstr && !Fusion)
+      return &TaskExec[I];
+    if (Fusion && Fusion->ExecSlot)
+      return Fusion->ExecSlot(I);
+    return nullptr;
+  };
   auto Place = [&](uint32_t I) {
     if (!Clstr || Fusion)
       return;
@@ -811,18 +880,21 @@ void SparkContext::materializeNarrow(const RddRef &R,
     R->NativeParts.assign(P, {});
     for (uint32_t I = 0; I != P; ++I) {
       Place(I);
-      runTask(Stage, R->Id, I, [&] {
-        std::vector<SourceRecord> Rows;
-        RddContext Ctx(H);
-        streamPartition(R, I, [&](ObjRef T) {
-          Rows.push_back({Ctx.key(T), Ctx.value(T)});
-        });
-        uint64_t Addr = H.allocNative(Rows.size() * sizeof(SourceRecord));
-        for (size_t J = 0; J != Rows.size(); ++J)
-          H.nativeWrite(Addr + J * sizeof(SourceRecord), &Rows[J],
-                        sizeof(SourceRecord));
-        R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
-      });
+      runTask(
+          Stage, R->Id, I,
+          [&] {
+            std::vector<SourceRecord> Rows;
+            RddContext Ctx(H);
+            streamPartition(R, I, [&](ObjRef T) {
+              Rows.push_back({Ctx.key(T), Ctx.value(T)});
+            });
+            uint64_t Addr = H.allocNative(Rows.size() * sizeof(SourceRecord));
+            for (size_t J = 0; J != Rows.size(); ++J)
+              H.nativeWrite(Addr + J * sizeof(SourceRecord), &Rows[J],
+                            sizeof(SourceRecord));
+            R->NativeParts[I] = {Addr, static_cast<uint32_t>(Rows.size())};
+          },
+          nullptr, ExecPtr(I));
       Placed(I);
     }
     R->Materialized = true;
@@ -841,7 +913,7 @@ void SparkContext::materializeNarrow(const RddRef &R,
               R->DiskParts[I].push_back({Ctx.key(T), Ctx.value(T)});
             });
           },
-          [&] { R->DiskParts[I].clear(); });
+          [&] { R->DiskParts[I].clear(); }, ExecPtr(I));
       Placed(I);
     }
     R->Materialized = true;
@@ -889,7 +961,7 @@ void SparkContext::materializeNarrow(const RddRef &R,
             }
             FusionEnd();
           },
-          FusionRollback);
+          FusionRollback, ExecPtr(I));
       FusionAfter(I);
       Placed(I);
     }
@@ -928,7 +1000,7 @@ void SparkContext::materializeNarrow(const RddRef &R,
           H.storeRef(Dir.get(), I, Arr);
           FusionEnd();
         },
-        FusionRollback);
+        FusionRollback, ExecPtr(I));
     FusionAfter(I);
     Placed(I);
   }
@@ -1036,7 +1108,7 @@ SparkContext::shuffle(const RddRef &Parent,
     ClusterShuffle.MapExec.assign(P, 0);
     ClusterShuffle.PendingRecompute.clear();
     Clstr->beginShuffle(P, P);
-    Clstr->beginStage();
+    clusterBeginStage();
     PlaceMap = [&](uint32_t M) {
       int Pref = Clstr->partitionLocation(Parent->Id, M);
       if (Pref < 0)
@@ -1067,6 +1139,10 @@ SparkContext::shuffle(const RddRef &Parent,
     Fusion.Rollback = Rollback;
     Fusion.BeforeTask = PlaceMap;
     Fusion.AfterTask = RegisterMapOutputs;
+    if (Clstr)
+      Fusion.ExecSlot = [this](uint32_t M) {
+        return &ClusterShuffle.MapExec[M];
+      };
     materializeNarrow(Parent, &Fusion);
   } else {
     std::string Stage =
@@ -1083,7 +1159,7 @@ SparkContext::shuffle(const RddRef &Parent,
             streamPartition(Parent, I, Route);
             EndTask();
           },
-          Rollback);
+          Rollback, Clstr ? &ClusterShuffle.MapExec[I] : nullptr);
       if (RegisterMapOutputs)
         RegisterMapOutputs(I);
     }
@@ -1144,10 +1220,8 @@ void SparkContext::materializeWide(const RddRef &R) {
   // re-runs the lost map tasks from lineage first.
   std::vector<unsigned> ReduceExec;
   if (Clstr) {
-    Clstr->beginStage();
+    clusterBeginStage();
     ReduceExec.assign(P, 0);
-    for (uint32_t I = 0; I != P; ++I)
-      ReduceExec[I] = Clstr->placeTask(Clstr->preferredReducer(I));
   }
 
   GcRoot Dir(H, H.allocRefArray(P));
@@ -1158,6 +1232,11 @@ void SparkContext::materializeWide(const RddRef &R) {
   // stay intact across attempts, so a retry re-fetches the same input; all
   // heap effects before the final directory store are discarded garbage.
   for (uint32_t I = 0; I != P; ++I) {
+    // Placement is lazy -- immediately before each task, not up front for
+    // the whole stage -- so a straggler flagged by an earlier reduce task
+    // is already steered around when the later ones place.
+    if (Clstr)
+      ReduceExec[I] = Clstr->placeTask(Clstr->preferredReducer(I));
     runTask(Stage, R->Id, I, [&] {
     if (Faults && Faults->shouldFail(FaultSite::ShuffleFetch))
       throw TaskFailure("injected shuffle fetch failure in stage '" + Stage +
@@ -1241,20 +1320,25 @@ void SparkContext::materializeWide(const RddRef &R) {
       break;
     }
     case OpKind::SortByKey:
-      std::sort(Rows.begin(), Rows.end(),
-                [](const SourceRecord &A, const SourceRecord &B) {
-                  return A.Key != B.Key ? A.Key < B.Key : A.Val < B.Val;
-                });
-      [[fallthrough]];
     case OpKind::Repartition: {
+      // Sort a copy, never In[I] itself: the buckets are the shuffle's
+      // data plane, which replica byte-verification (and any retry or
+      // speculative re-run that re-fetches) checks against -- the reduce
+      // body must leave it exactly as the map side wrote it.
+      std::vector<SourceRecord> Output = Rows;
+      if (R->Op == OpKind::SortByKey)
+        std::sort(Output.begin(), Output.end(),
+                  [](const SourceRecord &A, const SourceRecord &B) {
+                    return A.Key != B.Key ? A.Key < B.Key : A.Val < B.Val;
+                  });
       if (Tag != MemTag::None)
         H.setPendingArrayTag(Tag, R->Id);
-      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Rows.size()));
+      ObjRef ArrRaw = H.allocRefArray(static_cast<uint32_t>(Output.size()));
       H.setPendingArrayTag(MemTag::None, 0);
       H.header(ArrRaw.addr())->RddId = R->Id;
       GcRoot Arr(H, ArrRaw);
-      for (uint32_t J = 0; J != Rows.size(); ++J) {
-        ObjRef T = Ctx.makeTuple(Rows[J].Key, Rows[J].Val);
+      for (uint32_t J = 0; J != Output.size(); ++J) {
+        ObjRef T = Ctx.makeTuple(Output[J].Key, Output[J].Val);
         H.storeRef(Arr.get(), J, T);
       }
       H.storeRef(Dir.get(), I, Arr.get());
@@ -1263,7 +1347,7 @@ void SparkContext::materializeWide(const RddRef &R) {
     default:
       PANTHERA_CHECK(false, "not a materializing wide op");
     }
-    });
+    }, nullptr, Clstr ? &ReduceExec[I] : nullptr);
     if (Clstr)
       Clstr->recordPartitionLocation(R->Id, I, ReduceExec[I]);
   }
@@ -1321,7 +1405,43 @@ void SparkContext::fetchShuffleInputs(Buckets &In, uint32_t Reduce,
                         std::to_string(M) + "/" + std::to_string(Reduce) +
                         " was lost with executor " + std::to_string(B.Exec));
     }
-    Clstr->fetchBlock(M, Reduce, Exec, In[Reduce].data() + B.BucketOffset);
+    // Transient fetch faults: a firing draw either drops the response on
+    // the simulated wire (latency charged, no bytes) or delivers bytes
+    // that fail the replica byte-verification. Either way the fetch
+    // retries under capped exponential backoff; once the retry budget is
+    // spent, the block is declared lost and the task fails over to the
+    // lineage-recompute path, exactly like a real executor loss.
+    uint32_t RetryLimit = std::max(1u, Clstr->config().Options.FetchRetryLimit);
+    for (uint32_t Attempt = 1;; ++Attempt) {
+      bool Ok;
+      if (Faults && Faults->shouldFail(FaultSite::FetchTransient)) {
+        // Alternate the failure mode on the site's fire count so one
+        // probability knob exercises both drop and corruption.
+        if (Faults->fired(FaultSite::FetchTransient) % 2 == 0) {
+          Clstr->chargeDroppedFetch(M, Reduce, Exec);
+          Ok = false;
+        } else {
+          Ok = Clstr->fetchBlock(M, Reduce, Exec,
+                                 In[Reduce].data() + B.BucketOffset,
+                                 /*InjectCorrupt=*/true);
+        }
+      } else {
+        Ok = Clstr->fetchBlock(M, Reduce, Exec,
+                               In[Reduce].data() + B.BucketOffset);
+      }
+      if (Ok)
+        break;
+      if (Attempt >= RetryLimit) {
+        Clstr->markMapOutputLost(M);
+        ClusterShuffle.PendingRecompute.push_back(M);
+        throw TaskFailure("shuffle fetch failed: map output " +
+                          std::to_string(M) + "/" + std::to_string(Reduce) +
+                          " still unfetchable after " +
+                          std::to_string(Attempt) + " attempts");
+      }
+      ++Clstr->stats().FetchRetries;
+      chargeFetchBackoff(Attempt, M, Reduce);
+    }
   }
 }
 

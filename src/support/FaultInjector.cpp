@@ -6,6 +6,8 @@
 
 #include "support/FaultInjector.h"
 
+#include "support/CliParse.h"
+
 using namespace panthera;
 
 const char *panthera::faultSiteName(FaultSite S) {
@@ -20,6 +22,10 @@ const char *panthera::faultSiteName(FaultSite S) {
     return "shuffle";
   case FaultSite::ExecutorLoss:
     return "executor";
+  case FaultSite::SlowExecutor:
+    return "slow-executor";
+  case FaultSite::FetchTransient:
+    return "fetch";
   }
   return "?";
 }
@@ -35,13 +41,71 @@ bool panthera::parseFaultSite(const std::string &Name, FaultSite &Out) {
     Out = FaultSite::ShuffleFetch;
   } else if (Name == "executor" || Name == "exec") {
     Out = FaultSite::ExecutorLoss;
+  } else if (Name == "slow-executor" || Name == "slow") {
+    Out = FaultSite::SlowExecutor;
+  } else if (Name == "fetch") {
+    Out = FaultSite::FetchTransient;
   } else {
     return false;
   }
   return true;
 }
 
+void FaultSiteConfig::validate(const char *SiteName) const {
+  // NaN compares false against everything, so test for in-range rather
+  // than out-of-range.
+  if (!(Probability >= 0.0 && Probability <= 1.0))
+    throw FaultConfigError("fault site '" + std::string(SiteName) +
+                           "': probability " + std::to_string(Probability) +
+                           " is outside [0, 1]");
+}
+
+void FaultPlan::validate() const {
+  for (size_t I = 0; I != NumFaultSites; ++I)
+    Sites[I].validate(faultSiteName(static_cast<FaultSite>(I)));
+}
+
+void panthera::parseFaultSpec(const std::string &Spec, FaultPlan &Plan) {
+  size_t Colon = Spec.find(':');
+  if (Colon == std::string::npos)
+    throw FaultConfigError("fault spec '" + Spec +
+                           "' is not SITE:p=X or SITE:nth=N");
+  std::string SiteName = Spec.substr(0, Colon);
+  std::string Trigger = Spec.substr(Colon + 1);
+  FaultSite Site;
+  if (!parseFaultSite(SiteName, Site))
+    throw FaultConfigError(
+        "unknown fault site '" + SiteName +
+        "' (task|cache|alloc|shuffle|executor|slow-executor|fetch)");
+  FaultSiteConfig &C = Plan.site(Site);
+  if (Trigger.rfind("p=", 0) == 0) {
+    double P = 0.0;
+    // Parse over the whole double range first, then range-check through
+    // validate() so "p=1.5" reports the typed out-of-[0,1] error rather
+    // than a generic parse failure.
+    if (!support::parseF64(Trigger.c_str() + 2, -1e308, 1e308, P))
+      throw FaultConfigError("fault spec '" + Spec +
+                             "': malformed probability '" +
+                             Trigger.substr(2) + "'");
+    FaultSiteConfig Candidate = C;
+    Candidate.Probability = P;
+    Candidate.validate(faultSiteName(Site));
+    C = Candidate;
+  } else if (Trigger.rfind("nth=", 0) == 0) {
+    uint64_t N = 0;
+    if (!support::parseUnsigned(Trigger.c_str() + 4, 1, UINT64_MAX, N))
+      throw FaultConfigError("fault spec '" + Spec +
+                             "': nth wants an integer >= 1, got '" +
+                             Trigger.substr(4) + "'");
+    C.FireOnNth = N;
+  } else {
+    throw FaultConfigError("fault spec '" + Spec +
+                           "': trigger must be p=<prob> or nth=<N>");
+  }
+}
+
 FaultInjector::FaultInjector(const FaultPlan &Plan) : Plan(Plan) {
+  Plan.validate();
   // Decorrelate the per-site streams: run the plan seed through one
   // SplitMix64 step per site so adjacent sites never share a sequence.
   SplitMix64 Seeder(Plan.Seed);

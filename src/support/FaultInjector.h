@@ -21,6 +21,7 @@
 #ifndef PANTHERA_SUPPORT_FAULTINJECTOR_H
 #define PANTHERA_SUPPORT_FAULTINJECTOR_H
 
+#include "support/Errors.h"
 #include "support/Random.h"
 
 #include <array>
@@ -41,16 +42,35 @@ enum class FaultSite : uint8_t {
   ExecutorLoss,  ///< Cluster mode: a reduce-side block fetch kills the
                  ///< owning executor; its map outputs are recomputed from
                  ///< lineage (no-op without a cluster).
+  // New sites append at the end: the constructor derives one stream per
+  // site in enum order, so inserting in the middle would silently reseed
+  // every later site and invalidate frozen fault schedules.
+  SlowExecutor,  ///< Cluster mode: a stage-start draw per live executor;
+                 ///< a fire degrades that executor, multiplying its
+                 ///< simulated task/fetch costs by the configured factor
+                 ///< (no-op without a cluster).
+  FetchTransient,///< Cluster mode: one remote shuffle-block fetch is
+                 ///< dropped in flight or delivers bytes that fail the
+                 ///< replica byte-verification; retried with backoff
+                 ///< (no-op without a cluster).
 };
 
-constexpr size_t NumFaultSites = 5;
+constexpr size_t NumFaultSites = 7;
 
 const char *faultSiteName(FaultSite S);
 
 /// Parses a CLI site spelling ("task", "cache", "alloc", "shuffle",
-/// "executor").
+/// "executor", "slow-executor", "fetch").
 /// Returns false for unknown names.
 bool parseFaultSite(const std::string &Name, FaultSite &Out);
+
+/// Malformed fault-plan input (unknown site, trigger outside its domain, a
+/// probability outside [0, 1]). Typed so CLI front-ends and tests can
+/// distinguish configuration mistakes from engine faults.
+class FaultConfigError : public EngineError {
+public:
+  explicit FaultConfigError(const std::string &What) : EngineError(What) {}
+};
 
 /// Per-site trigger configuration. Probability and FireOnNth compose: the
 /// site fires on its FireOnNth-th occurrence and on every Bernoulli hit,
@@ -61,6 +81,12 @@ struct FaultSiteConfig {
   uint64_t MaxFires = UINT64_MAX; ///< Cap on total fires at this site.
 
   bool enabled() const { return Probability > 0.0 || FireOnNth != 0; }
+
+  /// Throws FaultConfigError when Probability falls outside [0, 1] (or is
+  /// not a number). A probability above 1 silently behaves like 1.0 and
+  /// a negative one like 0.0, so unvalidated plans would "work" while
+  /// running a different schedule than the user asked for.
+  void validate(const char *SiteName) const;
 };
 
 /// A full injection plan: one seed, one config per site.
@@ -80,7 +106,17 @@ struct FaultPlan {
         return true;
     return false;
   }
+  /// Validates every site (see FaultSiteConfig::validate). The injector
+  /// constructor calls this, so a plan with an out-of-range probability
+  /// fails loudly no matter which front-end built it.
+  void validate() const;
 };
+
+/// Parses one CLI fault spec "SITE:p=X" / "SITE:nth=N" (panthera_sim's
+/// --fault flag) into \p Plan, accumulating over earlier specs. Throws
+/// FaultConfigError on an unknown site, a malformed trigger, a probability
+/// outside [0, 1], or nth == 0.
+void parseFaultSpec(const std::string &Spec, FaultPlan &Plan);
 
 /// Draws deterministic fire/no-fire decisions per site. Safe to call from
 /// multiple worker threads: the occurrence counters are atomic, and each

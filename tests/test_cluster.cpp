@@ -183,4 +183,216 @@ TEST(ClusterSim, KillExecutorDropsLocationsAndBlocks) {
   EXPECT_THROW(CL.killExecutor(0), EngineError);
 }
 
+//===----------------------------------------------------------------------===
+// Degraded executors: speculation, transient fetches, elastic schedule
+//===----------------------------------------------------------------------===
+
+TEST(ClusterDegraded, SpeculationOnOffChecksumInvariant) {
+  // The robustness layer's determinism bar: a degraded executor with
+  // speculation on, with speculation off, and no fault at all must all
+  // produce byte-identical results -- speculation moves simulated cost,
+  // never data.
+  RunOut Clean = runPipeline(clusterConfig(3));
+  for (unsigned Executors : {2u, 4u}) {
+    core::RuntimeConfig On = clusterConfig(Executors);
+    On.Faults.site(FaultSite::SlowExecutor).FireOnNth = 1;
+    core::RuntimeConfig Off = On;
+    Off.Cluster.SpeculationEnabled = false;
+    RunOut A = runPipeline(On);
+    RunOut B = runPipeline(Off);
+    EXPECT_DOUBLE_EQ(A.Checksum, Clean.Checksum) << Executors;
+    EXPECT_DOUBLE_EQ(B.Checksum, Clean.Checksum) << Executors;
+    // The fault really degraded an executor, and only the speculating
+    // run launched copies.
+    EXPECT_GT(A.Cluster.SpeculativeLaunches, 0u) << Executors;
+    EXPECT_GT(A.Cluster.StragglersFlagged, 0u) << Executors;
+    EXPECT_EQ(B.Cluster.SpeculativeLaunches, 0u) << Executors;
+    EXPECT_EQ(B.Cluster.StragglersFlagged, 0u) << Executors;
+    EXPECT_NE(A.Trace.find("executor slowed"), std::string::npos);
+    EXPECT_NE(A.Trace.find("speculative"), std::string::npos);
+  }
+}
+
+TEST(ClusterDegraded, ChecksumInvariantUnderElasticSchedule) {
+  // Mid-job decommission + join: blocks migrate, the stage makespan
+  // refolds, and the answer does not move -- with speculation on or off.
+  RunOut Clean = runPipeline(clusterConfig(3));
+  core::RuntimeConfig Elastic = clusterConfig(3);
+  Elastic.Cluster.Elastic.push_back({/*Join=*/false, /*Exec=*/1,
+                                     /*AtStage=*/2});
+  Elastic.Cluster.Elastic.push_back({/*Join=*/true, /*Exec=*/0,
+                                     /*AtStage=*/3});
+  RunOut A = runPipeline(Elastic);
+  core::RuntimeConfig NoSpec = Elastic;
+  NoSpec.Cluster.SpeculationEnabled = false;
+  RunOut B = runPipeline(NoSpec);
+  EXPECT_DOUBLE_EQ(A.Checksum, Clean.Checksum);
+  EXPECT_DOUBLE_EQ(B.Checksum, Clean.Checksum);
+  EXPECT_EQ(A.Cluster.ExecutorsDecommissioned, 1u);
+  EXPECT_EQ(A.Cluster.ExecutorsJoined, 1u);
+  EXPECT_NE(A.Trace.find("decommission"), std::string::npos);
+  EXPECT_NE(A.Trace.find("executor joined"), std::string::npos);
+  EXPECT_NE(A.Metrics.find("\"cluster.elastic.joined\""),
+            std::string::npos);
+}
+
+TEST(ClusterDegraded, SpeculationInvariantUnderCombinedFaultSchedule) {
+  // Speculation on vs off under a combined schedule -- a straggler, a
+  // transient-fetch storm, and an elastic event at once.
+  core::RuntimeConfig On = clusterConfig(4);
+  On.Faults.site(FaultSite::SlowExecutor).FireOnNth = 2;
+  On.Faults.site(FaultSite::FetchTransient).Probability = 0.1;
+  On.Faults.Seed = 42;
+  On.Cluster.Elastic.push_back({/*Join=*/true, /*Exec=*/0, /*AtStage=*/2});
+  core::RuntimeConfig Off = On;
+  Off.Cluster.SpeculationEnabled = false;
+  RunOut Clean = runPipeline(clusterConfig(4));
+  RunOut A = runPipeline(On);
+  RunOut B = runPipeline(Off);
+  EXPECT_DOUBLE_EQ(A.Checksum, Clean.Checksum);
+  EXPECT_DOUBLE_EQ(B.Checksum, Clean.Checksum);
+}
+
+TEST(ClusterDegraded, TransientFetchRetriesRecoverChecksum) {
+  RunOut Clean = runPipeline(clusterConfig(3));
+  core::RuntimeConfig Faulty = clusterConfig(3);
+  Faulty.Faults.site(FaultSite::FetchTransient).Probability = 0.25;
+  Faulty.Faults.Seed = 9;
+  RunOut R = runPipeline(Faulty);
+  EXPECT_DOUBLE_EQ(R.Checksum, Clean.Checksum);
+  // Drops and corruptions both occurred and were retried under backoff.
+  EXPECT_GT(R.Cluster.FetchRetries, 0u);
+  EXPECT_GT(R.Cluster.FetchDrops + R.Cluster.FetchCorruptions, 0u);
+  EXPECT_GT(R.Cluster.FetchBackoffNs, 0.0);
+  EXPECT_NE(R.Trace.find("backoff"), std::string::npos);
+  EXPECT_NE(R.Metrics.find("\"cluster.fetch_retry.attempts\""),
+            std::string::npos);
+}
+
+TEST(ClusterDegraded, ExhaustedFetchRetriesEscalateToLineage) {
+  // Retry budget 1 + a fetch that always fails: every remote and local
+  // block fetch escalates to executor-loss-style recovery, and lineage
+  // still reproduces the exact answer.
+  RunOut Clean = runPipeline(clusterConfig(2));
+  core::RuntimeConfig Faulty = clusterConfig(2);
+  Faulty.Faults.site(FaultSite::FetchTransient).Probability = 0.03;
+  Faulty.Faults.Seed = 3;
+  Faulty.Cluster.FetchRetryLimit = 1;
+  // Every firing draw escalates straight to a lost block, so give the
+  // task-level retry loop headroom to absorb repeated escalations.
+  Faulty.Engine.MaxTaskAttempts = 10;
+  RunOut R = runPipeline(Faulty);
+  EXPECT_DOUBLE_EQ(R.Checksum, Clean.Checksum);
+  EXPECT_GT(R.Cluster.FetchEscalations, 0u);
+  EXPECT_GT(R.Cluster.MapOutputsRecomputed, 0u);
+  EXPECT_GT(R.LineageRecomputations, 0u);
+}
+
+//===----------------------------------------------------------------------===
+// Delay-scheduling edge cases (unit-level)
+//===----------------------------------------------------------------------===
+
+namespace {
+cluster::ClusterConfig unitClusterConfig(unsigned Executors) {
+  cluster::ClusterConfig CC;
+  CC.Options.NumExecutors = Executors;
+  CC.ExecutorHeap =
+      gc::makeHeapConfig(gc::PolicyKind::Panthera, 8, 1.0 / 3.0);
+  CC.ExecutorHeap.NativeBytes = 4ull << 20;
+  return CC;
+}
+} // namespace
+
+TEST(ClusterDelaySched, SaturatedPreferredExpiresSlackToAny) {
+  // Every task prefers executor 0. Delay scheduling honors the hint while
+  // executor 0 is within the slack of the least-loaded executor; once the
+  // whole slack is spent the hint expires and the task goes ANY to the
+  // least-loaded machine.
+  memsim::HybridMemory DriverMem(64ull << 20, memsim::MemoryTechnology{},
+                                 memsim::CacheConfig{});
+  cluster::Cluster CL(unitClusterConfig(2), DriverMem, nullptr);
+  // Slack is 1: placements 1 and 2 stay PROCESS_LOCAL (load 0 and 1 vs
+  // min 0), placement 3 sees executor 0 two tasks ahead and falls back.
+  EXPECT_EQ(CL.placeTask(0), 0u);
+  EXPECT_EQ(CL.placeTask(0), 0u);
+  EXPECT_EQ(CL.placeTask(0), 1u);
+  EXPECT_EQ(CL.stats().ProcessLocalTasks, 2u);
+  EXPECT_EQ(CL.stats().DelayedFallbacks, 1u);
+  EXPECT_EQ(CL.stats().AnyTasks, 1u);
+  // With the pack caught up, the hint is honored again next stage.
+  CL.beginStage();
+  EXPECT_EQ(CL.placeTask(0), 0u);
+}
+
+TEST(ClusterDelaySched, StaleHintAfterDecommissionGoesAny) {
+  // A cached partition recorded on an executor that later decommissions
+  // leaves a stale PROCESS_LOCAL hint; placement must shrug it off as ANY
+  // and the location map must forget the machine.
+  memsim::HybridMemory DriverMem(64ull << 20, memsim::MemoryTechnology{},
+                                 memsim::CacheConfig{});
+  cluster::Cluster CL(unitClusterConfig(3), DriverMem, nullptr);
+  CL.recordPartitionLocation(/*RddId=*/5, /*Part=*/0, /*Exec=*/1);
+  ASSERT_EQ(CL.partitionLocation(5, 0), 1);
+  CL.decommissionExecutor(1);
+  EXPECT_EQ(CL.stats().ExecutorsDecommissioned, 1u);
+  EXPECT_EQ(CL.partitionLocation(5, 0), -1);
+  EXPECT_EQ(CL.numAlive(), 2u);
+  // The stale hint (still cached by a caller) resolves to a live
+  // executor, counted as ANY, never the dead one.
+  uint64_t AnyBefore = CL.stats().AnyTasks;
+  unsigned Placed = CL.placeTask(1);
+  EXPECT_NE(Placed, 1u);
+  EXPECT_TRUE(CL.executorAlive(Placed));
+  EXPECT_EQ(CL.stats().AnyTasks, AnyBefore + 1);
+  EXPECT_EQ(CL.stats().ProcessLocalTasks, 0u);
+}
+
+TEST(ClusterDelaySched, FlaggedStragglerSteersPlacement) {
+  // accountTask on a degraded executor flags it; subsequent placements
+  // steer around the flag even for a PROCESS_LOCAL hint, unless every
+  // live executor is flagged.
+  memsim::HybridMemory DriverMem(64ull << 20, memsim::MemoryTechnology{},
+                                 memsim::CacheConfig{});
+  cluster::Cluster CL(unitClusterConfig(2), DriverMem, nullptr);
+  // Healthy cost: no flag.
+  cluster::Cluster::SpeculationOutcome O = CL.accountTask(0, 1000.0);
+  EXPECT_FALSE(O.Launched);
+  EXPECT_FALSE(CL.flaggedStraggler(0));
+  // Degrade 0 (factor 4 > multiplier 1.5): the next completed task on it
+  // is a straggler; a copy launches on executor 1 and wins.
+  CL.degradeExecutor(0);
+  O = CL.accountTask(0, 1000.0);
+  EXPECT_TRUE(O.Launched);
+  EXPECT_TRUE(O.CopyWon);
+  EXPECT_EQ(O.CopyExec, 1u);
+  EXPECT_TRUE(CL.flaggedStraggler(0));
+  EXPECT_EQ(CL.stats().SpeculativeLaunches, 1u);
+  EXPECT_EQ(CL.stats().SpeculativeWins, 1u);
+  // The PROCESS_LOCAL hint for the flagged machine is refused.
+  uint64_t Steered = CL.stats().StragglerAvoidedPlacements;
+  EXPECT_EQ(CL.placeTask(0), 1u);
+  EXPECT_EQ(CL.stats().StragglerAvoidedPlacements, Steered + 1);
+  // Flag the other one too: with every live executor flagged the
+  // scheduler has no healthy machine to steer to and uses them again.
+  CL.degradeExecutor(1);
+  CL.accountTask(1, 1000.0);
+  EXPECT_TRUE(CL.flaggedStraggler(1));
+  unsigned P = CL.placeTask(0);
+  EXPECT_LT(P, 2u);
+}
+
+TEST(ClusterDegraded, MakespanFoldsPerStage) {
+  memsim::HybridMemory DriverMem(64ull << 20, memsim::MemoryTechnology{},
+                                 memsim::CacheConfig{});
+  cluster::Cluster CL(unitClusterConfig(2), DriverMem, nullptr);
+  EXPECT_DOUBLE_EQ(CL.makespanNs(), 0.0);
+  CL.accountTask(0, 1000.0);
+  CL.accountTask(1, 400.0);
+  // Stage makespan is the max per-executor occupancy, not the sum.
+  EXPECT_DOUBLE_EQ(CL.makespanNs(), 1000.0);
+  CL.beginStage();
+  CL.accountTask(1, 300.0);
+  EXPECT_DOUBLE_EQ(CL.makespanNs(), 1300.0);
+}
+
 } // namespace

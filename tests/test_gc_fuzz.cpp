@@ -20,12 +20,13 @@ using namespace panthera::fuzz;
 namespace {
 
 FuzzResult run(uint64_t Seed, size_t Ops, FuzzConfigKind K,
-               unsigned Threads = 1) {
+               unsigned Threads = 1, unsigned Executors = 1) {
   FuzzOptions O;
   O.Seed = Seed;
   O.NumOps = Ops;
   O.Config = K;
   O.Threads = Threads;
+  O.Executors = Executors;
   return runDifferential(O);
 }
 
@@ -61,6 +62,33 @@ TEST(GcFuzzRegression, SurvivorAgeSaturatesParallelScavenge) {
 TEST(GcFuzzRegression, SurvivorAgeSaturatesSerialScavenge) {
   FuzzResult R = run(3, 465, FuzzConfigKind::Pressure, /*Threads=*/0);
   EXPECT_TRUE(R.Ok) << R.Problem;
+}
+
+// Frozen repro, executors mode with the degraded-cluster interleave: each
+// action also draws the slow-executor site (fire = forced minor GC on the
+// replica) and the transient-fetch site. Every replica must see the same
+// fire schedule and converge to bit-identical digests; a draw made
+// dependent on replica-local state (the bug class this pins) diverges
+// here immediately.
+TEST(GcFuzzRegression, DegradedInterleaveReplaysAcrossExecutors) {
+  FuzzResult R = run(17, 300, FuzzConfigKind::Split, /*Threads=*/1,
+                     /*Executors=*/3);
+  EXPECT_TRUE(R.Ok) << R.Problem;
+  // The interleave must actually exercise the new sites at this tuple --
+  // a silent no-op interleave would pass vacuously.
+  EXPECT_GT(R.MinorGcs, 0u);
+}
+
+// The degraded interleave composes with allocation-pressure injection:
+// both fault streams stay per-site pure functions of the seed, so the
+// pressure config's OOM schedule is unchanged by the new draws.
+TEST(GcFuzz, DegradedInterleaveComposesWithPressure) {
+  FuzzResult Solo = run(11, 256, FuzzConfigKind::Pressure);
+  FuzzResult Clustered = run(11, 256, FuzzConfigKind::Pressure,
+                             /*Threads=*/1, /*Executors=*/2);
+  ASSERT_TRUE(Solo.Ok) << Solo.Problem;
+  ASSERT_TRUE(Clustered.Ok) << Clustered.Problem;
+  EXPECT_EQ(Solo.OomErrorsThrown, Clustered.OomErrorsThrown);
 }
 
 // The acceptance bar from docs/fuzzing.md: the same seed replays

@@ -6,6 +6,7 @@
 
 #include "analysis/SparkOps.h"
 #include "rdd/StorageLevel.h"
+#include "support/FaultInjector.h"
 #include "support/MemTag.h"
 #include "support/Statistics.h"
 #include "support/Units.h"
@@ -106,4 +107,64 @@ TEST(SparkOps, Classification) {
   EXPECT_TRUE(isMemoryStorageLevel("MEMORY_AND_DISK_SER"));
   EXPECT_FALSE(isMemoryStorageLevel("DISK_ONLY"));
   EXPECT_FALSE(isMemoryStorageLevel("OFF_HEAP"));
+}
+
+//===----------------------------------------------------------------------===
+// Fault-plan validation (support/FaultInjector.h)
+//===----------------------------------------------------------------------===
+
+TEST(FaultConfig, ParseAcceptsValidSpecs) {
+  FaultPlan Plan;
+  parseFaultSpec("task:p=0.25", Plan);
+  EXPECT_DOUBLE_EQ(Plan.site(FaultSite::TaskExecution).Probability, 0.25);
+  parseFaultSpec("slow-executor:p=1", Plan);
+  EXPECT_DOUBLE_EQ(Plan.site(FaultSite::SlowExecutor).Probability, 1.0);
+  parseFaultSpec("fetch:nth=3", Plan);
+  EXPECT_EQ(Plan.site(FaultSite::FetchTransient).FireOnNth, 3u);
+  // Boundary probabilities are legal.
+  parseFaultSpec("cache:p=0", Plan);
+  parseFaultSpec("shuffle:p=1.0", Plan);
+}
+
+TEST(FaultConfig, ParseRejectsOutOfRangeProbability) {
+  // Regression: "p=1.5" used to flow into the plan unvalidated and only
+  // misbehave at draw time. It must be a typed parse-time error now, and
+  // it must not clobber the site's previous configuration.
+  FaultPlan Plan;
+  Plan.site(FaultSite::TaskExecution).Probability = 0.5;
+  EXPECT_THROW(parseFaultSpec("task:p=1.5", Plan), FaultConfigError);
+  EXPECT_DOUBLE_EQ(Plan.site(FaultSite::TaskExecution).Probability, 0.5);
+  EXPECT_THROW(parseFaultSpec("task:p=-0.1", Plan), FaultConfigError);
+  EXPECT_THROW(parseFaultSpec("fetch:p=nan", Plan), FaultConfigError);
+}
+
+TEST(FaultConfig, ParseRejectsMalformedSpecs) {
+  FaultPlan Plan;
+  EXPECT_THROW(parseFaultSpec("task", Plan), FaultConfigError);
+  EXPECT_THROW(parseFaultSpec("warp-core:p=0.1", Plan), FaultConfigError);
+  EXPECT_THROW(parseFaultSpec("task:q=0.1", Plan), FaultConfigError);
+  EXPECT_THROW(parseFaultSpec("task:nth=0", Plan), FaultConfigError);
+  EXPECT_THROW(parseFaultSpec("task:p=banana", Plan), FaultConfigError);
+}
+
+TEST(FaultConfig, InjectorRejectsOutOfRangePlan) {
+  // A plan assembled programmatically (bypassing the parser) is still
+  // range-checked when the injector is built.
+  FaultPlan Plan;
+  Plan.site(FaultSite::FetchTransient).Probability = 2.0;
+  EXPECT_THROW(FaultInjector Inj(Plan), FaultConfigError);
+  Plan.site(FaultSite::FetchTransient).Probability = 0.5;
+  EXPECT_NO_THROW(FaultInjector Inj(Plan));
+}
+
+TEST(FaultConfig, NewSiteNamesRoundTrip) {
+  FaultSite S;
+  ASSERT_TRUE(parseFaultSite("slow-executor", S));
+  EXPECT_EQ(S, FaultSite::SlowExecutor);
+  ASSERT_TRUE(parseFaultSite("slow", S));
+  EXPECT_EQ(S, FaultSite::SlowExecutor);
+  ASSERT_TRUE(parseFaultSite("fetch", S));
+  EXPECT_EQ(S, FaultSite::FetchTransient);
+  EXPECT_STREQ(faultSiteName(FaultSite::SlowExecutor), "slow-executor");
+  EXPECT_STREQ(faultSiteName(FaultSite::FetchTransient), "fetch");
 }

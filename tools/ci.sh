@@ -61,7 +61,39 @@ grep -q '"cluster.fetch.remote_blocks"' "${obs}/c1.json"
 cmp "${obs}/m1.json" "${obs}/e1.json"
 echo "ci: cluster runs thread-invariant, --executors=1 matches the seed"
 
+# Straggler smoke (docs/robustness.md "degraded executors"): a degraded
+# executor with speculation on must reproduce the fault-free metrics'
+# checksum exactly, and the degraded-cluster machinery must actually
+# engage (flagged stragglers visible in the metrics export).
+echo "=== straggler smoke ==="
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --executors=4 --fault=slow-executor:p=0.3 --fault-seed=7 \
+  --metrics-json="${obs}/s1.json" >"${obs}/s1.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/s1.txt" >"${obs}/s1.sum"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --executors=4 >"${obs}/s0.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/s0.txt" >"${obs}/s0.sum"
+cmp "${obs}/s0.sum" "${obs}/s1.sum"
+grep -q '"cluster.speculation.flagged": [1-9]' "${obs}/s1.json"
+# Transient fetch faults with retry/backoff recover the same checksum too.
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --executors=4 --fault=fetch:p=0.1 --fault-seed=7 \
+  --metrics-json="${obs}/s2.json" >"${obs}/s2.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/s2.txt" >"${obs}/s2.sum"
+cmp "${obs}/s0.sum" "${obs}/s2.sum"
+grep -q '"cluster.fetch_retry.attempts": [1-9]' "${obs}/s2.json"
+echo "ci: degraded executors recover the fault-free checksum"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
+
+# The straggler sweep under UBSan: the speculation/makespan arithmetic and
+# the elastic block-migration paths run sanitized end to end, and the
+# sweep FATALs by itself if the 16x-straggler contract breaks. Scale 0.5
+# is the floor where the straggler dominates fixed costs enough for the
+# speculation-off ratio to clear 10x.
+echo "=== micro_cluster straggler sweep (asan/ubsan) ==="
+(cd "${obs}" && "${OLDPWD}/build-san/bench/micro_cluster" --scale=0.5)
+echo "ci: straggler sweep clean under sanitizers"
 
 # Bounded differential GC fuzzing (docs/fuzzing.md) on the sanitizer
 # build: the frozen regression corpus plus a fresh batch of seeds derived

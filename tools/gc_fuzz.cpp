@@ -39,7 +39,9 @@ void usage(const char *Argv0) {
       "  --config=NAME    dram | split | pressure (default split)\n"
       "  --threads=N      GC workers; 0 = serial collector (default 1)\n"
       "  --executors=N    replay each schedule on N independent executor\n"
-      "                   heaps and require bit-identical heap digests\n"
+      "                   heaps and require bit-identical heap digests;\n"
+      "                   also interleaves seeded slow-executor (forced\n"
+      "                   minor GC) and transient-fetch draws per action\n"
       "                   (default 1; 1..4)\n"
       "  --print-schedule dump the generated actions before running\n"
       "  --print-digest   print the heap-image digest per iteration\n"

@@ -18,9 +18,13 @@
 ///                [--fault=SITE:p=0.01] [--fault=SITE:nth=5]
 ///                [--fault-seed=N] [--task-retries=4] [--verify-recovery]
 ///                [--executors=N] [--net-bw=GBps] [--net-lat-us=US]
+///                [--no-speculation] [--speculation-mult=F]
+///                [--slow-factor=F] [--fetch-retries=N]
+///                [--decommission=E@K] [--join-at=K]
 ///
-/// SITE is one of task, cache, alloc, shuffle, executor. Fault runs exit 2
-/// if the workload still fails after the staged fallback and retries.
+/// SITE is one of task, cache, alloc, shuffle, executor, slow-executor,
+/// fetch. Fault runs exit 2 if the workload still fails after the staged
+/// fallback and retries.
 ///
 /// --threads=N sets the worker-thread count shared by stage execution and
 /// the parallel collector (docs/parallelism.md). 0 (the default) means
@@ -57,44 +61,34 @@ static gc::PolicyKind parsePolicy(const std::string &Name) {
   return gc::PolicyKind::Panthera;
 }
 
-/// Parses "SITE:p=0.01" or "SITE:nth=5" into \p Plan. Returns false (and
-/// prints a diagnostic) on malformed input.
+/// Parses "SITE:p=0.01" or "SITE:nth=5" into \p Plan through the library
+/// parser, so out-of-range probabilities get the typed FaultConfigError
+/// diagnostic. Returns false (and prints it) on malformed input.
 static bool parseFaultFlag(const char *Spec, FaultPlan &Plan) {
-  const char *Colon = std::strchr(Spec, ':');
-  FaultSite Site;
-  if (!Colon || !parseFaultSite(std::string(Spec, Colon - Spec), Site)) {
-    std::fprintf(
-        stderr,
-        "bad --fault site in '%s' (want task|cache|alloc|shuffle|executor)\n",
-        Spec);
+  try {
+    parseFaultSpec(Spec, Plan);
+    return true;
+  } catch (const FaultConfigError &E) {
+    std::fprintf(stderr, "bad --fault: %s\n", E.what());
     return false;
   }
-  FaultSiteConfig &C = Plan.site(Site);
-  if (std::strncmp(Colon + 1, "p=", 2) == 0) {
-    char *End = nullptr;
-    double P = std::strtod(Colon + 3, &End);
-    if (End == Colon + 3 || *End != '\0' || P < 0.0 || P > 1.0) {
-      std::fprintf(stderr, "bad --fault probability in '%s' (want 0..1)\n",
-                   Spec);
-      return false;
-    }
-    C.Probability = P;
-    return true;
-  }
-  if (std::strncmp(Colon + 1, "nth=", 4) == 0) {
-    char *End = nullptr;
-    long long N = std::strtoll(Colon + 5, &End, 10);
-    if (End == Colon + 5 || *End != '\0' || N <= 0) {
-      std::fprintf(stderr, "bad --fault count in '%s' (want nth=N, N >= 1)\n",
-                   Spec);
-      return false;
-    }
-    C.FireOnNth = static_cast<uint64_t>(N);
-    return true;
-  }
-  std::fprintf(stderr, "bad --fault trigger in '%s' (want p=X or nth=N)\n",
-               Spec);
-  return false;
+}
+
+/// Parses "EXEC@STAGE" for --decommission (an executor index and the
+/// 1-based cluster stage at whose start it leaves).
+static bool parseDecommission(const char *Spec, cluster::ElasticEvent &Ev) {
+  const char *At = std::strchr(Spec, '@');
+  if (!At)
+    return false;
+  uint64_t Exec = 0, Stage = 0;
+  if (!support::parseUnsigned(std::string(Spec, At - Spec).c_str(), 0, 255,
+                              Exec) ||
+      !support::parseUnsigned(At + 1, 1, 1u << 20, Stage))
+    return false;
+  Ev.Join = false;
+  Ev.Exec = static_cast<unsigned>(Exec);
+  Ev.AtStage = Stage;
+  return true;
 }
 
 int main(int Argc, char **Argv) {
@@ -181,6 +175,32 @@ int main(int Argc, char **Argv) {
       if (!support::parseF64(V, 0.0, 1e9, F))
         return BadFlag(A, "a latency in microseconds >= 0");
       Config.Cluster.NetLatencyUs = F;
+    } else if (std::strcmp(A, "--no-speculation") == 0)
+      Config.Cluster.SpeculationEnabled = false;
+    else if (const char *V = Val("--speculation-mult=")) {
+      if (!support::parseF64(V, 1.0, 1e6, F))
+        return BadFlag(A, "a straggler threshold multiplier >= 1");
+      Config.Cluster.SpeculationMultiplier = F;
+    } else if (const char *V = Val("--slow-factor=")) {
+      if (!support::parseF64(V, 1.0, 1e6, F))
+        return BadFlag(A, "a slowdown factor >= 1");
+      Config.Cluster.SlowExecutorFactor = F;
+    } else if (const char *V = Val("--fetch-retries=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 20, U))
+        return BadFlag(A, "a fetch attempt budget >= 1");
+      Config.Cluster.FetchRetryLimit = static_cast<uint32_t>(U);
+    } else if (const char *V = Val("--decommission=")) {
+      cluster::ElasticEvent Ev;
+      if (!parseDecommission(V, Ev))
+        return BadFlag(A, "EXEC@STAGE, e.g. --decommission=2@3");
+      Config.Cluster.Elastic.push_back(Ev);
+    } else if (const char *V = Val("--join-at=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 20, U))
+        return BadFlag(A, "a 1-based cluster stage index >= 1");
+      cluster::ElasticEvent Ev;
+      Ev.Join = true;
+      Ev.AtStage = U;
+      Config.Cluster.Elastic.push_back(Ev);
     }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
@@ -210,7 +230,8 @@ int main(int Argc, char **Argv) {
           "                     trace (simulated clock) to F; load it at\n"
           "                     chrome://tracing or ui.perfetto.dev\n"
           "  --fault=SITE:p=X   Bernoulli fault at one of the sites\n"
-          "                     task|cache|alloc|shuffle|executor\n"
+          "                     task|cache|alloc|shuffle|executor|\n"
+          "                     slow-executor|fetch\n"
           "  --fault=SITE:nth=N fire on the Nth occurrence instead\n"
           "  --fault-seed=N     fault-plan seed\n"
           "  --task-retries=N   per-task attempt budget\n"
@@ -222,6 +243,18 @@ int main(int Argc, char **Argv) {
           "  --net-bw=GBps      fabric bandwidth for remote shuffle\n"
           "                     fetches (default 10)\n"
           "  --net-lat-us=US    fabric per-transfer latency (default 200)\n"
+          "  --no-speculation   disable speculative execution of straggler\n"
+          "                     tasks (docs/robustness.md)\n"
+          "  --speculation-mult=F  straggler threshold: speculate when a\n"
+          "                     task runs F x the stage median (default 1.5)\n"
+          "  --slow-factor=F    slowdown applied by a slow-executor fault\n"
+          "                     fire (default 4)\n"
+          "  --fetch-retries=N  transient-fetch attempt budget before the\n"
+          "                     block is declared lost (default 3)\n"
+          "  --decommission=E@K drain executor E at the start of cluster\n"
+          "                     stage K (1-based); repeatable\n"
+          "  --join-at=K        add a fresh executor at the start of\n"
+          "                     cluster stage K; repeatable\n"
           "  --list             list workloads and exit\n");
       return 0;
     } else {
@@ -362,13 +395,38 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(CS.ExecutorsLost),
                   static_cast<unsigned long long>(CS.MapOutputsLost),
                   static_cast<unsigned long long>(CS.MapOutputsRecomputed));
+    if (CS.SpeculativeLaunches != 0 || CS.StragglersFlagged != 0)
+      std::printf("         speculation: %llu stragglers flagged, %llu "
+                  "copies launched (%llu won), %.3f ms wasted, %llu "
+                  "placements steered\n",
+                  static_cast<unsigned long long>(CS.StragglersFlagged),
+                  static_cast<unsigned long long>(CS.SpeculativeLaunches),
+                  static_cast<unsigned long long>(CS.SpeculativeWins),
+                  CS.SpeculativeWastedNs / 1e6,
+                  static_cast<unsigned long long>(
+                      CS.StragglerAvoidedPlacements));
+    if (CS.FetchRetries != 0 || CS.FetchEscalations != 0)
+      std::printf("         fetch faults: %llu drops + %llu corruptions, "
+                  "%llu retries (%.3f ms backoff), %llu escalations\n",
+                  static_cast<unsigned long long>(CS.FetchDrops),
+                  static_cast<unsigned long long>(CS.FetchCorruptions),
+                  static_cast<unsigned long long>(CS.FetchRetries),
+                  CS.FetchBackoffNs / 1e6,
+                  static_cast<unsigned long long>(CS.FetchEscalations));
+    if (CS.ExecutorsDecommissioned != 0 || CS.ExecutorsJoined != 0)
+      std::printf("         elastic: %llu decommissioned (%llu blocks / "
+                  "%llu KB migrated), %llu joined\n",
+                  static_cast<unsigned long long>(CS.ExecutorsDecommissioned),
+                  static_cast<unsigned long long>(CS.BlocksMigrated),
+                  static_cast<unsigned long long>(CS.BytesMigrated / 1024),
+                  static_cast<unsigned long long>(CS.ExecutorsJoined));
   }
 
   if (Config.Faults.enabled()) {
     const heap::HeapStats &HS = RT.heap().stats();
     std::printf("\nfaults: seed %llu | %llu task / %llu cache-loss / "
-                "%llu alloc / %llu shuffle / %llu executor injections "
-                "fired\n",
+                "%llu alloc / %llu shuffle / %llu executor / "
+                "%llu slow-executor / %llu fetch injections fired\n",
                 static_cast<unsigned long long>(Config.Faults.Seed),
                 static_cast<unsigned long long>(
                     RT.faults()->fired(FaultSite::TaskExecution)),
@@ -379,7 +437,11 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(
                     RT.faults()->fired(FaultSite::ShuffleFetch)),
                 static_cast<unsigned long long>(
-                    RT.faults()->fired(FaultSite::ExecutorLoss)));
+                    RT.faults()->fired(FaultSite::ExecutorLoss)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::SlowExecutor)),
+                static_cast<unsigned long long>(
+                    RT.faults()->fired(FaultSite::FetchTransient)));
     std::printf("        %llu tasks, %llu attempts (%llu retries), "
                 "%llu lineage recomputations\n",
                 static_cast<unsigned long long>(R.Tasks.totalTasks()),
