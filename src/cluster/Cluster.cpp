@@ -27,6 +27,7 @@ Executor::Executor(unsigned Id, const ClusterConfig &Config) : Id(Id) {
   Mem = std::make_unique<memsim::HybridMemory>(Total, Config.Technology,
                                                Config.Cache, Config.EpochNs,
                                                /*Registry=*/nullptr);
+  Mem->setAccessPath(Config.AccessPath);
   H = std::make_unique<heap::Heap>(HC, *Mem);
   // Claim the shuffle arena up front: the native region is never collected,
   // so per-shuffle reuse needs our own bump pointer over one big claim.
@@ -356,10 +357,33 @@ bool Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
     Stats.LocalBytesFetched += B.Bytes;
     return Delivered;
   }
+  const ClusterOptions &O = Config.Options;
+  if (O.ZeroCopyShuffle && hostOf(DstExec) == hostOf(B.Exec)) {
+    // Sparkle-style zero-copy shared-memory shuffle: co-located executors
+    // exchange blocks by mapping the mapper's pages into the reducer, so
+    // no serialization CPU, latency, or fabric bandwidth is charged. The
+    // replica read above already paid the memory traffic through the
+    // owner's simulated memory (and disk-spilled blocks their
+    // deserialization CPU); nothing else crosses any wire. Dropped
+    // fetches and decommission migration still ride the fabric: a drop
+    // models a request that left the host, and migration copies to
+    // executors on other hosts.
+    ++Stats.ZeroCopyBlocksFetched;
+    Stats.ZeroCopyBytesFetched += B.Bytes;
+    if (Trace)
+      Trace->span(support::TraceTrack::Network, "zero-copy fetch", "net",
+                  DriverMem.totalTimeNs(), 0.0)
+          .arg("from", static_cast<uint64_t>(B.Exec))
+          .arg("to", static_cast<uint64_t>(DstExec))
+          .arg("map", static_cast<uint64_t>(Map))
+          .arg("reduce", static_cast<uint64_t>(Reduce))
+          .arg("bytes", B.Bytes)
+          .arg("records", B.Records);
+    return Delivered;
+  }
   // Remote: serialization CPU plus latency plus bytes over the pipe, all
   // on the driver's simulated clock (1 GB/s == 1 byte/ns). A degraded
   // owner serves its serialization at the slowed rate.
-  const ClusterOptions &O = Config.Options;
   double Ns =
       O.NetSerNsPerRecord * static_cast<double>(B.Records) *
           Slowdown[B.Exec] +
@@ -561,6 +585,8 @@ void Cluster::publishMetrics(support::MetricsRegistry &M) const {
   M.counter("cluster.fetch.local_bytes").set(Stats.LocalBytesFetched);
   M.counter("cluster.fetch.remote_blocks").set(Stats.RemoteBlocksFetched);
   M.counter("cluster.fetch.remote_bytes").set(Stats.RemoteBytesFetched);
+  M.counter("cluster.fetch.zero_copy_blocks").set(Stats.ZeroCopyBlocksFetched);
+  M.counter("cluster.fetch.zero_copy_bytes").set(Stats.ZeroCopyBytesFetched);
   M.gauge("cluster.net.time_ns").set(Stats.NetworkNs);
   M.counter("cluster.executors_lost").set(Stats.ExecutorsLost);
   M.counter("cluster.map_outputs_lost").set(Stats.MapOutputsLost);

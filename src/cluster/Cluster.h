@@ -92,6 +92,18 @@ struct ClusterOptions {
   /// Transient-fetch attempts per block before the driver gives up and
   /// escalates to executor-loss recovery (lineage recompute).
   uint32_t FetchRetryLimit = 3;
+  /// Physical hosts the executors are packed onto (host of executor E is
+  /// E % NumHosts). 0 means one host per executor — no co-location, so
+  /// the zero-copy path below never triggers and the fabric charging is
+  /// byte-identical to the pre-hosts engine.
+  unsigned NumHosts = 0;
+  /// Sparkle-style zero-copy shared-memory shuffle (PAPERS.md): a fetch
+  /// whose mapper and reducer executors share a host skips the fabric
+  /// entirely — no serialization CPU, no latency, no bandwidth charge —
+  /// because the reducer maps the mapper's block directly. Blocks that
+  /// overflowed onto executor disk still pay their deserialization CPU.
+  /// Only meaningful when NumHosts packs several executors per host.
+  bool ZeroCopyShuffle = true;
   /// Scheduled mid-job decommission/join events, applied at stage opens.
   std::vector<ElasticEvent> Elastic;
 };
@@ -104,6 +116,9 @@ struct ClusterConfig {
   heap::HeapConfig ExecutorHeap;
   memsim::MemoryTechnology Technology;
   memsim::CacheConfig Cache;
+  /// Access implementation for the executors' simulated memories (the
+  /// Runtime copies its own setting so --memsim-path covers every clock).
+  memsim::AccessPathMode AccessPath = memsim::AccessPathMode::Batched;
   double EpochNs = 1.0e6;
   /// Deserialization CPU per record for blocks that overflowed an
   /// executor's native arena onto its local disk (EngineConfig's
@@ -124,6 +139,10 @@ struct ClusterStats {
   uint64_t LocalBytesFetched = 0;
   uint64_t RemoteBlocksFetched = 0;
   uint64_t RemoteBytesFetched = 0;
+  /// Same-host cross-executor fetches served through shared memory
+  /// (--zero-copy-shuffle with --hosts packing > 1 executor per host).
+  uint64_t ZeroCopyBlocksFetched = 0;
+  uint64_t ZeroCopyBytesFetched = 0;
   double NetworkNs = 0.0; ///< Fabric time charged on the driver clock.
   uint64_t ExecutorsLost = 0;
   uint64_t MapOutputsLost = 0;       ///< Blocks on lost executors.
@@ -211,6 +230,11 @@ public:
   unsigned numAlive() const;
   Executor &executor(unsigned Id) { return *Executors[Id]; }
   bool executorAlive(unsigned Id) const { return Executors[Id]->alive(); }
+  /// Physical host of executor \p Id: Id % NumHosts, or Id itself when
+  /// NumHosts == 0 (one host per executor, the default).
+  unsigned hostOf(unsigned Id) const {
+    return Config.Options.NumHosts == 0 ? Id : Id % Config.Options.NumHosts;
+  }
 
   //===--- scheduler ------------------------------------------------------===
   /// Opens a new stage: folds the finished stage's makespan, applies any

@@ -456,41 +456,12 @@ constexpr uint64_t ClaimedSentinel = 1;
 
 /// Per-worker integer traffic counts, merged before the single bulk charge
 /// so simulated GC time is independent of scheduling (floating-point
-/// accumulation order never varies).
-struct GcTally {
-  uint64_t DramReads = 0;
-  uint64_t DramWrites = 0;
-  uint64_t NvmReads = 0;
-  uint64_t NvmWrites = 0;
-
-  void add(const memsim::AddressMap &Map, uint64_t Addr, uint64_t Bytes,
-           bool IsWrite) {
-    uint64_t FirstLine = Addr / memsim::CacheLineBytes;
-    uint64_t LastLine = (Addr + Bytes - 1) / memsim::CacheLineBytes;
-    for (uint64_t L = FirstLine; L <= LastLine; ++L) {
-      bool Dram = Map.deviceOf(L * memsim::CacheLineBytes) ==
-                  memsim::Device::DRAM;
-      if (IsWrite)
-        ++(Dram ? DramWrites : NvmWrites);
-      else
-        ++(Dram ? DramReads : NvmReads);
-    }
-  }
-
-  void merge(const GcTally &O) {
-    DramReads += O.DramReads;
-    DramWrites += O.DramWrites;
-    NvmReads += O.NvmReads;
-    NvmWrites += O.NvmWrites;
-  }
-
-  /// Charges the counts and returns the simulated ns consumed.
-  double charge(memsim::HybridMemory &Mem) const {
-    double Before = Mem.gcTimeNs();
-    Mem.chargeBulkLines(DramReads, DramWrites, NvmReads, NvmWrites);
-    return Mem.gcTimeNs() - Before;
-  }
-};
+/// accumulation order never varies). Promoted to memsim::TrafficShard so
+/// every parallel phase (not just the GC) can shard its accounting; the
+/// flush (HybridMemory::flushShard) charges the current actor and returns
+/// the ns consumed, exactly as the old GcTally::charge did under the GC
+/// actor scope.
+using GcTally = memsim::TrafficShard;
 
 MemTag loadTagAtomic(ObjectHeader *Hdr) {
   std::atomic_ref<uint8_t> F(Hdr->Flags);
@@ -996,12 +967,12 @@ private:
     // copies it caused are part of the drain tally.
     memsim::HybridMemory &Mem = H.memory();
     Event.RootTaskNs = 0.0;
-    Event.DramToYoungTaskNs = DramCards.charge(Mem);
-    Event.NvmToYoungTaskNs = NvmCards.charge(Mem);
+    Event.DramToYoungTaskNs = Mem.flushShard(DramCards);
+    Event.NvmToYoungTaskNs = Mem.flushShard(NvmCards);
     GcTally Drain;
     for (const GcTally &T : Tallies)
       Drain.merge(T);
-    Event.DrainNs = Drain.charge(Mem);
+    Event.DrainNs = Mem.flushShard(Drain);
   }
 
   //===--- state ----------------------------------------------------------===
@@ -1176,7 +1147,7 @@ void Collector::markParallelFromRoots() {
   GcTally Total;
   for (const GcTally &T : Tallies)
     Total.merge(T);
-  Total.charge(H.memory());
+  H.memory().flushShard(Total);
 }
 
 void Collector::propagateMigrationTag(uint64_t ArrayAddr, MemTag Target) {

@@ -425,6 +425,41 @@ void Heap::storeRef(ObjRef Obj, uint32_t Slot, ObjRef Value) {
   writeBarrier(Obj, SlotAddr);
 }
 
+void Heap::copyRefRange(ObjRef Dst, uint32_t DstFirst, ObjRef Src,
+                        uint32_t SrcFirst, uint32_t Count) {
+  if (Count == 0)
+    return;
+  assert(Dst && Src && "null dereference");
+  assert(SrcFirst + static_cast<uint64_t>(Count) <=
+             header(Src.addr())->numRefSlots() &&
+         "source ref range out of bounds");
+  assert(DstFirst + static_cast<uint64_t>(Count) <=
+             header(Dst.addr())->numRefSlots() &&
+         "destination ref range out of bounds");
+  uint64_t SrcAddr = refSlotAddr(Src.addr(), SrcFirst);
+  uint64_t DstAddr = refSlotAddr(Dst.addr(), DstFirst);
+  Mem.onAccessRange(SrcAddr, Count * uint64_t(RefSlotBytes),
+                    /*IsWrite=*/false, RefSlotBytes);
+  Mem.onAccessRange(DstAddr, Count * uint64_t(RefSlotBytes),
+                    /*IsWrite=*/true, RefSlotBytes);
+  std::memmove(&Buffer[DstAddr], &Buffer[SrcAddr],
+               Count * uint64_t(RefSlotBytes));
+  // Per-store write-barrier bookkeeping, matching writeBarrier().
+  for (uint32_t I = 0; I != Count; ++I) {
+    ++Stats.RefStores;
+    Cards.dirtyCardFor(DstAddr + I * uint64_t(RefSlotBytes));
+    Mem.addCpuWorkNs(Config.Tuning.BarrierCpuNs);
+  }
+  if (Config.Tuning.KwWriteMonitoring) {
+    ObjectHeader *Hdr = header(Dst.addr());
+    for (uint32_t I = 0; I != Count; ++I) {
+      if (Hdr->WriteCount != UINT32_MAX)
+        ++Hdr->WriteCount;
+      Mem.onAccess(Dst.addr(), sizeof(uint32_t), /*IsWrite=*/true);
+    }
+  }
+}
+
 int64_t Heap::loadI64(ObjRef Obj, uint32_t ByteOffset) {
   uint64_t Addr = Obj.addr() + plainPayloadOffset(Obj) + ByteOffset;
   Mem.onAccess(Addr, 8, /*IsWrite=*/false);
@@ -483,6 +518,32 @@ double Heap::loadElemF64(ObjRef Array, uint32_t Index) {
   return V;
 }
 
+void Heap::loadElemsI64(ObjRef Array, uint32_t FirstIndex, uint32_t Count,
+                        int64_t *Dst) {
+  if (Count == 0)
+    return;
+  assert(header(Array.addr())->kind() == ObjectKind::PrimArray &&
+         header(Array.addr())->Aux == 8 && "not an 8-byte prim array");
+  assert(FirstIndex + static_cast<uint64_t>(Count) <=
+             header(Array.addr())->Length &&
+         "range out of bounds");
+  uint64_t Addr = Array.addr() + sizeof(ObjectHeader) + FirstIndex * 8ull;
+  Mem.onAccessRange(Addr, Count * 8ull, /*IsWrite=*/false, /*ElemBytes=*/8);
+  std::memcpy(Dst, &Buffer[Addr], Count * 8ull);
+}
+
+void Heap::storeElemsI64(ObjRef Array, uint32_t FirstIndex, uint32_t Count,
+                         const int64_t *Src) {
+  if (Count == 0)
+    return;
+  assert(FirstIndex + static_cast<uint64_t>(Count) <=
+             header(Array.addr())->Length &&
+         "range out of bounds");
+  uint64_t Addr = Array.addr() + sizeof(ObjectHeader) + FirstIndex * 8ull;
+  Mem.onAccessRange(Addr, Count * 8ull, /*IsWrite=*/true, /*ElemBytes=*/8);
+  std::memcpy(&Buffer[Addr], Src, Count * 8ull);
+}
+
 double Heap::peekElemF64(ObjRef Array, uint32_t Index) const {
   assert(header(Array.addr())->kind() == ObjectKind::PrimArray &&
          header(Array.addr())->Aux == 8 && "not an 8-byte prim array");
@@ -509,6 +570,24 @@ void Heap::nativeRead(uint64_t Addr, void *Dst, uint64_t Bytes) {
   assert(NativeSpace.contains(Addr) && "native read outside native space");
   Mem.onAccess(Addr, static_cast<uint32_t>(Bytes), /*IsWrite=*/false);
   std::memcpy(Dst, &Buffer[Addr], Bytes);
+}
+
+void Heap::nativeWriteRecords(uint64_t Addr, const void *Src, uint64_t Count,
+                              uint64_t RecordBytes) {
+  if (Count == 0)
+    return;
+  assert(NativeSpace.contains(Addr) && "native write outside native space");
+  Mem.onAccessRange(Addr, Count * RecordBytes, /*IsWrite=*/true, RecordBytes);
+  std::memcpy(&Buffer[Addr], Src, Count * RecordBytes);
+}
+
+void Heap::nativeReadRecords(uint64_t Addr, void *Dst, uint64_t Count,
+                             uint64_t RecordBytes) {
+  if (Count == 0)
+    return;
+  assert(NativeSpace.contains(Addr) && "native read outside native space");
+  Mem.onAccessRange(Addr, Count * RecordBytes, /*IsWrite=*/false, RecordBytes);
+  std::memcpy(Dst, &Buffer[Addr], Count * RecordBytes);
 }
 
 //===----------------------------------------------------------------------===

@@ -200,6 +200,15 @@ public:
 
   ObjRef loadRef(ObjRef Obj, uint32_t Slot);
   void storeRef(ObjRef Obj, uint32_t Slot, ObjRef Value);
+
+  /// Bulk ref-slot copy: the accounted equivalent of
+  ///   for I in 0..Count: storeRef(Dst, DstFirst+I, loadRef(Src, SrcFirst+I))
+  /// issued as two element-granular ranges (all reads, then all writes)
+  /// plus the per-store write-barrier bookkeeping. Only valid when no
+  /// allocation can intervene (the caller holds both objects stable);
+  /// PartitionBuilder::finish uses it to flatten chunks.
+  void copyRefRange(ObjRef Dst, uint32_t DstFirst, ObjRef Src,
+                    uint32_t SrcFirst, uint32_t Count);
   int64_t loadI64(ObjRef Obj, uint32_t ByteOffset);
   void storeI64(ObjRef Obj, uint32_t ByteOffset, int64_t Value);
   double loadF64(ObjRef Obj, uint32_t ByteOffset);
@@ -211,6 +220,16 @@ public:
   double loadElemF64(ObjRef Array, uint32_t Index);
   void storeElemF64(ObjRef Array, uint32_t Index, double Value);
 
+  /// Bulk primitive-array element access: \p Count consecutive 8-byte
+  /// elements starting at \p FirstIndex. Accounted as one element-granular
+  /// range through the memsim fast path — the simulated cost is
+  /// bit-identical to the per-element loop on either access path; only the
+  /// bookkeeping is amortized.
+  void loadElemsI64(ObjRef Array, uint32_t FirstIndex, uint32_t Count,
+                    int64_t *Dst);
+  void storeElemsI64(ObjRef Array, uint32_t FirstIndex, uint32_t Count,
+                     const int64_t *Src);
+
   /// Unaccounted element read: the value only, touching neither the cache
   /// model nor the clock. For capture-phase workers reading stable data
   /// (broadcast blocks); the accounted read is re-issued at replay.
@@ -219,6 +238,14 @@ public:
   /// Native-region access (accounted, no barrier).
   void nativeWrite(uint64_t Addr, const void *Src, uint64_t Bytes);
   void nativeRead(uint64_t Addr, void *Dst, uint64_t Bytes);
+
+  /// Bulk native-region access accounted as \p Count records of
+  /// \p RecordBytes each (the cost of the equivalent per-record loop),
+  /// moving the Count * RecordBytes payload in one memcpy.
+  void nativeWriteRecords(uint64_t Addr, const void *Src, uint64_t Count,
+                          uint64_t RecordBytes);
+  void nativeReadRecords(uint64_t Addr, void *Dst, uint64_t Count,
+                         uint64_t RecordBytes);
 
   uint32_t arrayLength(ObjRef Obj) const {
     return header(Obj.addr())->Length;
@@ -272,6 +299,14 @@ public:
   /// Charges device traffic for a GC-driven (or other explicit) access.
   void account(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
     Mem.onAccess(Addr, Bytes, IsWrite);
+  }
+
+  /// Range form of account(): one bulk charge for a traversal of
+  /// [Addr, Addr+Bytes) in \p ElemBytes-sized steps (0 = a single access
+  /// spanning the range). See HybridMemory::onAccessRange.
+  void accountRange(uint64_t Addr, uint64_t Bytes, bool IsWrite,
+                    uint64_t ElemBytes = 0) {
+    Mem.onAccessRange(Addr, Bytes, IsWrite, ElemBytes);
   }
 
   /// Allocates \p Bytes in the old generation honoring \p Tag; applies the

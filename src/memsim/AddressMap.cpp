@@ -21,6 +21,7 @@ void AddressMap::setRange(uint64_t Start, uint64_t End, Device D) {
   assert(Start % PageBytes == 0 && End % PageBytes == 0 &&
          "range must be page-aligned");
   assert(Start <= End && End <= totalBytes() && "range out of bounds");
+  ++Generation;
   for (uint64_t Page = Start / PageBytes, E = End / PageBytes; Page != E;
        ++Page)
     PageDevice[Page] = static_cast<uint8_t>(D);

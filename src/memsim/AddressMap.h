@@ -50,11 +50,18 @@ public:
     return static_cast<Device>(PageDevice[Page]);
   }
 
+  /// Remap generation: bumped by every setRange/interleaveRange call.
+  /// Consumers caching deviceOf results (HybridMemory's page-run fast path)
+  /// compare generations instead of registering callbacks; a stale
+  /// generation invalidates the cached device.
+  uint64_t generation() const { return Generation; }
+
   /// Number of bytes in [Start, End) currently backed by \p D.
   uint64_t bytesBackedBy(uint64_t Start, uint64_t End, Device D) const;
 
 private:
   std::vector<uint8_t> PageDevice;
+  uint64_t Generation = 0;
 };
 
 } // namespace memsim

@@ -27,10 +27,19 @@ CacheModel::CacheModel(const CacheConfig &Config)
   // Power-of-two set count keeps indexing a mask operation.
   NumSets = roundUpToPowerOfTwo(RawSets == 0 ? 1 : RawSets);
   Lines.assign(static_cast<size_t>(NumSets) * Associativity, Line());
+  // Way-predictor table: big enough that every resident line can keep a
+  // live hint (next power of two above the line count).
+  uint32_t HintSlots = roundUpToPowerOfTwo(NumSets * Associativity);
+  Hints.assign(HintSlots, Hint());
+  HintMask = HintSlots - 1;
 }
 
-CacheResult CacheModel::access(uint64_t Addr, bool IsWrite) {
-  uint64_t LineAddr = Addr / LineBytes;
+CacheResult CacheModel::access(uint64_t Addr, bool IsWrite, uint32_t Repeat) {
+  return accessLine(Addr / LineBytes, IsWrite, Repeat);
+}
+
+CacheResult CacheModel::accessLine(uint64_t LineAddr, bool IsWrite,
+                                   uint32_t Repeat) {
   uint32_t Set = static_cast<uint32_t>(LineAddr & (NumSets - 1));
   Line *Ways = &Lines[static_cast<size_t>(Set) * Associativity];
   ++UseClock;
@@ -42,7 +51,16 @@ CacheResult CacheModel::access(uint64_t Addr, bool IsWrite) {
       Ways[W].LastUse = UseClock;
       Ways[W].Dirty |= IsWrite;
       ++Hits;
+      Hints[LineAddr & HintMask] = {LineAddr, W};
       Result.Hit = true;
+      // Coalesced back-to-back re-touches: each would be a guaranteed hit
+      // (the line is MRU and nothing intervenes), so the only state it
+      // changes is the clocks and the hit counter.
+      if (Repeat != 0) {
+        UseClock += Repeat;
+        Ways[W].LastUse = UseClock;
+        Hits += Repeat;
+      }
       return Result;
     }
   }
@@ -63,12 +81,25 @@ CacheResult CacheModel::access(uint64_t Addr, bool IsWrite) {
   Victim.Tag = LineAddr;
   Victim.LastUse = UseClock;
   Victim.Dirty = IsWrite;
+  Hints[LineAddr & HintMask] = {LineAddr, VictimWay};
+  if (Repeat != 0) {
+    UseClock += Repeat;
+    Victim.LastUse = UseClock;
+    Hits += Repeat;
+  }
   return Result;
+}
+
+CacheResult CacheModel::accessHinted(uint64_t Addr, bool IsWrite,
+                                     uint32_t Repeat) {
+  return accessLineHinted(Addr / LineBytes, IsWrite, Repeat);
 }
 
 void CacheModel::reset() {
   for (Line &L : Lines)
     L = Line();
+  for (Hint &H : Hints)
+    H = Hint();
   UseClock = 0;
   Hits = 0;
   Misses = 0;

@@ -23,6 +23,7 @@
 
 #include "memsim/MemoryTechnology.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -50,7 +51,56 @@ public:
   explicit CacheModel(const CacheConfig &Config);
 
   /// Accesses the line containing \p Addr; \p IsWrite marks the line dirty.
-  CacheResult access(uint64_t Addr, bool IsWrite);
+  /// \p Repeat coalesces that many additional back-to-back accesses to the
+  /// same line into the bookkeeping of this call. Because the line is MRU
+  /// in its set after the first touch and nothing intervenes, each repeat
+  /// is a guaranteed hit; the coalesced update (UseClock += Repeat,
+  /// LastUse = final clock, Hits += Repeat, Dirty |= IsWrite) is
+  /// bit-identical to issuing the accesses one at a time. The batched
+  /// range path in HybridMemory uses this for element runs that share a
+  /// cache line; repeats never generate traffic, so the caller still
+  /// charges Repeat hit costs.
+  CacheResult access(uint64_t Addr, bool IsWrite, uint32_t Repeat = 0);
+
+  /// access() accelerated by a way-predictor hint: a direct-mapped
+  /// LineAddr -> way table remembers where a line was last found, and a
+  /// verified prediction (the way still holds the tag) takes the hit path
+  /// without scanning the set. The hint is consulted before use and never
+  /// trusted blind, so hit/miss outcomes, LRU state, counters, and
+  /// writeback victims are exactly access()'s; a stale or colliding hint
+  /// just falls back to the scan. Used by HybridMemory's batched range
+  /// path; the per-line reference path keeps the plain scan.
+  CacheResult accessHinted(uint64_t Addr, bool IsWrite, uint32_t Repeat = 0);
+
+  /// accessHinted() addressed by line number (Addr / LineBytes) for
+  /// callers that already walk lines -- skips re-deriving the line from
+  /// the byte address (a hardware divide: LineBytes is a runtime knob).
+  /// Defined inline: this is the innermost probe of the batched range
+  /// path and the verified-prediction case must not pay a call.
+  CacheResult accessLineHinted(uint64_t LineAddr, bool IsWrite,
+                               uint32_t Repeat = 0) {
+    const Hint &H = Hints[LineAddr & HintMask];
+    if (H.Tag == LineAddr) {
+      uint32_t Set = static_cast<uint32_t>(LineAddr & (NumSets - 1));
+      Line &L = Lines[static_cast<size_t>(Set) * Associativity + H.Way];
+      if (L.Tag == LineAddr) {
+        // Verified prediction: perform exactly the scan's hit bookkeeping.
+        ++UseClock;
+        L.LastUse = UseClock;
+        L.Dirty |= IsWrite;
+        ++Hits;
+        CacheResult Result;
+        Result.Hit = true;
+        if (Repeat != 0) {
+          UseClock += Repeat;
+          L.LastUse = UseClock;
+          Hits += Repeat;
+        }
+        return Result;
+      }
+    }
+    return accessLine(LineAddr, IsWrite, Repeat);
+  }
 
   /// Drops every line (e.g. between independent experiment runs).
   void reset();
@@ -66,6 +116,16 @@ private:
     bool Dirty = false;
   };
 
+  /// The scan implementation behind every public entry point, addressed
+  /// by line number.
+  CacheResult accessLine(uint64_t LineAddr, bool IsWrite, uint32_t Repeat);
+
+  /// One way-predictor entry: the line last seen at Way in its set.
+  struct Hint {
+    uint64_t Tag = ~0ull;
+    uint32_t Way = 0;
+  };
+
   uint32_t LineBytes;
   uint32_t Associativity;
   uint32_t NumSets;
@@ -73,6 +133,8 @@ private:
   uint64_t Hits = 0;
   uint64_t Misses = 0;
   std::vector<Line> Lines; // NumSets x Associativity, row-major
+  std::vector<Hint> Hints; // power-of-two, direct mapped by line address
+  uint64_t HintMask = 0;
 };
 
 } // namespace memsim

@@ -24,6 +24,7 @@
 #include "memsim/CacheModel.h"
 #include "memsim/EnergyModel.h"
 #include "memsim/MemoryTechnology.h"
+#include "memsim/Prefetcher.h"
 #include "support/Metrics.h"
 
 #include <cstdint>
@@ -39,6 +40,56 @@ struct EpochSample {
   double DramWriteBytes = 0.0;
   double NvmReadBytes = 0.0;
   double NvmWriteBytes = 0.0;
+};
+
+/// Which implementation services onAccess/onAccessRange. Both produce
+/// bit-identical simulated time, energy, traffic, cache statistics, and
+/// bandwidth trace; PerLine is the straight-line reference loop kept for
+/// differential testing (--memsim-path=per-line, ci.sh equivalence diff).
+enum class AccessPathMode {
+  Batched, ///< Amortized device/prefetch/LLC bookkeeping per line run.
+  PerLine, ///< Reference: one full pipeline evaluation per touched line.
+};
+
+/// Per-worker integer traffic counts accumulated off the shared simulator
+/// and charged in one bulk flush at a safepoint, so simulated time stays
+/// independent of worker scheduling (no floating-point accumulation-order
+/// variance) and parallel phases stop serializing on the accounting.
+/// This is the promoted form of the collector's per-worker GcTally.
+struct TrafficShard {
+  uint64_t DramReads = 0;
+  uint64_t DramWrites = 0;
+  uint64_t NvmReads = 0;
+  uint64_t NvmWrites = 0;
+
+  /// Counts the lines of [Addr, Addr+Bytes) against the backing device of
+  /// each, resolving the device once per page run (bit-identical to the
+  /// per-line lookup: the map is page-granular).
+  void add(const AddressMap &Map, uint64_t Addr, uint64_t Bytes,
+           bool IsWrite) {
+    uint64_t FirstLine = Addr / CacheLineBytes;
+    uint64_t LastLine = (Addr + Bytes - 1) / CacheLineBytes;
+    constexpr uint64_t LinesPerPage = AddressMap::PageBytes / CacheLineBytes;
+    for (uint64_t L = FirstLine; L <= LastLine;) {
+      uint64_t PageLast = L | (LinesPerPage - 1);
+      if (PageLast > LastLine)
+        PageLast = LastLine;
+      uint64_t Run = PageLast - L + 1;
+      bool Dram = Map.deviceOf(L * CacheLineBytes) == Device::DRAM;
+      if (IsWrite)
+        (Dram ? DramWrites : NvmWrites) += Run;
+      else
+        (Dram ? DramReads : NvmReads) += Run;
+      L = PageLast + 1;
+    }
+  }
+
+  void merge(const TrafficShard &O) {
+    DramReads += O.DramReads;
+    DramWrites += O.DramWrites;
+    NvmReads += O.NvmReads;
+    NvmWrites += O.NvmWrites;
+  }
 };
 
 /// Accounting core: owns the address map, the LLC model, the simulated
@@ -62,7 +113,36 @@ public:
   /// Records an access of \p Bytes at \p Addr. Split into cache lines;
   /// hits cost the hit latency, misses cost the device miss latency plus
   /// any dirty-victim writeback.
-  void onAccess(uint64_t Addr, uint32_t Bytes, bool IsWrite);
+  void onAccess(uint64_t Addr, uint32_t Bytes, bool IsWrite) {
+    onAccessRange(Addr, Bytes, IsWrite, 0);
+  }
+
+  /// Records a bulk traversal of [Addr, Addr+Bytes). With \p ElemBytes == 0
+  /// the range is one access (exactly onAccess); with \p ElemBytes == E
+  /// (Bytes must be a multiple) it models the element loop
+  ///   for I in 0..Bytes/E: access(Addr + I*E, E, IsWrite)
+  /// i.e. one access per element in address order — the shape every
+  /// array-scan and record-copy caller has. Traffic, cache statistics, and
+  /// miss costs are exactly the loop's; the one deliberate difference from
+  /// issuing Bytes/E separate onAccess calls is that the T guaranteed
+  /// repeat hits a line takes from sub-line elements are charged as a
+  /// single fused double(T) * HitNs clock term rather than T dependent
+  /// additions (a serial FP-add chain would cap the whole simulator's
+  /// throughput; at T == 1 the two are the same bit pattern).
+  ///
+  /// Both implementations (Batched and PerLine) define this op by the
+  /// identical FP operation sequence, so simulated time, energy, traffic,
+  /// cache statistics, and bandwidth trace are bit-identical between them
+  /// (asserted by test and by the ci.sh diff). Batched additionally
+  /// resolves the device once per page run, coalesces the repeat cache
+  /// probes, and precomputes the cost constants once per call.
+  void onAccessRange(uint64_t Addr, uint64_t Bytes, bool IsWrite,
+                     uint64_t ElemBytes = 0);
+
+  /// Selects the access implementation (default Batched); PerLine is the
+  /// reference loop used for differential verification.
+  void setAccessPath(AccessPathMode M) { Path = M; }
+  AccessPathMode accessPath() const { return Path; }
 
   /// Charges \p Ns of pure CPU work (no memory traffic) to the current
   /// actor's clock. The Spark engine uses this for per-record compute.
@@ -78,6 +158,14 @@ public:
   /// the GC's bandwidth-bound MLP).
   void chargeBulkLines(uint64_t DramReads, uint64_t DramWrites,
                        uint64_t NvmReads, uint64_t NvmWrites);
+
+  /// Flushes a worker's TrafficShard through chargeBulkLines and returns
+  /// the simulated ns the flush added to the current actor's clock.
+  double flushShard(const TrafficShard &S) {
+    double Before = ActorNs[static_cast<unsigned>(Current)];
+    chargeBulkLines(S.DramReads, S.DramWrites, S.NvmReads, S.NvmWrites);
+    return ActorNs[static_cast<unsigned>(Current)] - Before;
+  }
 
   void setActor(Actor A) { Current = A; }
   Actor actor() const { return Current; }
@@ -114,9 +202,33 @@ private:
     chargeNs(Ns - Hidden);
   }
   void recordTraffic(uint64_t LineAddr, bool IsWrite);
-  /// True when \p LineAddr continues a tracked sequential stream; updates
-  /// the stream table either way.
-  bool checkPrefetch(uint64_t LineAddr);
+  /// Batched implementation of onAccessRange (cache-aware mode only).
+  void fastRange(uint64_t Addr, uint64_t Bytes, bool IsWrite,
+                 uint64_t ElemBytes);
+  /// Batched service of a range confined to one cache line (\p Touches
+  /// element touches) -- the dominant call shape: every mutator field
+  /// access is a single sub-line onAccess. Unlike fastRange it computes
+  /// costs lazily (only the branch taken), so a hit pays one probe and
+  /// one fused fold and none of the per-call constant setup.
+  void fastOne(uint64_t Line, bool IsWrite, uint32_t Touches);
+  /// Reference implementation: the per-element, per-line pipeline.
+  void perLineRange(uint64_t Addr, uint64_t Bytes, bool IsWrite,
+                    uint64_t ElemBytes);
+  /// One access through the original full pipeline (reference path and
+  /// NaiveInjection mode).
+  void perLineAccess(uint64_t Addr, uint64_t Bytes, bool IsWrite);
+  /// deviceOf for writeback victims (arbitrary addresses): a single-entry
+  /// page cache invalidated by the map's remap generation.
+  Device victimDeviceOf(uint64_t Addr) {
+    uint64_t Page = Addr / AddressMap::PageBytes;
+    uint64_t Gen = Map.generation();
+    if (Page != VictimCachePage || Gen != VictimCacheGen) {
+      VictimCachePage = Page;
+      VictimCacheGen = Gen;
+      VictimCacheDev = Map.deviceOf(Addr);
+    }
+    return VictimCacheDev;
+  }
 
   AddressMap Map;
   MemoryTechnology Tech;
@@ -134,14 +246,15 @@ private:
   /// so the pointers stay valid for the registry's lifetime.
   support::TimeSeries *Bw[4] = {nullptr, nullptr, nullptr, nullptr};
 
-  /// Prefetcher stream table: the next line address each stream expects.
-  struct Stream {
-    uint64_t NextLine = ~0ull;
-    uint64_t LastUse = 0;
-  };
-  std::vector<Stream> Streams;
-  uint64_t StreamClock = 0;
+  /// Prefetcher stream table (constant-time; decision-identical to the
+  /// original linear scan).
+  PrefetchStreamTable Prefetch;
   uint64_t PrefetchedMisses = 0;
+  AccessPathMode Path = AccessPathMode::Batched;
+  /// Single-entry victim deviceOf cache (see victimDeviceOf).
+  uint64_t VictimCachePage = ~0ull;
+  uint64_t VictimCacheGen = ~0ull;
+  Device VictimCacheDev = Device::DRAM;
   /// Per-actor CPU slack available to hide overlappable memory time.
   double CpuSlackNs[NumActors] = {0.0, 0.0};
 };

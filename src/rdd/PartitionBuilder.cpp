@@ -68,8 +68,11 @@ ObjRef PartitionBuilder::finish(MemTag Tag, uint32_t RddId) {
     ObjRef Chunk = H.loadRef(Directory.get(), C);
     uint32_t Limit =
         (C == NumChunks - 1) ? (Count - C * ChunkCapacity) : ChunkCapacity;
-    for (uint32_t I = 0; I != Limit; ++I, ++Index)
-      H.storeRef(ArrayRoot.get(), Index, H.loadRef(Chunk, I));
+    // Whole-chunk bulk copy: nothing allocates between here and the last
+    // slot, so both arrays are pinned and the flatten is two ranges plus
+    // barrier bookkeeping instead of per-slot load/store pairs.
+    H.copyRefRange(ArrayRoot.get(), Index, Chunk, 0, Limit);
+    Index += Limit;
   }
   assert(Index == Count && "chunk bookkeeping out of sync");
   return ArrayRoot.get();

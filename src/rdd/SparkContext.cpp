@@ -694,10 +694,15 @@ void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
   recordCall(R);
   if (!R->NativeParts.empty()) {
     // OFF_HEAP: deserialize records from native NVM into young tuples.
+    // The whole partition is read through one record-granular range (the
+    // native region never moves, so hoisting the reads ahead of the
+    // allocating sink is safe) and the per-record deserialization CPU is
+    // charged in the sink loop.
     const RddNode::NativePartition &Part = R->NativeParts[P];
-    for (uint32_t I = 0; I != Part.Count; ++I) {
-      SourceRecord Row;
-      H.nativeRead(Part.Addr + I * sizeof(SourceRecord), &Row, sizeof(Row));
+    std::vector<SourceRecord> Rows(Part.Count);
+    H.nativeReadRecords(Part.Addr, Rows.data(), Part.Count,
+                        sizeof(SourceRecord));
+    for (const SourceRecord &Row : Rows) {
       Mem.addCpuWorkNs(Config.PerRecordCpuNs);
       Sink(Ctx.makeTuple(Row.Key, Row.Val));
     }
@@ -718,12 +723,17 @@ void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
   GcRoot Dir(H, H.loadRef(Top.get(), 0));
   GcRoot Arr(H, H.loadRef(Dir.get(), P));
   if (R->SerializedInMemory) {
-    // Deserialize: sequential reads of the byte buffer, one young tuple
-    // allocated per record.
+    // Deserialize: one bulk element-granular read of the byte buffer
+    // (reading ahead of the allocating sink also means a GC triggered by
+    // tuple allocation can no longer move the array mid-scan), then one
+    // young tuple allocated per record.
     uint32_t Pairs = H.arrayLength(Arr.get()) / 2;
+    std::vector<int64_t> Bits(2ull * Pairs);
+    H.loadElemsI64(Arr.get(), 0, 2 * Pairs, Bits.data());
     for (uint32_t I = 0; I != Pairs; ++I) {
-      int64_t Key = H.loadElemI64(Arr.get(), 2 * I);
-      double Val = H.loadElemF64(Arr.get(), 2 * I + 1);
+      int64_t Key = Bits[2 * I];
+      double Val;
+      std::memcpy(&Val, &Bits[2 * I + 1], sizeof(Val));
       Mem.addCpuWorkNs(Config.PerRecordCpuNs + Config.ShuffleRecordCpuNs);
       Sink(Ctx.makeTuple(Key, Val));
     }
@@ -952,11 +962,20 @@ void SparkContext::materializeNarrow(const RddRef &R,
             H.setPendingArrayTag(MemTag::None, 0);
             H.header(Buf.addr())->RddId = R->Id;
             {
+              // Serialize through one bulk element-granular store: the
+              // interleaved (key, value-bits) image is staged host-side,
+              // then written as a single range — no allocation intervenes,
+              // so the store sequence is exactly the old per-element loop.
               GcRoot BufRoot(H, Buf);
+              std::vector<int64_t> Bits(Rows.size() * 2);
               for (uint32_t J = 0; J != Rows.size(); ++J) {
-                H.storeElemI64(BufRoot.get(), 2 * J, Rows[J].Key);
-                H.storeElemF64(BufRoot.get(), 2 * J + 1, Rows[J].Val);
+                Bits[2 * J] = Rows[J].Key;
+                std::memcpy(&Bits[2 * J + 1], &Rows[J].Val,
+                            sizeof(int64_t));
               }
+              H.storeElemsI64(BufRoot.get(), 0,
+                              static_cast<uint32_t>(Bits.size()),
+                              Bits.data());
               H.storeRef(Dir.get(), I, BufRoot.get());
             }
             FusionEnd();

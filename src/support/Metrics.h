@@ -29,6 +29,7 @@
 #ifndef PANTHERA_SUPPORT_METRICS_H
 #define PANTHERA_SUPPORT_METRICS_H
 
+#include "support/Errors.h"
 #include "support/Statistics.h"
 
 #include <cstdint>
@@ -83,7 +84,17 @@ private:
 /// (bucket index = totalTimeNs / EpochNs, computed by the caller).
 class TimeSeries {
 public:
+  /// Hard cap on the bucket index. The index is derived by dividing the
+  /// simulated clock by the epoch length, so a tiny (but still positive)
+  /// epoch can demand an absurd resize; 2^24 buckets (128 MB of doubles,
+  /// ~28 simulated minutes at the default 100 us epoch) is far beyond any
+  /// legitimate run and cheap enough to allocate when actually reached.
+  static constexpr size_t MaxBuckets = size_t(1) << 24;
+
   void addAt(size_t Bucket, double V) {
+    PANTHERA_CHECK(Bucket < MaxBuckets,
+                   "time-series bucket index out of range (epoch length too "
+                   "small for the simulated duration?)");
     if (Buckets.size() <= Bucket)
       Buckets.resize(Bucket + 1, 0.0);
     Buckets[Bucket] += V;

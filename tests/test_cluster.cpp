@@ -121,6 +121,54 @@ TEST(ClusterSim, LocalityPlacementAndFetchAccounting) {
   EXPECT_EQ(CS.ExecutorsLost, 0u);
 }
 
+TEST(ClusterSim, ZeroCopyShuffleOnSharedHostSkipsFabric) {
+  // Four executors packed onto one physical host: every cross-executor
+  // fetch is co-located and rides shared memory -- same results, zero-copy
+  // counters populated, strictly less driver fabric time than the default
+  // one-host-per-executor layout.
+  core::RuntimeConfig Shared = clusterConfig(4);
+  Shared.Cluster.NumHosts = 1; // ZeroCopyShuffle defaults to on
+  RunOut Z = runPipeline(Shared);
+  RunOut Fabric = runPipeline(clusterConfig(4));
+  ASSERT_TRUE(Z.HadCluster);
+  EXPECT_DOUBLE_EQ(Z.Checksum, Fabric.Checksum);
+  EXPECT_GT(Z.Cluster.ZeroCopyBlocksFetched, 0u);
+  EXPECT_GT(Z.Cluster.ZeroCopyBytesFetched, 0u);
+  EXPECT_EQ(Z.Cluster.RemoteBlocksFetched, 0u)
+      << "on one shared host no fetch may cross the fabric";
+  EXPECT_LT(Z.Cluster.NetworkNs, Fabric.Cluster.NetworkNs);
+  EXPECT_NE(Z.Metrics.find("\"cluster.fetch.zero_copy_blocks\""),
+            std::string::npos);
+  EXPECT_NE(Z.Trace.find("zero-copy fetch"), std::string::npos);
+}
+
+TEST(ClusterSim, ZeroCopyDisabledOnSharedHostPaysFabric) {
+  // --zero-copy-shuffle=off with co-located executors: identical results
+  // and block accounting, but the fetches pay the fabric again.
+  core::RuntimeConfig On = clusterConfig(4);
+  On.Cluster.NumHosts = 1;
+  core::RuntimeConfig Off = On;
+  Off.Cluster.ZeroCopyShuffle = false;
+  RunOut A = runPipeline(On);
+  RunOut B = runPipeline(Off);
+  EXPECT_DOUBLE_EQ(B.Checksum, A.Checksum);
+  EXPECT_EQ(B.Cluster.ZeroCopyBlocksFetched, 0u);
+  EXPECT_GT(B.Cluster.NetworkNs, A.Cluster.NetworkNs);
+}
+
+TEST(ClusterSim, ZeroCopyFlagIsInertWithoutSharedHosts) {
+  // At the default NumHosts == 0 every executor is its own host, so the
+  // zero-copy branch can never trigger and the flag's value must not
+  // change a byte of the exports (the seed engine's contract).
+  core::RuntimeConfig Off = clusterConfig(3);
+  Off.Cluster.ZeroCopyShuffle = false;
+  RunOut A = runPipeline(clusterConfig(3));
+  RunOut B = runPipeline(Off);
+  EXPECT_EQ(A.Cluster.ZeroCopyBlocksFetched, 0u);
+  EXPECT_EQ(B.Metrics, A.Metrics);
+  EXPECT_EQ(B.Trace, A.Trace);
+}
+
 TEST(ClusterSim, FixedExecutorCountIsThreadInvariant) {
   core::RuntimeConfig T1 = clusterConfig(3);
   T1.NumThreads = 1;

@@ -101,6 +101,20 @@ TEST(Metrics, JsonShapeAndDeterminism) {
   EXPECT_EQ(Copy.toJson(), J);
 }
 
+TEST(Metrics, TimeSeriesRejectsUnboundedBucketIndex) {
+  // addAt resizes to the bucket index; a wild index (e.g. a tiny epoch
+  // knob against a long simulated run) must fail loudly with a typed
+  // error instead of attempting a multi-gigabyte allocation.
+  MetricsRegistry M;
+  TimeSeries &S = M.series("cap");
+  EXPECT_NO_THROW(S.addAt(TimeSeries::MaxBuckets - 1, 1.0));
+  EXPECT_THROW(S.addAt(TimeSeries::MaxBuckets, 1.0), EngineError);
+  EXPECT_THROW(S.addAt(~size_t(0), 1.0), EngineError);
+  // The failed adds must not have corrupted the series.
+  EXPECT_EQ(S.size(), TimeSeries::MaxBuckets);
+  EXPECT_EQ(S.at(TimeSeries::MaxBuckets - 1), 1.0);
+}
+
 TEST(Metrics, JsonDoubleHelpers) {
   EXPECT_EQ(jsonDouble(1.0), "1");
   EXPECT_EQ(jsonDouble(0.5), "0.5");
@@ -158,12 +172,15 @@ struct Exports {
   std::string Trace;
 };
 
-Exports runWorkload(const char *Name, unsigned Threads) {
+Exports runWorkload(
+    const char *Name, unsigned Threads,
+    memsim::AccessPathMode Path = memsim::AccessPathMode::Batched) {
   const workloads::WorkloadSpec *Spec = workloads::findWorkload(Name);
   EXPECT_NE(Spec, nullptr);
   core::RuntimeConfig Config;
   Config.Policy = gc::PolicyKind::Panthera;
   Config.NumThreads = Threads;
+  Config.AccessPath = Path;
   core::Runtime RT(Config);
   Spec->Run(RT, /*Scale=*/0.4);
   return {RT.metricsJson(), RT.traceJson()};
@@ -220,6 +237,20 @@ TEST(Observability, ExportsAreByteIdenticalAcrossThreadCounts) {
   Exports Got = runWorkload("PR", 8);
   EXPECT_EQ(Ref.Metrics, Got.Metrics);
   EXPECT_EQ(Ref.Trace, Got.Trace);
+}
+
+TEST(Observability, AccessPathExportsAreByteIdenticalAtEveryThreadCount) {
+  // The tentpole contract end-to-end: a full workload driven through the
+  // batched access path must export metrics and trace JSON byte-identical
+  // to the per-line reference path, at one worker and at several (the
+  // batched default at 8 workers is covered by the test above).
+  Exports Batched1 = runWorkload("PR", 1, memsim::AccessPathMode::Batched);
+  Exports PerLine1 = runWorkload("PR", 1, memsim::AccessPathMode::PerLine);
+  Exports PerLine8 = runWorkload("PR", 8, memsim::AccessPathMode::PerLine);
+  EXPECT_EQ(Batched1.Metrics, PerLine1.Metrics);
+  EXPECT_EQ(Batched1.Trace, PerLine1.Trace);
+  EXPECT_EQ(Batched1.Metrics, PerLine8.Metrics);
+  EXPECT_EQ(Batched1.Trace, PerLine8.Trace);
 }
 
 //===----------------------------------------------------------------------===

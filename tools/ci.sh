@@ -40,6 +40,31 @@ cmp "${obs}/m1.json" "${obs}/m8.json"
 cmp "${obs}/t1.json" "${obs}/t8.json"
 echo "ci: observability exports valid and thread-invariant"
 
+# Memsim access-path smoke (docs/memsim.md): the batched fast path must
+# be bit-identical to the per-line reference -- same metrics and trace
+# bytes for a full workload -- and the micro benchmark enforces its own
+# >= 10x hot-path throughput floor (BENCH_hotpath.json).
+echo "=== memsim access-path smoke ==="
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --memsim-path=per-line --metrics-json="${obs}/pl.json" \
+  --trace-json="${obs}/plt.json" >/dev/null
+cmp "${obs}/m1.json" "${obs}/pl.json"
+cmp "${obs}/t1.json" "${obs}/plt.json"
+(cd "${obs}" && "${OLDPWD}/build/bench/micro_memsim")
+echo "ci: batched path bit-identical to per-line, throughput floor met"
+
+# 10x-scale smoke: the fast path is what makes double-digit scale factors
+# tractable; one fig4 cell at scale 10 must finish inside a CI-friendly
+# wall-time budget (the pre-batching engine took several times longer).
+# The heap grows with the dataset, as in the paper's evaluation: at the
+# default 64 GB heap a 10x PR dataset is capacity-bound (evict/recompute
+# thrash), which would measure the heap wall, not the access path.
+echo "=== 10x-scale fig4 smoke ==="
+timeout 600 ./build/tools/panthera_sim --workload=PR --scale=10 \
+  --heap=120 --threads="${JOBS}" >"${obs}/x10.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/x10.txt"
+echo "ci: scale-10 PR cell inside the wall-time budget"
+
 # Cluster smoke (docs/cluster.md): a 4-executor run must itself be
 # thread-invariant, and --executors=1 must be byte-identical to the seed
 # single-heap engine (the m1.json written above is exactly that run).

@@ -201,6 +201,30 @@ int main(int Argc, char **Argv) {
       Ev.Join = true;
       Ev.AtStage = U;
       Config.Cluster.Elastic.push_back(Ev);
+    } else if (const char *V = Val("--hosts=")) {
+      if (!support::parseUnsigned(V, 0, 256, U))
+        return BadFlag(A, "a host count in [0, 256] (0 = one per executor)");
+      Config.Cluster.NumHosts = static_cast<unsigned>(U);
+    } else if (const char *V = Val("--zero-copy-shuffle=")) {
+      if (std::strcmp(V, "on") == 0)
+        Config.Cluster.ZeroCopyShuffle = true;
+      else if (std::strcmp(V, "off") == 0)
+        Config.Cluster.ZeroCopyShuffle = false;
+      else
+        return BadFlag(A, "on or off");
+    } else if (std::strcmp(A, "--no-zero-copy-shuffle") == 0)
+      Config.Cluster.ZeroCopyShuffle = false;
+    else if (const char *V = Val("--memsim-path=")) {
+      if (std::strcmp(V, "batched") == 0)
+        Config.AccessPath = memsim::AccessPathMode::Batched;
+      else if (std::strcmp(V, "per-line") == 0)
+        Config.AccessPath = memsim::AccessPathMode::PerLine;
+      else
+        return BadFlag(A, "batched or per-line");
+    } else if (const char *V = Val("--epoch-ns=")) {
+      if (!support::parseF64(V, 1.0, 1e15, F))
+        return BadFlag(A, "an epoch length in simulated ns >= 1");
+      Config.EpochNs = F;
     }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
@@ -255,6 +279,21 @@ int main(int Argc, char **Argv) {
           "                     stage K (1-based); repeatable\n"
           "  --join-at=K        add a fresh executor at the start of\n"
           "                     cluster stage K; repeatable\n"
+          "  --hosts=N          pack the executors onto N physical hosts\n"
+          "                     (executor E lives on host E %% N); 0\n"
+          "                     (default) gives every executor its own\n"
+          "                     host, so nothing is co-located\n"
+          "  --zero-copy-shuffle=on|off\n"
+          "                     shared-memory shuffle between co-located\n"
+          "                     executors: same-host fetches skip the\n"
+          "                     serialization + fabric charges (default\n"
+          "                     on; inert until --hosts co-locates)\n"
+          "  --no-zero-copy-shuffle  same as --zero-copy-shuffle=off\n"
+          "  --memsim-path=P    memory-simulator implementation: batched\n"
+          "                     (default fast path) or per-line (the\n"
+          "                     reference loop; bit-identical output)\n"
+          "  --epoch-ns=NS      bandwidth-trace bucket length in simulated\n"
+          "                     ns (default 100000)\n"
           "  --list             list workloads and exit\n");
       return 0;
     } else {
@@ -389,6 +428,12 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(CS.RemoteBlocksFetched),
                 static_cast<unsigned long long>(CS.RemoteBytesFetched / 1024),
                 CS.NetworkNs / 1e6);
+    if (CS.ZeroCopyBlocksFetched != 0)
+      std::printf("         zero-copy (same host): %llu blocks (%llu KB) "
+                  "via shared memory, no fabric charge\n",
+                  static_cast<unsigned long long>(CS.ZeroCopyBlocksFetched),
+                  static_cast<unsigned long long>(CS.ZeroCopyBytesFetched /
+                                                  1024));
     if (CS.ExecutorsLost != 0)
       std::printf("         %llu executors lost, %llu map outputs lost, "
                   "%llu recomputed via lineage\n",
