@@ -30,9 +30,9 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   HC.NurseryFraction = Config.NurseryFraction;
   HC.NativeBytes = static_cast<uint64_t>(Config.NativePaperGB) * PaperGB;
   // The EagerPromotion/CardPadding overrides drive the §5.3 ablations and
-  // only make sense for Panthera; the baselines always run without these
-  // optimizations (stock Parallel Scavenge).
-  if (Config.Policy == gc::PolicyKind::Panthera) {
+  // only make sense for the Panthera family; the baselines always run
+  // without these optimizations (stock Parallel Scavenge).
+  if (gc::isPantheraFamily(Config.Policy)) {
     HC.Tuning.EagerPromotion = Config.EagerPromotion;
     HC.Tuning.CardPadding = Config.CardPadding;
   }
@@ -50,6 +50,36 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
       std::make_unique<gc::Collector>(*TheHeap, Config.Policy, &Monitor);
   TheCollector->setThreadPool(Pool.get());
   TheCollector->setTelemetry(&Metrics, &Trace);
+
+  // Online hotness profiling + between-GC migration (--policy=dynamic,
+  // docs/memsim.md). A zero sampling stride constructs neither tracker
+  // nor engine: the run (including the metrics-JSON key set) is then
+  // byte-identical to static Panthera.
+  if (Config.Policy == gc::PolicyKind::PantheraDynamic &&
+      Config.HotnessSampleEvery > 0) {
+    std::vector<heap::Heap::OldGenRegion> Old = TheHeap->oldGenRegions();
+    if (!Old.empty()) {
+      uint64_t Lo = Old.front().Base, Hi = Old.front().End;
+      for (const heap::Heap::OldGenRegion &R : Old) {
+        Lo = std::min(Lo, R.Base);
+        Hi = std::max(Hi, R.End);
+      }
+      memsim::HotnessConfig HotCfg;
+      HotCfg.SampleEveryLines = Config.HotnessSampleEvery;
+      Hot = std::make_unique<memsim::HotnessTracker>(Lo, Hi, HotCfg);
+      memsim::MigrationConfig MigCfg;
+      MigCfg.HotSamplesPerPage = Config.MigrateHotThreshold;
+      MigCfg.MaxPagesPerStep = Config.MigrateMaxPagesPerStep;
+      Migration =
+          std::make_unique<memsim::MigrationEngine>(*Mem, *Hot, MigCfg);
+      std::vector<memsim::CanonicalRange> Ranges;
+      for (const heap::Heap::OldGenRegion &R : Old)
+        Ranges.push_back({R.Base, R.End, R.Canonical});
+      Migration->setEligibleRanges(std::move(Ranges));
+      Mem->setHotnessTracker(Hot.get());
+      TheCollector->setMigrationEngine(Migration.get());
+    }
+  }
 
   rdd::EngineConfig EC = Config.Engine;
   EC.UseStaticTags = gc::usesStaticTags(Config.Policy);
@@ -194,6 +224,24 @@ void Runtime::publishMetrics() {
   C("heap.oom_errors_thrown", HS.OomErrorsThrown);
 
   C("analysis.monitored_calls", R.MonitoredCalls);
+
+  // Hotness/migration totals (only under --policy=dynamic with sampling
+  // on: every other configuration must export the exact seed key set).
+  if (Hot) {
+    const memsim::HotnessStats &HotS = Hot->stats();
+    C("memsim.hotness.samples", HotS.Samples);
+    C("memsim.hotness.epochs", HotS.Epochs);
+    C("memsim.hotness.splits", HotS.Splits);
+    C("memsim.hotness.merges", HotS.Merges);
+    C("memsim.hotness.regions", Hot->regions().size());
+    const memsim::MigrationStats &MigS = Migration->stats();
+    C("memsim.migration.steps", MigS.Steps);
+    C("memsim.migration.pages_to_dram", MigS.PagesToDram);
+    C("memsim.migration.pages_to_nvm", MigS.PagesToNvm);
+    C("memsim.migration.bytes_copied", MigS.BytesCopied);
+    C("memsim.migration.resets", MigS.Resets);
+    C("memsim.migration.pages_restored", MigS.PagesRestored);
+  }
 
   // Cluster totals (only in cluster runs: --executors=1 must export the
   // exact seed key set).

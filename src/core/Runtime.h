@@ -31,7 +31,9 @@
 #include "cluster/Cluster.h"
 #include "gc/Collector.h"
 #include "gc/GcPolicy.h"
+#include "memsim/HotnessTracker.h"
 #include "memsim/HybridMemory.h"
+#include "memsim/Migration.h"
 #include "rdd/Rdd.h"
 #include "support/FaultInjector.h"
 #include "support/Metrics.h"
@@ -90,6 +92,17 @@ struct RuntimeConfig {
   /// HeapPaperGB/N of heap and NativePaperGB/N of native region, tasks
   /// place by locality, and remote shuffle fetches ride the fabric.
   cluster::ClusterOptions Cluster;
+  /// Online hotness profiling + between-GC migration; consulted only when
+  /// Policy == PantheraDynamic (docs/memsim.md). Sampling stride in
+  /// accounted cache lines (--hotness-sample); 0 disables the profiler
+  /// and the engine entirely, making the dynamic policy byte-identical to
+  /// static Panthera.
+  uint64_t HotnessSampleEvery = 64;
+  /// Samples-per-page density at which a region counts as migration-hot
+  /// (--migrate-threshold).
+  double MigrateHotThreshold = 2.0;
+  /// Page-swap budget per between-GC migration step (--migrate-max-pages).
+  uint64_t MigrateMaxPagesPerStep = 256;
 };
 
 /// Summary of one finished run.
@@ -123,6 +136,9 @@ public:
   rdd::SparkContext &ctx() { return *Context; }
   /// Nonnull only when Config.Faults enables at least one site.
   FaultInjector *faults() { return Injector.get(); }
+  /// Nonnull only under --policy=dynamic with a nonzero sampling stride.
+  memsim::HotnessTracker *hotnessTracker() { return Hot.get(); }
+  memsim::MigrationEngine *migrationEngine() { return Migration.get(); }
   support::WorkStealingPool &pool() { return *Pool; }
   /// Nonnull only when Config.Cluster.NumExecutors > 1.
   cluster::Cluster *clusterSim() { return TheCluster.get(); }
@@ -182,6 +198,12 @@ private:
   std::unique_ptr<rdd::SparkContext> Context;
   std::unique_ptr<cluster::Cluster> TheCluster;
   std::unique_ptr<FaultInjector> Injector;
+  /// Online profiler + migration engine; non-null only for the dynamic
+  /// policy with sampling on. Profiling covers the driver heap: executor
+  /// heaps (cluster runs) never collect, so their placement is static and
+  /// checksums stay invariant across --executors counts.
+  std::unique_ptr<memsim::HotnessTracker> Hot;
+  std::unique_ptr<memsim::MigrationEngine> Migration;
   analysis::AnalysisResult Tags;
 };
 

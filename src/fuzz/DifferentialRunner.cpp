@@ -121,6 +121,11 @@ public:
       Digest = (Digest ^ Faults->fired(FaultSite::SlowExecutor)) * FnvPrime;
       Digest = (Digest ^ Faults->fired(FaultSite::FetchTransient)) * FnvPrime;
     }
+    // Fold the remap generation: every device remap (migration or layout
+    // change) must bump it, so a replica whose migration history diverged
+    // -- or a remap path that forgot the bump and left victimDeviceOf's
+    // cache stale -- breaks the digest.
+    Digest = (Digest ^ Mem->map().generation()) * FnvPrime;
     R.Digest = Digest;
     R.MinorGcs = C->stats().MinorGcs;
     R.MajorGcs = C->stats().MajorGcs;

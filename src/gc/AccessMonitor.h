@@ -30,11 +30,19 @@ namespace gc {
 class AccessMonitor {
 public:
   /// Records one method invocation on the RDD identified by \p RddId.
-  void recordCall(uint32_t RddId) {
-    if (RddId == 0)
+  void recordCall(uint32_t RddId) { recordCalls(RddId, 1); }
+
+  /// Records \p N invocations at once. The window counter saturates at
+  /// UINT32_MAX instead of wrapping: a long window between major GCs could
+  /// otherwise overflow a hot RDD's count back toward 0 and invert the
+  /// hot/cold migration decision (same failure shape as the survivor-age
+  /// wrap fixed in the collector; a saturated RDD stays hot).
+  void recordCalls(uint32_t RddId, uint32_t N) {
+    if (RddId == 0 || N == 0)
       return;
-    ++Window[RddId];
-    ++Total;
+    uint32_t &C = Window[RddId];
+    C = C > UINT32_MAX - N ? UINT32_MAX : C + N;
+    Total += N;
   }
 
   /// Calls observed on \p RddId since the last window reset.

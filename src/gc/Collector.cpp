@@ -7,6 +7,7 @@
 #include "gc/Collector.h"
 
 #include "gc/HeapVerifier.h"
+#include "memsim/Migration.h"
 #include "support/Errors.h"
 #include "support/Metrics.h"
 #include "support/ThreadPool.h"
@@ -420,7 +421,19 @@ void Collector::collectMinor(const char *Reason) {
       std::abort();
     }
   }
+  uint64_t MajorsBefore = Stats.MajorGcs;
   maybeTriggerMajor();
+  // Between-GC dynamic migration (--policy=dynamic): one bounded hot/cold
+  // page-swap step per minor GC. Skipped when this minor escalated to a
+  // major -- the major already reset placement to the canonical layout,
+  // so the tracker window describes a heap that no longer exists.
+  if (Migration && Stats.MajorGcs == MajorsBefore) {
+    double StepStart = H.memory().totalTimeNs();
+    memsim::MigrationStep S = Migration->step();
+    if (S.PagesSwapped != 0 && TraceSink)
+      TraceSink->span(support::TraceTrack::Gc, "migration.step",
+                      "gc.migration", StepStart, S.CopyNs);
+  }
 }
 
 //===----------------------------------------------------------------------===
@@ -1438,6 +1451,12 @@ void Collector::compactHeap() {
 
 void Collector::collectMajor(const char *Reason) {
   assert(!H.inGc() && "re-entrant collection");
+  // Drop any between-GC remaps before compaction: the major GC re-places
+  // every object by its static tag, so costs are charged against the
+  // canonical mapping. The restore itself is free (the compaction copy is
+  // what's paid for); it also clears the tracker's heat window.
+  if (Migration)
+    Migration->resetToCanonical();
   H.setInGc(true);
   GcEvent Event;
   Event.Major = true;

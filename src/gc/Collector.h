@@ -40,6 +40,9 @@
 #include <vector>
 
 namespace panthera {
+namespace memsim {
+class MigrationEngine;
+} // namespace memsim
 namespace support {
 class WorkStealingPool;
 class MetricsRegistry;
@@ -118,6 +121,13 @@ public:
     TraceSink = T;
   }
 
+  /// Installs the between-GC page-migration engine (--policy=dynamic,
+  /// docs/memsim.md). When set, every minor GC that did not escalate to a
+  /// major ends with one bounded hot/cold swap step, and every major GC
+  /// starts by restoring the canonical static mapping. Null (the default)
+  /// leaves all policies byte-identical to a build without the engine.
+  void setMigrationEngine(memsim::MigrationEngine *M) { Migration = M; }
+
   /// Instance ids of RDDs dynamic migration has moved; Table 5 reports
   /// these mapped back to driver variables.
   const std::unordered_set<uint32_t> &migratedRddIds() const {
@@ -163,6 +173,7 @@ private:
   support::WorkStealingPool *Pool = nullptr;
   support::MetricsRegistry *Metrics = nullptr;
   support::TraceLog *TraceSink = nullptr;
+  memsim::MigrationEngine *Migration = nullptr;
   GcStats Stats;
   std::vector<uint64_t> Worklist;
   std::unordered_set<uint32_t> MigratedRddIds;

@@ -17,6 +17,13 @@
 ///   Panthera    - split old gen; static tags pretenure RDDs; eager
 ///                 promotion, card padding, dynamic migration.
 ///
+/// Plus one extension beyond the paper:
+///
+///   PantheraDynamic - Panthera with the online hotness profiler and
+///                 between-GC page migration enabled (docs/memsim.md).
+///                 Identical heap layout and GC behavior; only the
+///                 memsim-level placement adapts at runtime.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PANTHERA_GC_GCPOLICY_H
@@ -34,7 +41,14 @@ enum class PolicyKind : uint8_t {
   KingsguardNursery,
   KingsguardWrites,
   Panthera,
+  PantheraDynamic,
 };
+
+/// True for Panthera and its dynamic-migration extension: both consume
+/// static tags, run the §4.2 GC changes, and use the split old gen.
+inline bool isPantheraFamily(PolicyKind K) {
+  return K == PolicyKind::Panthera || K == PolicyKind::PantheraDynamic;
+}
 
 inline const char *policyName(PolicyKind K) {
   switch (K) {
@@ -48,17 +62,17 @@ inline const char *policyName(PolicyKind K) {
     return "Kingsguard-W";
   case PolicyKind::Panthera:
     return "Panthera";
+  case PolicyKind::PantheraDynamic:
+    return "Panthera-Dyn";
   }
   return "?";
 }
 
 /// True when the policy consumes the static analysis' DRAM/NVM tags.
-inline bool usesStaticTags(PolicyKind K) { return K == PolicyKind::Panthera; }
+inline bool usesStaticTags(PolicyKind K) { return isPantheraFamily(K); }
 
 /// True when the policy migrates RDDs at major GCs using call counts.
-inline bool usesDynamicMigration(PolicyKind K) {
-  return K == PolicyKind::Panthera;
-}
+inline bool usesDynamicMigration(PolicyKind K) { return isPantheraFamily(K); }
 
 /// Builds the heap configuration for \p Kind with \p HeapPaperGB of heap
 /// and the given DRAM : total-memory ratio.
@@ -70,8 +84,8 @@ inline heap::HeapConfig makeHeapConfig(PolicyKind Kind, unsigned HeapPaperGB,
   // Eager promotion and card padding are Panthera's GC changes (§4.2);
   // every baseline runs the stock Parallel Scavenge behavior -- including
   // the §4.2.3 shared-card pathology on large arrays.
-  C.Tuning.EagerPromotion = Kind == PolicyKind::Panthera;
-  C.Tuning.CardPadding = Kind == PolicyKind::Panthera;
+  C.Tuning.EagerPromotion = isPantheraFamily(Kind);
+  C.Tuning.CardPadding = isPantheraFamily(Kind);
   switch (Kind) {
   case PolicyKind::DramOnly:
     C.Layout = heap::OldGenLayout::UnifiedDram;
@@ -88,6 +102,7 @@ inline heap::HeapConfig makeHeapConfig(PolicyKind Kind, unsigned HeapPaperGB,
     C.Tuning.KwWriteMonitoring = true;
     break;
   case PolicyKind::Panthera:
+  case PolicyKind::PantheraDynamic:
     C.Layout = heap::OldGenLayout::SplitDramNvm;
     break;
   }

@@ -88,6 +88,27 @@ Heap::Heap(const HeapConfig &Config, memsim::HybridMemory &Mem)
   Map.setRange(NativeSpace.base(), NativeSpace.end(), Device::NVM);
 }
 
+std::vector<Heap::OldGenRegion> Heap::oldGenRegions() const {
+  std::vector<OldGenRegion> Result;
+  switch (Config.Layout) {
+  case OldGenLayout::SplitDramNvm:
+    if (OldDramSpace.sizeBytes() > 0)
+      Result.push_back(
+          {OldDramSpace.base(), OldDramSpace.end(), Device::DRAM});
+    Result.push_back({OldNvmSpace.base(), OldNvmSpace.end(), Device::NVM});
+    break;
+  case OldGenLayout::UnifiedDram:
+    Result.push_back({OldNvmSpace.base(), OldNvmSpace.end(), Device::DRAM});
+    break;
+  case OldGenLayout::UnifiedNvm:
+    Result.push_back({OldNvmSpace.base(), OldNvmSpace.end(), Device::NVM});
+    break;
+  case OldGenLayout::UnifiedInterleaved:
+    break;
+  }
+  return Result;
+}
+
 std::vector<Space *> Heap::oldSpaces() {
   std::vector<Space *> Result;
   if (OldDramSpace.sizeBytes() > 0)

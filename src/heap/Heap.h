@@ -154,6 +154,21 @@ public:
   /// The old-generation spaces in address order (1 for unified layouts).
   std::vector<Space *> oldSpaces();
 
+  /// One old-generation address range with the device the static layout
+  /// backs it with. The dynamic-migration engine remaps pages inside
+  /// these ranges between GCs and restores the canonical device at every
+  /// major GC (docs/memsim.md).
+  struct OldGenRegion {
+    uint64_t Base = 0;
+    uint64_t End = 0;
+    memsim::Device Canonical = memsim::Device::DRAM;
+  };
+
+  /// The old generation's ranges with their canonical devices, in address
+  /// order. Empty for UnifiedInterleaved (no per-range canonical device
+  /// exists; the chunk map is probabilistic).
+  std::vector<OldGenRegion> oldGenRegions() const;
+
   bool isYoung(uint64_t Addr) const {
     return Eden.contains(Addr) || From.contains(Addr) || To.contains(Addr);
   }

@@ -6,6 +6,7 @@
 
 #include "memsim/HybridMemory.h"
 
+#include "memsim/HotnessTracker.h"
 #include "support/Errors.h"
 
 #include <cmath>
@@ -69,6 +70,12 @@ void HybridMemory::onAccessRange(uint64_t Addr, uint64_t Bytes, bool IsWrite,
   assert(Bytes > 0 && "zero-size access");
   assert((ElemBytes == 0 || Bytes % ElemBytes == 0) &&
          "range must be a whole number of elements");
+  // Hotness profiling taps the accounted stream here, ahead of the path
+  // dispatch, so Batched and PerLine feed the tracker identically. Only
+  // mutator-actor traffic counts: GC evacuation touching a page must not
+  // make it look application-hot.
+  if (Hot && Current == Actor::Mutator)
+    Hot->onRange(Addr, Bytes);
   // NaiveInjection ignores the cache entirely, so there is nothing to
   // amortize; it always takes the reference loop.
   if (Path == AccessPathMode::PerLine ||

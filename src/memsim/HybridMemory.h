@@ -34,6 +34,8 @@
 namespace panthera {
 namespace memsim {
 
+class HotnessTracker;
+
 /// Device bytes moved during one trace epoch, split by direction.
 struct EpochSample {
   double DramReadBytes = 0.0;
@@ -191,6 +193,15 @@ public:
 
   uint64_t prefetchedMisses() const { return PrefetchedMisses; }
 
+  /// Installs the online hotness profiler (docs/memsim.md). When set,
+  /// every mutator-actor onAccess/onAccessRange feeds it before cost
+  /// accounting -- identically on the Batched and PerLine paths, and never
+  /// for GC-actor traffic, so profiling observes application heat only.
+  /// Null (the default) keeps every non-dynamic policy's accounting
+  /// byte-identical to a build without the profiler.
+  void setHotnessTracker(HotnessTracker *T) { Hot = T; }
+  HotnessTracker *hotnessTracker() { return Hot; }
+
 private:
   void chargeNs(double Ns) { ActorNs[static_cast<unsigned>(Current)] += Ns; }
   /// Charges \p Ns but lets it overlap with accumulated CPU slack
@@ -257,6 +268,8 @@ private:
   Device VictimCacheDev = Device::DRAM;
   /// Per-actor CPU slack available to hide overlappable memory time.
   double CpuSlackNs[NumActors] = {0.0, 0.0};
+  /// Optional hotness profiler fed from onAccessRange (mutator only).
+  HotnessTracker *Hot = nullptr;
 };
 
 /// RAII switch of the issuing actor; the GC wraps its phases in one.

@@ -13,6 +13,8 @@
 #ifndef PANTHERA_SUPPORT_STATISTICS_H
 #define PANTHERA_SUPPORT_STATISTICS_H
 
+#include "support/Errors.h"
+
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -34,12 +36,16 @@ inline double mean(const std::vector<double> &Values) {
 
 /// Geometric mean of \p Values (all must be positive); used to average
 /// normalized time/energy ratios across benchmarks, as is conventional.
+/// Non-positive or non-finite inputs are rejected with a typed error in
+/// every build mode -- an assert-only check would let a zero ratio turn
+/// the whole mean into exp(-inf) = 0 silently in release builds.
 inline double geomean(const std::vector<double> &Values) {
   if (Values.empty())
     return 0.0;
   double LogSum = 0.0;
   for (double V : Values) {
-    assert(V > 0.0 && "geomean requires positive values");
+    PANTHERA_CHECK(std::isfinite(V) && V > 0.0,
+                   "geomean requires positive finite values");
     LogSum += std::log(V);
   }
   return std::exp(LogSum / static_cast<double>(Values.size()));
@@ -49,9 +55,16 @@ inline double geomean(const std::vector<double> &Values) {
 /// or maximum: min()/max() return NaN until the first add() so consumers
 /// (notably the metrics JSON exporter, which renders NaN as null) cannot
 /// mistake "no samples" for a real 0-valued extremum.
+/// Non-finite samples (NaN/inf) are skipped and tallied separately: a NaN
+/// arriving first would otherwise poison min/max for good (NaN < NaN and
+/// V < NaN are both false, so neither extremum could ever update again).
 class Accumulator {
 public:
   void add(double V) {
+    if (!std::isfinite(V)) {
+      NonFinite += 1;
+      return;
+    }
     Sum += V;
     Count += 1;
     if (Count == 1 || V < Minimum)
@@ -69,12 +82,15 @@ public:
     return Count ? Maximum : std::numeric_limits<double>::quiet_NaN();
   }
   uint64_t count() const { return Count; }
+  /// Samples rejected for being NaN or infinite.
+  uint64_t nonFiniteCount() const { return NonFinite; }
 
 private:
   double Sum = 0.0;
   double Minimum = 0.0;
   double Maximum = 0.0;
   uint64_t Count = 0;
+  uint64_t NonFinite = 0;
 };
 
 /// One per-partition task's attempt history (every launch appends one

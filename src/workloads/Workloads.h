@@ -48,7 +48,15 @@ struct WorkloadSpec {
 /// All seven workloads, in the paper's Table 4 order.
 const std::vector<WorkloadSpec> &allWorkloads();
 
-/// Finds a workload by short name; null when unknown.
+/// Extension workloads beyond the paper's Table 4 (kept out of
+/// allWorkloads so the figure sweeps stay the paper's program set):
+///
+///   SW    Shifting Working Set -- six persisted segments whose hot one
+///         rotates at runtime, invisible to the §3 static analysis; the
+///         showcase for --policy=dynamic (docs/memsim.md).
+const std::vector<WorkloadSpec> &extensionWorkloads();
+
+/// Finds a workload by short name in either list; null when unknown.
 const WorkloadSpec *findWorkload(std::string_view ShortName);
 
 } // namespace workloads

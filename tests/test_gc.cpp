@@ -453,4 +453,26 @@ TEST(GcAgeSaturation, ParallelScavengeSaturatesAt255) {
   runAgeSaturationTest(/*Parallel=*/true);
 }
 
+TEST(AccessMonitorSaturation, WindowCountSaturatesInsteadOfWrapping) {
+  // A hot RDD's window counter at the uint32 boundary must pin at
+  // UINT32_MAX, not wrap toward 0 and read as cold at the next major GC.
+  AccessMonitor M;
+  M.recordCalls(7, UINT32_MAX - 1);
+  EXPECT_EQ(M.callsInWindow(7), UINT32_MAX - 1);
+  M.recordCall(7); // exactly at the boundary
+  EXPECT_EQ(M.callsInWindow(7), UINT32_MAX);
+  M.recordCall(7); // would wrap to 0 without saturation
+  EXPECT_EQ(M.callsInWindow(7), UINT32_MAX);
+  M.recordCalls(7, 12345); // bulk add past the boundary
+  EXPECT_EQ(M.callsInWindow(7), UINT32_MAX);
+  // The lifetime total (Table 5) keeps counting in 64 bits.
+  EXPECT_EQ(M.totalCalls(),
+            static_cast<uint64_t>(UINT32_MAX) + 1 + 12345);
+  // Saturation is per-RDD: other entries are unaffected.
+  M.recordCall(8);
+  EXPECT_EQ(M.callsInWindow(8), 1u);
+  M.resetWindow();
+  EXPECT_EQ(M.callsInWindow(7), 0u);
+}
+
 } // namespace

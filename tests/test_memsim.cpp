@@ -538,3 +538,46 @@ TEST(EmulationMode, NaiveInjectionOvershootsCacheAware) {
   EXPECT_GT(A.mutatorTimeNs(), 10.0 * B.mutatorTimeNs())
       << "ignoring the cache must cost dearly on a hot working set";
 }
+
+TEST(HybridMemory, VictimWritebackSeesDeviceRemapImmediately) {
+  // Regression for the single-entry victimDeviceOf cache: a device remap
+  // (what the dynamic-migration engine does between GCs) bumps the map
+  // generation, and the very next dirty eviction of a line on the remapped
+  // page must charge the writeback at the NEW device's bandwidth. A stale
+  // cache entry would keep billing the old device.
+  CacheConfig OneLine;
+  OneLine.CapacityBytes = CacheLineBytes; // one set, one way: every
+  OneLine.Associativity = 1;              // distinct line evicts the last
+  HybridMemory Mem(1 << 20, MemoryTechnology{}, OneLine);
+  const uint64_t A = 0;              // victim line, page 0
+  const uint64_t B = 4 * AddressMap::PageBytes;  // conflicting line on another page
+
+  // Round 1: dirty A, then evict it while page 0 is DRAM-backed.
+  Mem.onAccess(A, 8, /*IsWrite=*/true);
+  double Before1 = Mem.mutatorTimeNs();
+  Mem.onAccess(B, 8, /*IsWrite=*/false);
+  double EvictDram = Mem.mutatorTimeNs() - Before1;
+
+  // Dirty A again (clean B is displaced without a writeback), then remap
+  // page 0 to NVM. The remap must bump the generation.
+  Mem.onAccess(A, 8, /*IsWrite=*/true);
+  uint64_t GenBefore = Mem.map().generation();
+  Mem.map().setRange(0, AddressMap::PageBytes, Device::NVM);
+  EXPECT_GT(Mem.map().generation(), GenBefore);
+
+  // Round 2: the same eviction, but the victim now lives on NVM.
+  double Before2 = Mem.mutatorTimeNs();
+  Mem.onAccess(B, 8, /*IsWrite=*/false);
+  double EvictNvm = Mem.mutatorTimeNs() - Before2;
+
+  // Identical access apart from the victim's device: the cost difference
+  // is exactly the writeback bandwidth gap.
+  const MemoryTechnology &T = Mem.technology();
+  double WbGap = static_cast<double>(CacheLineBytes) /
+                     T.bandwidthGBs(Device::NVM) -
+                 static_cast<double>(CacheLineBytes) /
+                     T.bandwidthGBs(Device::DRAM);
+  EXPECT_GT(WbGap, 0.0);
+  EXPECT_NEAR(EvictNvm - EvictDram, WbGap, 1e-9)
+      << "stale victim-device cache: writeback billed to the old device";
+}

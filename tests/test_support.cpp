@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 using namespace panthera;
 
 TEST(MemTag, MergePrefersDram) {
@@ -59,6 +62,42 @@ TEST(Statistics, MeanAndAccumulator) {
   EXPECT_DOUBLE_EQ(A.min(), 1.0);
   EXPECT_DOUBLE_EQ(A.max(), 3.0);
   EXPECT_EQ(A.count(), 3u);
+}
+
+TEST(Statistics, AccumulatorSkipsNonFiniteSamples) {
+  // A NaN must not poison the running sum/min/max: it is skipped and
+  // counted, whether it arrives first or mid-stream.
+  Accumulator First;
+  First.add(std::nan(""));
+  First.add(2.0);
+  First.add(4.0);
+  EXPECT_DOUBLE_EQ(First.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(First.average(), 3.0);
+  EXPECT_DOUBLE_EQ(First.min(), 2.0);
+  EXPECT_DOUBLE_EQ(First.max(), 4.0);
+  EXPECT_EQ(First.count(), 2u);
+  EXPECT_EQ(First.nonFiniteCount(), 1u);
+
+  Accumulator Middle;
+  Middle.add(1.0);
+  Middle.add(std::numeric_limits<double>::infinity());
+  Middle.add(std::nan(""));
+  Middle.add(3.0);
+  EXPECT_DOUBLE_EQ(Middle.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(Middle.min(), 1.0);
+  EXPECT_DOUBLE_EQ(Middle.max(), 3.0);
+  EXPECT_EQ(Middle.count(), 2u);
+  EXPECT_EQ(Middle.nonFiniteCount(), 2u);
+}
+
+TEST(Statistics, GeomeanRejectsNonPositiveOrNonFinite) {
+  // The positivity precondition is a typed error in every build mode, not
+  // an assert that Release silently skips past into log(-1) = NaN.
+  EXPECT_THROW(geomean({1.0, -2.0}), EngineError);
+  EXPECT_THROW(geomean({0.0}), EngineError);
+  EXPECT_THROW(geomean({2.0, std::nan("")}), EngineError);
+  EXPECT_THROW(geomean({std::numeric_limits<double>::infinity()}),
+               EngineError);
 }
 
 TEST(Units, PaperScaleIsConsistent) {

@@ -109,7 +109,37 @@ cmp "${obs}/s0.sum" "${obs}/s2.sum"
 grep -q '"cluster.fetch_retry.attempts": [1-9]' "${obs}/s2.json"
 echo "ci: degraded executors recover the fault-free checksum"
 
+# Dynamic-policy smoke (docs/memsim.md "online hotness profiling"): on
+# the shifting-working-set workload the profiler must engage (migration
+# counters nonzero), and --policy=dynamic --hotness-sample=0 must be
+# byte-identical to static Panthera in metrics and trace. The crossover
+# harness re-checks the checksum floor and that some threshold beats
+# static placement in simulated time (BENCH_hotness.json).
+echo "=== dynamic-policy smoke ==="
+./build/tools/panthera_sim --workload=SW --scale=0.25 --threads=1 \
+  --policy=panthera --metrics-json="${obs}/sw-static.json" \
+  --trace-json="${obs}/sw-static.trace" >/dev/null
+./build/tools/panthera_sim --workload=SW --scale=0.25 --threads=1 \
+  --policy=dynamic --hotness-sample=0 \
+  --metrics-json="${obs}/sw-off.json" \
+  --trace-json="${obs}/sw-off.trace" >/dev/null
+cmp "${obs}/sw-static.json" "${obs}/sw-off.json"
+cmp "${obs}/sw-static.trace" "${obs}/sw-off.trace"
+./build/tools/panthera_sim --workload=SW --scale=0.25 --threads=1 \
+  --policy=dynamic --metrics-json="${obs}/sw-dyn.json" >/dev/null
+python3 -m json.tool "${obs}/sw-dyn.json" >/dev/null
+grep -q '"memsim.migration.pages_to_dram": [1-9]' "${obs}/sw-dyn.json"
+(cd "${obs}" && "${OLDPWD}/build/bench/micro_hotness" --scale=0.25)
+echo "ci: dynamic policy migrates and sample=0 matches static byte-for-byte"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
+
+# The hotness tracker, migration engine, and dynamic-policy determinism
+# tests under ASan/UBSan (the split/merge vector surgery and the 1:1 swap
+# remaps are exactly the kind of code sanitizers catch).
+echo "=== hotness tests (asan/ubsan) ==="
+./build-san/tests/test_hotness
+echo "ci: hotness tests clean under sanitizers"
 
 # The straggler sweep under UBSan: the speculation/makespan arithmetic and
 # the elastic block-migration paths run sanitized end to end, and the

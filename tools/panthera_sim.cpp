@@ -9,8 +9,10 @@
 /// GC log, energy breakdown, device traffic, and heap residency.
 ///
 /// Usage:
-///   panthera_sim [--workload=PR|KM|LR|TC|CC|SSSP|BC]
-///                [--policy=panthera|unmanaged|dram|kn|kw]
+///   panthera_sim [--workload=PR|KM|LR|TC|CC|SSSP|BC|SW]
+///                [--policy=panthera|dynamic|unmanaged|dram|kn|kw]
+///                [--hotness-sample=N] [--migrate-threshold=F]
+///                [--migrate-max-pages=N]
 ///                [--heap=64] [--ratio=0.333] [--scale=1.0]
 ///                [--nursery=0.1667] [--no-eager] [--no-padding]
 ///                [--threads=N] [--gclog] [--verify] [--list] [--help]
@@ -50,6 +52,8 @@
 using namespace panthera;
 
 static gc::PolicyKind parsePolicy(const std::string &Name) {
+  if (Name == "dynamic")
+    return gc::PolicyKind::PantheraDynamic;
   if (Name == "unmanaged")
     return gc::PolicyKind::Unmanaged;
   if (Name == "dram" || Name == "dram-only")
@@ -225,17 +229,43 @@ int main(int Argc, char **Argv) {
       if (!support::parseF64(V, 1.0, 1e15, F))
         return BadFlag(A, "an epoch length in simulated ns >= 1");
       Config.EpochNs = F;
+    } else if (const char *V = Val("--hotness-sample=")) {
+      if (!support::parseUnsigned(V, 0, 1u << 30, U))
+        return BadFlag(A, "a line stride >= 0 (0 disables profiling)");
+      Config.HotnessSampleEvery = U;
+    } else if (const char *V = Val("--migrate-threshold=")) {
+      if (!support::parseF64(V, 1e-3, 1e9, F))
+        return BadFlag(A, "a samples-per-page density > 0");
+      Config.MigrateHotThreshold = F;
+    } else if (const char *V = Val("--migrate-max-pages=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 20, U))
+        return BadFlag(A, "a page budget >= 1");
+      Config.MigrateMaxPagesPerStep = U;
     }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
+        std::printf("%-5s %-36s %s\n", Spec.ShortName.c_str(),
+                    Spec.FullName.c_str(), Spec.Dataset.c_str());
+      for (const workloads::WorkloadSpec &Spec :
+           workloads::extensionWorkloads())
         std::printf("%-5s %-36s %s\n", Spec.ShortName.c_str(),
                     Spec.FullName.c_str(), Spec.Dataset.c_str());
       return 0;
     } else if (std::strcmp(A, "--help") == 0 || std::strcmp(A, "-h") == 0) {
       std::printf(
           "usage: panthera_sim [flags]\n"
-          "  --workload=NAME    PR|KM|LR|TC|CC|SSSP|BC (--list for all)\n"
-          "  --policy=NAME      panthera|unmanaged|dram|kn|kw\n"
+          "  --workload=NAME    PR|KM|LR|TC|CC|SSSP|BC|SW (--list for all)\n"
+          "  --policy=NAME      panthera|dynamic|unmanaged|dram|kn|kw\n"
+          "                     (dynamic = Panthera + online hotness\n"
+          "                     profiling with between-GC page migration)\n"
+          "  --hotness-sample=N sample the access stream every N cache\n"
+          "                     lines under --policy=dynamic (default 64;\n"
+          "                     0 turns profiling off, byte-identical to\n"
+          "                     --policy=panthera)\n"
+          "  --migrate-threshold=F  samples-per-page density at which a\n"
+          "                     region migrates to DRAM (default 2.0)\n"
+          "  --migrate-max-pages=N  page-swap budget per migration step\n"
+          "                     (default 256)\n"
           "  --heap=GB          heap size in paper GB (default 64)\n"
           "  --ratio=F          DRAM : total memory (default 0.333)\n"
           "  --nursery=F        nursery fraction of the heap\n"
