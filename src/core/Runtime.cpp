@@ -37,6 +37,8 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
     HC.Tuning.CardPadding = Config.CardPadding;
   }
   HC.Tuning.VerifyHeap = Config.VerifyHeap;
+  HC.Tuning.MaxPauseUs = Config.MaxPauseUs;
+  HC.Tuning.IncStepAllocs = Config.IncStepAllocs;
 
   uint64_t TotalBytes =
       heap::HeapConfig::alignPage(4096 + HC.HeapBytes + HC.NativeBytes);
@@ -79,6 +81,17 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
       Mem->setHotnessTracker(Hot.get());
       TheCollector->setMigrationEngine(Migration.get());
     }
+  }
+
+  // NG2C-style allocation-site pretenuring: consult the AccessMonitor's
+  // per-RDD call counts (the same profile that feeds dynamic migration) to
+  // pretenure smaller arrays of long-lived RDDs. Off by default so every
+  // existing configuration is byte-identical.
+  if (Config.PretenureMinCalls > 0) {
+    uint32_t Min = Config.PretenureMinCalls;
+    gc::AccessMonitor *Mon = &Monitor;
+    TheHeap->setPretenureOracle(
+        [Mon, Min](uint32_t RddId) { return Mon->callsInWindow(RddId) >= Min; });
   }
 
   rdd::EngineConfig EC = Config.Engine;
@@ -224,6 +237,18 @@ void Runtime::publishMetrics() {
   C("heap.oom_errors_thrown", HS.OomErrorsThrown);
 
   C("analysis.monitored_calls", R.MonitoredCalls);
+
+  // Incremental-marking totals (only with a pause budget set: the budget-0
+  // configuration must export the exact seed key set).
+  if (Config.MaxPauseUs > 0) {
+    C("gc.incremental.cycles", R.Gc.IncCycles);
+    C("gc.incremental.mark_steps", R.Gc.IncMarkSteps);
+    C("gc.incremental.satb_drained", R.Gc.IncSatbDrained);
+    C("gc.incremental.objects_marked", R.Gc.IncObjectsMarked);
+  }
+  // Allocation-site pretenuring totals (gated like the oracle itself).
+  if (Config.PretenureMinCalls > 0)
+    C("heap.arrays_oracle_pretenured", HS.ArraysOraclePretenured);
 
   // Hotness/migration totals (only under --policy=dynamic with sampling
   // on: every other configuration must export the exact seed key set).

@@ -103,6 +103,20 @@ struct RuntimeConfig {
   double MigrateHotThreshold = 2.0;
   /// Page-swap budget per between-GC migration step (--migrate-max-pages).
   uint64_t MigrateMaxPagesPerStep = 256;
+  /// Incremental old-generation marking pause budget in microseconds
+  /// (--max-pause-us, docs/gc_pause.md). 0 (the default) keeps the
+  /// stop-the-world collector byte-identical, including the metrics-JSON
+  /// key set.
+  uint32_t MaxPauseUs = 0;
+  /// Allocations between incremental mark steps (--inc-step-allocs):
+  /// smaller paces the cycle harder, finishing the trace sooner at the
+  /// cost of more (still budget-bounded) pauses. Ignored at MaxPauseUs=0.
+  uint32_t IncStepAllocs = 64;
+  /// NG2C-style allocation-site pretenuring (--pretenure-calls): a tagged
+  /// array below the large-array threshold is pretenured when its RDD's
+  /// AccessMonitor call count in the current window reaches this value. 0
+  /// (the default) disables the oracle entirely.
+  uint32_t PretenureMinCalls = 0;
 };
 
 /// Summary of one finished run.

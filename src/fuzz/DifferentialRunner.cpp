@@ -228,6 +228,16 @@ private:
           sync();
       }
       break;
+    case FuzzOp::IncMarkStep:
+      // A no-op unless a cycle is active. The step that empties the gray
+      // stack triggers the finishing major GC, which can throw a
+      // compaction overflow just like an explicit MajorGc action.
+      try {
+        C->incrementalStep();
+      } catch (const OutOfMemoryError &) {
+        GcThrewInWindow = true;
+      }
+      break;
     }
   }
 

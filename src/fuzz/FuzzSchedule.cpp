@@ -41,6 +41,8 @@ const char *panthera::fuzz::fuzzOpName(FuzzOp Op) {
     return "major-gc";
   case FuzzOp::MinorGcBurst:
     return "minor-gc-burst";
+  case FuzzOp::IncMarkStep:
+    return "inc-mark-step";
   }
   return "?";
 }
@@ -53,6 +55,8 @@ const char *panthera::fuzz::fuzzConfigName(FuzzConfigKind K) {
     return "split";
   case FuzzConfigKind::Pressure:
     return "pressure";
+  case FuzzConfigKind::Incremental:
+    return "incremental";
   }
   return "?";
 }
@@ -69,6 +73,10 @@ bool panthera::fuzz::parseFuzzConfig(const std::string &Name,
   }
   if (Name == "pressure") {
     Out = FuzzConfigKind::Pressure;
+    return true;
+  }
+  if (Name == "incremental") {
+    Out = FuzzConfigKind::Incremental;
     return true;
   }
   return false;
@@ -112,6 +120,27 @@ FuzzSetup panthera::fuzz::makeFuzzSetup(FuzzConfigKind K) {
     S.Profile.MaxBurst = 384;
     S.FaultProbability = 0.01;
     break;
+  case FuzzConfigKind::Incremental:
+    S.Policy = gc::PolicyKind::Panthera;
+    S.Config = gc::makeHeapConfig(S.Policy, /*HeapPaperGB=*/2, 1.0 / 3.0);
+    S.Config.NativeBytes = PaperGB / 4;
+    // A pause budget plus a very low occupancy trigger: almost every
+    // minor GC starts an incremental cycle, and the explicit
+    // inc-mark-step actions advance it between mutator actions so SATB
+    // capture, allocate-black, and the minor-GC drain all interleave
+    // with stores, root churn, and evacuations.
+    S.Config.Tuning.MaxPauseUs = 25;
+    S.Config.Tuning.MajorGcOccupancy = 0.05;
+    // Allocation pacing stays off (steps come only from explicit
+    // actions): the shadow oracle's pending-tag model assumes an OOM
+    // thrown from inside an array allocation claimed the tag first,
+    // which a compaction overflow surfacing through the allocation
+    // safepoint would violate.
+    S.Config.Tuning.IncStepAllocs = UINT32_MAX;
+    S.Profile.WSetPendingTag = 8;
+    S.Profile.LargeArrayChance = 0.35;
+    S.Profile.WIncMarkStep = 12;
+    break;
   }
   return S;
 }
@@ -124,7 +153,7 @@ panthera::fuzz::generateSchedule(uint64_t Seed, size_t NumOps,
       P.WAllocPlain,   P.WAllocRefArray, P.WAllocPrimArray, P.WAllocHuge,
       P.WAllocNative,  P.WStoreRef,      P.WWritePayload,   P.WAddRoot,
       P.WDropRoot,     P.WSetPendingTag, P.WMinorGc,        P.WMajorGc,
-      P.WMinorGcBurst,
+      P.WMinorGcBurst, P.WIncMarkStep,
   };
   unsigned Total = 0;
   for (unsigned W : Weights)
@@ -220,6 +249,7 @@ panthera::fuzz::generateSchedule(uint64_t Seed, size_t NumOps,
       break;
     case FuzzOp::MinorGc:
     case FuzzOp::MajorGc:
+    case FuzzOp::IncMarkStep:
       break;
     case FuzzOp::MinorGcBurst:
       A.A = 1 + Rng.nextBelow(P.MaxBurst);

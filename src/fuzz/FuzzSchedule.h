@@ -47,6 +47,8 @@ enum class FuzzOp : uint8_t {
   MinorGc,       ///< Forced minor collection.
   MajorGc,       ///< Forced major collection.
   MinorGcBurst,  ///< A = count: consecutive minor GCs, synced per GC.
+  IncMarkStep,   ///< One bounded incremental mark step, if a cycle is
+                 ///< active (docs/gc_pause.md); a no-op otherwise.
 };
 
 const char *fuzzOpName(FuzzOp Op);
@@ -74,6 +76,9 @@ struct FuzzProfile {
   unsigned WMinorGc = 6;
   unsigned WMajorGc = 2;
   unsigned WMinorGcBurst = 3;
+  /// Default 0: only the incremental config draws mark steps, so every
+  /// frozen (seed, ops, config) triple keeps its exact schedule.
+  unsigned WIncMarkStep = 0;
 
   uint32_t MaxPlainRefs = 8;       ///< Plain objects: 0..MaxPlainRefs slots.
   uint32_t MaxSmallPayload = 256;  ///< Plain payload cap (bytes).
@@ -91,6 +96,9 @@ enum class FuzzConfigKind : uint8_t {
   Split,    ///< Panthera split old gen: tags, eager promotion, padding.
   Pressure, ///< Tiny Panthera heap, TenureAge = 255, giant GC bursts,
             ///< allocation fault injection: survivor-age and OOM torture.
+  Incremental, ///< Small Panthera heap with a pause budget and a low
+               ///< occupancy trigger: SATB incremental marking torture,
+               ///< steps interleaved with every mutator action kind.
 };
 
 const char *fuzzConfigName(FuzzConfigKind K);

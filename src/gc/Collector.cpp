@@ -42,6 +42,19 @@ Collector::Collector(heap::Heap &H, PolicyKind Policy, AccessMonitor *Monitor)
 Collector::~Collector() { H.setGcHost(nullptr); }
 
 void Collector::emitTelemetry(const GcEvent &Event) {
+  if (Event.IncStep) {
+    // Incremental mark steps are bounded pauses, not collections: they get
+    // their own histogram and span and skip the occupancy sampling (the
+    // heap shape has not changed).
+    if (Metrics)
+      Metrics->histogram("gc.incremental.step_ns").observe(Event.DurationNs);
+    if (TraceSink)
+      TraceSink
+          ->span(support::TraceTrack::Gc, "incremental mark step", "gc",
+                 Event.StartNs, Event.DurationNs)
+          .arg("reason", std::string(Event.Reason));
+    return;
+  }
   if (Metrics) {
     const char *Kind = Event.Major ? "major" : "minor";
     Metrics->histogram(std::string("gc.") + Kind + ".pause_ns")
@@ -354,6 +367,11 @@ void Collector::collectMinor(const char *Reason) {
     collectMajor("minor gc survivor headroom exhausted");
     return;
   }
+  // The SATB log may hold young addresses, which the evacuation below
+  // would invalidate: trace them now, as a step event of their own so the
+  // minor pause accounting stays untouched.
+  if (IncActive)
+    satbDrainStep();
   H.setInGc(true);
   GcEvent Event;
   Event.Major = false;
@@ -561,7 +579,7 @@ private:
     for (size_t C = CardIdx; C > BaseCard;) {
       --C;
       uint64_t A = Cards.firstObjectInCard(C);
-      if (A && A < Top) {
+      if (A != heap::CardTable::NoObject && A < Top) {
         Anchor = A;
         break;
       }
@@ -1056,9 +1074,19 @@ void Collector::maybeTriggerMajor() {
     DramFull =
         static_cast<double>(DUsed) >= Threshold * static_cast<double>(DSize);
   }
-  if (TotalFull || DramFull)
-    collectMajor(DramFull ? "old DRAM component occupancy"
-                          : "old generation occupancy");
+  if (TotalFull || DramFull) {
+    const char *Reason = DramFull ? "old DRAM component occupancy"
+                                  : "old generation occupancy";
+    // With a pause budget, the occupancy trigger starts an incremental
+    // marking cycle instead of a stop-the-world major; an already-active
+    // cycle covers the trigger and finishes on its own pace.
+    if (H.config().Tuning.MaxPauseUs > 0) {
+      if (!IncActive)
+        startIncrementalCycle(Reason);
+      return;
+    }
+    collectMajor(Reason);
+  }
 }
 
 //===----------------------------------------------------------------------===
@@ -1161,6 +1189,197 @@ void Collector::markParallelFromRoots() {
   for (const GcTally &T : Tallies)
     Total.merge(T);
   H.memory().flushShard(Total);
+}
+
+//===----------------------------------------------------------------------===
+// Incremental marking (docs/gc_pause.md)
+//
+// With --max-pause-us=N the occupancy trigger starts a marking cycle
+// instead of a stop-the-world major GC. The cycle snapshots the roots,
+// arms the heap's SATB write barrier and allocate-black allocation, and
+// then advances in bounded steps at allocation safepoints, each draining
+// the mutation log and scanning gray old objects until N microseconds of
+// simulated GC time have elapsed. When the trace runs dry, a normal major
+// GC runs as the final remark + compaction; its root trace skips the
+// already-marked snapshot, so the remaining pause is dominated by the
+// compaction copy. Soundness is the standard SATB weak-snapshot argument:
+// every object live at remark is snapshot-reachable (each snapshot edge
+// either survives until its source is scanned or was overwritten, which
+// logged the target) or was allocated during the cycle (born marked).
+//===----------------------------------------------------------------------===
+
+void Collector::incMarkRef(uint64_t Addr) {
+  ObjectHeader *Hdr = H.header(Addr);
+  if (Hdr->isMarked())
+    return;
+  Hdr->setMarked(true);
+  if (H.isOld(Addr)) {
+    IncStack.push_back(Addr);
+    return;
+  }
+  // Young objects move at every minor GC, so their addresses must never
+  // wait on the gray stack across steps: close over the young subgraph
+  // now, deferring only its old children. Cheap in practice -- cycles
+  // start right after a minor GC, when only to-space survivors are young.
+  std::vector<uint64_t> YoungStack;
+  YoungStack.push_back(Addr);
+  while (!YoungStack.empty()) {
+    uint64_t A = YoungStack.back();
+    YoungStack.pop_back();
+    ObjectHeader *AH = H.header(A);
+    H.account(A, sizeof(ObjectHeader), /*IsWrite=*/false);
+    uint32_t N = AH->numRefSlots();
+    for (uint32_t I = 0; I != N; ++I) {
+      H.account(H.refSlotAddr(A, I), heap::RefSlotBytes, /*IsWrite=*/false);
+      ObjRef Child = H.rawLoadRef(A, I);
+      if (!Child)
+        continue;
+      ObjectHeader *CH = H.header(Child.addr());
+      if (CH->isMarked())
+        continue;
+      CH->setMarked(true);
+      if (H.isOld(Child.addr()))
+        IncStack.push_back(Child.addr());
+      else
+        YoungStack.push_back(Child.addr());
+    }
+    ++Stats.IncObjectsMarked;
+  }
+}
+
+void Collector::scanForMark(uint64_t Addr) {
+  ObjectHeader *Hdr = H.header(Addr);
+  H.account(Addr, sizeof(ObjectHeader), /*IsWrite=*/false);
+  uint32_t N = Hdr->numRefSlots();
+  for (uint32_t I = 0; I != N; ++I) {
+    H.account(H.refSlotAddr(Addr, I), heap::RefSlotBytes, /*IsWrite=*/false);
+    ObjRef Child = H.rawLoadRef(Addr, I);
+    if (Child)
+      incMarkRef(Child.addr());
+  }
+  ++Stats.IncObjectsMarked;
+}
+
+void Collector::startIncrementalCycle(const char *Reason) {
+  assert(!IncActive && "incremental cycle already active");
+  ++Stats.IncCycles;
+  GcEvent Event;
+  Event.IncStep = true;
+  Event.Reason = Reason;
+  Event.StartNs = H.memory().totalTimeNs();
+  double Before = H.memory().gcTimeNs();
+  H.setInGc(true);
+  {
+    memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
+    IncActive = true;
+    AllocsSinceStep = 0;
+    H.setSatbActive(true);
+    H.setAllocBlack(true);
+    // Root snapshot. Runs right after a minor GC, so each root's young
+    // closure only walks to-space survivors; old roots just turn gray.
+    H.forEachRoot([this](ObjRef &R) { incMarkRef(R.addr()); });
+  }
+  H.setInGc(false);
+  Event.DurationNs = H.memory().gcTimeNs() - Before;
+  Events.push_back(Event);
+  emitTelemetry(Event);
+}
+
+void Collector::incrementalMarkStep(const char *Reason) {
+  if (!IncActive)
+    return;
+  GcEvent Event;
+  Event.IncStep = true;
+  Event.Reason = Reason;
+  Event.StartNs = H.memory().totalTimeNs();
+  double Before = H.memory().gcTimeNs();
+  double BudgetNs = H.config().Tuning.MaxPauseUs * 1000.0;
+  H.setInGc(true);
+  {
+    memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
+    ++Stats.IncMarkSteps;
+    // Mutation log first: its entries may reference young objects whose
+    // addresses only stay valid until the next minor GC.
+    std::vector<uint64_t> Log;
+    Log.swap(H.satbBuffer());
+    Stats.IncSatbDrained += Log.size();
+    for (uint64_t A : Log)
+      incMarkRef(A);
+    while (!IncStack.empty() &&
+           H.memory().gcTimeNs() - Before < BudgetNs) {
+      uint64_t Addr = IncStack.back();
+      IncStack.pop_back();
+      scanForMark(Addr);
+    }
+  }
+  H.setInGc(false);
+  Event.DurationNs = H.memory().gcTimeNs() - Before;
+  Events.push_back(Event);
+  emitTelemetry(Event);
+  // Trace ran dry: the cycle ends with a normal major GC, whose root
+  // trace skips the marked snapshot -- the remark is root iteration plus
+  // whatever the snapshot never saw, then the compaction.
+  if (IncStack.empty() && H.satbBuffer().empty())
+    collectMajor("incremental mark complete");
+}
+
+void Collector::satbDrainStep() {
+  if (H.satbBuffer().empty())
+    return;
+  GcEvent Event;
+  Event.IncStep = true;
+  Event.Reason = "satb drain before minor gc";
+  Event.StartNs = H.memory().totalTimeNs();
+  double Before = H.memory().gcTimeNs();
+  H.setInGc(true);
+  {
+    memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
+    std::vector<uint64_t> Log;
+    Log.swap(H.satbBuffer());
+    Stats.IncSatbDrained += Log.size();
+    for (uint64_t A : Log)
+      incMarkRef(A);
+  }
+  H.setInGc(false);
+  Event.DurationNs = H.memory().gcTimeNs() - Before;
+  Events.push_back(Event);
+  emitTelemetry(Event);
+}
+
+void Collector::finishIncrementalMark() {
+  // Remark (stop-the-world, inside collectMajor's mark phase): finish the
+  // snapshot trace serially and disarm the cycle. The barriers come off
+  // first -- no mutator runs here, and the compaction below must not see
+  // allocate-black or SATB state.
+  H.setSatbActive(false);
+  H.setAllocBlack(false);
+  IncActive = false;
+  std::vector<uint64_t> Log;
+  Log.swap(H.satbBuffer());
+  Stats.IncSatbDrained += Log.size();
+  for (uint64_t A : Log)
+    incMarkRef(A);
+  while (!IncStack.empty()) {
+    uint64_t Addr = IncStack.back();
+    IncStack.pop_back();
+    scanForMark(Addr);
+  }
+}
+
+void Collector::allocationSafepoint() {
+  if (!IncActive)
+    return;
+  if (++AllocsSinceStep < H.config().Tuning.IncStepAllocs)
+    return;
+  AllocsSinceStep = 0;
+  incrementalMarkStep("allocation pacing");
+}
+
+bool Collector::incrementalStep() {
+  if (!IncActive)
+    return false;
+  incrementalMarkStep("explicit step");
+  return true;
 }
 
 void Collector::propagateMigrationTag(uint64_t ArrayAddr, MemTag Target) {
@@ -1469,6 +1688,8 @@ void Collector::collectMajor(const char *Reason) {
     memsim::ActorScope Scope(H.memory(), memsim::Actor::Gc);
     ++Stats.MajorGcs;
     double PhaseStart = H.memory().gcTimeNs();
+    if (IncActive)
+      finishIncrementalMark();
     if (Pool)
       markParallelFromRoots();
     else

@@ -54,6 +54,10 @@ namespace gc {
 /// per-phase breakdown named after Parallel Scavenge's tasks (§4.2.2).
 struct GcEvent {
   bool Major = false;
+  /// True for incremental-marking step events (cycle start, paced mark
+  /// steps, SATB drains): bounded pauses interleaved with the mutator,
+  /// not full collections (docs/gc_pause.md).
+  bool IncStep = false;
   const char *Reason = "";
   double StartNs = 0.0;    ///< Simulated time the collection began.
   double DurationNs = 0.0; ///< Simulated GC time it consumed.
@@ -88,6 +92,11 @@ struct GcStats {
   uint64_t MigratedRddArraysToNvm = 0;
   /// Distinct RDDs that dynamic migration moved (Table 5, col 3).
   uint64_t RddsMigrated = 0;
+  // Incremental marking (--max-pause-us, docs/gc_pause.md).
+  uint64_t IncCycles = 0;        ///< Incremental cycles started.
+  uint64_t IncMarkSteps = 0;     ///< Bounded mark steps run.
+  uint64_t IncSatbDrained = 0;   ///< SATB log entries drained.
+  uint64_t IncObjectsMarked = 0; ///< Objects scanned incrementally.
 };
 
 /// The generational collector. One instance per Heap.
@@ -98,6 +107,19 @@ public:
 
   void collectMinor(const char *Reason) override;
   void collectMajor(const char *Reason) override;
+  /// Pacing hook: with Tuning.MaxPauseUs > 0 and an active incremental
+  /// cycle, runs one bounded mark step every Tuning.IncStepAllocs
+  /// allocations. A no-op otherwise (the stop-the-world configuration is
+  /// byte-identical to a build without the hook).
+  void allocationSafepoint() override;
+
+  /// True while an incremental marking cycle is in flight.
+  bool incrementalCycleActive() const { return IncActive; }
+
+  /// Runs one bounded mark step now if a cycle is active; the fuzz
+  /// harness and tests interleave steps explicitly through this instead
+  /// of relying on allocation pacing. Returns whether a step ran.
+  bool incrementalStep();
 
   const GcStats &stats() const { return Stats; }
   PolicyKind policy() const { return Policy; }
@@ -167,6 +189,28 @@ private:
   MemTag majorTargetTag(uint64_t Addr, bool WasYoung);
   void compactHeap();
 
+  //===--- incremental marking (docs/gc_pause.md) -------------------------===
+  /// Starts a cycle: snapshots the roots, arms the heap's SATB and
+  /// allocate-black hooks. Recorded as its own step event.
+  void startIncrementalCycle(const char *Reason);
+  /// One bounded mark step: drains the SATB log, then scans gray old
+  /// objects until Tuning.MaxPauseUs of simulated GC time has elapsed.
+  /// Triggers the final stop-the-world remark + compaction when both the
+  /// gray stack and the SATB log are empty.
+  void incrementalMarkStep(const char *Reason);
+  /// Unbounded SATB drain at minor-GC entry: logged young addresses must
+  /// be traced before evacuation invalidates them.
+  void satbDrainStep();
+  /// Remark entry: finishes the snapshot trace serially and disarms the
+  /// cycle; runs at the top of collectMajor's mark phase.
+  void finishIncrementalMark();
+  /// Marks \p Addr gray. Old objects go on the gray stack; young objects
+  /// are closed over immediately (their addresses do not survive minor
+  /// GCs), pushing only their old children.
+  void incMarkRef(uint64_t Addr);
+  /// Scans one marked object's slots, charging like markFromRoots.
+  void scanForMark(uint64_t Addr);
+
   heap::Heap &H;
   PolicyKind Policy;
   AccessMonitor *Monitor;
@@ -180,6 +224,11 @@ private:
   /// Minor-GC count at the last major GC (re-trigger guard).
   uint64_t MinorsAtLastMajor = 0;
   std::vector<GcEvent> Events;
+  // Incremental-cycle state. The gray stack holds only old-generation
+  // addresses (stable across minor GCs); all touched serially.
+  bool IncActive = false;
+  std::vector<uint64_t> IncStack;
+  uint64_t AllocsSinceStep = 0;
 };
 
 } // namespace gc

@@ -135,7 +135,8 @@ private:
       for (size_t C = FirstCard; S->usedBytes() != 0 && C <= LastCard;
            ++C) {
         auto It = FirstStart.find(C);
-        uint64_t Expect = It == FirstStart.end() ? 0 : It->second;
+        uint64_t Expect =
+            It == FirstStart.end() ? heap::CardTable::NoObject : It->second;
         if (H.cardTable().firstObjectInCard(C) != Expect)
           return fail(H.cardTable().cardStart(C), 0, ~0u,
                       "card first-object map disagrees with the walk");

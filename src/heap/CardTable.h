@@ -19,9 +19,10 @@
 #ifndef PANTHERA_HEAP_CARDTABLE_H
 #define PANTHERA_HEAP_CARDTABLE_H
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 namespace panthera {
@@ -32,15 +33,34 @@ class CardTable {
 public:
   static constexpr uint64_t CardBytes = 512;
 
+  /// Sentinel for "no object starts in this card". Address 0 is a real
+  /// heap address (the table covers the memory range from 0), so it
+  /// cannot double as the empty marker: an object recorded at 0 would be
+  /// indistinguishable from an empty card and invisible to dirty-card
+  /// scanning.
+  static constexpr uint64_t NoObject = UINT64_MAX;
+
   explicit CardTable(uint64_t TotalBytes)
       : Dirty((TotalBytes + CardBytes - 1) / CardBytes, 0),
-        FirstObj(Dirty.size(), 0) {}
+        FirstObj(Dirty.size(), NoObject) {}
 
   size_t numCards() const { return Dirty.size(); }
 
+  /// Maps \p Addr to its card index. Checked in every build type: the
+  /// card table backs the write barrier and the collector's card scans,
+  /// and an address past the table end would silently index out of
+  /// bounds in release builds. A heap that produces such an address is
+  /// already corrupt, and a broken collector cannot unwind safely, so
+  /// abort rather than throw (same precedent as Space::setTop).
   size_t cardIndex(uint64_t Addr) const {
     size_t Idx = static_cast<size_t>(Addr / CardBytes);
-    assert(Idx < Dirty.size() && "address beyond card table");
+    if (Idx >= Dirty.size()) {
+      std::fprintf(stderr,
+                   "panthera: card table: address 0x%llx beyond covered "
+                   "range (%zu cards)\n",
+                   static_cast<unsigned long long>(Addr), Dirty.size());
+      std::abort();
+    }
     return Idx;
   }
   uint64_t cardStart(size_t Idx) const { return Idx * CardBytes; }
@@ -55,11 +75,12 @@ public:
   /// ascending order so the first note wins.
   void noteObjectStart(uint64_t Addr) {
     size_t Idx = cardIndex(Addr);
-    if (FirstObj[Idx] == 0 || Addr < FirstObj[Idx])
+    if (Addr < FirstObj[Idx])
       FirstObj[Idx] = Addr;
   }
 
-  /// Address of the first object starting inside card \p Idx, 0 if none.
+  /// Address of the first object starting inside card \p Idx, NoObject
+  /// if none.
   uint64_t firstObjectInCard(size_t Idx) const { return FirstObj[Idx]; }
 
   /// Drops object-start and dirty state for [Start, End) -- used when a
@@ -83,9 +104,9 @@ public:
       uint64_t CardHi = CardLo + CardBytes;
       if (Start <= CardLo && CardHi <= End) {
         Dirty[Idx] = 0;
-        FirstObj[Idx] = 0;
+        FirstObj[Idx] = NoObject;
       } else if (FirstObj[Idx] >= Start && FirstObj[Idx] < End) {
-        FirstObj[Idx] = 0;
+        FirstObj[Idx] = NoObject;
       }
     }
   }

@@ -132,6 +132,11 @@ void Heap::formatObject(uint64_t Addr, uint32_t SizeBytes, ObjectKind Kind,
   H->Length = Length;
   H->RddId = RddId;
   H->setMemTag(Tag);
+  // Allocate-black: objects born during an incremental marking cycle are
+  // live by definition for that cycle (fillers stay unmarked -- they are
+  // reclaimed at compaction like any dead object).
+  if (AllocBlack)
+    H->setMarked(true);
   ++Stats.ObjectsAllocated;
   Stats.BytesAllocated += SizeBytes;
   // Zero-initialization traffic (TLAB zeroing in a real JVM).
@@ -328,6 +333,8 @@ uint32_t Heap::checkedObjectSize(uint64_t Size64, const char *What) {
 
 ObjRef Heap::allocPlain(uint32_t NumRefs, uint32_t PayloadBytes) {
   assert(NumRefs <= 255 && "Plain objects carry at most 255 ref slots");
+  if (Host && !InGcFlag)
+    Host->allocationSafepoint();
   uint32_t Size =
       checkedObjectSize(plainObjectSize(NumRefs, PayloadBytes), "allocPlain");
   uint64_t Addr = allocateYoung(Size);
@@ -338,11 +345,18 @@ ObjRef Heap::allocPlain(uint32_t NumRefs, uint32_t PayloadBytes) {
 }
 
 ObjRef Heap::allocRefArray(uint32_t Length) {
+  if (Host && !InGcFlag)
+    Host->allocationSafepoint();
   uint32_t Size = checkedObjectSize(refArraySize(Length), "allocRefArray");
   MemTag Tag = MemTag::None;
   uint32_t RddId = 0;
-  // §4.2.1: a pending rdd_alloc tag claims the next large array.
-  if (PendingTag != MemTag::None && Length >= Config.Tuning.LargeArrayElems) {
+  // §4.2.1: a pending rdd_alloc tag claims the next large array. The
+  // NG2C-style oracle extends the claim to smaller tagged arrays whose
+  // allocation site (RDD id) the hotness profile says is long-lived.
+  bool BySite = Length < Config.Tuning.LargeArrayElems && Pretenure &&
+                PendingTag != MemTag::None && Pretenure(PendingRddId);
+  if (PendingTag != MemTag::None &&
+      (Length >= Config.Tuning.LargeArrayElems || BySite)) {
     Tag = PendingTag;
     RddId = PendingRddId;
     PendingTag = MemTag::None;
@@ -354,6 +368,8 @@ ObjRef Heap::allocRefArray(uint32_t Length) {
     }
     if (Addr) {
       ++Stats.ArraysPretenured;
+      if (BySite)
+        ++Stats.ArraysOraclePretenured;
       formatObject(Addr, Size, ObjectKind::RefArray, 0, Length, RddId, Tag);
       return ObjRef(Addr);
     }
@@ -367,12 +383,17 @@ ObjRef Heap::allocRefArray(uint32_t Length) {
 
 ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
   assert(ElemBytes > 0 && ElemBytes <= 255 && "element size fits Aux");
+  if (Host && !InGcFlag)
+    Host->allocationSafepoint();
   uint32_t Size =
       checkedObjectSize(primArraySize(Length, ElemBytes), "allocPrimArray");
   // Serialized RDD caches are large primitive arrays; the rdd_alloc wait
   // state pretenures them exactly like reference arrays. No card padding
   // is needed: primitive arrays hold no references and are never scanned.
-  if (PendingTag != MemTag::None && Length >= Config.Tuning.LargeArrayElems) {
+  bool BySite = Length < Config.Tuning.LargeArrayElems && Pretenure &&
+                PendingTag != MemTag::None && Pretenure(PendingRddId);
+  if (PendingTag != MemTag::None &&
+      (Length >= Config.Tuning.LargeArrayElems || BySite)) {
     MemTag Tag = PendingTag;
     uint32_t RddId = PendingRddId;
     PendingTag = MemTag::None;
@@ -384,6 +405,8 @@ ObjRef Heap::allocPrimArray(uint32_t Length, uint32_t ElemBytes) {
     }
     if (Addr) {
       ++Stats.ArraysPretenured;
+      if (BySite)
+        ++Stats.ArraysOraclePretenured;
       formatObject(Addr, Size, ObjectKind::PrimArray, ElemBytes, Length,
                    RddId, Tag);
       return ObjRef(Addr);
@@ -441,6 +464,14 @@ void Heap::storeRef(ObjRef Obj, uint32_t Slot, ObjRef Value) {
   assert(Obj && "null dereference");
   assert(Slot < header(Obj.addr())->numRefSlots() && "ref slot out of range");
   uint64_t SlotAddr = refSlotAddr(Obj.addr(), Slot);
+  if (SatbActive) {
+    // SATB barrier: log the overwritten reference before the store so the
+    // marking snapshot stays reachable. The barrier's pre-read of the slot
+    // is charged like any other load.
+    Mem.onAccess(SlotAddr, RefSlotBytes, /*IsWrite=*/false);
+    if (ObjRef Old = rawLoadRef(Obj.addr(), Slot))
+      Satb.push_back(Old.addr());
+  }
   Mem.onAccess(SlotAddr, RefSlotBytes, /*IsWrite=*/true);
   rawStoreRef(Obj.addr(), Slot, Value);
   writeBarrier(Obj, SlotAddr);
@@ -459,6 +490,15 @@ void Heap::copyRefRange(ObjRef Dst, uint32_t DstFirst, ObjRef Src,
          "destination ref range out of bounds");
   uint64_t SrcAddr = refSlotAddr(Src.addr(), SrcFirst);
   uint64_t DstAddr = refSlotAddr(Dst.addr(), DstFirst);
+  if (SatbActive) {
+    // SATB barrier, range form: log every overwritten destination slot
+    // before the memmove, charging the pre-reads as one element range.
+    Mem.onAccessRange(DstAddr, Count * uint64_t(RefSlotBytes),
+                      /*IsWrite=*/false, RefSlotBytes);
+    for (uint32_t I = 0; I != Count; ++I)
+      if (ObjRef Old = rawLoadRef(Dst.addr(), DstFirst + I))
+        Satb.push_back(Old.addr());
+  }
   Mem.onAccessRange(SrcAddr, Count * uint64_t(RefSlotBytes),
                     /*IsWrite=*/false, RefSlotBytes);
   Mem.onAccessRange(DstAddr, Count * uint64_t(RefSlotBytes),
@@ -670,7 +710,7 @@ uint64_t Heap::firstObjectIntersectingCard(Space &S, size_t CardIdx) {
   for (size_t C = CardIdx; C > BaseCard;) {
     --C;
     uint64_t A = Cards.firstObjectInCard(C);
-    if (A && A < S.top()) {
+    if (A != CardTable::NoObject && A < S.top()) {
       Anchor = A;
       break;
     }

@@ -53,6 +53,12 @@ public:
   virtual void collectMinor(const char *Reason) = 0;
   /// Runs a major (full-heap) collection.
   virtual void collectMajor(const char *Reason) = 0;
+  /// Called at the top of every mutator allocation (never from inside a
+  /// collection). The incremental marker uses this as its pacing hook: a
+  /// bounded mark step runs every Tuning.IncStepAllocs allocations while a
+  /// cycle is active. Default is a no-op so the stop-the-world collector
+  /// is unaffected.
+  virtual void allocationSafepoint() {}
 };
 
 /// Allocation / barrier counters.
@@ -60,6 +66,9 @@ struct HeapStats {
   uint64_t ObjectsAllocated = 0;
   uint64_t BytesAllocated = 0;
   uint64_t ArraysPretenured = 0;
+  uint64_t ArraysOraclePretenured = 0; ///< Pretenured below the size
+                                       ///< threshold by the NG2C-style
+                                       ///< allocation-site oracle.
   uint64_t PretenureDramFallbacks = 0; ///< DRAM-tagged arrays that landed
                                        ///< in NVM because DRAM was full.
   uint64_t RefStores = 0;
@@ -209,6 +218,13 @@ public:
   }
   MemTag pendingArrayTag() const { return PendingTag; }
 
+  /// NG2C-style allocation-site pretenuring oracle: when installed, a
+  /// tagged array below the large-array threshold is still pretenured if
+  /// the oracle says its RDD's allocation site is long-lived (fed by the
+  /// AccessMonitor hotness profile). Null disables the heuristic.
+  using PretenureOracle = std::function<bool(uint32_t RddId)>;
+  void setPretenureOracle(PretenureOracle Fn) { Pretenure = std::move(Fn); }
+
   //===--------------------------------------------------------------------===
   // Mutator field access (accounted + write barrier)
   //===--------------------------------------------------------------------===
@@ -346,6 +362,24 @@ public:
   bool inGc() const { return InGcFlag; }
   void setInGc(bool V) { InGcFlag = V; }
 
+  //===--------------------------------------------------------------------===
+  // Incremental-marking hooks (docs/gc_pause.md)
+  //===--------------------------------------------------------------------===
+
+  /// SATB (snapshot-at-the-beginning) recording: while active, storeRef
+  /// and copyRefRange append every overwritten non-null reference to the
+  /// SATB buffer before the raw store, preserving the marking snapshot.
+  /// The mutator is single-threaded (the non-atomic HeapStats counters
+  /// rely on the same invariant), so one unsynchronized buffer suffices.
+  void setSatbActive(bool V) { SatbActive = V; }
+  bool satbActive() const { return SatbActive; }
+  std::vector<uint64_t> &satbBuffer() { return Satb; }
+
+  /// Allocate-black: while a marking cycle is active every new object is
+  /// born marked, so objects allocated mid-cycle are never freed by the
+  /// cycle's compaction regardless of when they become reachable.
+  void setAllocBlack(bool V) { AllocBlack = V; }
+
   /// Requests a full collection (the engine uses this after evicting a
   /// storage block so the freed space becomes allocatable).
   void requestMajorGc(const char *Reason) {
@@ -400,6 +434,10 @@ private:
   MemTag PendingTag = MemTag::None;
   uint32_t PendingRddId = 0;
   bool InGcFlag = false;
+  bool SatbActive = false;
+  bool AllocBlack = false;
+  std::vector<uint64_t> Satb;
+  PretenureOracle Pretenure;
 
   std::vector<ObjRef> RootStack;
   std::vector<ObjRef> PersistentRoots;

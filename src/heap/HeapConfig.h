@@ -64,6 +64,13 @@ struct GcTuning {
   /// CPU cost charged per write barrier / allocation, in nanoseconds.
   double BarrierCpuNs = 0.5;
   double AllocCpuNs = 4.0;
+  /// Incremental old-generation marking (docs/gc_pause.md): pause budget
+  /// per mark step in microseconds. 0 keeps the stop-the-world collector
+  /// byte-identical; nonzero splits major-GC marking into bounded steps
+  /// interleaved with mutator execution on the simulated clock.
+  uint32_t MaxPauseUs = 0;
+  /// Allocations between incremental mark steps while a cycle is active.
+  uint32_t IncStepAllocs = 64;
   /// Debugging: run the heap verifier after every collection and abort on
   /// the first violation.
   bool VerifyHeap = false;

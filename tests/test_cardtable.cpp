@@ -42,7 +42,72 @@ TEST(CardTable, ClearRangeResetsBothTables) {
   CT.noteObjectStart(2048);
   CT.clearRange(1536, 4096);
   EXPECT_FALSE(CT.isDirty(CT.cardIndex(2048)));
-  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(2048)), 0u);
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(2048)), CardTable::NoObject);
+}
+
+TEST(CardTable, CardIndexAbortsBeyondCoveredRange) {
+  CardTable CT(1 << 20); // 2048 cards
+  EXPECT_EQ(CT.cardIndex((1 << 20) - 1), CT.numCards() - 1);
+#if GTEST_HAS_DEATH_TEST
+  // One byte past the covered range must die in every build type, not
+  // just under assertions: a release-build out-of-bounds index here
+  // corrupts the dirty/first-object vectors silently.
+  EXPECT_DEATH(CT.cardIndex(1 << 20), "beyond covered range");
+  EXPECT_DEATH(CT.dirtyCardFor(UINT64_MAX), "beyond covered range");
+#endif
+}
+
+TEST(CardTable, ObjectStartAtAddressZeroIsVisible) {
+  // Address 0 is a legal recorded start (the table covers the range from
+  // 0); the old `0` empty sentinel made such an object invisible to
+  // dirty-card scanning. An untouched card must report NoObject instead.
+  CardTable CT(1 << 20);
+  EXPECT_EQ(CT.firstObjectInCard(0), CardTable::NoObject);
+  CT.noteObjectStart(0);
+  EXPECT_EQ(CT.firstObjectInCard(0), 0u);
+  // A later, higher start in the same card must not displace it.
+  CT.noteObjectStart(128);
+  EXPECT_EQ(CT.firstObjectInCard(0), 0u);
+  CT.clearRange(0, 512);
+  EXPECT_EQ(CT.firstObjectInCard(0), CardTable::NoObject);
+}
+
+TEST(CardTable, ClearRangePartialCardIsConservative) {
+  // Unaligned Start/End sharing a card with a neighbor: the dirty bit
+  // must survive (spurious rescan is safe) and the first-object entry is
+  // dropped only when the recorded start lies inside [Start, End).
+  CardTable CT(1 << 20);
+
+  // Leading partial card: neighbor's object at 1024, cleared range
+  // starts mid-card at 1280.
+  CT.dirtyCardFor(1024);
+  CT.noteObjectStart(1024);
+  CT.clearRange(1280, 4096);
+  EXPECT_TRUE(CT.isDirty(CT.cardIndex(1024)))
+      << "partial card must keep its dirty bit";
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1024)), 1024u)
+      << "neighbor's object start below Start must survive";
+
+  // Same leading card, but the recorded start lies inside the range.
+  CT.noteObjectStart(1300); // 1300 > 1024, keeps 1024 -- reset first
+  CT.clearRange(512, 1536); // drops 1024 (full card 1024..1536? no: 1024
+                            // card is [1024,1536), fully inside [512,1536))
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1024)), CardTable::NoObject);
+  CT.dirtyCardFor(1100);
+  CT.noteObjectStart(1100);
+  CT.clearRange(1200, 2048); // 1100 < Start: entry survives
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1100)), 1100u);
+  CT.clearRange(1050, 1536); // 1100 inside [1050, 1536): entry dropped
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1100)), CardTable::NoObject);
+  EXPECT_TRUE(CT.isDirty(CT.cardIndex(1100)))
+      << "partial trailing card keeps its dirty bit";
+
+  // Trailing partial card: range ends mid-card, object past End survives.
+  CT.dirtyCardFor(4096 + 400);
+  CT.noteObjectStart(4096 + 400);
+  CT.clearRange(2048, 4096 + 100); // End mid-card, start at 4496 >= End
+  EXPECT_TRUE(CT.isDirty(CT.cardIndex(4096)));
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(4096)), 4096u + 400);
 }
 
 namespace {

@@ -358,7 +358,8 @@ TEST(Regression, ClearRangePreservesBoundaryCardState) {
       << "partial cards keep the dirty bit (conservative rescan is safe; "
          "losing a dirty out-of-range address is not)";
   EXPECT_FALSE(CT.isDirty(CT.cardIndex(2100)));
-  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(2100)), 0u);
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(2100)),
+            heap::CardTable::NoObject);
 }
 
 TEST(Regression, ClearRangeDropsInRangeStartOnPartialCard) {
@@ -367,7 +368,8 @@ TEST(Regression, ClearRangeDropsInRangeStartOnPartialCard) {
   // is only partially covered: the entry must go.
   CT.noteObjectStart(1950);
   CT.clearRange(1900, 4096);
-  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1950)), 0u);
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1950)),
+            heap::CardTable::NoObject);
 }
 
 TEST(Regression, ClearRangeUpperBoundaryPartialCard) {
@@ -385,7 +387,103 @@ TEST(Regression, ClearRangeUpperBoundaryPartialCard) {
   CT.clearRange(0, 4096);
   EXPECT_TRUE(CT.isDirty(CT.cardIndex(4300)))
       << "range below the card leaves it untouched";
-  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1000)), 0u);
+  EXPECT_EQ(CT.firstObjectInCard(CT.cardIndex(1000)),
+            heap::CardTable::NoObject);
+}
+
+//===----------------------------------------------------------------------===
+// Regression: GC pause accounting. Every nanosecond of simulated GC time
+// must appear in exactly one event-log entry: the sum of all pause
+// durations (minor, major, and incremental-step events alike) equals the
+// report's GcNs. This pins two double-counting hazards at once -- the
+// dynamic policy's between-GC migration copies (charged to GC time but
+// deliberately outside the pause events) and incremental mark steps
+// (their own events, never folded into the enclosing collection's pause).
+//===----------------------------------------------------------------------===
+
+double eventLogTotalNs(core::Runtime &RT) {
+  double Sum = 0.0;
+  for (const gc::GcEvent &E : RT.collector().eventLog())
+    Sum += E.DurationNs;
+  return Sum;
+}
+
+TEST(Regression, StopTheWorldPauseAccountingMatchesGcTime) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("PR");
+  ASSERT_NE(Spec, nullptr);
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.NumThreads = 1;
+  core::Runtime RT(Config);
+  Spec->Run(RT, /*Scale=*/0.4);
+  core::RunReport R = RT.report();
+  ASSERT_GT(R.Gc.MinorGcs, 0u);
+  EXPECT_NEAR(eventLogTotalNs(RT), R.GcNs, 1e-6 * R.GcNs);
+
+  // The pause histograms see each collection exactly once too.
+  RT.publishMetrics();
+  const Histogram *Minor = RT.metrics().findHistogram("gc.minor.pause_ns");
+  ASSERT_NE(Minor, nullptr);
+  EXPECT_EQ(Minor->count(), R.Gc.MinorGcs);
+  double HistoSum = Minor->sum();
+  if (const Histogram *Major = RT.metrics().findHistogram("gc.major.pause_ns"))
+    HistoSum += Major->sum();
+  EXPECT_NEAR(HistoSum, R.GcNs, 1e-6 * R.GcNs);
+}
+
+TEST(Regression, IncrementalPauseAccountingMatchesGcTime) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("PR");
+  ASSERT_NE(Spec, nullptr);
+  core::RuntimeConfig Config;
+  Config.Policy = gc::PolicyKind::Panthera;
+  Config.NumThreads = 1;
+  Config.HeapPaperGB = 12; // small enough to cross the occupancy trigger
+  Config.MaxPauseUs = 100;
+  core::Runtime RT(Config);
+  Spec->Run(RT, /*Scale=*/0.4);
+  core::RunReport R = RT.report();
+  ASSERT_GT(R.Gc.IncCycles, 0u) << "test must actually exercise a cycle";
+  ASSERT_GT(R.Gc.IncMarkSteps, 0u);
+  EXPECT_NEAR(eventLogTotalNs(RT), R.GcNs, 1e-6 * R.GcNs);
+
+  // Step events land in their own histogram, not the major-pause one, and
+  // the three histograms together still cover GcNs exactly once.
+  RT.publishMetrics();
+  const Histogram *Step =
+      RT.metrics().findHistogram("gc.incremental.step_ns");
+  ASSERT_NE(Step, nullptr);
+  // One event per cycle start and per mark step; SATB drains before minor
+  // GCs add more on top.
+  EXPECT_GE(Step->count(), R.Gc.IncMarkSteps + R.Gc.IncCycles);
+  double HistoSum = Step->sum();
+  if (const Histogram *Minor = RT.metrics().findHistogram("gc.minor.pause_ns"))
+    HistoSum += Minor->sum();
+  if (const Histogram *Major = RT.metrics().findHistogram("gc.major.pause_ns"))
+    HistoSum += Major->sum();
+  EXPECT_NEAR(HistoSum, R.GcNs, 1e-6 * R.GcNs);
+}
+
+TEST(Regression, IncrementalMarkingKeepsResultsAndThreadInvariance) {
+  const workloads::WorkloadSpec *Spec = workloads::findWorkload("PR");
+  ASSERT_NE(Spec, nullptr);
+  auto Run = [&](uint32_t MaxPauseUs, unsigned Threads) {
+    core::RuntimeConfig Config;
+    Config.Policy = gc::PolicyKind::Panthera;
+    Config.NumThreads = Threads;
+    Config.HeapPaperGB = 12;
+    Config.MaxPauseUs = MaxPauseUs;
+    core::Runtime RT(Config);
+    double Checksum = Spec->Run(RT, /*Scale=*/0.4);
+    return std::make_pair(Checksum, RT.metricsJson());
+  };
+  auto Stw = Run(0, 1);
+  auto Inc1 = Run(100, 1);
+  auto Inc8 = Run(100, 8);
+  // Same answer with and without the pause budget...
+  EXPECT_EQ(Stw.first, Inc1.first);
+  // ...and the incremental run itself is thread-count invariant.
+  EXPECT_EQ(Inc1.first, Inc8.first);
+  EXPECT_EQ(Inc1.second, Inc8.second);
 }
 
 TEST(Regression, ClearRangeEmptyAndSingleCardRanges) {
@@ -396,7 +494,7 @@ TEST(Regression, ClearRangeEmptyAndSingleCardRanges) {
   EXPECT_TRUE(CT.isDirty(1));
   CT.clearRange(512, 1024); // exactly card 1
   EXPECT_FALSE(CT.isDirty(1));
-  EXPECT_EQ(CT.firstObjectInCard(1), 0u);
+  EXPECT_EQ(CT.firstObjectInCard(1), heap::CardTable::NoObject);
 }
 
 } // namespace

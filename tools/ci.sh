@@ -132,6 +132,37 @@ grep -q '"memsim.migration.pages_to_dram": [1-9]' "${obs}/sw-dyn.json"
 (cd "${obs}" && "${OLDPWD}/build/bench/micro_hotness" --scale=0.25)
 echo "ci: dynamic policy migrates and sample=0 matches static byte-for-byte"
 
+# Incremental-marking smoke (docs/gc_pause.md): --max-pause-us=0 must be
+# byte-identical to the stop-the-world collector (the m1/t1 exports above
+# are exactly that run), a budgeted run must actually start cycles and
+# reproduce the stop-the-world checksum at every thread count, and the
+# pause sweep enforces the old-gen p99 floor (>= 10x drop at <= 2% time
+# cost), whose committed snapshot is BENCH_pause.json.
+echo "=== incremental marking smoke ==="
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --max-pause-us=0 --pretenure-calls=0 --metrics-json="${obs}/i0.json" \
+  --trace-json="${obs}/i0.trace" >/dev/null
+cmp "${obs}/m1.json" "${obs}/i0.json"
+cmp "${obs}/t1.json" "${obs}/i0.trace"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --heap=2 \
+  --threads=1 >"${obs}/istw.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/istw.txt" >"${obs}/istw.sum"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --heap=2 \
+  --threads=1 --max-pause-us=25 --inc-step-allocs=1 \
+  --metrics-json="${obs}/i1.json" >"${obs}/i1.txt"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --heap=2 \
+  --threads=8 --max-pause-us=25 --inc-step-allocs=1 \
+  --metrics-json="${obs}/i8.json" >"${obs}/i8.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/i1.txt" >"${obs}/i1.sum"
+grep -o 'result checksum: [0-9.]*' "${obs}/i8.txt" >"${obs}/i8.sum"
+cmp "${obs}/istw.sum" "${obs}/i1.sum"
+cmp "${obs}/istw.sum" "${obs}/i8.sum"
+cmp "${obs}/i1.json" "${obs}/i8.json"
+grep -q '"gc.incremental.cycles": [1-9]' "${obs}/i1.json"
+(cd "${obs}" && "${OLDPWD}/build/bench/gc_pause" --json="${obs}/pause.json")
+grep -q '"pass": true' BENCH_pause.json
+echo "ci: budget-0 byte-identical, budgeted runs thread-invariant, p99 floor met"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
 
 # The hotness tracker, migration engine, and dynamic-policy determinism
@@ -161,9 +192,15 @@ fuzz=./build-san/tools/gc_fuzz
 "${fuzz}" --seed=1 --ops=397 --config=pressure --threads=8
 "${fuzz}" --seed=3 --ops=465 --config=pressure --threads=0
 "${fuzz}" --seed=1 --ops=93 --config=split --executors=2
+# The incremental config interleaves explicit mark steps with mutation so
+# the SATB write barrier and the finishing major run against the shadow
+# oracle; the digest must not depend on worker or executor count.
+"${fuzz}" --seed=1 --ops=200 --config=incremental
+"${fuzz}" --seed=1 --ops=200 --config=incremental --threads=8
+"${fuzz}" --seed=1 --ops=200 --config=incremental --executors=2
 sha_seed="$((16#$(git rev-parse HEAD | cut -c1-8)))"
 echo "ci: fuzzing 32 fresh seeds from ${sha_seed} per config"
-for config in dram split pressure; do
+for config in dram split pressure incremental; do
   "${fuzz}" --seed="${sha_seed}" --iterations=32 --ops=256 \
     --config="${config}"
 done
@@ -173,5 +210,13 @@ echo "ci: gc fuzz clean"
 # multi-threaded (the auto default would collapse to the core count on
 # small CI machines, hiding races).
 PANTHERA_THREADS=8 run_config build-tsan -DPANTHERA_SANITIZE=thread
+
+# The incremental marker under TSan with 8 real workers: mark steps, the
+# SATB buffer, and the finishing major interleave with the parallel
+# scavenge and parallel mark under the race detector.
+echo "=== incremental marking (tsan) ==="
+./build-tsan/tools/panthera_sim --workload=PR --scale=0.1 --heap=2 \
+  --threads=8 --max-pause-us=25 --inc-step-allocs=1 >/dev/null
+echo "ci: incremental marker clean under tsan"
 
 echo "ci: all configurations passed"

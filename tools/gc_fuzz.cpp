@@ -36,7 +36,8 @@ void usage(const char *Argv0) {
       "  --ops=N          actions per schedule (default 512)\n"
       "  --iterations=N   schedules to run, seeds seed..seed+N-1 "
       "(default 1)\n"
-      "  --config=NAME    dram | split | pressure (default split)\n"
+      "  --config=NAME    dram | split | pressure | incremental "
+      "(default split)\n"
       "  --threads=N      GC workers; 0 = serial collector (default 1)\n"
       "  --executors=N    replay each schedule on N independent executor\n"
       "                   heaps and require bit-identical heap digests;\n"
@@ -83,9 +84,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       }
     } else if (const char *S = Val("--config=")) {
       if (!parseFuzzConfig(S, O.Fuzz.Config)) {
-        std::fprintf(stderr,
-                     "gc_fuzz: bad --config '%s' (dram|split|pressure)\n",
-                     S);
+        std::fprintf(
+            stderr,
+            "gc_fuzz: bad --config '%s' (dram|split|pressure|incremental)\n",
+            S);
         return false;
       }
     } else if (const char *S = Val("--threads=")) {

@@ -13,6 +13,8 @@
 ///                [--policy=panthera|dynamic|unmanaged|dram|kn|kw]
 ///                [--hotness-sample=N] [--migrate-threshold=F]
 ///                [--migrate-max-pages=N]
+///                [--max-pause-us=N] [--pretenure-calls=N]
+///                [--inc-step-allocs=N]
 ///                [--heap=64] [--ratio=0.333] [--scale=1.0]
 ///                [--nursery=0.1667] [--no-eager] [--no-padding]
 ///                [--threads=N] [--gclog] [--verify] [--list] [--help]
@@ -241,6 +243,18 @@ int main(int Argc, char **Argv) {
       if (!support::parseUnsigned(V, 1, 1u << 20, U))
         return BadFlag(A, "a page budget >= 1");
       Config.MigrateMaxPagesPerStep = U;
+    } else if (const char *V = Val("--max-pause-us=")) {
+      if (!support::parseUnsigned(V, 0, 1u << 30, U))
+        return BadFlag(A, "a pause budget in microseconds >= 0");
+      Config.MaxPauseUs = static_cast<uint32_t>(U);
+    } else if (const char *V = Val("--pretenure-calls=")) {
+      if (!support::parseUnsigned(V, 0, 1u << 30, U))
+        return BadFlag(A, "a call count >= 0 (0 disables the oracle)");
+      Config.PretenureMinCalls = static_cast<uint32_t>(U);
+    } else if (const char *V = Val("--inc-step-allocs=")) {
+      if (!support::parseUnsigned(V, 1, 1u << 30, U))
+        return BadFlag(A, "an allocation count >= 1");
+      Config.IncStepAllocs = static_cast<uint32_t>(U);
     }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
@@ -266,6 +280,16 @@ int main(int Argc, char **Argv) {
           "                     region migrates to DRAM (default 2.0)\n"
           "  --migrate-max-pages=N  page-swap budget per migration step\n"
           "                     (default 256)\n"
+          "  --max-pause-us=N   incremental old-gen marking with an N us\n"
+          "                     pause budget per mark step (default 0 =\n"
+          "                     stop-the-world, byte-identical to builds\n"
+          "                     without the feature; docs/gc_pause.md)\n"
+          "  --pretenure-calls=N  pretenure tagged arrays whose RDD has\n"
+          "                     seen >= N monitored calls in the current\n"
+          "                     window (default 0 = oracle off)\n"
+          "  --inc-step-allocs=N  allocations between incremental mark\n"
+          "                     steps (default 64; ignored at\n"
+          "                     --max-pause-us=0)\n"
           "  --heap=GB          heap size in paper GB (default 64)\n"
           "  --ratio=F          DRAM : total memory (default 0.333)\n"
           "  --nursery=F        nursery fraction of the heap\n"
@@ -538,7 +562,9 @@ int main(int Argc, char **Argv) {
     unsigned Index = 0;
     for (const gc::GcEvent &E : RT.collector().eventLog())
       std::printf("%4u %-6s %9.2f %9.1f %8.1f %8.1f %8.1f %8.1f  %s\n",
-                  Index++, E.Major ? "major" : "minor", E.StartNs / 1e6,
+                  Index++,
+                  E.IncStep ? "step" : E.Major ? "major" : "minor",
+                  E.StartNs / 1e6,
                   E.DurationNs / 1e3, E.RootTaskNs / 1e3,
                   E.DramToYoungTaskNs / 1e3, E.NvmToYoungTaskNs / 1e3,
                   E.DrainNs / 1e3, E.Reason);
