@@ -7,15 +7,28 @@
 /// Design-choice ablation (DESIGN.md §4): the paper's fault-tolerance
 /// caches use the _SER storage levels (PageRank persists contribs
 /// MEMORY_AND_DISK_SER). This harness quantifies why that matters on
-/// hybrid memory: a PageRank variant whose contribs are cached
-/// *deserialized* leaves per-tuple object graphs for the collector to
-/// trace and promote into NVM, inflating GC time under every policy --
-/// and hurting Panthera most, since its contribs land fully in NVM.
+/// hybrid memory, three ways:
+///
+///   deserialized  MEMORY_AND_DISK      per-tuple object graphs the
+///                                      collector traces and promotes
+///   serialized    MEMORY_AND_DISK_SER  one on-heap byte buffer per
+///                                      partition (the paper's choice)
+///   off-heap      OFF_HEAP             native region tier outside the
+///                                      heap entirely (docs/offheap.md)
+///
+/// The three levels are swept across cache:heap ratios (shrinking heaps
+/// under the same dataset) and the results land in BENCH_sercache.json
+/// with two enforced floors: the off-heap tier must strictly reduce
+/// old-gen trace time (old->young card scans + major marks) against the
+/// deserialized cache at every ratio, and must beat the on-heap
+/// serialized cache's total time at >= 1 swept ratio, where heap relief
+/// outweighs the region-read toll.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "gc/Collector.h"
 #include "graphx/Pregel.h"
 #include "workloads/DataGen.h"
 
@@ -78,32 +91,59 @@ program pagerank {
 }
 
 struct Row {
-  double TotalMs, GcMs, Checksum;
+  double TotalMs, GcMs, OldGenMs, Checksum;
 };
 
-Row measure(gc::PolicyKind Policy, rdd::StorageLevel Level, double Scale) {
+/// One configuration. OldGenMs is the time the collector spent looking at
+/// the old generation on the cache's behalf: old->young dirty-card scans
+/// (DRAM + NVM) in minor GCs plus the mark phase of major GCs -- the cost
+/// the off-heap tier exists to delete.
+Row measure(gc::PolicyKind Policy, rdd::StorageLevel Level, double Scale,
+            unsigned HeapGB, unsigned OffHeapMB) {
   core::RuntimeConfig Config;
   Config.Policy = Policy;
-  Config.HeapPaperGB = 64;
+  Config.HeapPaperGB = HeapGB;
   Config.DramRatio = 1.0 / 3.0;
+  Config.OffHeapMB = OffHeapMB;
   core::Runtime RT(Config);
   Row R;
   R.Checksum = runPr(RT, Level, Scale);
   core::RunReport Report = RT.report();
   R.TotalMs = Report.TotalNs / 1e6;
   R.GcMs = Report.GcNs / 1e6;
+  double OldGenNs = 0.0;
+  for (const gc::GcEvent &E : RT.collector().eventLog())
+    OldGenNs += E.DramToYoungTaskNs + E.NvmToYoungTaskNs + E.MarkNs;
+  R.OldGenMs = OldGenNs / 1e6;
   return R;
 }
+
+/// One swept cache:heap ratio: same dataset, shrinking heap. The off-heap
+/// budget stays constant -- it is carved from the native region, not the
+/// heap, which is exactly the point.
+struct RatioPoint {
+  unsigned HeapGB;
+  Row Deser, Ser, Off;
+};
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   double Scale = parseScale(Argc, Argv);
   banner("ablation: serialized caches",
-         "PageRank with contribs cached serialized (paper) vs "
-         "deserialized, 64GB heap, 1/3 DRAM",
+         "PageRank contribs cached deserialized vs serialized vs off-heap "
+         "region, swept over cache:heap ratios",
          Scale);
+  auto ScaledGB = [Scale](unsigned GB) {
+    return std::max(
+        1u, static_cast<unsigned>(static_cast<double>(GB) * Scale + 0.5));
+  };
+  // 8 paper-GB of native region budget holds the contribs working set at
+  // scale 1 with room to spare; undersize runs spill to disk, not crash.
+  const unsigned OffHeapMB = ScaledGB(8) * 1024;
 
+  // Part 1 (the original ablation shape): every policy at the paper's
+  // 64 GB heap, serialized vs deserialized.
   std::printf("\n%-12s | %-24s | %-24s\n", "",
               "SER (paper)  total    gc", "deserialized total    gc  [ms]");
   bool ChecksumsAgree = true;
@@ -111,8 +151,10 @@ int main(int Argc, char **Argv) {
   for (gc::PolicyKind Policy :
        {gc::PolicyKind::DramOnly, gc::PolicyKind::Unmanaged,
         gc::PolicyKind::Panthera}) {
-    Row Ser = measure(Policy, rdd::StorageLevel::MemoryAndDiskSer, Scale);
-    Row Deser = measure(Policy, rdd::StorageLevel::MemoryAndDisk, Scale);
+    Row Ser = measure(Policy, rdd::StorageLevel::MemoryAndDiskSer, Scale,
+                      ScaledGB(64), 0);
+    Row Deser = measure(Policy, rdd::StorageLevel::MemoryAndDisk, Scale,
+                        ScaledGB(64), 0);
     ChecksumsAgree &= Ser.Checksum == Deser.Checksum;
     if (Policy == gc::PolicyKind::Panthera) {
       SerPantheraGc = Ser.GcMs;
@@ -123,12 +165,93 @@ int main(int Argc, char **Argv) {
                 Deser.GcMs);
   }
 
+  // Part 2: the three-way sweep under Panthera. Heap shrinks while the
+  // dataset (and so the cache) stays fixed, raising the cache:heap ratio.
+  const unsigned HeapSweepGB[] = {64, 32, 16, 8};
+  std::vector<RatioPoint> Points;
+  std::printf("\n%-8s | %-21s | %-21s | %-21s\n", "heap",
+              "deser total  oldgen", "ser   total  oldgen",
+              "offheap total oldgen  [ms]");
+  for (unsigned GB : HeapSweepGB) {
+    RatioPoint P;
+    P.HeapGB = GB;
+    P.Deser = measure(gc::PolicyKind::Panthera,
+                      rdd::StorageLevel::MemoryAndDisk, Scale, ScaledGB(GB),
+                      0);
+    P.Ser = measure(gc::PolicyKind::Panthera,
+                    rdd::StorageLevel::MemoryAndDiskSer, Scale, ScaledGB(GB),
+                    0);
+    P.Off = measure(gc::PolicyKind::Panthera, rdd::StorageLevel::OffHeapSer,
+                    Scale, ScaledGB(GB), OffHeapMB);
+    ChecksumsAgree &= P.Deser.Checksum == P.Ser.Checksum &&
+                      P.Ser.Checksum == P.Off.Checksum;
+    std::printf("%4u GB  |  %8.2f %8.2f  |  %8.2f %8.2f  |  %8.2f %8.2f\n",
+                GB, P.Deser.TotalMs, P.Deser.OldGenMs, P.Ser.TotalMs,
+                P.Ser.OldGenMs, P.Off.TotalMs, P.Off.OldGenMs);
+    Points.push_back(P);
+  }
+
+  // Floors (enforced by tools/ci.sh via the JSON "pass" flag).
+  bool OffCutsOldGenEverywhere = true;
+  bool OffBeatsSerSomewhere = false;
+  for (const RatioPoint &P : Points) {
+    OffCutsOldGenEverywhere &= P.Off.OldGenMs < P.Deser.OldGenMs;
+    OffBeatsSerSomewhere |= P.Off.TotalMs < P.Ser.TotalMs;
+  }
+  bool Pass =
+      ChecksumsAgree && OffCutsOldGenEverywhere && OffBeatsSerSomewhere;
+
   std::printf("\nshape checks:\n");
   std::printf("  serialized caching cuts Panthera's GC time:  %s "
               "(%.2f -> %.2f ms)\n",
               SerPantheraGc < DeserPantheraGc ? "yes" : "NO",
               DeserPantheraGc, SerPantheraGc);
+  std::printf("  off-heap cuts old-gen trace at every ratio:  %s\n",
+              OffCutsOldGenEverywhere ? "yes" : "NO");
+  std::printf("  off-heap beats on-heap SER at some ratio:    %s\n",
+              OffBeatsSerSomewhere ? "yes" : "NO");
   std::printf("  results identical across cache formats:      %s\n",
               ChecksumsAgree ? "yes" : "NO");
+
+  std::FILE *Out = std::fopen("BENCH_sercache.json", "w");
+  if (!Out) {
+    std::perror("BENCH_sercache.json");
+    return 1;
+  }
+  std::fprintf(Out, "{\n  \"scale\": %.3f,\n  \"workload\": \"PR\",\n",
+               Scale);
+  std::fprintf(Out, "  \"offheap_budget_paper_mb\": %u,\n", OffHeapMB);
+  std::fprintf(Out, "  \"sweep\": [\n");
+  for (size_t I = 0; I != Points.size(); ++I) {
+    const RatioPoint &P = Points[I];
+    auto Emit = [Out](const char *Name, const Row &R, const char *Tail) {
+      std::fprintf(Out,
+                   "     \"%s\": {\"total_ms\": %.3f, \"gc_ms\": %.3f, "
+                   "\"oldgen_trace_ms\": %.3f}%s\n",
+                   Name, R.TotalMs, R.GcMs, R.OldGenMs, Tail);
+    };
+    std::fprintf(Out, "    {\"heap_paper_gb\": %u,\n", P.HeapGB);
+    Emit("deserialized", P.Deser, ",");
+    Emit("serialized", P.Ser, ",");
+    Emit("offheap", P.Off, "");
+    std::fprintf(Out, "    }%s\n", I + 1 == Points.size() ? "" : ",");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out,
+               "  \"floors\": {\"checksums_match\": %s, "
+               "\"offheap_cuts_oldgen_trace_at_every_ratio\": %s, "
+               "\"offheap_beats_ser_total_at_some_ratio\": %s},\n",
+               ChecksumsAgree ? "true" : "false",
+               OffCutsOldGenEverywhere ? "true" : "false",
+               OffBeatsSerSomewhere ? "true" : "false");
+  std::fprintf(Out, "  \"pass\": %s\n}\n", Pass ? "true" : "false");
+  std::fclose(Out);
+  std::printf("\nwrote BENCH_sercache.json\n");
+
+  if (!ChecksumsAgree) {
+    std::fprintf(stderr,
+                 "FATAL: a cache format changed the workload checksum\n");
+    return 1;
+  }
   return 0;
 }

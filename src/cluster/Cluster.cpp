@@ -30,26 +30,12 @@ Executor::Executor(unsigned Id, const ClusterConfig &Config) : Id(Id) {
   Mem->setAccessPath(Config.AccessPath);
   H = std::make_unique<heap::Heap>(HC, *Mem);
   // Claim the shuffle arena up front: the native region is never collected,
-  // so per-shuffle reuse needs our own bump pointer over one big claim.
-  uint64_t Want = HC.NativeBytes;
-  while (Want >= (1ull << 20)) {
-    try {
-      ArenaBase = H->allocNative(Want);
-      ArenaSize = Want;
-      break;
-    } catch (const OutOfMemoryError &) {
-      Want >>= 1;
-    }
-  }
-}
-
-uint64_t Executor::arenaAlloc(uint64_t Bytes) {
-  uint64_t Aligned = (Bytes + 7) & ~7ull;
-  if (Aligned < Bytes || ArenaUsed + Aligned > ArenaSize)
-    return UINT64_MAX;
-  uint64_t Addr = ArenaBase + ArenaUsed;
-  ArenaUsed += Aligned;
-  return Addr;
+  // so per-shuffle reuse needs region recycling over one big claim. The
+  // whole claim is one region, reset between shuffles.
+  Arena = std::make_unique<offheap::RegionAllocator>(
+      *H, HC.NativeBytes, /*MinClaimBytes=*/1ull << 20);
+  if (Arena->claimed())
+    ArenaRegion = Arena->allocRegion(Arena->claimBytes());
 }
 
 //===----------------------------------------------------------------------===
@@ -266,7 +252,7 @@ void Cluster::registerMapOutput(uint32_t Map, uint32_t Reduce, unsigned Exec,
   B.BucketOffset = BucketOffset;
   B.Lost = false;
   B.DiskCopy.clear();
-  B.Addr = UINT64_MAX;
+  B.Addr = offheap::NoAddress;
   ++Stats.BlocksStored;
   Stats.BytesStored += Bytes;
   if (Records == 0)
@@ -285,7 +271,7 @@ void Cluster::storeBlock(BlockInfo &B, unsigned Exec, const void *Data) {
   E.memory().addCpuWorkNs(Config.Options.NetSerNsPerRecord *
                           static_cast<double>(B.Records) * Slowdown[Exec]);
   B.Addr = E.arenaAlloc(B.Bytes);
-  if (B.Addr != UINT64_MAX) {
+  if (B.Addr != offheap::NoAddress) {
     E.heap().nativeWrite(B.Addr, Data, B.Bytes);
     return;
   }
@@ -330,7 +316,7 @@ bool Cluster::fetchBlock(uint32_t Map, uint32_t Reduce, unsigned DstExec,
   // Read the executor-held replica back and verify it against the data
   // plane (the driver-side bucket slice the reduce task consumes).
   Scratch.resize(B.Bytes);
-  if (B.Addr != UINT64_MAX) {
+  if (B.Addr != offheap::NoAddress) {
     Executor &Owner = *Executors[B.Exec];
     Owner.heap().nativeRead(B.Addr, Scratch.data(), B.Bytes);
   } else {
@@ -497,7 +483,7 @@ void Cluster::decommissionExecutor(unsigned Id) {
         continue;
       // Read the replica out of the leaving executor...
       Scratch.resize(B.Bytes);
-      if (B.Addr != UINT64_MAX)
+      if (B.Addr != offheap::NoAddress)
         E.heap().nativeRead(B.Addr, Scratch.data(), B.Bytes);
       else
         std::memcpy(Scratch.data(), B.DiskCopy.data(), B.Bytes);

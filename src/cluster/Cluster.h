@@ -42,6 +42,7 @@
 #include "heap/Heap.h"
 #include "heap/HeapConfig.h"
 #include "memsim/HybridMemory.h"
+#include "offheap/RegionAllocator.h"
 #include "support/Metrics.h"
 #include "support/TraceLog.h"
 
@@ -165,10 +166,11 @@ struct ClusterStats {
 };
 
 /// One simulated executor: a private hybrid memory + heap. Shuffle blocks
-/// live in a bump arena pre-allocated from the heap's native region and
-/// recycled when a shuffle's blocks are released (the engine runs at most
-/// one shuffle at a time). The executor's clocks advance independently of
-/// the driver's; only fabric charges land on the driver clock.
+/// live in one region of a RegionAllocator carved from the heap's native
+/// budget and recycled when a shuffle's blocks are released (the engine
+/// runs at most one shuffle at a time). The executor's clocks advance
+/// independently of the driver's; only fabric charges land on the driver
+/// clock.
 class Executor {
 public:
   Executor(unsigned Id, const ClusterConfig &Config);
@@ -181,28 +183,32 @@ public:
   memsim::HybridMemory &memory() { return *Mem; }
   const memsim::HybridMemory &memory() const { return *Mem; }
 
-  /// Bump-allocates \p Bytes from the shuffle arena; UINT64_MAX when the
-  /// arena cannot hold the block (the caller spills to executor disk).
-  uint64_t arenaAlloc(uint64_t Bytes);
+  /// Bump-allocates \p Bytes from the shuffle arena region;
+  /// offheap::NoAddress when the arena cannot hold the block (the caller
+  /// spills to executor disk).
+  uint64_t arenaAlloc(uint64_t Bytes) {
+    return Arena->regionAlloc(ArenaRegion, Bytes);
+  }
   /// Recycles the arena once every block of the finished shuffle is dead.
-  void arenaReset() { ArenaUsed = 0; }
-  uint64_t arenaCapacity() const { return ArenaSize; }
+  void arenaReset() { Arena->resetRegion(ArenaRegion); }
+  uint64_t arenaCapacity() const { return Arena->claimBytes(); }
+  offheap::RegionAllocator &arena() { return *Arena; }
 
 private:
   unsigned Id;
   bool Alive = true;
   std::unique_ptr<memsim::HybridMemory> Mem;
   std::unique_ptr<heap::Heap> H;
-  uint64_t ArenaBase = 0;
-  uint64_t ArenaSize = 0;
-  uint64_t ArenaUsed = 0;
+  std::unique_ptr<offheap::RegionAllocator> Arena;
+  uint32_t ArenaRegion = offheap::NoRegion;
 };
 
 /// One registered map-output block: the records map task \p Map routed to
 /// reduce partition \p Reduce, serialized into the owning executor.
 struct BlockInfo {
-  unsigned Exec = 0;         ///< Owning executor.
-  uint64_t Addr = UINT64_MAX; ///< Executor-native address; UINT64_MAX = disk.
+  unsigned Exec = 0; ///< Owning executor.
+  /// Executor-native address; offheap::NoAddress = spilled to disk.
+  uint64_t Addr = offheap::NoAddress;
   uint64_t Bytes = 0;
   uint64_t Records = 0;
   /// Record offset of this block inside the driver-side bucket for

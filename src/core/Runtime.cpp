@@ -100,6 +100,16 @@ Runtime::Runtime(const RuntimeConfig &Config) : Config(Config) {
   Context->setThreadPool(Pool.get());
   Context->setTelemetry(&Metrics, &Trace);
 
+  // Off-heap serialized cache tier (docs/offheap.md). At OffHeapMB == 0 no
+  // tier exists: OFF_HEAP persists run the seed NativeParts path and the
+  // exports (metrics key set included) stay byte-identical.
+  if (Config.OffHeapMB > 0) {
+    OffHeapTier = std::make_unique<offheap::OffHeapCache>(
+        *TheHeap, static_cast<uint64_t>(Config.OffHeapMB) * PaperMB,
+        &Metrics, &Trace);
+    Context->setOffHeapCache(OffHeapTier.get());
+  }
+
   if (Config.Cluster.NumExecutors > 1) {
     // Carve the paper heap and native region evenly across the executors;
     // each gets its own HybridMemory + Heap on a private clock. At
@@ -267,6 +277,11 @@ void Runtime::publishMetrics() {
     C("memsim.migration.resets", MigS.Resets);
     C("memsim.migration.pages_restored", MigS.PagesRestored);
   }
+
+  // Off-heap tier totals (only with --offheap-mb > 0: the tier-less
+  // configuration must export the exact seed key set).
+  if (OffHeapTier)
+    OffHeapTier->publishMetrics(Metrics);
 
   // Cluster totals (only in cluster runs: --executors=1 must export the
   // exact seed key set).

@@ -30,6 +30,7 @@
 #include "analysis/TagInference.h"
 #include "cluster/Cluster.h"
 #include "gc/Collector.h"
+#include "offheap/OffHeapCache.h"
 #include "gc/GcPolicy.h"
 #include "memsim/HotnessTracker.h"
 #include "memsim/HybridMemory.h"
@@ -75,6 +76,12 @@ struct RuntimeConfig {
   bool VerifyHeap = false;
   /// Off-heap native region, paper GB.
   unsigned NativePaperGB = 16;
+  /// Off-heap serialized cache tier budget (--offheap-mb), in paper MB,
+  /// carved out of the native region (docs/offheap.md). 0 (the default)
+  /// constructs no tier at all: OFF_HEAP persists run the seed
+  /// NativeParts path and the run is byte-identical, including the
+  /// metrics-JSON key set.
+  unsigned OffHeapMB = 0;
   /// Deterministic fault-injection plan (all sites disabled by default).
   FaultPlan Faults;
   /// Verify the heap after every recovery path: emergency GC, pressure
@@ -156,6 +163,8 @@ public:
   support::WorkStealingPool &pool() { return *Pool; }
   /// Nonnull only when Config.Cluster.NumExecutors > 1.
   cluster::Cluster *clusterSim() { return TheCluster.get(); }
+  /// Nonnull only when Config.OffHeapMB > 0.
+  offheap::OffHeapCache *offHeapCache() { return OffHeapTier.get(); }
 
   /// Parses \p DslSource, runs the §3 inference (plus any enabled
   /// extensions), and installs the result on the engine (only Panthera
@@ -211,6 +220,8 @@ private:
   std::unique_ptr<gc::Collector> TheCollector;
   std::unique_ptr<rdd::SparkContext> Context;
   std::unique_ptr<cluster::Cluster> TheCluster;
+  /// Off-heap serialized cache tier; non-null only when OffHeapMB > 0.
+  std::unique_ptr<offheap::OffHeapCache> OffHeapTier;
   std::unique_ptr<FaultInjector> Injector;
   /// Online profiler + migration engine; non-null only for the dynamic
   /// policy with sampling on. Profiling covers the driver heap: executor

@@ -24,6 +24,7 @@
 #include "gc/Collector.h"
 #include "gc/HeapVerifier.h"
 #include "memsim/HybridMemory.h"
+#include "offheap/RegionAllocator.h"
 #include "support/Errors.h"
 #include "support/FaultInjector.h"
 #include "support/ThreadPool.h"
@@ -88,6 +89,13 @@ public:
       H->setFaultInjector(Faults.get());
     }
     NativeFree = H->native().sizeBytes();
+    if (Setup.OffHeapBytes > 0) {
+      // The off-heap claim comes out of the same native bump pointer the
+      // AllocNative oracle models, so it must be counted as consumed.
+      OffHeapAlloc = std::make_unique<offheap::RegionAllocator>(
+          *H, Setup.OffHeapBytes, /*MinClaimBytes=*/4096);
+      NativeFree -= OffHeapAlloc->claimBytes();
+    }
     Digest = FnvOffset;
 
     for (size_t I = 0; I != Schedule.size() && R.Ok; ++I) {
@@ -113,6 +121,17 @@ public:
     if (R.Ok) {
       Current = Schedule.size() ? Schedule.size() - 1 : 0;
       sync(); // final diff even for schedules that never collected
+    }
+    // Fold the off-heap allocator's lifecycle counters into the digest: a
+    // replica whose region carve/recycle/release history diverged fails
+    // the cross-executor comparison even with matching heap images.
+    if (OffHeapAlloc) {
+      const offheap::RegionAllocatorStats &OS = OffHeapAlloc->stats();
+      Digest = (Digest ^ OS.RegionsCarved) * FnvPrime;
+      Digest = (Digest ^ OS.RegionsRecycled) * FnvPrime;
+      Digest = (Digest ^ OS.RegionsReleased) * FnvPrime;
+      Digest = (Digest ^ OS.BytesAllocated) * FnvPrime;
+      Digest = (Digest ^ OS.AllocFailures) * FnvPrime;
     }
     // Fold the interleaved fault-fire counts into the digest: a replica
     // whose fire schedule diverged fails the cross-executor comparison
@@ -237,6 +256,10 @@ private:
       } catch (const OutOfMemoryError &) {
         GcThrewInWindow = true;
       }
+      break;
+    case FuzzOp::OffHeapStub:
+      if (OffHeapAlloc)
+        offHeapChurn(A);
       break;
     }
   }
@@ -462,6 +485,96 @@ private:
     }
   }
 
+  /// Off-heap tier churn (docs/offheap.md). Allocate: serialize a seeded
+  /// record pattern into a fresh region and hang a GC-leaf stub off a new
+  /// root. Spill: read a live stub's records back and verify them against
+  /// the pattern -- region bytes live outside the collector's reach and
+  /// must never change -- then null the handle and release the region so
+  /// the free list recycles its storage.
+  void offHeapChurn(const FuzzAction &A) {
+    if ((A.B % 4) == 3) {
+      if (!Stubs.empty())
+        spillStub(A.C % Stubs.size());
+      return;
+    }
+    uint32_t Count = static_cast<uint32_t>(A.A);
+    uint64_t Bytes = static_cast<uint64_t>(Count) * 8;
+    uint32_t Region = OffHeapAlloc->allocRegion(Bytes);
+    if (Region == offheap::NoRegion && !Stubs.empty()) {
+      // Budget exhausted: spill the lowest-region live stub (the cache
+      // tier's untouched-first order degenerates to this here) and retry.
+      size_t VictimIdx = 0;
+      for (size_t I = 1; I != Stubs.size(); ++I)
+        if (Stubs[I].Region < Stubs[VictimIdx].Region)
+          VictimIdx = I;
+      spillStub(VictimIdx);
+      if (!R.Ok)
+        return;
+      Region = OffHeapAlloc->allocRegion(Bytes);
+    }
+    if (Region == offheap::NoRegion)
+      return; // nothing spillable; the stats fold records the failure
+    uint64_t Addr = OffHeapAlloc->regionAlloc(Region, Bytes);
+    std::vector<uint64_t> Records(Count);
+    for (uint32_t I = 0; I != Count; ++I)
+      Records[I] = A.C + I * 0x9e3779b97f4a7c15ull;
+    H->nativeWriteRecords(Addr, Records.data(), Count, 8);
+    uint32_t Rdd = static_cast<uint32_t>(A.B % (1u << 16));
+    ObjRef Stub;
+    try {
+      Stub = H->allocOffHeapStub(Addr, Region, Count, Rdd);
+    } catch (const OutOfMemoryError &) {
+      GcThrewInWindow = true; // the stub OOMed; the region rolls back
+      OffHeapAlloc->release(Region);
+      return;
+    }
+    const ObjectHeader *Hdr = H->header(Stub.addr());
+    if (Hdr->kind() != ObjectKind::OffHeapStub ||
+        Hdr->SizeBytes != heap::offHeapStubSize() || Hdr->Length != Count ||
+        Hdr->RddId != Rdd || Hdr->Age != 0) {
+      fail("freshly allocated stub header disagrees: kind %u size %u "
+           "length %u rdd %u age %u",
+           unsigned(Hdr->Kind), Hdr->SizeBytes, Hdr->Length, Hdr->RddId,
+           unsigned(Hdr->Age));
+      return;
+    }
+    ShadowNode N;
+    N.Kind = ObjectKind::OffHeapStub;
+    N.Length = Count;
+    N.RddId = Rdd;
+    N.ExpectedSize = static_cast<uint32_t>(heap::offHeapStubSize());
+    N.Payload.assign(heap::OffHeapStubPayloadBytes, 0);
+    std::memcpy(N.Payload.data(), &Addr, 8);
+    std::memcpy(N.Payload.data() + 8, &Region, 4);
+    N.RealAddr = Stub.addr();
+    N.BirthEpoch = epoch();
+    uint32_t Id = Shadow.create(std::move(N));
+    addRoot(H->addPersistentRoot(Stub), Id);
+    Stubs.push_back(StubEntry{Id, Region, Addr, Count, A.C});
+  }
+
+  /// Reads a stub's region back, verifies every record, nulls the stub's
+  /// native handle (the engine's spilled-to-disk marker), and releases
+  /// the region.
+  void spillStub(size_t Idx) {
+    StubEntry E = Stubs[Idx];
+    Stubs.erase(Stubs.begin() + static_cast<ptrdiff_t>(Idx));
+    std::vector<uint64_t> Back(E.Count);
+    H->nativeReadRecords(E.Addr, Back.data(), E.Count, 8);
+    for (uint32_t I = 0; I != E.Count; ++I)
+      if (Back[I] != E.Pattern + I * 0x9e3779b97f4a7c15ull) {
+        fail("off-heap region %u record %u corrupted: 0x%" PRIx64
+             ", expected 0x%" PRIx64,
+             E.Region, I, Back[I], E.Pattern + I * 0x9e3779b97f4a7c15ull);
+        return;
+      }
+    ShadowNode &N = Shadow.node(E.Node);
+    H->setStubNativeAddr(ObjRef(N.RealAddr), offheap::NoAddress);
+    uint64_t None = offheap::NoAddress;
+    std::memcpy(N.Payload.data(), &None, 8);
+    OffHeapAlloc->release(E.Region);
+  }
+
   //===--- roots and liveness ---------------------------------------------===
 
   void addRoot(size_t HeapId, uint32_t Node) {
@@ -482,6 +595,14 @@ private:
       RootIds.push_back(E.Node);
     Live = Shadow.mark(RootIds);
     Shadow.retainOnly(Live);
+    // A stub that just died unpersisted its partition: release the region
+    // so later churn recycles it through the free list.
+    for (size_t I = Stubs.size(); I-- > 0;) {
+      if (Shadow.alive(Stubs[I].Node))
+        continue;
+      OffHeapAlloc->release(Stubs[I].Region);
+      Stubs.erase(Stubs.begin() + static_cast<ptrdiff_t>(I));
+    }
   }
 
   //===--- the differential sync ------------------------------------------===
@@ -633,6 +754,9 @@ private:
                              heap::RefSlotBytes);
     else if (N.Kind == ObjectKind::PrimArray && !N.Payload.empty())
       Real = H->rawBytes(Addr + sizeof(ObjectHeader));
+    else if (N.Kind == ObjectKind::OffHeapStub)
+      // The stub's region handle must ride every evacuation verbatim.
+      Real = H->rawBytes(Addr + sizeof(ObjectHeader));
     if (Real && !N.Payload.empty() &&
         std::memcmp(Real, N.Payload.data(), N.Payload.size()) != 0) {
       size_t Bad = 0;
@@ -721,6 +845,16 @@ private:
   ShadowHeap Shadow;
   std::vector<RootEntry> Roots;
   std::vector<uint32_t> Live;
+  /// Off-heap tier state (only for configs with an OffHeapBytes claim).
+  std::unique_ptr<offheap::RegionAllocator> OffHeapAlloc;
+  struct StubEntry {
+    uint32_t Node;    ///< Shadow node id of the on-heap stub.
+    uint32_t Region;  ///< Region backing the cached records.
+    uint64_t Addr;    ///< Native address of the first record.
+    uint32_t Count;   ///< Records in the region.
+    uint64_t Pattern; ///< Seed of the record pattern (read-back check).
+  };
+  std::vector<StubEntry> Stubs; ///< Live (unspilled) stubs only.
   MemTag ShadowPendingTag = MemTag::None;
   uint32_t ShadowPendingRdd = 0;
   uint64_t NativeFree = 0;

@@ -43,6 +43,8 @@ const char *panthera::fuzz::fuzzOpName(FuzzOp Op) {
     return "minor-gc-burst";
   case FuzzOp::IncMarkStep:
     return "inc-mark-step";
+  case FuzzOp::OffHeapStub:
+    return "offheap-stub";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ const char *panthera::fuzz::fuzzConfigName(FuzzConfigKind K) {
     return "pressure";
   case FuzzConfigKind::Incremental:
     return "incremental";
+  case FuzzConfigKind::OffHeap:
+    return "offheap";
   }
   return "?";
 }
@@ -77,6 +81,10 @@ bool panthera::fuzz::parseFuzzConfig(const std::string &Name,
   }
   if (Name == "incremental") {
     Out = FuzzConfigKind::Incremental;
+    return true;
+  }
+  if (Name == "offheap") {
+    Out = FuzzConfigKind::OffHeap;
     return true;
   }
   return false;
@@ -141,6 +149,18 @@ FuzzSetup panthera::fuzz::makeFuzzSetup(FuzzConfigKind K) {
     S.Profile.LargeArrayChance = 0.35;
     S.Profile.WIncMarkStep = 12;
     break;
+  case FuzzConfigKind::OffHeap:
+    // The split shape plus a half-native off-heap claim: small enough
+    // that stub churn exhausts it and exercises spill + free-list
+    // recycling, while the GC mix keeps evacuating the stubs themselves.
+    S.Policy = gc::PolicyKind::Panthera;
+    S.Config = gc::makeHeapConfig(S.Policy, /*HeapPaperGB=*/8, 1.0 / 3.0);
+    S.Config.NativeBytes = PaperGB;
+    S.OffHeapBytes = PaperGB / 2;
+    S.Profile.WSetPendingTag = 8;
+    S.Profile.LargeArrayChance = 0.35;
+    S.Profile.WOffHeapStub = 14;
+    break;
   }
   return S;
 }
@@ -153,7 +173,7 @@ panthera::fuzz::generateSchedule(uint64_t Seed, size_t NumOps,
       P.WAllocPlain,   P.WAllocRefArray, P.WAllocPrimArray, P.WAllocHuge,
       P.WAllocNative,  P.WStoreRef,      P.WWritePayload,   P.WAddRoot,
       P.WDropRoot,     P.WSetPendingTag, P.WMinorGc,        P.WMajorGc,
-      P.WMinorGcBurst, P.WIncMarkStep,
+      P.WMinorGcBurst, P.WIncMarkStep,   P.WOffHeapStub,
   };
   unsigned Total = 0;
   for (unsigned W : Weights)
@@ -253,6 +273,11 @@ panthera::fuzz::generateSchedule(uint64_t Seed, size_t NumOps,
       break;
     case FuzzOp::MinorGcBurst:
       A.A = 1 + Rng.nextBelow(P.MaxBurst);
+      break;
+    case FuzzOp::OffHeapStub:
+      A.A = 1 + Rng.nextBelow(P.MaxStubRecords);
+      A.B = Rng.next();
+      A.C = Rng.next();
       break;
     }
     Schedule.push_back(A);

@@ -49,6 +49,11 @@ enum class FuzzOp : uint8_t {
   MinorGcBurst,  ///< A = count: consecutive minor GCs, synced per GC.
   IncMarkStep,   ///< One bounded incremental mark step, if a cycle is
                  ///< active (docs/gc_pause.md); a no-op otherwise.
+  OffHeapStub,   ///< Off-heap cache-tier churn (docs/offheap.md): A =
+                 ///< record count, B/C raw selectors. Allocates a native
+                 ///< region + GC-leaf stub, or spills a live stub back
+                 ///< out (read-verify, null the handle, release). A no-op
+                 ///< for configs without an off-heap claim.
 };
 
 const char *fuzzOpName(FuzzOp Op);
@@ -79,6 +84,10 @@ struct FuzzProfile {
   /// Default 0: only the incremental config draws mark steps, so every
   /// frozen (seed, ops, config) triple keeps its exact schedule.
   unsigned WIncMarkStep = 0;
+  /// Default 0 for the same freezing reason: only the offheap config
+  /// draws stub churn.
+  unsigned WOffHeapStub = 0;
+  uint32_t MaxStubRecords = 64; ///< OffHeapStub record-count cap.
 
   uint32_t MaxPlainRefs = 8;       ///< Plain objects: 0..MaxPlainRefs slots.
   uint32_t MaxSmallPayload = 256;  ///< Plain payload cap (bytes).
@@ -99,6 +108,10 @@ enum class FuzzConfigKind : uint8_t {
   Incremental, ///< Small Panthera heap with a pause budget and a low
                ///< occupancy trigger: SATB incremental marking torture,
                ///< steps interleaved with every mutator action kind.
+  OffHeap,     ///< Split config plus a small off-heap region claim and
+               ///< stub-churn actions: leaf stubs interleave with GCs so
+               ///< evacuation must carry stub payloads verbatim and must
+               ///< never trace them as references.
 };
 
 const char *fuzzConfigName(FuzzConfigKind K);
@@ -112,6 +125,9 @@ struct FuzzSetup {
   /// Bernoulli probability of an injected mutator-allocation failure
   /// (FaultSite::Allocation); 0 disables the injector entirely.
   double FaultProbability = 0.0;
+  /// Off-heap region claim carved from NativeBytes (0 = no claim; the
+  /// OffHeapStub action is then a no-op).
+  uint64_t OffHeapBytes = 0;
 };
 
 FuzzSetup makeFuzzSetup(FuzzConfigKind K);

@@ -436,6 +436,50 @@ uint64_t Heap::allocNative(uint64_t Bytes) {
   return Addr;
 }
 
+ObjRef Heap::allocOffHeapStub(uint64_t NativeAddr, uint32_t Region,
+                              uint32_t RecordCount, uint32_t RddId) {
+  if (Host && !InGcFlag)
+    Host->allocationSafepoint();
+  constexpr uint32_t Size = sizeof(ObjectHeader) + OffHeapStubPayloadBytes;
+  uint64_t Addr = allocateYoung(Size);
+  formatObject(Addr, Size, ObjectKind::OffHeapStub, /*Aux=*/0, RecordCount,
+               RddId, MemTag::None);
+  uint64_t Payload = Addr + sizeof(ObjectHeader);
+  std::memcpy(&Buffer[Payload], &NativeAddr, sizeof(NativeAddr));
+  std::memcpy(&Buffer[Payload + 8], &Region, sizeof(Region));
+  Mem.onAccessRange(Payload, OffHeapStubPayloadBytes, /*IsWrite=*/true,
+                    /*ElemBytes=*/8);
+  return ObjRef(Addr);
+}
+
+uint64_t Heap::stubNativeAddr(ObjRef Stub) {
+  assert(Stub && "null dereference");
+  assert(header(Stub.addr())->kind() == ObjectKind::OffHeapStub);
+  uint64_t Payload = Stub.addr() + sizeof(ObjectHeader);
+  Mem.onAccess(Payload, 8, /*IsWrite=*/false);
+  uint64_t V;
+  std::memcpy(&V, &Buffer[Payload], sizeof(V));
+  return V;
+}
+
+uint32_t Heap::stubRegion(ObjRef Stub) {
+  assert(Stub && "null dereference");
+  assert(header(Stub.addr())->kind() == ObjectKind::OffHeapStub);
+  uint64_t Payload = Stub.addr() + sizeof(ObjectHeader);
+  Mem.onAccess(Payload + 8, 4, /*IsWrite=*/false);
+  uint32_t V;
+  std::memcpy(&V, &Buffer[Payload + 8], sizeof(V));
+  return V;
+}
+
+void Heap::setStubNativeAddr(ObjRef Stub, uint64_t NativeAddr) {
+  assert(Stub && "null dereference");
+  assert(header(Stub.addr())->kind() == ObjectKind::OffHeapStub);
+  uint64_t Payload = Stub.addr() + sizeof(ObjectHeader);
+  Mem.onAccess(Payload, 8, /*IsWrite=*/true);
+  std::memcpy(&Buffer[Payload], &NativeAddr, sizeof(NativeAddr));
+}
+
 //===----------------------------------------------------------------------===
 // Accessors
 //===----------------------------------------------------------------------===

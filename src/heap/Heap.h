@@ -210,6 +210,14 @@ public:
   /// Allocates raw native (off-heap, NVM) storage; never collected.
   uint64_t allocNative(uint64_t Bytes);
 
+  /// Allocates an OffHeapStub: the on-heap handle for a partition the
+  /// off-heap cache tier serialized into a native region. The stub's
+  /// payload holds {NativeAddr, Region}; Length holds the record count.
+  /// The collector treats the stub as a leaf (numRefSlots() == 0), so the
+  /// serialized bytes behind it never contribute trace or compaction work.
+  ObjRef allocOffHeapStub(uint64_t NativeAddr, uint32_t Region,
+                          uint32_t RecordCount, uint32_t RddId);
+
   /// Arms the rdd_alloc wait state: the next sufficiently large RefArray
   /// allocation is placed per \p Tag and stamped with \p RddId.
   void setPendingArrayTag(MemTag Tag, uint32_t RddId) {
@@ -284,6 +292,18 @@ public:
   uint32_t plainPayloadOffset(ObjRef Obj) const {
     return sizeof(ObjectHeader) + header(Obj.addr())->Aux * RefSlotBytes;
   }
+
+  /// OffHeapStub payload access (accounted). The record count rides in the
+  /// header's Length field and is read unaccounted, like arrayLength.
+  uint64_t stubNativeAddr(ObjRef Stub);
+  uint32_t stubRegion(ObjRef Stub);
+  uint32_t stubRecordCount(ObjRef Stub) const {
+    assert(header(Stub.addr())->kind() == ObjectKind::OffHeapStub);
+    return header(Stub.addr())->Length;
+  }
+  /// Retargets a stub, e.g. to offheap::NoAddress when its region is
+  /// evicted to disk. No write barrier: the payload holds no references.
+  void setStubNativeAddr(ObjRef Stub, uint64_t NativeAddr);
 
   //===--------------------------------------------------------------------===
   // Roots

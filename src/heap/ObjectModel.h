@@ -33,9 +33,14 @@ namespace heap {
 
 /// Shape of a heap object's payload.
 enum class ObjectKind : uint8_t {
-  Plain = 0,    ///< Aux ref slots followed by raw payload bytes.
-  RefArray = 1, ///< Length reference slots.
-  PrimArray = 2 ///< Length elements of Aux bytes each.
+  Plain = 0,     ///< Aux ref slots followed by raw payload bytes.
+  RefArray = 1,  ///< Length reference slots.
+  PrimArray = 2, ///< Length elements of Aux bytes each.
+  OffHeapStub = 3 ///< Off-heap cache handle (docs/offheap.md): a 16-byte
+                  ///< raw payload {native address, region id} with Length
+                  ///< holding the record count. Carries no references, so
+                  ///< the collector treats it as a leaf -- the serialized
+                  ///< partition behind it is never traced or compacted.
 };
 
 /// A reference to a managed object: its address in the simulated physical
@@ -90,7 +95,10 @@ struct ObjectHeader {
 
   bool isForwarded() const { return Forward != 0; }
 
-  /// Number of leading reference slots to trace.
+  /// Number of leading reference slots to trace. Every trace, evacuation,
+  /// and verification path derives its scan work from this, which is what
+  /// makes OffHeapStub's leaf contract a single line: zero ref slots means
+  /// the collector copies the stub by SizeBytes and never looks behind it.
   uint32_t numRefSlots() const {
     switch (kind()) {
     case ObjectKind::Plain:
@@ -98,6 +106,7 @@ struct ObjectHeader {
     case ObjectKind::RefArray:
       return Length;
     case ObjectKind::PrimArray:
+    case ObjectKind::OffHeapStub:
       return 0;
     }
     return 0;
@@ -132,6 +141,14 @@ inline uint64_t primArraySize(uint32_t Length, uint32_t ElemBytes) {
   uint64_t Raw =
       sizeof(ObjectHeader) + static_cast<uint64_t>(Length) * ElemBytes;
   return (Raw + 7) & ~static_cast<uint64_t>(7);
+}
+
+/// OffHeapStub payload: 8-byte native address + 4-byte region id + 4 bytes
+/// of padding. Fixed-size, so every stub is sizeof(ObjectHeader) + 16.
+constexpr uint32_t OffHeapStubPayloadBytes = 16;
+
+inline uint64_t offHeapStubSize() {
+  return sizeof(ObjectHeader) + OffHeapStubPayloadBytes;
 }
 
 } // namespace heap

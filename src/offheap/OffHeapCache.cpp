@@ -1,0 +1,117 @@
+//===- offheap/OffHeapCache.cpp - Untraced serialized cache tier ----------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offheap/OffHeapCache.h"
+
+#include "heap/Heap.h"
+#include "support/Metrics.h"
+#include "support/TraceLog.h"
+
+#include <cassert>
+
+using namespace panthera;
+using namespace panthera::offheap;
+
+OffHeapCache::OffHeapCache(heap::Heap &H, uint64_t BudgetBytes,
+                           support::MetricsRegistry *Metrics,
+                           support::TraceLog *Trace)
+    : H(H), Alloc(H, BudgetBytes, /*MinClaimBytes=*/4096), Metrics(Metrics),
+      Trace(Trace) {}
+
+OffHeapCache::Placement OffHeapCache::cachePartition(const void *Records,
+                                                     uint64_t Count,
+                                                     uint64_t RecordBytes,
+                                                     uint32_t RddId,
+                                                     uint32_t Part) {
+  uint64_t Bytes = Count * RecordBytes;
+  uint32_t Region = Alloc.allocRegion(Bytes);
+  if (Region == NoRegion)
+    return Placement();
+  uint64_t Addr = Alloc.regionAlloc(Region, Bytes);
+  assert(Addr != NoAddress && "fresh region cannot be full");
+  double StartNs = H.memory().totalTimeNs();
+  // Serialize once: the only time these records cross the heap boundary
+  // as objects. Charged as Count record-granular NVM writes.
+  H.nativeWriteRecords(Addr, Records, Count, RecordBytes);
+  Entries.push_back({Region, RddId, Part});
+  ++Stats.PartitionsCached;
+  Stats.BytesCached += Bytes;
+  if (Trace)
+    Trace
+        ->span(support::TraceTrack::Heap, "offheap region", "offheap",
+               StartNs, H.memory().totalTimeNs() - StartNs)
+        .arg("region", static_cast<uint64_t>(Region))
+        .arg("rdd", static_cast<uint64_t>(RddId))
+        .arg("partition", static_cast<uint64_t>(Part))
+        .arg("bytes", Bytes);
+  return Placement{Region, Addr};
+}
+
+void OffHeapCache::readPartition(uint32_t Region, uint64_t Addr, void *Dst,
+                                 uint64_t Count, uint64_t RecordBytes) {
+  assert(Region != NoRegion && Addr != NoAddress && "reading a dead stub");
+  H.nativeReadRecords(Addr, Dst, Count, RecordBytes);
+  Alloc.touch(Region);
+  ++Stats.StubReads;
+  Stats.BytesRead += Count * RecordBytes;
+}
+
+OffHeapCache::Victim OffHeapCache::pickVictim() const {
+  Victim Best;
+  uint64_t BestTouches = 0;
+  for (const Entry &E : Entries) {
+    uint64_t T = Alloc.touches(E.Region);
+    // Untouched regions first, then least-touched; the lowest region id
+    // (oldest surviving carve) breaks ties, so the order is deterministic.
+    if (Best.Region == NoRegion || T < BestTouches ||
+        (T == BestTouches && E.Region < Best.Region)) {
+      Best = {E.Region, E.RddId, E.Part};
+      BestTouches = T;
+    }
+  }
+  return Best;
+}
+
+void OffHeapCache::release(uint32_t Region, bool Evicted) {
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    if (Entries[I].Region != Region)
+      continue;
+    Entries.erase(Entries.begin() + static_cast<ptrdiff_t>(I));
+    break;
+  }
+  if (Evicted)
+    ++Stats.PartitionsEvicted;
+  else
+    ++Stats.PartitionsUnpersisted;
+  if (Alloc.release(Region)) {
+    ++Stats.RegionsFreed;
+    if (Trace)
+      Trace
+          ->instant(support::TraceTrack::Heap,
+                    Evicted ? "offheap evict" : "offheap unpersist",
+                    "offheap", H.memory().totalTimeNs())
+          .arg("region", static_cast<uint64_t>(Region));
+  }
+}
+
+void OffHeapCache::publishMetrics(support::MetricsRegistry &M) const {
+  M.counter("offheap.partitions_cached").set(Stats.PartitionsCached);
+  M.counter("offheap.partitions_evicted").set(Stats.PartitionsEvicted);
+  M.counter("offheap.partitions_unpersisted")
+      .set(Stats.PartitionsUnpersisted);
+  M.counter("offheap.bytes_cached").set(Stats.BytesCached);
+  M.counter("offheap.stub_reads").set(Stats.StubReads);
+  M.counter("offheap.bytes_read").set(Stats.BytesRead);
+  M.counter("offheap.regions_freed").set(Stats.RegionsFreed);
+  const RegionAllocatorStats &A = Alloc.stats();
+  M.counter("offheap.regions_carved").set(A.RegionsCarved);
+  M.counter("offheap.regions_recycled").set(A.RegionsRecycled);
+  M.counter("offheap.regions_released").set(A.RegionsReleased);
+  M.counter("offheap.alloc_failures").set(A.AllocFailures);
+  M.gauge("offheap.claim_bytes").set(static_cast<double>(Alloc.claimBytes()));
+  M.gauge("offheap.live_regions")
+      .set(static_cast<double>(Alloc.liveRegions()));
+}

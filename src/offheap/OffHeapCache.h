@@ -1,0 +1,137 @@
+//===- offheap/OffHeapCache.h - Untraced serialized cache tier --*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The off-heap serialized cache tier (docs/offheap.md): the third point in
+/// the GC-vs-serialization trade-off from "Garbage Collection or
+/// Serialization? Between a Rock and a Hard Place!" (PAPERS.md).
+///
+/// A partition persisted at StorageLevel::OffHeapSer is serialized ONCE
+/// into a region carved from the native/NVM budget by the RegionAllocator.
+/// The heap keeps only a 48-byte stub object (ObjectKind::OffHeapStub)
+/// holding the region handle; the collector scans stubs as leaves, so the
+/// cached bytes never appear in trace or compaction work -- unlike the
+/// on-heap _SER levels, whose byte arrays the old-gen trace still walks --
+/// while reads lazily deserialize through the stub with the memsim traffic
+/// charged via the heap's record-granular native access path.
+///
+/// Eviction order when the budget runs out: untouched regions first (no
+/// stub read since caching), then least-touched, lowest region id on ties.
+/// The engine spills the victim to its RDD's disk parts (the PR 1 staged
+/// path's disk tier) before releasing the region.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_OFFHEAP_OFFHEAPCACHE_H
+#define PANTHERA_OFFHEAP_OFFHEAPCACHE_H
+
+#include "offheap/RegionAllocator.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+
+namespace heap {
+class Heap;
+} // namespace heap
+
+namespace support {
+class MetricsRegistry;
+class TraceLog;
+} // namespace support
+
+namespace offheap {
+
+/// Tier counters, mirrored under offheap.* by publishMetrics.
+struct OffHeapCacheStats {
+  uint64_t PartitionsCached = 0;
+  uint64_t PartitionsEvicted = 0;     ///< Spilled to disk under pressure.
+  uint64_t PartitionsUnpersisted = 0; ///< Released by unpersist/drop.
+  uint64_t BytesCached = 0;           ///< Serialized bytes written.
+  uint64_t StubReads = 0;             ///< Partition reads through a stub.
+  uint64_t BytesRead = 0;
+  uint64_t RegionsFreed = 0; ///< Region refcounts that reached zero.
+};
+
+class OffHeapCache {
+public:
+  /// Claims up to \p BudgetBytes of \p H's native space (page-granular
+  /// halving claim; see RegionAllocator). \p Metrics / \p Trace may be
+  /// null; when set, region lifecycle events land on the heap trace track
+  /// and counters publish under offheap.*.
+  OffHeapCache(heap::Heap &H, uint64_t BudgetBytes,
+               support::MetricsRegistry *Metrics, support::TraceLog *Trace);
+
+  heap::Heap &heap() { return H; }
+  RegionAllocator &allocator() { return Alloc; }
+  const OffHeapCacheStats &stats() const { return Stats; }
+
+  /// Where a cached partition landed. Region == NoRegion means the budget
+  /// could not hold it even after the caller's eviction loop -- the caller
+  /// falls back to disk.
+  struct Placement {
+    uint32_t Region = NoRegion;
+    uint64_t Addr = NoAddress;
+  };
+
+  /// Serializes \p Count records of \p RecordBytes each into a fresh
+  /// region (one region per partition, so unpersist reclaims wholesale).
+  /// Charges the serialization traffic record-granularly and emits a
+  /// region span. Fails (NoRegion) when no region fits; the caller evicts
+  /// or spills.
+  Placement cachePartition(const void *Records, uint64_t Count,
+                           uint64_t RecordBytes, uint32_t RddId,
+                           uint32_t Part);
+
+  /// Reads \p Count records back through a stub handle, charging the
+  /// deserialization traffic and bumping the region's touch counter (the
+  /// eviction order's signal).
+  void readPartition(uint32_t Region, uint64_t Addr, void *Dst,
+                     uint64_t Count, uint64_t RecordBytes);
+
+  /// Eviction candidate: the live cached partition whose region has the
+  /// fewest touches (untouched first), lowest region id on ties.
+  struct Victim {
+    uint32_t Region = NoRegion;
+    uint32_t RddId = 0;
+    uint32_t Part = 0;
+  };
+  Victim pickVictim() const;
+
+  /// Releases a cached partition's region (refcount-driven; the storage
+  /// recycles through the allocator's free list once the count hits zero).
+  /// \p Evicted distinguishes pressure eviction from unpersist in the
+  /// counters and the trace.
+  void release(uint32_t Region, bool Evicted);
+
+  size_t numCached() const { return Entries.size(); }
+
+  /// Mirrors the tier + allocator counters under offheap.*. Only called
+  /// when the tier exists, so --offheap-mb=0 exports stay byte-identical.
+  void publishMetrics(support::MetricsRegistry &M) const;
+
+private:
+  heap::Heap &H;
+  RegionAllocator Alloc;
+  support::MetricsRegistry *Metrics;
+  support::TraceLog *Trace;
+  OffHeapCacheStats Stats;
+
+  /// One live cached partition (dropped at release).
+  struct Entry {
+    uint32_t Region = NoRegion;
+    uint32_t RddId = 0;
+    uint32_t Part = 0;
+  };
+  std::vector<Entry> Entries;
+};
+
+} // namespace offheap
+} // namespace panthera
+
+#endif // PANTHERA_OFFHEAP_OFFHEAPCACHE_H

@@ -1,0 +1,123 @@
+//===- offheap/RegionAllocator.cpp - Native-region bump allocator ---------===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "offheap/RegionAllocator.h"
+
+#include "heap/Heap.h"
+#include "heap/HeapConfig.h"
+#include "support/Errors.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace panthera;
+using namespace panthera::offheap;
+
+RegionAllocator::RegionAllocator(heap::Heap &H, uint64_t WantBytes,
+                                 uint64_t MinClaimBytes) {
+  // Claim up front: the native region is never collected, so per-region
+  // reuse needs our own bookkeeping over one big claim. The halving loop
+  // (and its typed-OOM probe sequence) is exactly the executor arena's.
+  uint64_t Want = WantBytes;
+  while (Want >= MinClaimBytes && Want > 0) {
+    try {
+      ClaimBase = H.allocNative(Want);
+      ClaimSize = Want;
+      break;
+    } catch (const OutOfMemoryError &) {
+      Want >>= 1;
+    }
+  }
+}
+
+uint32_t RegionAllocator::allocRegion(uint64_t MinBytes) {
+  uint64_t Need = (MinBytes + 7) & ~7ull;
+  if (Need < MinBytes) {
+    ++Stats.AllocFailures;
+    return NoRegion;
+  }
+  // Free list first: lowest-id free region that fits.
+  for (size_t I = 0; I != FreeList.size(); ++I) {
+    uint32_t Id = FreeList[I];
+    if (Regions[Id].Size < Need)
+      continue;
+    FreeList.erase(FreeList.begin() + static_cast<ptrdiff_t>(I));
+    Region &R = Regions[Id];
+    R.Used = 0;
+    R.Refs = 1;
+    R.Touches = 0;
+    R.Live = true;
+    ++Stats.RegionsRecycled;
+    return Id;
+  }
+  // Carve fresh from the claim, page-granular. When the claim remainder is
+  // smaller than the page round-up but still covers the request, hand out
+  // the whole tail instead of failing with usable bytes left.
+  uint64_t Carve = heap::HeapConfig::alignPage(Need);
+  uint64_t Remaining = ClaimSize - ClaimUsed;
+  if (Carve > Remaining || Carve < Need /* alignPage overflow */) {
+    if (Need > Remaining) {
+      ++Stats.AllocFailures;
+      return NoRegion;
+    }
+    Carve = Remaining;
+  }
+  Region R;
+  R.Base = ClaimBase + ClaimUsed;
+  R.Size = Carve;
+  R.Refs = 1;
+  R.Live = true;
+  ClaimUsed += Carve;
+  Regions.push_back(R);
+  ++Stats.RegionsCarved;
+  return static_cast<uint32_t>(Regions.size() - 1);
+}
+
+uint64_t RegionAllocator::regionAlloc(uint32_t Id, uint64_t Bytes) {
+  if (Id == NoRegion)
+    return NoAddress;
+  Region &R = Regions[Id];
+  assert(R.Live && "allocating in a released region");
+  uint64_t Aligned = (Bytes + 7) & ~7ull;
+  if (Aligned < Bytes || R.Used + Aligned > R.Size)
+    return NoAddress;
+  uint64_t Addr = R.Base + R.Used;
+  R.Used += Aligned;
+  Stats.BytesAllocated += Aligned;
+  return Addr;
+}
+
+void RegionAllocator::resetRegion(uint32_t Id) {
+  if (Id == NoRegion)
+    return;
+  Regions[Id].Used = 0;
+}
+
+void RegionAllocator::retain(uint32_t Id) {
+  assert(Regions[Id].Live && "retaining a released region");
+  ++Regions[Id].Refs;
+}
+
+bool RegionAllocator::release(uint32_t Id) {
+  Region &R = Regions[Id];
+  assert(R.Live && R.Refs > 0 && "double release");
+  if (--R.Refs != 0)
+    return false;
+  R.Live = false;
+  R.Used = 0;
+  R.Touches = 0;
+  FreeList.insert(std::lower_bound(FreeList.begin(), FreeList.end(), Id),
+                  Id);
+  ++Stats.RegionsReleased;
+  return true;
+}
+
+size_t RegionAllocator::liveRegions() const {
+  size_t N = 0;
+  for (const Region &R : Regions)
+    N += R.Live ? 1 : 0;
+  return N;
+}

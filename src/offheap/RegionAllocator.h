@@ -1,0 +1,139 @@
+//===- offheap/RegionAllocator.h - Native-region bump allocator -*- C++ -*-===//
+//
+// Part of the Panthera reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A region allocator over the heap's native (NVM) budget (docs/offheap.md).
+///
+/// One RegionAllocator claims a contiguous slab of the never-collected
+/// native space up front (halving its request until the claim fits, like
+/// the cluster executors' shuffle arenas it generalizes) and carves
+/// page-aligned regions out of it on demand. Within a region, allocation
+/// is a bump pointer; reclamation is whole-region only, driven by a
+/// per-region reference count. Released regions enter a free list and are
+/// recycled first-fit in region-id order, so the allocation sequence is a
+/// pure function of the request sequence -- the determinism contract every
+/// checksum test relies on.
+///
+/// Two consumers share this allocator type:
+///  - cluster::Executor's shuffle arena: one region spanning the whole
+///    claim, bump-allocated per block and reset between shuffles.
+///  - OffHeapCache: one region per cached partition, released at
+///    unpersist/eviction, with per-region touch counters feeding the
+///    untouched-first eviction order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PANTHERA_OFFHEAP_REGIONALLOCATOR_H
+#define PANTHERA_OFFHEAP_REGIONALLOCATOR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace panthera {
+
+namespace heap {
+class Heap;
+} // namespace heap
+
+namespace offheap {
+
+/// "No native address". UINT64_MAX, not 0: like CardTable::NoObject,
+/// address 0 is a real (if never-allocated) simulated address, and the
+/// pre-refactor shuffle arena already used this value as its spill
+/// sentinel -- naming it keeps every consumer byte-identical.
+constexpr uint64_t NoAddress = UINT64_MAX;
+
+/// "No region" handle.
+constexpr uint32_t NoRegion = UINT32_MAX;
+
+/// Allocator counters (mirrored under offheap.* when the cache tier owns
+/// the allocator; executor arenas keep them private).
+struct RegionAllocatorStats {
+  uint64_t RegionsCarved = 0;   ///< Fresh regions cut from the claim.
+  uint64_t RegionsRecycled = 0; ///< Requests served from the free list.
+  uint64_t RegionsReleased = 0; ///< Refcounts that reached zero.
+  uint64_t BytesAllocated = 0;  ///< Bump-allocated bytes (8-aligned).
+  uint64_t AllocFailures = 0;   ///< allocRegion exhaustion (caller spills).
+};
+
+class RegionAllocator {
+public:
+  /// Claims up to \p WantBytes of \p H's native space, halving the request
+  /// on exhaustion until it drops below \p MinClaimBytes (then the
+  /// allocator owns no memory and every allocRegion fails -- callers fall
+  /// back to their disk-spill path). The claim is permanent: the native
+  /// space is never collected, so regions recycle through the free list
+  /// instead of returning to the heap.
+  RegionAllocator(heap::Heap &H, uint64_t WantBytes, uint64_t MinClaimBytes);
+
+  RegionAllocator(const RegionAllocator &) = delete;
+  RegionAllocator &operator=(const RegionAllocator &) = delete;
+
+  bool claimed() const { return ClaimSize != 0; }
+  uint64_t claimBytes() const { return ClaimSize; }
+  uint64_t claimUsed() const { return ClaimUsed; }
+
+  /// Carves a region of at least \p MinBytes (page-granular; the final
+  /// carve may consume a sub-page claim remainder that still fits the
+  /// request). Recycles a free region first when one is large enough.
+  /// The new region starts with a reference count of 1. Returns NoRegion
+  /// when neither the free list nor the claim can satisfy the request.
+  uint32_t allocRegion(uint64_t MinBytes);
+
+  /// Bump-allocates \p Bytes (8-aligned) inside region \p Id; NoAddress
+  /// when the region cannot hold it (or \p Id is NoRegion). Exactly the
+  /// pre-refactor shuffle-arena formula, overflow check included.
+  uint64_t regionAlloc(uint32_t Id, uint64_t Bytes);
+
+  /// Rewinds region \p Id's bump pointer (arena reuse between shuffles).
+  void resetRegion(uint32_t Id);
+
+  /// Liveness counting: retain/release bracket each handle to the region.
+  /// release returns true when the count reached zero -- the region joined
+  /// the free list and its storage may be recycled by a later allocRegion.
+  void retain(uint32_t Id);
+  bool release(uint32_t Id);
+  uint32_t refCount(uint32_t Id) const { return Regions[Id].Refs; }
+
+  /// Access counting for eviction ordering: the cache tier bumps a
+  /// region's counter on every stub read; untouched regions evict first.
+  void touch(uint32_t Id) { ++Regions[Id].Touches; }
+  uint64_t touches(uint32_t Id) const { return Regions[Id].Touches; }
+
+  bool live(uint32_t Id) const { return Regions[Id].Live; }
+  uint64_t regionBase(uint32_t Id) const { return Regions[Id].Base; }
+  uint64_t regionSize(uint32_t Id) const { return Regions[Id].Size; }
+  uint64_t regionUsed(uint32_t Id) const { return Regions[Id].Used; }
+  size_t numRegions() const { return Regions.size(); }
+  size_t liveRegions() const;
+
+  const RegionAllocatorStats &stats() const { return Stats; }
+
+private:
+  struct Region {
+    uint64_t Base = 0;
+    uint64_t Size = 0;
+    uint64_t Used = 0;
+    uint32_t Refs = 0;
+    uint64_t Touches = 0;
+    bool Live = false;
+  };
+
+  uint64_t ClaimBase = 0;
+  uint64_t ClaimSize = 0;
+  uint64_t ClaimUsed = 0;
+  std::vector<Region> Regions;
+  /// Released region ids, kept sorted so recycling is first-fit in region
+  /// id order (deterministic across runs).
+  std::vector<uint32_t> FreeList;
+  RegionAllocatorStats Stats;
+};
+
+} // namespace offheap
+} // namespace panthera
+
+#endif // PANTHERA_OFFHEAP_REGIONALLOCATOR_H

@@ -56,6 +56,10 @@ namespace cluster {
 class Cluster;
 } // namespace cluster
 
+namespace offheap {
+class OffHeapCache;
+} // namespace offheap
+
 namespace rdd {
 
 /// Operator of a lineage node.
@@ -155,6 +159,11 @@ struct RddNode {
   /// (key, value-bits) pairs per partition instead of tuple object graphs
   /// (the _SER storage levels). GC-cheap; reads pay deserialization.
   bool SerializedInMemory = false;
+  /// True when partitions live in the off-heap region tier behind
+  /// GC-leaf stub objects (OFF_HEAP with --offheap-mb > 0). The top/dir
+  /// structure holds one OffHeapStub per partition; a stub whose native
+  /// address is offheap::NoAddress was spilled to DiskParts.
+  bool OffHeapStubs = false;
   size_t TopRootId = SIZE_MAX; ///< Persistent root of the top object.
   /// LRU clock for storage eviction (bumped on every materialized read).
   uint64_t LastUse = 0;
@@ -290,6 +299,11 @@ public:
   /// reducers fetch remote blocks through the simulated fabric. The data
   /// plane (bucket contents and order) is identical either way.
   void setCluster(cluster::Cluster *C) { Clstr = C; }
+  /// Installs the off-heap region cache tier (docs/offheap.md). Null (the
+  /// default, --offheap-mb=0) keeps the seed OFF_HEAP materialization
+  /// path byte-identical; with a tier, OFF_HEAP partitions serialize into
+  /// regions behind GC-leaf stub objects.
+  void setOffHeapCache(offheap::OffHeapCache *C) { OffHeap = C; }
   /// Installs the observability sinks (docs/observability.md): stage and
   /// per-partition task spans on the engine track, stamped with the
   /// simulated clock. Either may be null. Scalar engine.* counters are
@@ -449,6 +463,15 @@ private:
   /// BlockManager eviction) until occupancy falls below the threshold.
   void maybeEvictStorage();
 
+  /// Off-heap budget pressure: spills the tier's eviction pick (untouched
+  /// regions first) to executor "disk", retargets its stub to
+  /// offheap::NoAddress, and releases the region. Returns false when
+  /// nothing cacheable is left to shed. \p Current / \p CurrentDir let the
+  /// materializer hand in the not-yet-rooted RDD it is building, whose
+  /// already-cached partitions are themselves eviction candidates.
+  bool spillOffHeapVictim(const RddRef &Current = nullptr,
+                          heap::ObjRef CurrentDir = heap::ObjRef());
+
   /// Runs the map side of a shuffle of \p Parent into Buckets, routing by
   /// \p Partitioner (hash of the key when empty; sortByKey passes a range
   /// partitioner built from sampled splitters).
@@ -508,6 +531,10 @@ private:
   std::vector<RddRef> TempMaterialized;
   /// Heap-materialized MEMORY_AND_DISK(_SER) RDDs, eligible for eviction.
   std::vector<RddRef> EvictableStore;
+  offheap::OffHeapCache *OffHeap = nullptr;
+  /// RDDs whose partitions live in the off-heap tier; spillOffHeapVictim
+  /// maps the tier's (rdd, partition) eviction pick back to its node.
+  std::vector<RddRef> OffHeapStore;
   std::vector<std::pair<uint32_t, std::string>> IdToVar;
 };
 

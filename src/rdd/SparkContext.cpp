@@ -7,6 +7,7 @@
 #include "rdd/Rdd.h"
 
 #include "cluster/Cluster.h"
+#include "offheap/OffHeapCache.h"
 #include "rdd/PartitionBuilder.h"
 #include "support/Errors.h"
 #include "support/FaultInjector.h"
@@ -293,6 +294,29 @@ void SparkContext::unpersist(const RddRef &R) {
 }
 
 void SparkContext::dropMaterialized(const RddRef &R) {
+  if (R->OffHeapStubs && OffHeap && R->TopRootId != SIZE_MAX) {
+    // Release every region the RDD's stubs still hold before the stubs
+    // become unreachable. Raw (unaccounted) reads: the stub walk is driver
+    // bookkeeping, not simulated mutator traffic.
+    ObjRef Top = H.persistentRoot(R->TopRootId);
+    ObjRef Dir = H.rawLoadRef(Top.addr(), 0);
+    uint32_t P = H.arrayLength(Dir);
+    for (uint32_t I = 0; I != P; ++I) {
+      ObjRef Stub = H.rawLoadRef(Dir.addr(), I);
+      if (!Stub)
+        continue;
+      uint64_t Payload = Stub.addr() + sizeof(heap::ObjectHeader);
+      uint64_t Addr;
+      uint32_t Region;
+      std::memcpy(&Addr, H.rawBytes(Payload), sizeof(Addr));
+      std::memcpy(&Region, H.rawBytes(Payload + 8), sizeof(Region));
+      if (Region != offheap::NoRegion && Addr != offheap::NoAddress)
+        OffHeap->release(Region, /*Evicted=*/false);
+    }
+    OffHeapStore.erase(
+        std::remove(OffHeapStore.begin(), OffHeapStore.end(), R),
+        OffHeapStore.end());
+  }
   if (R->TopRootId != SIZE_MAX) {
     H.removePersistentRoot(R->TopRootId);
     R->TopRootId = SIZE_MAX;
@@ -300,6 +324,7 @@ void SparkContext::dropMaterialized(const RddRef &R) {
   R->NativeParts.clear();
   R->DiskParts.clear();
   R->SerializedInMemory = false;
+  R->OffHeapStubs = false;
   R->Materialized = false;
 }
 
@@ -692,6 +717,38 @@ void SparkContext::streamMaterialized(const RddRef &R, uint32_t P,
   // Each per-partition read is a task invoking iterator() on the RDD
   // object -- one monitored call (the Table 5 counts scale with tasks).
   recordCall(R);
+  if (R->OffHeapStubs) {
+    // Off-heap region tier: the on-heap stub is the only object the read
+    // touches before the serialized bytes stream out of the region. A
+    // stub retargeted to NoAddress was spilled to executor "disk".
+    PANTHERA_CHECK(OffHeap && R->TopRootId != SIZE_MAX,
+                   "off-heap RDD lost its tier or root");
+    GcRoot Top(H, H.persistentRoot(R->TopRootId));
+    GcRoot Dir(H, H.loadRef(Top.get(), 0));
+    GcRoot Stub(H, H.loadRef(Dir.get(), P));
+    uint64_t Addr = H.stubNativeAddr(Stub.get());
+    uint32_t Count = H.stubRecordCount(Stub.get());
+    if (Addr == offheap::NoAddress) {
+      PANTHERA_CHECK(P < R->DiskParts.size(), "spilled stub lost its rows");
+      for (const SourceRecord &Row : R->DiskParts[P]) {
+        Mem.addCpuWorkNs(Config.PerRecordCpuNs + Config.DiskRecordCpuNs);
+        Sink(Ctx.makeTuple(Row.Key, Row.Val));
+      }
+      return;
+    }
+    uint32_t Region = H.stubRegion(Stub.get());
+    // Bulk record-granular read of the whole partition (regions never
+    // move, so hoisting ahead of the allocating sink is safe), then the
+    // same per-record deserialization CPU as the on-heap _SER levels.
+    std::vector<SourceRecord> Rows(Count);
+    OffHeap->readPartition(Region, Addr, Rows.data(), Count,
+                           sizeof(SourceRecord));
+    for (const SourceRecord &Row : Rows) {
+      Mem.addCpuWorkNs(Config.PerRecordCpuNs + Config.ShuffleRecordCpuNs);
+      Sink(Ctx.makeTuple(Row.Key, Row.Val));
+    }
+    return;
+  }
   if (!R->NativeParts.empty()) {
     // OFF_HEAP: deserialize records from native NVM into young tuples.
     // The whole partition is read through one record-granular range (the
@@ -755,12 +812,10 @@ void SparkContext::installMaterialized(const RddRef &R, ObjRef Top) {
   R->Materialized = true;
   R->LastUse = ++UseClock;
   ++Stats.RddsMaterialized;
-  // Only MEMORY_AND_DISK levels may fall back to disk under pressure, and
+  // Only disk-backed heap levels may fall back to disk under pressure, and
   // only flat (payload-free) tuples serialize; grouped RDDs stay pinned.
-  if (R->PersistRequested &&
-      (R->Level == StorageLevel::MemoryAndDisk ||
-       R->Level == StorageLevel::MemoryAndDiskSer) &&
-      R->Op != OpKind::GroupByKey &&
+  if (R->PersistRequested && isHeapLevel(R->Level) &&
+      levelProps(R->Level).DiskBacked && R->Op != OpKind::GroupByKey &&
       std::find(EvictableStore.begin(), EvictableStore.end(), R) ==
           EvictableStore.end())
     EvictableStore.push_back(R);
@@ -817,6 +872,50 @@ void SparkContext::maybeEvictStorage() {
     if (Occupancy() < Config.EvictionOccupancy)
       return;
   }
+}
+
+bool SparkContext::spillOffHeapVictim(const RddRef &Current,
+                                      ObjRef CurrentDir) {
+  offheap::OffHeapCache::Victim V = OffHeap->pickVictim();
+  if (V.Region == offheap::NoRegion)
+    return false;
+  // The pick can be a partition of the RDD being materialized right now --
+  // its directory is still a caller-held stack root, not an installed
+  // persistent root, so the caller passes it in.
+  RddRef Victim;
+  GcRoot Dir(H);
+  if (Current && V.RddId == Current->Id) {
+    Victim = Current;
+    Dir.set(CurrentDir);
+  } else {
+    for (const RddRef &R : OffHeapStore)
+      if (R->Id == V.RddId) {
+        Victim = R;
+        break;
+      }
+    PANTHERA_CHECK(Victim && Victim->Materialized &&
+                       Victim->TopRootId != SIZE_MAX,
+                   "off-heap eviction pick lost its RDD");
+    Dir.set(H.loadRef(H.persistentRoot(Victim->TopRootId), 0));
+  }
+  // Read the serialized partition back out of its region, stage it on
+  // executor "disk" (same CPU charge as BlockManager eviction), retarget
+  // the stub, and release the region for recycling.
+  GcRoot Stub(H, H.loadRef(Dir.get(), V.Part));
+  uint64_t Addr = H.stubNativeAddr(Stub.get());
+  uint32_t Count = H.stubRecordCount(Stub.get());
+  PANTHERA_CHECK(Addr != offheap::NoAddress, "victim already spilled");
+  std::vector<SourceRecord> Rows(Count);
+  OffHeap->readPartition(V.Region, Addr, Rows.data(), Count,
+                         sizeof(SourceRecord));
+  H.memory().addCpuWorkNs(static_cast<double>(Count) *
+                          Config.DiskRecordCpuNs);
+  if (Victim->DiskParts.empty())
+    Victim->DiskParts.assign(Config.NumPartitions, {});
+  Victim->DiskParts[V.Part] = std::move(Rows);
+  H.setStubNativeAddr(Stub.get(), offheap::NoAddress);
+  OffHeap->release(V.Region, /*Evicted=*/true);
+  return true;
 }
 
 void SparkContext::materializeNarrow(const RddRef &R,
@@ -884,7 +983,75 @@ void SparkContext::materializeNarrow(const RddRef &R,
   if (Fusion && Fusion->Rollback)
     FusionRollback = Fusion->Rollback;
 
-  if (R->Level == StorageLevel::OffHeap && R->PersistRequested) {
+  if (R->Level == StorageLevel::OffHeapSer && R->PersistRequested &&
+      OffHeap) {
+    // Off-heap region tier (docs/offheap.md): serialize each partition
+    // once into a region, then root one GC-leaf stub per partition. The
+    // serialized bytes never appear in trace or compaction work; only the
+    // 48-byte stubs do.
+    R->OffHeapStubs = true;
+    GcRoot Dir(H, H.allocRefArray(P));
+    RddContext Ctx(H);
+    for (uint32_t I = 0; I != P; ++I) {
+      Place(I);
+      uint32_t PlacedRegion = offheap::NoRegion;
+      runTask(
+          Stage, R->Id, I,
+          [&] {
+            PlacedRegion = offheap::NoRegion;
+            std::vector<SourceRecord> Rows;
+            streamPartition(R, I, [&](ObjRef T) {
+              Rows.push_back({Ctx.key(T), Ctx.value(T)});
+              H.memory().addCpuWorkNs(Config.ShuffleRecordCpuNs);
+            });
+            // Budget pressure sheds untouched regions first; when nothing
+            // is left to shed, this partition falls back to executor
+            // "disk" behind a NoAddress stub (the staged-OOM spill path).
+            offheap::OffHeapCache::Placement Pl;
+            while (true) {
+              Pl = OffHeap->cachePartition(Rows.data(), Rows.size(),
+                                           sizeof(SourceRecord), R->Id, I);
+              if (Pl.Region != offheap::NoRegion ||
+                  !spillOffHeapVictim(R, Dir.get()))
+                break;
+            }
+            PlacedRegion = Pl.Region;
+            if (Pl.Region == offheap::NoRegion) {
+              if (R->DiskParts.empty())
+                R->DiskParts.assign(P, {});
+              H.memory().addCpuWorkNs(static_cast<double>(Rows.size()) *
+                                      Config.DiskRecordCpuNs);
+              R->DiskParts[I] = std::move(Rows);
+              Pl.Addr = offheap::NoAddress;
+            }
+            ObjRef Stub = H.allocOffHeapStub(
+                Pl.Addr, Pl.Region, static_cast<uint32_t>(Rows.size()),
+                R->Id);
+            H.storeRef(Dir.get(), I, Stub);
+          },
+          [&] {
+            // A failed attempt may have placed a region (e.g. OOM while
+            // allocating the stub) or spilled rows; undo both.
+            if (PlacedRegion != offheap::NoRegion) {
+              OffHeap->release(PlacedRegion, /*Evicted=*/false);
+              PlacedRegion = offheap::NoRegion;
+            }
+            if (!R->DiskParts.empty())
+              R->DiskParts[I].clear();
+          },
+          ExecPtr(I));
+      Placed(I);
+    }
+    ObjRef Top = H.allocPlain(/*NumRefs=*/1, /*PayloadBytes=*/0);
+    H.header(Top.addr())->RddId = R->Id;
+    H.storeRef(Top, 0, Dir.get());
+    installMaterialized(R, Top);
+    if (std::find(OffHeapStore.begin(), OffHeapStore.end(), R) ==
+        OffHeapStore.end())
+      OffHeapStore.push_back(R);
+    return;
+  }
+  if (R->Level == StorageLevel::OffHeapSer && R->PersistRequested) {
     // Serialize into native NVM memory (the paper places all off-heap
     // native memory in NVM, §4.1).
     R->NativeParts.assign(P, {});
@@ -931,8 +1098,7 @@ void SparkContext::materializeNarrow(const RddRef &R,
     return;
   }
 
-  if (R->Level == StorageLevel::MemoryOnlySer ||
-      R->Level == StorageLevel::MemoryAndDiskSer) {
+  if (isHeapLevel(R->Level) && isSerializedLevel(R->Level)) {
     // Serialized in-memory storage: each partition is ONE primitive array
     // of (key, value-bits) pairs. No tuple objects survive, so the cache
     // is nearly invisible to the GC -- which is why the paper persists

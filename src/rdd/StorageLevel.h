@@ -8,6 +8,13 @@
 /// Spark storage levels for persisted RDDs, plus the paper's §3 expansion
 /// of each memory level into _DRAM and _NVM sub-levels.
 ///
+/// Every property a level implies -- its DSL spelling, whether partitions
+/// live on the managed heap, whether they are serialized, whether a disk
+/// copy backs them, and whether the off-heap region tier owns them -- comes
+/// from one table (StorageLevelProps). The parser, Rdd::persistAs, the
+/// materializers, and the report block all index the same rows, so a level
+/// cannot mean different things in different layers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PANTHERA_RDD_STORAGELEVEL_H
@@ -29,52 +36,57 @@ enum class StorageLevel : uint8_t {
   MemoryAndDisk,
   MemoryAndDiskSer,
   DiskOnly,
-  OffHeap,
+  OffHeapSer,
 };
 
+/// The properties a storage level implies, in one row.
+struct StorageLevelProps {
+  const char *Name;  ///< DSL spelling.
+  bool OnHeap;       ///< Partitions live as managed-heap objects.
+  bool Serialized;   ///< Cached form is a serialized byte run.
+  bool DiskBacked;   ///< A disk copy exists (or is the only copy).
+  bool OffHeap;      ///< Owned by the off-heap region tier (docs/offheap.md).
+};
+
+/// One row per StorageLevel, in enum order.
+inline constexpr StorageLevelProps StorageLevelTable[] = {
+    {"MEMORY_ONLY", true, false, false, false},
+    {"MEMORY_ONLY_SER", true, true, false, false},
+    {"MEMORY_AND_DISK", true, false, true, false},
+    {"MEMORY_AND_DISK_SER", true, true, true, false},
+    {"DISK_ONLY", false, false, true, false},
+    {"OFF_HEAP", false, true, false, true},
+};
+
+inline const StorageLevelProps &levelProps(StorageLevel L) {
+  return StorageLevelTable[static_cast<uint8_t>(L)];
+}
+
 inline const char *storageLevelName(StorageLevel L) {
-  switch (L) {
-  case StorageLevel::MemoryOnly:
-    return "MEMORY_ONLY";
-  case StorageLevel::MemoryOnlySer:
-    return "MEMORY_ONLY_SER";
-  case StorageLevel::MemoryAndDisk:
-    return "MEMORY_AND_DISK";
-  case StorageLevel::MemoryAndDiskSer:
-    return "MEMORY_AND_DISK_SER";
-  case StorageLevel::DiskOnly:
-    return "DISK_ONLY";
-  case StorageLevel::OffHeap:
-    return "OFF_HEAP";
-  }
-  return "?";
+  return levelProps(L).Name;
 }
 
 /// True when the level keeps deserialized objects in the managed heap
 /// (these are the levels Panthera's tags act on).
-inline bool isHeapLevel(StorageLevel L) {
-  return L == StorageLevel::MemoryOnly || L == StorageLevel::MemoryOnlySer ||
-         L == StorageLevel::MemoryAndDisk ||
-         L == StorageLevel::MemoryAndDiskSer;
+inline bool isHeapLevel(StorageLevel L) { return levelProps(L).OnHeap; }
+
+/// True when the cached form is a serialized byte run (on-heap primitive
+/// array or off-heap region) rather than an object graph.
+inline bool isSerializedLevel(StorageLevel L) {
+  return levelProps(L).Serialized;
 }
 
-/// Parses the DSL spelling. The empty string is the argless persist() form
-/// and means MEMORY_ONLY; any other unknown spelling is a driver-program
-/// bug (a typo'd level used to silently cache deserialized on-heap) and
-/// throws EngineError.
+/// Parses the DSL spelling against the table. The empty string is the
+/// argless persist() form and means MEMORY_ONLY; any other unknown
+/// spelling is a driver-program bug (a typo'd level used to silently cache
+/// deserialized on-heap) and throws EngineError.
 inline StorageLevel parseStorageLevel(std::string_view Name) {
-  if (Name.empty() || Name == "MEMORY_ONLY")
+  if (Name.empty())
     return StorageLevel::MemoryOnly;
-  if (Name == "MEMORY_ONLY_SER")
-    return StorageLevel::MemoryOnlySer;
-  if (Name == "MEMORY_AND_DISK")
-    return StorageLevel::MemoryAndDisk;
-  if (Name == "MEMORY_AND_DISK_SER")
-    return StorageLevel::MemoryAndDiskSer;
-  if (Name == "DISK_ONLY")
-    return StorageLevel::DiskOnly;
-  if (Name == "OFF_HEAP")
-    return StorageLevel::OffHeap;
+  for (size_t I = 0;
+       I != sizeof(StorageLevelTable) / sizeof(StorageLevelTable[0]); ++I)
+    if (Name == StorageLevelTable[I].Name)
+      return static_cast<StorageLevel>(I);
   throw EngineError("unknown storage level '" + std::string(Name) + "'");
 }
 

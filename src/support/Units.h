@@ -29,6 +29,10 @@ constexpr uint64_t GiB = 1024 * MiB;
 /// One "paper gigabyte" expressed in simulated bytes (1 GB -> 1 MB).
 constexpr uint64_t PaperGB = MiB;
 
+/// One "paper megabyte" under the same 1024x scale (1 MB -> 1 KB); used by
+/// the finer-grained budgets (--offheap-mb).
+constexpr uint64_t PaperMB = PaperGB / 1024;
+
 /// The paper pretenures the first array allocation whose length exceeds one
 /// million elements after an rdd_alloc call; scaled by the same 1024x factor.
 constexpr uint32_t ScaledLargeArrayThreshold = 1024;

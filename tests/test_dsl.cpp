@@ -96,7 +96,7 @@ TEST(Parser, PersistSpellingsReachTheStorageLevelParser) {
       LevelOf("program t { a = textFile(\"in\").persist(MEMORY_AND_DISK); }"),
       StorageLevel::MemoryAndDisk);
   EXPECT_EQ(LevelOf("program t { a = textFile(\"in\").persist(OFF_HEAP); }"),
-            StorageLevel::OffHeap);
+            StorageLevel::OffHeapSer);
   EXPECT_THROW(
       LevelOf("program t { a = textFile(\"in\").persist(MEMORYONLY); }"),
       panthera::EngineError);

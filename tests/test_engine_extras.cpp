@@ -225,7 +225,7 @@ TEST_F(EngineExtras, OffHeapDataLandsInNativeNvmAndSurvivesGc) {
               .map([](RddContext &C, ObjRef T) {
                 return C.makeTuple(C.key(T), C.value(T) * 3.0);
               })
-              .persistAs("off", rdd::StorageLevel::OffHeap);
+              .persistAs("off", rdd::StorageLevel::OffHeapSer);
   EXPECT_EQ(R.count(), 4000);
   RT->collector().collectMajor("test");
   double Sum = R.reduce([](double A, double B) { return A + B; });

@@ -117,11 +117,41 @@ TEST(GcFuzz, ReplayIsDeterministic) {
   EXPECT_EQ(A.OomErrorsThrown, B.OomErrorsThrown);
 }
 
+// Frozen repro for the off-heap tier (docs/offheap.md): stub objects are
+// GC leaves whose 16-byte payload (native address + region id) must ride
+// every evacuation verbatim, and the region bytes they point at live
+// outside the collector entirely. Make the collector treat OffHeapStub as
+// a ref-holding kind (or drop its payload on copy) and this tuple
+// diverges at the first sync after a stub survives a collection; the
+// frozen digest additionally folds the region carve/recycle/release
+// history, so a changed eviction or free-list order fails here too.
+TEST(GcFuzzRegression, OffHeapStubPayloadSurvivesEvacuation) {
+  FuzzResult R = run(1, 800, FuzzConfigKind::OffHeap);
+  EXPECT_TRUE(R.Ok) << R.Problem;
+  EXPECT_EQ(R.Digest, 0x4d9b907ad5c54de3ull);
+  EXPECT_GT(R.MinorGcs, 0u); // stubs must actually survive collections
+}
+
+// The off-heap digest (heap image + region lifecycle counters) is
+// bit-identical across GC worker counts and executor replicas, like every
+// other config.
+TEST(GcFuzz, OffHeapDigestBitIdenticalAcrossWorkersAndExecutors) {
+  FuzzResult A = run(21, 400, FuzzConfigKind::OffHeap, /*Threads=*/1);
+  FuzzResult B = run(21, 400, FuzzConfigKind::OffHeap, /*Threads=*/8);
+  ASSERT_TRUE(A.Ok) << A.Problem;
+  ASSERT_TRUE(B.Ok) << B.Problem;
+  EXPECT_EQ(A.Digest, B.Digest);
+  FuzzResult C = run(21, 400, FuzzConfigKind::OffHeap, /*Threads=*/1,
+                     /*Executors=*/2);
+  EXPECT_TRUE(C.Ok) << C.Problem;
+}
+
 // A small always-on sweep across every heap shape the harness tortures.
 TEST(GcFuzz, SweepAllConfigsClean) {
   for (uint64_t Seed = 100; Seed != 105; ++Seed)
     for (FuzzConfigKind K : {FuzzConfigKind::Dram, FuzzConfigKind::Split,
-                             FuzzConfigKind::Pressure}) {
+                             FuzzConfigKind::Pressure,
+                             FuzzConfigKind::OffHeap}) {
       FuzzResult R = run(Seed, 256, K);
       EXPECT_TRUE(R.Ok)
           << fuzzConfigName(K) << " seed " << Seed << ": " << R.Problem;

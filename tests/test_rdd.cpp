@@ -279,7 +279,7 @@ program t {
               .map([](RddContext &C, ObjRef T) {
                 return C.makeTuple(C.key(T), C.value(T));
               })
-              .persistAs("raw", StorageLevel::OffHeap);
+              .persistAs("raw", StorageLevel::OffHeapSer);
   EXPECT_EQ(R.count(), 2000);
   EXPECT_GT(RT->heap().native().usedBytes(), 0u);
   EXPECT_EQ(R.count(), 2000) << "re-streamed from native storage";

@@ -115,7 +115,7 @@ TEST(StorageLevel, ParseRoundTrips) {
   for (StorageLevel L :
        {StorageLevel::MemoryOnly, StorageLevel::MemoryOnlySer,
         StorageLevel::MemoryAndDisk, StorageLevel::MemoryAndDiskSer,
-        StorageLevel::DiskOnly, StorageLevel::OffHeap})
+        StorageLevel::DiskOnly, StorageLevel::OffHeapSer})
     EXPECT_EQ(parseStorageLevel(storageLevelName(L)), L);
   // The argless persist() form reaches the parser as "".
   EXPECT_EQ(parseStorageLevel(""), StorageLevel::MemoryOnly);
@@ -130,7 +130,7 @@ TEST(StorageLevel, HeapLevelClassification) {
   EXPECT_TRUE(isHeapLevel(StorageLevel::MemoryOnly));
   EXPECT_TRUE(isHeapLevel(StorageLevel::MemoryAndDiskSer));
   EXPECT_FALSE(isHeapLevel(StorageLevel::DiskOnly));
-  EXPECT_FALSE(isHeapLevel(StorageLevel::OffHeap));
+  EXPECT_FALSE(isHeapLevel(StorageLevel::OffHeapSer));
 }
 
 TEST(SparkOps, Classification) {

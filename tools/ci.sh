@@ -163,7 +163,39 @@ grep -q '"gc.incremental.cycles": [1-9]' "${obs}/i1.json"
 grep -q '"pass": true' BENCH_pause.json
 echo "ci: budget-0 byte-identical, budgeted runs thread-invariant, p99 floor met"
 
+# Off-heap tier smoke (docs/offheap.md): --offheap-mb=0 must be
+# byte-identical to the seed engine (the m1/t1 exports above are exactly
+# that run), an enabled budget on a workload with no OFF_HEAP persists
+# constructs the tier without changing the checksum, and the three-way
+# serialized-cache ablation enforces its floors (off-heap old-gen trace
+# strictly below deserialized at every swept ratio, total time below
+# on-heap _SER at >= 1 ratio) into BENCH_sercache.json.
+echo "=== off-heap tier smoke ==="
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --offheap-mb=0 --metrics-json="${obs}/oh0.json" \
+  --trace-json="${obs}/oh0.trace" >/dev/null
+cmp "${obs}/m1.json" "${obs}/oh0.json"
+cmp "${obs}/t1.json" "${obs}/oh0.trace"
+./build/tools/panthera_sim --workload=PR --scale=0.1 --threads=1 \
+  --offheap-mb=512 >"${obs}/oh1.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/oh1.txt" >"${obs}/oh1.sum"
+./build/tools/panthera_sim --workload=PR --scale=0.1 \
+  --threads=1 >"${obs}/oh-base.txt"
+grep -o 'result checksum: [0-9.]*' "${obs}/oh-base.txt" >"${obs}/oh0.sum"
+cmp "${obs}/oh0.sum" "${obs}/oh1.sum"
+(cd "${obs}" && "${OLDPWD}/build/bench/ablation_ser_cache")
+grep -q '"pass": true' "${obs}/BENCH_sercache.json"
+echo "ci: --offheap-mb=0 byte-identical, sercache ablation floors met"
+
 run_config build-san -DPANTHERA_SANITIZE=address,undefined
+
+# The off-heap tier under ASan/UBSan: the region allocator's carve/
+# recycle arithmetic, the stub payload plumbing, and the eviction/spill
+# paths all run sanitized (no shipped workload drives the tier, so the
+# unit suite is the coverage).
+echo "=== off-heap tests (asan/ubsan) ==="
+./build-san/tests/test_offheap
+echo "ci: off-heap tests clean under sanitizers"
 
 # The hotness tracker, migration engine, and dynamic-policy determinism
 # tests under ASan/UBSan (the split/merge vector surgery and the 1:1 swap
@@ -198,9 +230,15 @@ fuzz=./build-san/tools/gc_fuzz
 "${fuzz}" --seed=1 --ops=200 --config=incremental
 "${fuzz}" --seed=1 --ops=200 --config=incremental --threads=8
 "${fuzz}" --seed=1 --ops=200 --config=incremental --executors=2
+# The offheap config churns GC-leaf stubs and their regions through
+# collections; the frozen tuple pins the stub-payload evacuation
+# contract and the region carve/recycle/release history.
+"${fuzz}" --seed=1 --ops=800 --config=offheap
+"${fuzz}" --seed=21 --ops=400 --config=offheap --threads=8
+"${fuzz}" --seed=21 --ops=400 --config=offheap --executors=2
 sha_seed="$((16#$(git rev-parse HEAD | cut -c1-8)))"
 echo "ci: fuzzing 32 fresh seeds from ${sha_seed} per config"
-for config in dram split pressure incremental; do
+for config in dram split pressure incremental offheap; do
   "${fuzz}" --seed="${sha_seed}" --iterations=32 --ops=256 \
     --config="${config}"
 done

@@ -36,7 +36,7 @@ void usage(const char *Argv0) {
       "  --ops=N          actions per schedule (default 512)\n"
       "  --iterations=N   schedules to run, seeds seed..seed+N-1 "
       "(default 1)\n"
-      "  --config=NAME    dram | split | pressure | incremental "
+      "  --config=NAME    dram | split | pressure | incremental | offheap "
       "(default split)\n"
       "  --threads=N      GC workers; 0 = serial collector (default 1)\n"
       "  --executors=N    replay each schedule on N independent executor\n"
@@ -84,10 +84,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &O) {
       }
     } else if (const char *S = Val("--config=")) {
       if (!parseFuzzConfig(S, O.Fuzz.Config)) {
-        std::fprintf(
-            stderr,
-            "gc_fuzz: bad --config '%s' (dram|split|pressure|incremental)\n",
-            S);
+        std::fprintf(stderr,
+                     "gc_fuzz: bad --config '%s' "
+                     "(dram|split|pressure|incremental|offheap)\n",
+                     S);
         return false;
       }
     } else if (const char *S = Val("--threads=")) {

@@ -14,7 +14,7 @@
 ///                [--hotness-sample=N] [--migrate-threshold=F]
 ///                [--migrate-max-pages=N]
 ///                [--max-pause-us=N] [--pretenure-calls=N]
-///                [--inc-step-allocs=N]
+///                [--inc-step-allocs=N] [--offheap-mb=N]
 ///                [--heap=64] [--ratio=0.333] [--scale=1.0]
 ///                [--nursery=0.1667] [--no-eager] [--no-padding]
 ///                [--threads=N] [--gclog] [--verify] [--list] [--help]
@@ -255,6 +255,10 @@ int main(int Argc, char **Argv) {
       if (!support::parseUnsigned(V, 1, 1u << 30, U))
         return BadFlag(A, "an allocation count >= 1");
       Config.IncStepAllocs = static_cast<uint32_t>(U);
+    } else if (const char *V = Val("--offheap-mb=")) {
+      if (!support::parseUnsigned(V, 0, 1u << 30, U))
+        return BadFlag(A, "a budget in paper MB >= 0 (0 = no tier)");
+      Config.OffHeapMB = static_cast<unsigned>(U);
     }
     else if (std::strcmp(A, "--list") == 0) {
       for (const workloads::WorkloadSpec &Spec : workloads::allWorkloads())
@@ -290,6 +294,11 @@ int main(int Argc, char **Argv) {
           "  --inc-step-allocs=N  allocations between incremental mark\n"
           "                     steps (default 64; ignored at\n"
           "                     --max-pause-us=0)\n"
+          "  --offheap-mb=N     off-heap serialized cache tier budget in\n"
+          "                     paper MB (docs/offheap.md); OFF_HEAP\n"
+          "                     persists serialize into untraced native\n"
+          "                     regions behind GC leaf stubs. Default 0 =\n"
+          "                     no tier, byte-identical output\n"
           "  --heap=GB          heap size in paper GB (default 64)\n"
           "  --ratio=F          DRAM : total memory (default 0.333)\n"
           "  --nursery=F        nursery fraction of the heap\n"
@@ -462,6 +471,27 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(R.Engine.RddsMaterialized),
               static_cast<unsigned long long>(R.Engine.RddsEvictedToDisk),
               static_cast<unsigned long long>(R.MonitoredCalls));
+
+  if (offheap::OffHeapCache *OC = RT.offHeapCache()) {
+    const offheap::OffHeapCacheStats &OS = OC->stats();
+    const offheap::RegionAllocatorStats &RS = OC->allocator().stats();
+    std::printf("\noffheap: %llu partitions cached (%llu KB), %llu evicted, "
+                "%llu unpersisted\n",
+                static_cast<unsigned long long>(OS.PartitionsCached),
+                static_cast<unsigned long long>(OS.BytesCached / 1024),
+                static_cast<unsigned long long>(OS.PartitionsEvicted),
+                static_cast<unsigned long long>(OS.PartitionsUnpersisted));
+    std::printf("         %llu stub reads (%llu KB), regions: %llu carved + "
+                "%llu recycled, %llu freed, %llu live of %llu KB claimed\n",
+                static_cast<unsigned long long>(OS.StubReads),
+                static_cast<unsigned long long>(OS.BytesRead / 1024),
+                static_cast<unsigned long long>(RS.RegionsCarved),
+                static_cast<unsigned long long>(RS.RegionsRecycled),
+                static_cast<unsigned long long>(OS.RegionsFreed),
+                static_cast<unsigned long long>(OC->allocator().liveRegions()),
+                static_cast<unsigned long long>(
+                    OC->allocator().claimBytes() / 1024));
+  }
 
   if (const cluster::Cluster *CL = RT.clusterSim()) {
     const cluster::ClusterStats &CS = CL->stats();
